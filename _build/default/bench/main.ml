@@ -1,0 +1,167 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (one sub-command per table; no argument runs everything) and
+   runs Bechamel micro-benchmarks of the hot primitives.
+
+   Environment: AMMBOOST_BENCH_SCALE=<n> divides the daily traffic volumes
+   by n for quicker runs (1 = the paper's full volumes). *)
+
+module E = Ammboost.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let open Amm_math in
+  let a = U256.of_string "123456789123456789123456789123456789123456789" in
+  let b = U256.of_string "987654321987654321987654321987654321" in
+  let c = U256.of_string "55555555555555555555555555" in
+  let t_muldiv =
+    Test.make ~name:"u256 mul_div" (Staged.stage (fun () -> U256.mul_div a b c))
+  in
+  let t_sqrt = Test.make ~name:"u256 sqrt" (Staged.stage (fun () -> U256.sqrt a)) in
+  let t_tick =
+    Test.make ~name:"tick->sqrt ratio"
+      (Staged.stage (fun () -> Tick_math.get_sqrt_ratio_at_tick 123456))
+  in
+  let t_tick_inv =
+    let ratio = Tick_math.get_sqrt_ratio_at_tick 123456 in
+    Test.make ~name:"sqrt ratio->tick"
+      (Staged.stage (fun () -> Tick_math.get_tick_at_sqrt_ratio ratio))
+  in
+  let payload = Bytes.make 1024 'x' in
+  let t_keccak =
+    Test.make ~name:"keccak256 (1KiB)"
+      (Staged.stage (fun () -> Amm_crypto.Keccak256.digest payload))
+  in
+  let t_sha =
+    Test.make ~name:"sha256 (1KiB)"
+      (Staged.stage (fun () -> Amm_crypto.Sha256.digest payload))
+  in
+  let rng = Amm_crypto.Rng.create "bench" in
+  let sk, pk = Amm_crypto.Bls.keygen rng in
+  let msg = Bytes.of_string "sync payload digest" in
+  let sigma = Amm_crypto.Bls.sign sk msg in
+  let t_sign =
+    Test.make ~name:"bls sign" (Staged.stage (fun () -> Amm_crypto.Bls.sign sk msg))
+  in
+  let t_verify =
+    Test.make ~name:"bls verify"
+      (Staged.stage (fun () -> Amm_crypto.Bls.verify pk msg sigma))
+  in
+  let _vk, shares = Amm_crypto.Bls.dkg rng ~n:16 ~threshold:11 in
+  let t_threshold =
+    Test.make ~name:"threshold sign 11-of-16"
+      (Staged.stage (fun () ->
+           let partials = List.map (fun s -> Amm_crypto.Bls.partial_sign s msg) shares in
+           Amm_crypto.Bls.combine ~threshold:11 partials))
+  in
+  (* A pool primed for swap benchmarks. *)
+  let pool =
+    Uniswap.Pool.create ~pool_id:0
+      ~token0:(Chain.Token.make ~id:0 ~symbol:"TKA")
+      ~token1:(Chain.Token.make ~id:1 ~symbol:"TKB")
+      ~fee_pips:3000 ~tick_spacing:60 ~sqrt_price:Q96.q96
+  in
+  let owner = Chain.Address.of_label "bench-lp" in
+  (match
+     Uniswap.Router.mint pool
+       ~position_id:(Chain.Ids.Position_id.of_hash (Amm_crypto.Sha256.digest_string "b"))
+       ~owner ~lower_tick:(-887220) ~upper_tick:887220
+       ~amount0_desired:(U256.of_string "1000000000000000000000000")
+       ~amount1_desired:(U256.of_string "1000000000000000000000000")
+   with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let amount = U256.of_string "1000000000000000000" in
+  let flip = ref true in
+  let t_swap =
+    (* Alternate directions so the price random-walks around par instead of
+       drifting out of range over thousands of samples. *)
+    Test.make ~name:"pool swap (exact in)"
+      (Staged.stage (fun () ->
+           flip := not !flip;
+           Uniswap.Router.exact_input pool ~zero_for_one:!flip ~amount_in:amount
+             ~min_amount_out:U256.zero ()))
+  in
+  Test.make_grouped ~name:"ammboost" ~fmt:"%s/%s"
+    [ t_muldiv; t_sqrt; t_tick; t_tick_inv; t_keccak; t_sha; t_sign; t_verify;
+      t_threshold; t_swap ]
+
+let run_micro () =
+  let open Bechamel in
+  Printf.printf "\n=== Micro-benchmarks (Bechamel; ns/run via OLS) ===\n%!";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      let r = Hashtbl.find results name in
+      match Analyze.OLS.estimates r with
+      | Some (t :: _) -> Printf.printf "  %-32s %12.1f ns/run\n" name t
+      | Some [] | None -> Printf.printf "  %-32s (no estimate)\n" name)
+    (List.sort compare names)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment dispatch                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 () =
+  E.print_perf_table ~title:"Table 1: scalability of ammBoost" ~col_header:"Daily volume"
+    (E.table1_scalability ())
+
+let run_table2 () =
+  E.print_perf_table ~title:"Table 2: impact of sidechain block size (V_D = 50M)"
+    ~col_header:"Block size" (E.table2_block_size ())
+
+let run_table3 () =
+  E.print_perf_table ~title:"Table 3: impact of sidechain round duration (V_D = 25M)"
+    ~col_header:"Round duration" (E.table3_round_duration ())
+
+let run_table4 () =
+  E.print_perf_table ~title:"Table 4: impact of epoch length (V_D = 25M)"
+    ~col_header:"Epoch (sc rounds)" (E.table4_epoch_length ())
+
+let run_table5 () =
+  E.print_perf_table ~title:"Table 5: impact of traffic distribution (V_D = 25M)"
+    ~col_header:"(swap,mint,burn,collect)" (E.table5_distribution ())
+
+let run_table6 () = E.print_table6 (E.table6_gas_itemized ())
+let run_table7 () = E.print_table7 (E.table7_storage ())
+let run_fig6 () = E.print_fig6 (E.fig6_overall ())
+let run_table8 () = E.print_table8 (E.table8_stats ())
+
+let run_ablations () =
+  E.print_ablation ~title:"QC authentication cost" (E.ablation_authentication ());
+  E.print_ablation ~title:"summary aggregation vs per-tx posting"
+    (E.ablation_aggregation ());
+  E.print_ablation ~title:"meta-block pruning" (E.ablation_pruning ())
+
+let all_experiments =
+  [ ("table1", run_table1); ("table2", run_table2); ("table3", run_table3);
+    ("table4", run_table4); ("table5", run_table5); ("table6", run_table6);
+    ("table7", run_table7); ("table8", run_table8); ("fig6", run_fig6);
+    ("ablations", run_ablations); ("micro", run_micro) ]
+
+let () =
+  let targets =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all_experiments
+  in
+  Printf.printf "ammBoost benchmark harness (volumes = paper volumes / %.0f)\n" E.scale;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_experiments with
+      | Some f ->
+        let t0 = Sys.time () in
+        f ();
+        Printf.printf "  [%s done in %.1fs cpu]\n%!" name (Sys.time () -. t0)
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" name
+          (String.concat ", " (List.map fst all_experiments)))
+    targets

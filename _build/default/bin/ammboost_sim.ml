@@ -1,0 +1,167 @@
+(* ammboost-sim: command-line driver for the ammBoost simulator.
+
+     dune exec bin/ammboost_sim.exe -- run --volume 500000 --epochs 11
+     dune exec bin/ammboost_sim.exe -- baseline --volume 500000
+     dune exec bin/ammboost_sim.exe -- compare --volume 500000
+     dune exec bin/ammboost_sim.exe -- run --interrupt silent:1 --interrupt rollback:2 *)
+
+open Cmdliner
+open Ammboost
+
+(* ------------------------------------------------------------------ *)
+(* Shared flags                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let volume =
+  Arg.(value & opt int Config.default.Config.daily_volume
+       & info [ "volume"; "v" ] ~docv:"TX_PER_DAY" ~doc:"Daily transaction volume V_D.")
+
+let epochs =
+  Arg.(value & opt int Config.default.Config.epochs
+       & info [ "epochs"; "e" ] ~docv:"N" ~doc:"Traffic-generation epochs.")
+
+let rounds =
+  Arg.(value & opt int Config.default.Config.sc_rounds_per_epoch
+       & info [ "rounds" ] ~docv:"N" ~doc:"Sidechain rounds per epoch.")
+
+let round_duration =
+  Arg.(value & opt float Config.default.Config.sc_round_duration
+       & info [ "round-duration" ] ~docv:"SECONDS" ~doc:"Sidechain round duration.")
+
+let block_size =
+  Arg.(value & opt int Config.default.Config.meta_block_bytes
+       & info [ "block-size" ] ~docv:"BYTES" ~doc:"Meta-block size limit.")
+
+let users =
+  Arg.(value & opt int Config.default.Config.users
+       & info [ "users" ] ~docv:"N" ~doc:"Participating users.")
+
+let committee =
+  Arg.(value & opt int Config.default.Config.committee_size
+       & info [ "committee" ] ~docv:"N" ~doc:"Sidechain committee size.")
+
+let seed =
+  Arg.(value & opt string Config.default.Config.seed
+       & info [ "seed" ] ~docv:"STRING" ~doc:"Deterministic experiment seed.")
+
+let threshold_signing =
+  Arg.(value & flag
+       & info [ "threshold-signing" ]
+           ~doc:"Run the full DKG + threshold BLS signing for Sync calls instead of the \
+                 pre-generated committee key.")
+
+let interrupt_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "silent"; e ] -> Ok (Config.Silent_sync_leader (int_of_string e))
+    | [ "invalid"; e ] -> Ok (Config.Invalid_sync (int_of_string e))
+    | [ "rollback"; e ] -> Ok (Config.Mainchain_rollback (int_of_string e))
+    | [ "censor"; e ] -> Ok (Config.Censoring_committee (int_of_string e))
+    | _ ->
+      Error
+        (`Msg
+          "expected silent:<epoch>, invalid:<epoch>, rollback:<epoch> or censor:<epoch>")
+  in
+  let print fmt = function
+    | Config.Silent_sync_leader e -> Format.fprintf fmt "silent:%d" e
+    | Config.Invalid_sync e -> Format.fprintf fmt "invalid:%d" e
+    | Config.Mainchain_rollback e -> Format.fprintf fmt "rollback:%d" e
+    | Config.Censoring_committee e -> Format.fprintf fmt "censor:%d" e
+  in
+  Arg.conv (parse, print)
+
+let interruptions =
+  Arg.(value & opt_all interrupt_conv []
+       & info [ "interrupt" ] ~docv:"KIND:EPOCH"
+           ~doc:"Inject an interruption: silent:<epoch>, invalid:<epoch>, rollback:<epoch>. \
+                 Repeatable.")
+
+let make_config volume epochs rounds round_duration block_size users committee seed
+    threshold_signing interruptions =
+  { Config.default with
+    daily_volume = volume; epochs; sc_rounds_per_epoch = rounds;
+    sc_round_duration = round_duration; meta_block_bytes = block_size; users;
+    committee_size = committee;
+    miners = Stdlib.max Config.default.Config.miners (2 * committee);
+    max_faulty = (committee - 2) / 3;
+    seed; threshold_signing; interruptions }
+
+let config_term =
+  Term.(const make_config $ volume $ epochs $ rounds $ round_duration $ block_size $ users
+        $ committee $ seed $ threshold_signing $ interruptions)
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let report_run (r : System.result) =
+  Printf.printf "== ammBoost run ==\n";
+  Printf.printf "traffic      : generated %d, processed %d, rejected %d\n" r.System.generated
+    r.System.processed r.System.rejected;
+  Printf.printf "throughput   : %.2f tx/s\n" r.System.throughput;
+  Printf.printf "latency      : sidechain %.3f s, payout %.2f s\n" r.System.mean_tx_latency
+    r.System.mean_payout_latency;
+  Printf.printf "mainchain    : %d B, %d gas (%s)\n" r.System.mc_tx_bytes r.System.mc_gas_total
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v)
+          (List.sort compare r.System.mc_gas_by_label)));
+  Printf.printf "sidechain    : %d B cumulative, %d B stored after pruning\n"
+    r.System.sc_cumulative_bytes r.System.sc_stored_bytes;
+  Printf.printf "epochs       : %d run, %d synced, %d mass-syncs\n" r.System.epochs_run
+    r.System.epochs_applied r.System.mass_syncs;
+  List.iter (fun (k, n) -> Printf.printf "rejection    : %-28s %d\n" k n)
+    r.System.rejection_reasons;
+  Printf.printf "custody ok   : %b\n" r.System.custody_consistent
+
+let report_baseline (b : Baseline.result) =
+  Printf.printf "== Baseline Uniswap-on-mainchain run ==\n";
+  Printf.printf "traffic      : generated %d, executed %d, rejected %d\n" b.Baseline.generated
+    b.Baseline.executed b.Baseline.rejected;
+  Printf.printf "gas          : %d total\n" b.Baseline.gas_total;
+  List.iter
+    (fun (op, gas) ->
+      let lat = Option.value ~default:0.0 (List.assoc_opt op b.Baseline.latency_by_op) in
+      Printf.printf "  %-8s : %12d gas, latency %.2f s\n" op gas lat)
+    (List.sort compare b.Baseline.gas_by_op);
+  Printf.printf "growth       : %d B (Sepolia encoding), %d B (Ethereum encoding)\n"
+    b.Baseline.mc_tx_bytes b.Baseline.mc_tx_bytes_ethereum
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let doc = "Run the ammBoost system simulation and report its metrics." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const (fun cfg -> report_run (System.run cfg)) $ config_term)
+
+let baseline_cmd =
+  let doc = "Run the baseline (Uniswap directly on the mainchain)." in
+  Cmd.v (Cmd.info "baseline" ~doc)
+    Term.(const (fun cfg -> report_baseline (Baseline.run cfg)) $ config_term)
+
+let compare_cmd =
+  let doc = "Run both systems on the same traffic and print the reductions (Fig. 6)." in
+  let compare cfg =
+    let r = System.run cfg in
+    let b = Baseline.run cfg in
+    report_run r;
+    print_newline ();
+    report_baseline b;
+    let reduction ours theirs =
+      100.0 *. (1.0 -. (float_of_int ours /. float_of_int (Stdlib.max 1 theirs)))
+    in
+    Printf.printf "\n== Comparison ==\n";
+    Printf.printf "gas reduction    : %.2f%% (paper: 94.53%%)\n"
+      (reduction r.System.mc_gas_total b.Baseline.gas_total);
+    Printf.printf "growth reduction : %.2f%% vs Sepolia (paper: 80.25%%), %.2f%% vs Ethereum \
+                   (paper: 92.80%%)\n"
+      (reduction r.System.mc_tx_bytes b.Baseline.mc_tx_bytes)
+      (reduction r.System.mc_tx_bytes b.Baseline.mc_tx_bytes_ethereum)
+  in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const compare $ config_term)
+
+let () =
+  let doc = "ammBoost: state growth control for AMMs (simulation)" in
+  let info = Cmd.info "ammboost-sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; baseline_cmd; compare_cmd ]))

@@ -1,0 +1,1 @@
+examples/cross_pool_arbitrage.ml: Amm_crypto Amm_math Chain Factory Oracle Pool Printf Router Uniswap

@@ -1,0 +1,1 @@
+examples/flash_arbitrage.ml: Amm_crypto Amm_math Chain Mainchain Printf Tokenbank

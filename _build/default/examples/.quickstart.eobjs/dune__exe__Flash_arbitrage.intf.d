@@ -1,0 +1,1 @@
+examples/flash_arbitrage.mli:

@@ -1,0 +1,1 @@
+examples/interruption_drill.ml: Amm_crypto Ammboost Array Bytes Config Consensus Printf System

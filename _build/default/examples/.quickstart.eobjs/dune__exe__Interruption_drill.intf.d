@@ -1,0 +1,1 @@
+examples/interruption_drill.mli:

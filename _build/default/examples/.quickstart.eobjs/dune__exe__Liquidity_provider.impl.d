@@ -1,0 +1,1 @@
+examples/liquidity_provider.ml: Amm_crypto Amm_math Chain Pool Printf Router Uniswap

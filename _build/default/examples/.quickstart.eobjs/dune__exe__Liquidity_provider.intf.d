@@ -1,0 +1,1 @@
+examples/liquidity_provider.mli:

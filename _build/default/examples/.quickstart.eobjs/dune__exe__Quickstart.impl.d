@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ammboost Config List Mainchain Printf System Tokenbank

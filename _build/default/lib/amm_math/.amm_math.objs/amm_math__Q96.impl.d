@@ -1,0 +1,1 @@
+lib/amm_math/q96.ml: U256

@@ -1,0 +1,1 @@
+lib/amm_math/signed.ml: Format U256

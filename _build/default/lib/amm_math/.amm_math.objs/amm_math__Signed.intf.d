@@ -1,0 +1,1 @@
+lib/amm_math/signed.mli: Format U256

@@ -1,0 +1,1 @@
+lib/amm_math/sqrt_price_math.mli: U256

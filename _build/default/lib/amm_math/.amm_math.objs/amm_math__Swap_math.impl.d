@@ -1,0 +1,1 @@
+lib/amm_math/swap_math.ml: Sqrt_price_math U256

@@ -1,0 +1,1 @@
+lib/amm_math/swap_math.mli: U256

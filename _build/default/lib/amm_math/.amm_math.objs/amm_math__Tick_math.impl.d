@@ -1,0 +1,1 @@
+lib/amm_math/tick_math.ml: Array Printf Q96 U256

@@ -1,0 +1,1 @@
+lib/amm_math/tick_math.mli: U256

@@ -1,0 +1,1 @@
+lib/amm_math/u256.ml: Array Buffer Bytes Char Format Int64 List Printf Stdlib String

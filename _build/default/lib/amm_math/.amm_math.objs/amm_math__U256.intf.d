@@ -1,0 +1,1 @@
+lib/amm_math/u256.mli: Format

@@ -1,0 +1,39 @@
+type delta =
+  | Add of U256.t
+  | Remove of U256.t
+
+let apply_delta liquidity = function
+  | Add d -> U256.checked_add liquidity d
+  | Remove d -> U256.checked_sub liquidity d
+
+let order sqrt_a sqrt_b = if U256.gt sqrt_a sqrt_b then (sqrt_b, sqrt_a) else (sqrt_a, sqrt_b)
+
+let get_liquidity_for_amount0 ~sqrt_a ~sqrt_b ~amount0 =
+  let sqrt_a, sqrt_b = order sqrt_a sqrt_b in
+  let intermediate = U256.mul_div sqrt_a sqrt_b Q96.q96 in
+  U256.mul_div amount0 intermediate (U256.sub sqrt_b sqrt_a)
+
+let get_liquidity_for_amount1 ~sqrt_a ~sqrt_b ~amount1 =
+  let sqrt_a, sqrt_b = order sqrt_a sqrt_b in
+  U256.mul_div amount1 Q96.q96 (U256.sub sqrt_b sqrt_a)
+
+let get_liquidity_for_amounts ~sqrt_price ~sqrt_a ~sqrt_b ~amount0 ~amount1 =
+  let sqrt_a, sqrt_b = order sqrt_a sqrt_b in
+  if U256.le sqrt_price sqrt_a then get_liquidity_for_amount0 ~sqrt_a ~sqrt_b ~amount0
+  else if U256.lt sqrt_price sqrt_b then
+    let liquidity0 = get_liquidity_for_amount0 ~sqrt_a:sqrt_price ~sqrt_b ~amount0 in
+    let liquidity1 = get_liquidity_for_amount1 ~sqrt_a ~sqrt_b:sqrt_price ~amount1 in
+    U256.min liquidity0 liquidity1
+  else get_liquidity_for_amount1 ~sqrt_a ~sqrt_b ~amount1
+
+let amounts ~round_up ~sqrt_price ~sqrt_a ~sqrt_b ~liquidity =
+  let sqrt_a, sqrt_b = order sqrt_a sqrt_b in
+  if U256.le sqrt_price sqrt_a then
+    (Sqrt_price_math.get_amount0_delta ~sqrt_a ~sqrt_b ~liquidity ~round_up, U256.zero)
+  else if U256.lt sqrt_price sqrt_b then
+    ( Sqrt_price_math.get_amount0_delta ~sqrt_a:sqrt_price ~sqrt_b ~liquidity ~round_up,
+      Sqrt_price_math.get_amount1_delta ~sqrt_a ~sqrt_b:sqrt_price ~liquidity ~round_up )
+  else (U256.zero, Sqrt_price_math.get_amount1_delta ~sqrt_a ~sqrt_b ~liquidity ~round_up)
+
+let get_amounts_for_liquidity = amounts ~round_up:false
+let get_amounts_for_liquidity_rounding_up = amounts ~round_up:true

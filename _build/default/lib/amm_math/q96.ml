@@ -1,0 +1,12 @@
+(* Shared fixed-point constants for the Q64.96 sqrt-price representation. *)
+
+let resolution = 96
+
+let q96 = U256.shift_left U256.one 96
+(* 2^96: one in Q64.96. *)
+
+let q128 = U256.shift_left U256.one 128
+let q160_max = U256.sub (U256.shift_left U256.one 160) U256.one
+let u128_max = U256.sub q128 U256.one
+
+let to_float_q96 x = U256.to_float x /. U256.to_float q96

@@ -1,0 +1,30 @@
+type t = { negative : bool; mag : U256.t }
+(* Invariant: zero is never negative. *)
+
+let normalize t = if U256.is_zero t.mag then { negative = false; mag = U256.zero } else t
+
+let zero = { negative = false; mag = U256.zero }
+let of_u256 mag = { negative = false; mag }
+let neg_of_u256 mag = normalize { negative = true; mag }
+
+let of_int n =
+  if n >= 0 then of_u256 (U256.of_int n) else neg_of_u256 (U256.of_int (-n))
+
+let is_zero t = U256.is_zero t.mag
+let is_negative t = t.negative
+let magnitude t = t.mag
+let neg t = normalize { t with negative = not t.negative }
+
+let add a b =
+  if a.negative = b.negative then { a with mag = U256.checked_add a.mag b.mag }
+  else if U256.ge a.mag b.mag then normalize { a with mag = U256.sub a.mag b.mag }
+  else normalize { b with mag = U256.sub b.mag a.mag }
+
+let sub a b = add a (neg b)
+let equal a b = a.negative = b.negative && U256.equal a.mag b.mag
+
+let apply base t =
+  if t.negative then U256.checked_sub base t.mag else U256.checked_add base t.mag
+
+let to_string t = (if t.negative then "-" else "") ^ U256.to_string t.mag
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,23 @@
+(** Signed 256-bit values (sign-magnitude), used for liquidity-net deltas
+    on ticks and for net position changes in epoch summaries. *)
+
+type t
+
+val zero : t
+val of_u256 : U256.t -> t
+val neg_of_u256 : U256.t -> t
+val of_int : int -> t
+val is_zero : t -> bool
+val is_negative : t -> bool
+val magnitude : t -> U256.t
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val equal : t -> t -> bool
+
+val apply : U256.t -> t -> U256.t
+(** Adds the signed value to an unsigned one; raises {!U256.Overflow} if
+    the result would be negative or exceed 256 bits. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

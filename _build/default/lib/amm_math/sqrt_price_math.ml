@@ -1,0 +1,72 @@
+let get_next_sqrt_price_from_amount0_rounding_up ~sqrt_price ~liquidity ~amount ~add =
+  if U256.is_zero amount then sqrt_price
+  else begin
+    let numerator1 = U256.shift_left liquidity 96 in
+    if add then
+      (* Preferred precise path: L<<96 * sqrtP / (L<<96 + amount*sqrtP);
+         falls back to the division-first form when the product overflows,
+         exactly as the Solidity implementation. *)
+      match U256.checked_mul amount sqrt_price with
+      | product ->
+        (match U256.checked_add numerator1 product with
+         | denominator -> U256.mul_div_rounding_up numerator1 sqrt_price denominator
+         | exception U256.Overflow ->
+           U256.div_rounding_up numerator1 (U256.add (U256.div numerator1 sqrt_price) amount))
+      | exception U256.Overflow ->
+        U256.div_rounding_up numerator1 (U256.add (U256.div numerator1 sqrt_price) amount)
+    else begin
+      let product = U256.checked_mul amount sqrt_price in
+      if U256.le numerator1 product then raise U256.Overflow;
+      let denominator = U256.sub numerator1 product in
+      U256.mul_div_rounding_up numerator1 sqrt_price denominator
+    end
+  end
+
+let get_next_sqrt_price_from_amount1_rounding_down ~sqrt_price ~liquidity ~amount ~add =
+  if add then begin
+    let quotient =
+      if U256.le amount Q96.q160_max then U256.div (U256.shift_left amount 96) liquidity
+      else U256.mul_div amount Q96.q96 liquidity
+    in
+    U256.checked_add sqrt_price quotient
+  end
+  else begin
+    let quotient =
+      if U256.le amount Q96.q160_max then U256.div_rounding_up (U256.shift_left amount 96) liquidity
+      else U256.mul_div_rounding_up amount Q96.q96 liquidity
+    in
+    if U256.le sqrt_price quotient then raise U256.Overflow;
+    U256.sub sqrt_price quotient
+  end
+
+let get_next_sqrt_price_from_input ~sqrt_price ~liquidity ~amount_in ~zero_for_one =
+  if U256.is_zero sqrt_price || U256.is_zero liquidity then
+    invalid_arg "Sqrt_price_math.get_next_sqrt_price_from_input";
+  if zero_for_one then
+    get_next_sqrt_price_from_amount0_rounding_up ~sqrt_price ~liquidity ~amount:amount_in ~add:true
+  else
+    get_next_sqrt_price_from_amount1_rounding_down ~sqrt_price ~liquidity ~amount:amount_in ~add:true
+
+let get_next_sqrt_price_from_output ~sqrt_price ~liquidity ~amount_out ~zero_for_one =
+  if U256.is_zero sqrt_price || U256.is_zero liquidity then
+    invalid_arg "Sqrt_price_math.get_next_sqrt_price_from_output";
+  if zero_for_one then
+    get_next_sqrt_price_from_amount1_rounding_down ~sqrt_price ~liquidity ~amount:amount_out ~add:false
+  else
+    get_next_sqrt_price_from_amount0_rounding_up ~sqrt_price ~liquidity ~amount:amount_out ~add:false
+
+let get_amount0_delta ~sqrt_a ~sqrt_b ~liquidity ~round_up =
+  let sqrt_a, sqrt_b = if U256.gt sqrt_a sqrt_b then (sqrt_b, sqrt_a) else (sqrt_a, sqrt_b) in
+  if U256.is_zero sqrt_a then invalid_arg "Sqrt_price_math.get_amount0_delta: zero price";
+  let numerator1 = U256.shift_left liquidity 96 in
+  let numerator2 = U256.sub sqrt_b sqrt_a in
+  if round_up then
+    U256.div_rounding_up (U256.mul_div_rounding_up numerator1 numerator2 sqrt_b) sqrt_a
+  else
+    U256.div (U256.mul_div numerator1 numerator2 sqrt_b) sqrt_a
+
+let get_amount1_delta ~sqrt_a ~sqrt_b ~liquidity ~round_up =
+  let sqrt_a, sqrt_b = if U256.gt sqrt_a sqrt_b then (sqrt_b, sqrt_a) else (sqrt_a, sqrt_b) in
+  let diff = U256.sub sqrt_b sqrt_a in
+  if round_up then U256.mul_div_rounding_up liquidity diff Q96.q96
+  else U256.mul_div liquidity diff Q96.q96

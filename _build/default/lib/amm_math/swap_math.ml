@@ -1,0 +1,81 @@
+type amount_specified =
+  | Exact_in of U256.t
+  | Exact_out of U256.t
+
+type step_result = {
+  sqrt_price_next : U256.t;
+  amount_in : U256.t;
+  amount_out : U256.t;
+  fee_amount : U256.t;
+}
+
+let fee_denominator = 1_000_000
+
+let compute_swap_step ~sqrt_price_current ~sqrt_price_target ~liquidity ~amount_remaining
+    ~fee_pips =
+  let zero_for_one = U256.ge sqrt_price_current sqrt_price_target in
+  let fee_den = U256.of_int fee_denominator in
+  let fee_complement = U256.of_int (fee_denominator - fee_pips) in
+  let sqrt_price_next =
+    match amount_remaining with
+    | Exact_in amount ->
+      let amount_remaining_less_fee = U256.mul_div amount fee_complement fee_den in
+      let amount_in_to_target =
+        if zero_for_one then
+          Sqrt_price_math.get_amount0_delta ~sqrt_a:sqrt_price_target
+            ~sqrt_b:sqrt_price_current ~liquidity ~round_up:true
+        else
+          Sqrt_price_math.get_amount1_delta ~sqrt_a:sqrt_price_current
+            ~sqrt_b:sqrt_price_target ~liquidity ~round_up:true
+      in
+      if U256.ge amount_remaining_less_fee amount_in_to_target then sqrt_price_target
+      else
+        Sqrt_price_math.get_next_sqrt_price_from_input ~sqrt_price:sqrt_price_current
+          ~liquidity ~amount_in:amount_remaining_less_fee ~zero_for_one
+    | Exact_out amount ->
+      let amount_out_to_target =
+        if zero_for_one then
+          Sqrt_price_math.get_amount1_delta ~sqrt_a:sqrt_price_target
+            ~sqrt_b:sqrt_price_current ~liquidity ~round_up:false
+        else
+          Sqrt_price_math.get_amount0_delta ~sqrt_a:sqrt_price_current
+            ~sqrt_b:sqrt_price_target ~liquidity ~round_up:false
+      in
+      if U256.ge amount amount_out_to_target then sqrt_price_target
+      else
+        Sqrt_price_math.get_next_sqrt_price_from_output ~sqrt_price:sqrt_price_current
+          ~liquidity ~amount_out:amount ~zero_for_one
+  in
+  let reached_target = U256.equal sqrt_price_next sqrt_price_target in
+  let amount_in =
+    if zero_for_one then
+      Sqrt_price_math.get_amount0_delta ~sqrt_a:sqrt_price_next ~sqrt_b:sqrt_price_current
+        ~liquidity ~round_up:true
+    else
+      Sqrt_price_math.get_amount1_delta ~sqrt_a:sqrt_price_current ~sqrt_b:sqrt_price_next
+        ~liquidity ~round_up:true
+  in
+  let amount_out =
+    if zero_for_one then
+      Sqrt_price_math.get_amount1_delta ~sqrt_a:sqrt_price_next ~sqrt_b:sqrt_price_current
+        ~liquidity ~round_up:false
+    else
+      Sqrt_price_math.get_amount0_delta ~sqrt_a:sqrt_price_current ~sqrt_b:sqrt_price_next
+        ~liquidity ~round_up:false
+  in
+  (* Never deliver more than an exact-output swap asked for. *)
+  let amount_out =
+    match amount_remaining with
+    | Exact_out amount when U256.gt amount_out amount -> amount
+    | Exact_out _ | Exact_in _ -> amount_out
+  in
+  let fee_amount =
+    match amount_remaining with
+    | Exact_in amount when not reached_target ->
+      (* The whole remaining input is consumed: the fee is whatever is left
+         after the in-range amount, so no input dust escapes the pool. *)
+      U256.sub amount amount_in
+    | Exact_in _ | Exact_out _ ->
+      U256.mul_div_rounding_up amount_in (U256.of_int fee_pips) fee_complement
+  in
+  { sqrt_price_next; amount_in; amount_out; fee_amount }

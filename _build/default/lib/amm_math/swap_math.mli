@@ -1,0 +1,28 @@
+(** The single-step swap computation within one tick range, following
+    Uniswap V3's [SwapMath.computeSwapStep]. *)
+
+type amount_specified =
+  | Exact_in of U256.t   (** remaining input the swapper still wants to spend *)
+  | Exact_out of U256.t  (** remaining output the swapper still wants to receive *)
+
+type step_result = {
+  sqrt_price_next : U256.t;  (** price after this step (Q64.96) *)
+  amount_in : U256.t;        (** input consumed by the step, fee excluded *)
+  amount_out : U256.t;       (** output produced by the step *)
+  fee_amount : U256.t;       (** fee taken on the input side *)
+}
+
+val fee_denominator : int
+(** 1_000_000: fees are expressed in hundredths of a bip ("pips"). *)
+
+val compute_swap_step :
+  sqrt_price_current:U256.t ->
+  sqrt_price_target:U256.t ->
+  liquidity:U256.t ->
+  amount_remaining:amount_specified ->
+  fee_pips:int ->
+  step_result
+(** Computes how far the price moves toward the target within the current
+    liquidity range, how much is consumed/produced, and the fee charged.
+    The swap direction is implied by the order of current and target
+    prices. *)

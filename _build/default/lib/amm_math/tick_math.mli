@@ -1,0 +1,26 @@
+(** Tick / sqrt-price conversions for concentrated liquidity.
+
+    A tick [i] represents the price [1.0001^i]; the pool works in terms of
+    [sqrt(price)] as an unsigned Q64.96 fixed-point number, exactly as
+    Uniswap V3's [TickMath]. *)
+
+val min_tick : int
+(** -887272. *)
+
+val max_tick : int
+(** 887272. *)
+
+val min_sqrt_ratio : U256.t
+(** [get_sqrt_ratio_at_tick min_tick] = 4295128739. *)
+
+val max_sqrt_ratio : U256.t
+(** [get_sqrt_ratio_at_tick max_tick] =
+    1461446703485210103287273052203988822378723970342. *)
+
+val get_sqrt_ratio_at_tick : int -> U256.t
+(** [get_sqrt_ratio_at_tick tick] is [sqrt(1.0001^tick) * 2^96], rounded as
+    in Uniswap V3. Raises [Invalid_argument] outside [min_tick, max_tick]. *)
+
+val get_tick_at_sqrt_ratio : U256.t -> int
+(** Greatest tick whose ratio is [<=] the argument. Raises
+    [Invalid_argument] outside [min_sqrt_ratio, max_sqrt_ratio). *)

@@ -1,0 +1,133 @@
+(** Unsigned 256-bit integers, implemented from scratch.
+
+    Values are immutable. Arithmetic wraps modulo 2^256 unless the function
+    name says otherwise ([checked_*] variants raise {!Overflow}). The
+    representation is an array of sixteen base-2^16 digits, little-endian,
+    which keeps every intermediate product within OCaml's native [int]. *)
+
+type t
+
+exception Overflow
+(** Raised by [checked_*] operations and conversions that do not fit. *)
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val max_value : t
+(** [2^256 - 1]. *)
+
+(** {1 Conversions} *)
+
+val of_int : int -> t
+(** [of_int n] converts a non-negative native integer. Raises
+    [Invalid_argument] if [n < 0]. *)
+
+val of_int64 : int64 -> t
+(** Interprets the argument as an unsigned 64-bit value. *)
+
+val to_int : t -> int
+(** Raises {!Overflow} if the value exceeds [max_int]. *)
+
+val to_int_opt : t -> int option
+val to_float : t -> float
+(** Lossy conversion, exact below 2^53. *)
+
+val of_string : string -> t
+(** Parses a decimal string, or a hexadecimal string when prefixed with
+    ["0x"]. Raises [Invalid_argument] on malformed input and {!Overflow} if
+    the value needs more than 256 bits. *)
+
+val of_hex : string -> t
+(** Parses a hexadecimal string (no prefix required). *)
+
+val to_string : t -> string
+(** Decimal rendering. *)
+
+val to_hex : t -> string
+(** Minimal-length lowercase hex, no prefix (["0"] for zero). *)
+
+val to_bytes_be : t -> bytes
+(** Big-endian 32-byte encoding. *)
+
+val of_bytes_be : bytes -> t
+(** Inverse of {!to_bytes_be}; accepts 1..32 bytes. *)
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+(** Wrapping addition modulo 2^256. *)
+
+val checked_add : t -> t -> t
+(** Raises {!Overflow} on carry out. *)
+
+val sub : t -> t -> t
+(** Wrapping subtraction modulo 2^256. *)
+
+val checked_sub : t -> t -> t
+(** Raises {!Overflow} when the result would be negative. *)
+
+val mul : t -> t -> t
+(** Wrapping multiplication modulo 2^256. *)
+
+val checked_mul : t -> t -> t
+(** Raises {!Overflow} if the full product needs more than 256 bits. *)
+
+val div : t -> t -> t
+(** Floor division. Raises [Division_by_zero]. *)
+
+val rem : t -> t -> t
+val divmod : t -> t -> t * t
+(** [divmod a b = (q, r)] with [a = q*b + r] and [r < b]. *)
+
+val div_rounding_up : t -> t -> t
+(** Ceiling division. *)
+
+val mul_div : t -> t -> t -> t
+(** [mul_div a b c = floor (a*b / c)] computed with a 512-bit intermediate
+    product, as Uniswap's [FullMath.mulDiv]. Raises [Division_by_zero] when
+    [c = 0] and {!Overflow} when the quotient needs more than 256 bits. *)
+
+val mul_div_rounding_up : t -> t -> t -> t
+(** Like {!mul_div} but rounding the quotient up. *)
+
+val mul_mod : t -> t -> t -> t
+(** [mul_mod a b c = (a*b) mod c] with a 512-bit intermediate. *)
+
+val pow : t -> int -> t
+(** Wrapping exponentiation by squaring. *)
+
+val sqrt : t -> t
+(** Integer square root (floor). *)
+
+(** {1 Bitwise} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+val bit : t -> int -> bool
+(** [bit x i] is the value of bit [i] (0 = least significant). *)
+
+val bits : t -> int
+(** Position of the highest set bit plus one; [bits zero = 0]. *)
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit
+val pp_hex : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/chain/address.ml: Amm_crypto Bytes Format Map Set

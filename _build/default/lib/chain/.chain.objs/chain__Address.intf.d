@@ -1,0 +1,1 @@
+lib/chain/address.mli: Amm_crypto Format Map Set

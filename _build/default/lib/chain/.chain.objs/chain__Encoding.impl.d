@@ -1,0 +1,1 @@
+lib/chain/encoding.ml: Address Amm_math Buffer Bytes List

@@ -1,0 +1,1 @@
+lib/chain/encoding.mli: Address Amm_math

@@ -1,0 +1,1 @@
+lib/chain/ids.ml: Amm_crypto Bytes Format Map Set String

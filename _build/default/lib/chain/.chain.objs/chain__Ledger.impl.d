@@ -1,0 +1,1 @@
+lib/chain/ledger.ml: Array List

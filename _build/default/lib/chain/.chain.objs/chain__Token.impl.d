@@ -1,0 +1,1 @@
+lib/chain/token.ml: Format Map Stdlib

@@ -1,0 +1,1 @@
+lib/chain/token.mli: Format Map

@@ -1,0 +1,1 @@
+lib/chain/tx.ml: Address Amm_crypto Amm_math Bytes Encoding Format Ids Option

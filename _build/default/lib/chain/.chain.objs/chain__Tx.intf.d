@@ -1,0 +1,1 @@
+lib/chain/tx.mli: Address Amm_crypto Amm_math Encoding Format Ids

@@ -1,0 +1,21 @@
+(** 20-byte account addresses, derived from public keys as on Ethereum
+    (low 20 bytes of the Keccak-256 of the key). *)
+
+type t
+
+val of_public_key : Amm_crypto.Bls.public_key -> t
+val of_bytes : bytes -> t
+(** Requires exactly 20 bytes. *)
+
+val of_label : string -> t
+(** Deterministic address for named system accounts (contracts, test
+    users). *)
+
+val to_bytes : t -> bytes
+val to_hex : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,79 @@
+type 'blk t = {
+  mutable blocks : 'blk option array; (* index = height; None = pruned *)
+  mutable len : int;
+  size : 'blk -> int;
+  k_depth : int;
+  mutable cumulative_bytes : int;
+  mutable stored_bytes : int;
+}
+
+let create ~genesis ~size ~k_depth =
+  let blocks = Array.make 64 None in
+  blocks.(0) <- Some genesis;
+  let b = size genesis in
+  { blocks; len = 1; size; k_depth; cumulative_bytes = b; stored_bytes = b }
+
+let ensure_capacity t =
+  if t.len >= Array.length t.blocks then begin
+    let bigger = Array.make (2 * Array.length t.blocks) None in
+    Array.blit t.blocks 0 bigger 0 t.len;
+    t.blocks <- bigger
+  end
+
+let append t blk =
+  ensure_capacity t;
+  t.blocks.(t.len) <- Some blk;
+  t.len <- t.len + 1;
+  let b = t.size blk in
+  t.cumulative_bytes <- t.cumulative_bytes + b;
+  t.stored_bytes <- t.stored_bytes + b
+
+let height t = t.len - 1
+
+let tip t =
+  match t.blocks.(t.len - 1) with
+  | Some b -> b
+  | None -> assert false (* the tip is never pruned *)
+
+let confirmed_height t = height t - t.k_depth
+let is_confirmed t h = h >= 0 && h <= confirmed_height t
+
+let nth t h = if h < 0 || h >= t.len then None else t.blocks.(h)
+
+let rollback t n =
+  if n < 0 || n >= t.len then invalid_arg "Ledger.rollback";
+  let dropped = ref [] in
+  for h = t.len - n to t.len - 1 do
+    match t.blocks.(h) with
+    | Some b ->
+      dropped := b :: !dropped;
+      let sz = t.size b in
+      t.cumulative_bytes <- t.cumulative_bytes - sz;
+      t.stored_bytes <- t.stored_bytes - sz;
+      t.blocks.(h) <- None
+    | None -> ()
+  done;
+  t.len <- t.len - n;
+  List.rev !dropped
+
+let prune t ~keep =
+  let reclaimed = ref 0 in
+  for h = 1 to t.len - 2 do
+    match t.blocks.(h) with
+    | Some b when not (keep b) ->
+      reclaimed := !reclaimed + t.size b;
+      t.blocks.(h) <- None
+    | Some _ | None -> ()
+  done;
+  t.stored_bytes <- t.stored_bytes - !reclaimed;
+  !reclaimed
+
+let cumulative_bytes t = t.cumulative_bytes
+let stored_bytes t = t.stored_bytes
+
+let iter_stored t f =
+  for h = 0 to t.len - 1 do
+    match t.blocks.(h) with Some b -> f h b | None -> ()
+  done
+
+let k_depth t = t.k_depth

@@ -1,0 +1,39 @@
+(** A generic append-only chain of blocks with k-deep confirmation,
+    rollback (mainchain forks) and pruning (sidechain meta-block
+    suppression). Tracks both cumulative bytes ever appended and bytes
+    currently stored — the difference is what pruning reclaimed. *)
+
+type 'blk t
+
+val create : genesis:'blk -> size:('blk -> int) -> k_depth:int -> 'blk t
+val append : 'blk t -> 'blk -> unit
+val tip : 'blk t -> 'blk
+val height : 'blk t -> int
+(** Height of the tip; the genesis block is height 0. *)
+
+val confirmed_height : 'blk t -> int
+(** Highest height buried under at least [k_depth] blocks. *)
+
+val is_confirmed : 'blk t -> int -> bool
+val nth : 'blk t -> int -> 'blk option
+(** Block at a height, unless pruned or rolled back. *)
+
+val rollback : 'blk t -> int -> 'blk list
+(** [rollback t n] abandons the last [n] blocks (fork switch) and returns
+    them, newest first. The genesis block cannot be rolled back. *)
+
+val prune : 'blk t -> keep:('blk -> bool) -> int
+(** Drops stored blocks failing [keep] (never the tip or genesis);
+    returns the bytes reclaimed. Pruned heights return [None] from
+    {!nth}. *)
+
+val cumulative_bytes : 'blk t -> int
+(** Total bytes ever appended — the paper's "chain growth". *)
+
+val stored_bytes : 'blk t -> int
+(** Bytes currently held after pruning. *)
+
+val iter_stored : 'blk t -> (int -> 'blk -> unit) -> unit
+(** Iterates stored blocks in height order. *)
+
+val k_depth : 'blk t -> int

@@ -1,0 +1,53 @@
+type 'tx t = {
+  queue : 'tx Queue.t;
+  size : 'tx -> int;
+  mutable bytes : int;
+}
+
+let create ~size = { queue = Queue.create (); size; bytes = 0 }
+
+let push t tx =
+  Queue.push tx t.queue;
+  t.bytes <- t.bytes + t.size tx
+
+let length t = Queue.length t.queue
+let byte_size t = t.bytes
+let is_empty t = Queue.is_empty t.queue
+
+let take_up_to t ~max_bytes =
+  let taken = ref [] in
+  let used = ref 0 in
+  let continue = ref true in
+  while !continue && not (Queue.is_empty t.queue) do
+    let tx = Queue.peek t.queue in
+    let sz = t.size tx in
+    if !used + sz <= max_bytes || (!used = 0 && sz > max_bytes) then begin
+      ignore (Queue.pop t.queue);
+      t.bytes <- t.bytes - sz;
+      used := !used + sz;
+      taken := tx :: !taken
+    end
+    else continue := false
+  done;
+  List.rev !taken
+
+let drop_if t pred =
+  let kept = Queue.create () in
+  let dropped = ref 0 in
+  Queue.iter
+    (fun tx ->
+      if pred tx then begin
+        incr dropped;
+        t.bytes <- t.bytes - t.size tx
+      end
+      else Queue.push tx kept)
+    t.queue;
+  Queue.clear t.queue;
+  Queue.transfer kept t.queue;
+  !dropped
+
+let clear t =
+  Queue.clear t.queue;
+  t.bytes <- 0
+
+let peek_all t = List.of_seq (Queue.to_seq t.queue)

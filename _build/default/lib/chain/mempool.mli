@@ -1,0 +1,22 @@
+(** A FIFO transaction queue with byte accounting — the pending pool a
+    block producer drains up to its block capacity. *)
+
+type 'tx t
+
+val create : size:('tx -> int) -> 'tx t
+val push : 'tx t -> 'tx -> unit
+val length : 'tx t -> int
+val byte_size : 'tx t -> int
+val is_empty : 'tx t -> bool
+
+val take_up_to : 'tx t -> max_bytes:int -> 'tx list
+(** Removes and returns the longest FIFO prefix fitting in [max_bytes]
+    (a transaction larger than [max_bytes] on its own is returned alone
+    rather than wedging the queue forever). *)
+
+val drop_if : 'tx t -> ('tx -> bool) -> int
+(** Removes entries matching the predicate (e.g. expired deadlines);
+    returns how many were dropped. *)
+
+val clear : 'tx t -> unit
+val peek_all : 'tx t -> 'tx list

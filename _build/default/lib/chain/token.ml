@@ -1,0 +1,14 @@
+type t = { id : int; symbol : string }
+
+let make ~id ~symbol = { id; symbol }
+let id t = t.id
+let symbol t = t.symbol
+let equal a b = a.id = b.id
+let compare a b = Stdlib.compare a.id b.id
+let pp fmt t = Format.pp_print_string fmt t.symbol
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

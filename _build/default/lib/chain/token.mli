@@ -1,0 +1,13 @@
+(** Fungible token identities (the ERC20 contracts of the simulated
+    mainchain). A pool always trades an ordered pair (token0, token1). *)
+
+type t
+
+val make : id:int -> symbol:string -> t
+val id : t -> int
+val symbol : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t

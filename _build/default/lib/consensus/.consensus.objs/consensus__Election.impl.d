@@ -1,0 +1,1 @@
+lib/consensus/election.ml: Amm_crypto Bytes Char Float List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/consensus/election.mli: Amm_crypto

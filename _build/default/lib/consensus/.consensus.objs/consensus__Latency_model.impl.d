@@ -1,0 +1,1 @@
+lib/consensus/latency_model.ml: Stdlib

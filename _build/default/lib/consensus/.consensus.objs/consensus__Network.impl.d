@@ -1,0 +1,1 @@
+lib/consensus/network.ml: Amm_crypto List Pqueue

@@ -1,0 +1,1 @@
+lib/consensus/network.mli: Amm_crypto

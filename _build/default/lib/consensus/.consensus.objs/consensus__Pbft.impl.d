@@ -1,0 +1,1 @@
+lib/consensus/pbft.ml: Amm_crypto Array Bytes Fun Hashtbl List Network

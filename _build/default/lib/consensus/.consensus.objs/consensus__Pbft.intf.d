@@ -1,0 +1,1 @@
+lib/consensus/pbft.mli: Amm_crypto

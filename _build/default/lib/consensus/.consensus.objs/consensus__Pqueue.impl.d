@@ -1,0 +1,1 @@
+lib/consensus/pqueue.ml: Array Obj

@@ -1,0 +1,65 @@
+module Vrf = Amm_crypto.Vrf
+module Sha256 = Amm_crypto.Sha256
+
+type miner = {
+  miner_id : int;
+  stake : int;
+  pk : Amm_crypto.Bls.public_key;
+}
+
+type credential = {
+  c_miner : int;
+  c_output : bytes;
+  c_proof : Vrf.proof;
+  c_priority : float;
+}
+
+let seed_for_epoch ~randomness ~epoch =
+  Sha256.concat [ randomness; Bytes.of_string (Printf.sprintf "/election/%d" epoch) ]
+
+let uniform_of_output out =
+  let v = ref 0 in
+  for i = 0 to 6 do
+    v := (!v lsl 8) lor Char.code (Bytes.get out i)
+  done;
+  let u = float_of_int (!v land ((1 lsl 53) - 1)) /. float_of_int (1 lsl 53) in
+  (* Avoid log 0. *)
+  Float.max u 1e-300
+
+let priority_of ~stake out =
+  (* -ln(U)/stake: the classic weighted-sampling trick — the minimum is
+     held by miner i with probability stake_i / Σ stake. *)
+  -.log (uniform_of_output out) /. float_of_int (Stdlib.max 1 stake)
+
+let credential ~sk ~miner ~seed =
+  let output, proof = Vrf.evaluate sk seed in
+  { c_miner = miner.miner_id; c_output = output; c_proof = proof;
+    c_priority = priority_of ~stake:miner.stake output }
+
+let verify_credential ~miner ~seed cred =
+  match Vrf.verify miner.pk seed cred.c_proof with
+  | None -> false
+  | Some output ->
+    Bytes.equal output cred.c_output
+    && Float.equal cred.c_priority (priority_of ~stake:miner.stake output)
+
+let elect ~credentials ~committee_size =
+  if List.length credentials < committee_size then
+    invalid_arg "Election.elect: not enough credentials";
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Float.compare a.c_priority b.c_priority with
+        | 0 -> Stdlib.compare a.c_miner b.c_miner
+        | c -> c)
+      credentials
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | c :: rest -> c.c_miner :: take (n - 1) rest
+  in
+  let committee = take committee_size sorted in
+  match committee with
+  | leader :: _ -> (committee, leader)
+  | [] -> invalid_arg "Election.elect: empty committee"

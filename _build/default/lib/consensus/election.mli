@@ -1,0 +1,32 @@
+(** Stake-weighted committee election by verifiable random function —
+    the cryptographic-sortition mechanism (Algorand-style) chainBoost and
+    ammBoost use to pick each epoch's committee and leader from the
+    sidechain miner population. *)
+
+type miner = {
+  miner_id : int;
+  stake : int;                       (** Sybil-resistance weight (proof of stake) *)
+  pk : Amm_crypto.Bls.public_key;
+}
+
+type credential = {
+  c_miner : int;
+  c_output : bytes;                  (** VRF output *)
+  c_proof : Amm_crypto.Vrf.proof;    (** the proof of election (paper §4.2 fn. 4) *)
+  c_priority : float;                (** stake-weighted priority; lower wins *)
+}
+
+val seed_for_epoch : randomness:bytes -> epoch:int -> bytes
+(** Election seed derived from sidechain randomness and the epoch. *)
+
+val credential : sk:Amm_crypto.Bls.secret_key -> miner:miner -> seed:bytes -> credential
+(** The miner's sortition ticket: priority is an Exp(stake)-distributed
+    draw from the VRF output, so selection probability is proportional to
+    stake. *)
+
+val verify_credential : miner:miner -> seed:bytes -> credential -> bool
+(** Publicly verifiable, as required for Sync authentication. *)
+
+val elect : credentials:credential list -> committee_size:int -> int list * int
+(** [(committee, leader)] — the [committee_size] best priorities, leader
+    first. Raises [Invalid_argument] when fewer credentials than seats. *)

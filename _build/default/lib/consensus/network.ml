@@ -1,0 +1,26 @@
+module Rng = Amm_crypto.Rng
+
+type 'msg t = {
+  rng : Rng.t;
+  delta : float;
+  queue : (int * 'msg) Pqueue.t;
+}
+
+let create ~rng ~delta = { rng; delta; queue = Pqueue.create () }
+let delta t = t.delta
+
+let send t ~at ~src:_ ~dst msg =
+  let delay = t.delta *. (0.1 +. (0.9 *. Rng.float t.rng)) in
+  Pqueue.push t.queue (at +. delay) (dst, msg)
+
+let broadcast t ~at ~src ~dsts msg = List.iter (fun dst -> send t ~at ~src ~dst msg) dsts
+
+let schedule t ~at ~dst msg = Pqueue.push t.queue at (dst, msg)
+
+let next t =
+  match Pqueue.pop t.queue with
+  | Some (time, (dst, msg)) -> Some (time, dst, msg)
+  | None -> None
+
+let next_time t = Pqueue.peek_priority t.queue
+let pending t = Pqueue.length t.queue

@@ -1,0 +1,22 @@
+(** Bounded-delay message-passing network (the Δ-synchronous model of the
+    paper's adversary section): every sent message is delivered within
+    [delta] seconds; actual delays are drawn uniformly from
+    [[0.1·delta, delta]]. The adversary may reorder in that window — which
+    random delays exercise — but cannot drop messages. *)
+
+type 'msg t
+
+val create : rng:Amm_crypto.Rng.t -> delta:float -> 'msg t
+val delta : 'msg t -> float
+
+val send : 'msg t -> at:float -> src:int -> dst:int -> 'msg -> unit
+val broadcast : 'msg t -> at:float -> src:int -> dsts:int list -> 'msg -> unit
+
+val schedule : 'msg t -> at:float -> dst:int -> 'msg -> unit
+(** Local event (e.g. a timer) delivered to [dst] at exactly [at]. *)
+
+val next : 'msg t -> (float * int * 'msg) option
+(** Earliest undelivered event as [(time, dst, msg)]. *)
+
+val next_time : 'msg t -> float option
+val pending : 'msg t -> int

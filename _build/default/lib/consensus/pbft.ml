@@ -1,0 +1,170 @@
+module Sha256 = Amm_crypto.Sha256
+
+type behavior = Honest | Silent | Propose_invalid
+
+type config = {
+  n : int;
+  f : int;
+  behaviors : behavior array;
+  delta : float;
+  timeout : float;
+  max_time : float;
+}
+
+type msg =
+  | Pre_prepare of { view : int; from : int; digest : bytes; valid : bool }
+  | Prepare of { view : int; from : int; digest : bytes }
+  | Commit of { view : int; from : int; digest : bytes }
+  | View_change of { new_view : int; from : int }
+  | Timeout of { view : int }
+
+type replica = {
+  id : int;
+  mutable view : int;
+  mutable sent_prepare_for : int;  (* highest view we prepared in; -1 none *)
+  mutable sent_commit_for : int;
+  mutable decision : (bytes * float) option;
+}
+
+type outcome = {
+  decisions : (bytes * float) option array;
+  final_views : int array;
+  total_view_changes : int;
+}
+
+let leader_of_view ~n v = v mod n
+
+let run ~rng cfg ~value =
+  if cfg.n < (3 * cfg.f) + 1 then invalid_arg "Pbft.run: need n >= 3f+1";
+  if Array.length cfg.behaviors <> cfg.n then invalid_arg "Pbft.run: behaviors length";
+  let quorum = (2 * cfg.f) + 1 in
+  let net = Network.create ~rng ~delta:cfg.delta in
+  let replicas = Array.init cfg.n (fun id ->
+      { id; view = 0; sent_prepare_for = -1; sent_commit_for = -1; decision = None })
+  in
+  let all = List.init cfg.n Fun.id in
+  let digest_of_view v = Sha256.concat [ value; Bytes.of_string (string_of_int v) ] in
+  (* Vote bookkeeping, global for simplicity: sets of voters per (view, kind). *)
+  let prepares : (int * string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let commits : (int * string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let view_changes : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let proposed_in_view : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let total_view_changes = ref 0 in
+  let voters tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.add tbl key s;
+      s
+  in
+  let is_honest r = cfg.behaviors.(r.id) <> Silent in
+  let propose ~at view =
+    (* The view's leader issues a pre-prepare according to its behavior. *)
+    if not (Hashtbl.mem proposed_in_view view) then begin
+      let leader = leader_of_view ~n:cfg.n view in
+      match cfg.behaviors.(leader) with
+      | Silent -> ()
+      | Honest ->
+        Hashtbl.add proposed_in_view view ();
+        Network.broadcast net ~at ~src:leader ~dsts:all
+          (Pre_prepare { view; from = leader; digest = digest_of_view view; valid = true })
+      | Propose_invalid ->
+        Hashtbl.add proposed_in_view view ();
+        Network.broadcast net ~at ~src:leader ~dsts:all
+          (Pre_prepare { view; from = leader; digest = digest_of_view view; valid = false })
+    end
+  in
+  let schedule_timeout ~at r =
+    (* Exponential back-off keeps successive view changes from racing. *)
+    let multiplier = float_of_int (r.view + 1) in
+    Network.schedule net ~at:(at +. (cfg.timeout *. multiplier)) ~dst:r.id
+      (Timeout { view = r.view })
+  in
+  let advance_view ~at r new_view =
+    if new_view > r.view && r.decision = None then begin
+      r.view <- new_view;
+      incr total_view_changes;
+      Network.broadcast net ~at ~src:r.id ~dsts:all
+        (View_change { new_view; from = r.id });
+      schedule_timeout ~at r
+    end
+  in
+  let try_prepare ~at r view digest =
+    if view = r.view && r.sent_prepare_for < view then begin
+      r.sent_prepare_for <- view;
+      Network.broadcast net ~at ~src:r.id ~dsts:all
+        (Prepare { view; from = r.id; digest })
+    end
+  in
+  let handle ~at r = function
+    | Pre_prepare { view; from; digest; valid } ->
+      if view >= r.view && from = leader_of_view ~n:cfg.n view then begin
+        if view > r.view then r.view <- view;
+        if valid then try_prepare ~at r view digest
+        else advance_view ~at r (view + 1)
+      end
+    | Prepare { view; from; digest } ->
+      let s = voters prepares (view, Bytes.to_string digest) in
+      Hashtbl.replace s from ();
+      if Hashtbl.length s >= quorum && view >= r.view && r.sent_commit_for < view then begin
+        r.sent_commit_for <- view;
+        Network.broadcast net ~at ~src:r.id ~dsts:all
+          (Commit { view; from = r.id; digest })
+      end
+    | Commit { view; from; digest } ->
+      let s = voters commits (view, Bytes.to_string digest) in
+      Hashtbl.replace s from ();
+      if Hashtbl.length s >= quorum && r.decision = None && view >= r.view then
+        r.decision <- Some (digest, at)
+    | View_change { new_view; from } ->
+      let s = voters view_changes new_view in
+      Hashtbl.replace s from ();
+      (* Join a view change once f+1 back it (someone honest wants it). *)
+      if Hashtbl.length s >= cfg.f + 1 && r.view < new_view then
+        advance_view ~at r new_view;
+      (* The new leader starts proposing once a quorum has moved. *)
+      if Hashtbl.length s >= quorum && leader_of_view ~n:cfg.n new_view = r.id
+         && r.view >= new_view then
+        propose ~at new_view
+    | Timeout { view } ->
+      if r.decision = None && r.view = view then advance_view ~at r (view + 1)
+  in
+  (* Bootstrap: the view-0 leader proposes; everyone arms a timer. *)
+  propose ~at:0.0 0;
+  Array.iter (fun r -> if is_honest r then schedule_timeout ~at:0.0 r) replicas;
+  let all_decided () =
+    Array.for_all
+      (fun r -> cfg.behaviors.(r.id) = Silent || r.decision <> None)
+      replicas
+  in
+  let rec loop () =
+    match Network.next net with
+    | Some (at, dst, msg) when at <= cfg.max_time && not (all_decided ()) ->
+      let r = replicas.(dst) in
+      if is_honest r then handle ~at r msg;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  { decisions = Array.map (fun r -> r.decision) replicas;
+    final_views = Array.map (fun r -> r.view) replicas;
+    total_view_changes = !total_view_changes }
+
+let honest_agreement cfg outcome =
+  let digests = ref [] in
+  Array.iteri
+    (fun i d ->
+      if cfg.behaviors.(i) <> Silent then
+        match d with Some (digest, _) -> digests := digest :: !digests | None -> ())
+    outcome.decisions;
+  match !digests with
+  | [] -> true
+  | first :: rest -> List.for_all (Bytes.equal first) rest
+
+let all_honest_decided cfg outcome =
+  let ok = ref true in
+  Array.iteri
+    (fun i d -> if cfg.behaviors.(i) = Honest && d = None then ok := false)
+    outcome.decisions;
+  !ok

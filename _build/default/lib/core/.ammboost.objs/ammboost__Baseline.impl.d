@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Amm_crypto Amm_math Array Chain Config Gas_model List Mainchain Option Party Sidechain Tokenbank Traffic Uniswap

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Amm_crypto Amm_math Baseline Chain Config Float Gas_model List Mainchain Option Party Printf Sidechain Stdlib String Sys System Tokenbank Traffic

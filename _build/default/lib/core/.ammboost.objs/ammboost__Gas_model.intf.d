@@ -1,0 +1,1 @@
+lib/core/gas_model.mli: Chain

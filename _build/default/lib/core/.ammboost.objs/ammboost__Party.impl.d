@@ -1,0 +1,1 @@
+lib/core/party.ml: Amm_crypto Array Chain Consensus

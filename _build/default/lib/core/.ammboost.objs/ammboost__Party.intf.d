@@ -1,0 +1,1 @@
+lib/core/party.mli: Amm_crypto Chain Consensus

@@ -1,0 +1,1 @@
+lib/core/system.ml: Amm_crypto Amm_math Array Bytes Chain Config Consensus Gas_model Hashtbl List Mainchain Metrics Option Party Printf Sidechain Stdlib Tokenbank Traffic Uniswap

@@ -1,0 +1,1 @@
+lib/core/traffic.ml: Amm_crypto Amm_math Array Chain Config Hashtbl List Party Stdlib Uniswap

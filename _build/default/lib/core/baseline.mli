@@ -1,0 +1,24 @@
+(** The baseline: Uniswap V3 deployed directly on the mainchain (the
+    paper's Sepolia deployment). The same generated traffic executes
+    through the same pool/router logic, but every operation is an
+    on-chain transaction paying the measured per-operation gas
+    ({!Gas_model}) and adding its encoded bytes to the chain. *)
+
+type result = {
+  cfg : Config.t;
+  generated : int;
+  executed : int;
+  rejected : int;
+  gas_total : int;
+  gas_by_op : (string * int) list;
+  mc_tx_bytes : int;           (** Sepolia encoding — what lands on chain *)
+  mc_tx_bytes_ethereum : int;  (** the same ops under production-Ethereum encoding *)
+  latency_by_op : (string * float) list;
+  throughput : float;
+  swaps : int;
+  mints : int;
+  burns : int;
+  collects : int;
+}
+
+val run : Config.t -> result

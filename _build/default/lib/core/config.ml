@@ -1,0 +1,102 @@
+(* Experiment configuration. Defaults follow the paper's setup (§6):
+   11 epochs of 10 mainchain rounds each, 3 sidechain rounds per mainchain
+   round (30 sc rounds/epoch), 4 s sidechain rounds, 12 s mainchain
+   blocks, 1 MB meta-blocks, 500-miner committees, 100 users, and the
+   measured Uniswap 2023 traffic distribution. *)
+
+type distribution = {
+  swap_pct : float;
+  mint_pct : float;
+  burn_pct : float;
+  collect_pct : float;
+}
+
+(* Table 8, year 2023. *)
+let uniswap_distribution =
+  { swap_pct = 93.19; mint_pct = 2.14; burn_pct = 2.38; collect_pct = 2.27 }
+
+type interruption =
+  | Silent_sync_leader of int
+      (* the leader of this epoch never submits the Sync call *)
+  | Invalid_sync of int
+      (* the leader submits corrupted Sync inputs for this epoch *)
+  | Mainchain_rollback of int
+      (* a fork abandons the mainchain block(s) right after this epoch's sync *)
+  | Censoring_committee of int
+      (* this epoch's committee omits transactions from the first user
+         (Lemma 2's DoS threat); rotation restores liveness next epoch *)
+
+type t = {
+  seed : string;
+  epochs : int;                    (* generation epochs (queues drain after) *)
+  sc_rounds_per_epoch : int;
+  sc_round_duration : float;       (* seconds *)
+  mc_block_interval : float;       (* seconds *)
+  meta_block_bytes : int;
+  mc_gas_limit : int;
+  committee_size : int;
+  miners : int;
+  max_faulty : int;                (* f for the PBFT quorums *)
+  users : int;
+  lp_fraction : float;             (* users that also provide liquidity *)
+  daily_volume : int;              (* V_D *)
+  distribution : distribution;
+  fee_pips : int;
+  tick_spacing : int;
+  verify_signatures : bool;        (* verify user tx signatures when processing *)
+  threshold_signing : bool;        (* full DKG + threshold signing for syncs
+                                      (tests/examples); false = pre-generated
+                                      committee key, as the paper's PoC *)
+  message_level_consensus : bool;  (* run real PBFT per round instead of the
+                                      latency model; for small committees *)
+  self_audit : bool;               (* retain per-epoch audit state and replay
+                                      every summary at the end of the run *)
+  sign_transactions : bool;        (* generate real BLS signatures on traffic *)
+  swap_deadline_rounds : int;      (* swap validity window in sc rounds *)
+  max_positions_per_lp : int;      (* open-position cap per LP: keeps the
+                                      summary size bounded by the user
+                                      population (Table 5's invariant) *)
+  deposit_per_epoch : Amm_math.U256.t;  (* per token, per user, per epoch *)
+  interruptions : interruption list;
+  max_drain_epochs : int;          (* cap on queue-drain epochs after generation *)
+  consensus : Consensus.Latency_model.params;
+}
+
+let default =
+  { seed = "ammboost";
+    epochs = 11;
+    sc_rounds_per_epoch = 30;
+    sc_round_duration = 4.0;
+    mc_block_interval = 12.0;
+    meta_block_bytes = 1_000_000;
+    mc_gas_limit = 30_000_000;
+    committee_size = 500;
+    miners = 1000;
+    max_faulty = 166;
+    users = 100;
+    lp_fraction = 0.2;
+    daily_volume = 500_000;
+    distribution = uniswap_distribution;
+    fee_pips = 3000;
+    tick_spacing = 60;
+    verify_signatures = false;
+    threshold_signing = false;
+    message_level_consensus = false;
+    self_audit = false;
+    sign_transactions = false;
+    swap_deadline_rounds = 10_000;
+    max_positions_per_lp = 4;
+    deposit_per_epoch = Amm_math.U256.of_string "10000000000000000000000"; (* 1e22 *)
+    interruptions = [];
+    max_drain_epochs = 200;
+    consensus =
+      { Consensus.Latency_model.committee_size = 500; mean_delay = 0.011;
+        bandwidth_bytes = 125_000_000.0 } }
+
+(* Arrival rate per sidechain round (§6): ρ = ⌈V_D · b_t / 86400⌉. *)
+let arrivals_per_round t =
+  int_of_float
+    (Float.ceil (float_of_int t.daily_volume *. t.sc_round_duration /. 86_400.0))
+
+let epoch_duration t = float_of_int t.sc_rounds_per_epoch *. t.sc_round_duration
+let generation_duration t = float_of_int t.epochs *. epoch_duration t

@@ -1,0 +1,71 @@
+(** Experiment configuration. The defaults reproduce the paper's setup
+    (§6): 11 epochs of 10 mainchain rounds (30 sidechain rounds of 4 s),
+    12 s mainchain blocks, 1 MB meta-blocks, 500-miner committees,
+    100 users, and the measured Uniswap 2023 traffic distribution. *)
+
+type distribution = {
+  swap_pct : float;
+  mint_pct : float;
+  burn_pct : float;
+  collect_pct : float;
+}
+
+val uniswap_distribution : distribution
+(** Table 8, year 2023: 93.19 / 2.14 / 2.38 / 2.27. *)
+
+(** Faults injected into a run (§4.2 "Handling interruptions"). *)
+type interruption =
+  | Silent_sync_leader of int
+      (** the leader of this epoch never submits the Sync call *)
+  | Invalid_sync of int
+      (** the leader submits corrupted Sync inputs for this epoch *)
+  | Mainchain_rollback of int
+      (** a fork abandons the block carrying this epoch's sync *)
+  | Censoring_committee of int
+      (** this epoch's committee omits the first user's transactions
+          (Lemma 2's DoS threat); committee rotation restores liveness *)
+
+type t = {
+  seed : string;                   (** all randomness derives from this *)
+  epochs : int;                    (** traffic-generation epochs *)
+  sc_rounds_per_epoch : int;
+  sc_round_duration : float;       (** seconds *)
+  mc_block_interval : float;       (** seconds *)
+  meta_block_bytes : int;
+  mc_gas_limit : int;
+  committee_size : int;
+  miners : int;
+  max_faulty : int;                (** f for the PBFT quorums *)
+  users : int;
+  lp_fraction : float;             (** users that also provide liquidity *)
+  daily_volume : int;              (** V_D *)
+  distribution : distribution;
+  fee_pips : int;
+  tick_spacing : int;
+  verify_signatures : bool;        (** verify user signatures when processing *)
+  threshold_signing : bool;        (** full DKG + t-of-n BLS for syncs; false =
+                                       pre-generated committee key (the
+                                       paper's PoC shortcut) *)
+  message_level_consensus : bool;  (** run real PBFT per round instead of the
+                                       latency model (small committees) *)
+  self_audit : bool;               (** retain per-epoch state and replay every
+                                       summary through {!Sidechain.Auditor} at
+                                       the end of the run (small runs) *)
+  sign_transactions : bool;        (** generate real BLS signatures on traffic *)
+  swap_deadline_rounds : int;      (** swap validity window in sc rounds *)
+  max_positions_per_lp : int;      (** open-position cap per LP — bounds the
+                                       summary size by the user population,
+                                       the invariant behind Table 5 *)
+  deposit_per_epoch : Amm_math.U256.t;  (** per token, per user, per epoch *)
+  interruptions : interruption list;
+  max_drain_epochs : int;          (** cap on queue-drain epochs after generation *)
+  consensus : Consensus.Latency_model.params;
+}
+
+val default : t
+
+val arrivals_per_round : t -> int
+(** ρ = ⌈V_D · b_t / 86400⌉, the paper's constant arrival rate (§6). *)
+
+val epoch_duration : t -> float
+val generation_duration : t -> float

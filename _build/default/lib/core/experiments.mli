@@ -1,0 +1,104 @@
+(** One harness per table and figure of the paper's evaluation (§6), plus
+    the ablations from DESIGN.md. Absolute numbers are compared against
+    the paper in EXPERIMENTS.md; `bench/main.exe` prints everything. *)
+
+val scale : float
+(** The AMMBOOST_BENCH_SCALE divisor applied to daily volumes (1 = the
+    paper's full parameters). *)
+
+(** {1 Performance tables (1–5)} *)
+
+type perf_row = {
+  row_label : string;
+  throughput : float;
+  sc_latency : float;
+  payout_latency : float;
+  extra : (string * string) list;
+}
+
+val table1_scalability : unit -> perf_row list
+(** V_D ∈ {50K, 500K, 5M, 25M} at the default configuration. *)
+
+val table2_block_size : unit -> perf_row list
+(** Meta-block size ∈ {0.5, 1, 1.5, 2} MB at V_D = 50M. *)
+
+val table3_round_duration : unit -> perf_row list
+(** Sidechain round ∈ {4, 6, 9, 12} s at V_D = 25M. *)
+
+val table4_epoch_length : unit -> perf_row list
+(** Epoch ∈ {5, 10, 20, 30, 60, 96} sidechain rounds at V_D = 25M (total
+    experiment length held constant). *)
+
+val table5_distribution : unit -> perf_row list
+(** Six (swap, mint, burn, collect) mixes at V_D = 25M; the extra column
+    reports the maximum summary-block size. *)
+
+val print_perf_table : title:string -> col_header:string -> perf_row list -> unit
+
+(** {1 Gas, storage, and the overall comparison} *)
+
+type table6 = {
+  deposit_gas : float;
+  deposit_latency : float;
+  sync_payout_each : int;
+  sync_storage_per_word : int;
+  sync_keccak_base : int;
+  sync_keccak_per_word : int;
+  sync_ec_mul : int;
+  sync_pairing : int;
+  sync_latency : float;
+  sync_gas_breakdown : (string * int) list;
+  uniswap_gas : (string * int) list;
+  uniswap_latency : (string * float) list;
+}
+
+val table6_gas_itemized : unit -> table6
+val print_table6 : table6 -> unit
+
+type table7 = {
+  sync_swap_entry_mainchain : int;
+  sync_position_entry_mainchain : int;
+  vk_size : int;
+  signature_size : int;
+  swap_entry_sidechain : int;
+  position_entry_sidechain : int;
+  uniswap_sepolia : (string * int) list;
+  uniswap_ethereum : (string * int) list;
+}
+
+val table7_storage : unit -> table7
+val print_table7 : table7 -> unit
+
+type fig6 = {
+  ammboost_gas : int;
+  baseline_gas : int;
+  gas_reduction_pct : float;
+  ammboost_growth : int;
+  baseline_growth_sepolia : int;
+  baseline_growth_ethereum : int;
+  growth_reduction_vs_sepolia_pct : float;
+  growth_reduction_vs_ethereum_pct : float;
+  ammboost_result : System.result;
+  baseline_result : Baseline.result;
+}
+
+val fig6_overall : unit -> fig6
+val print_fig6 : fig6 -> unit
+
+val table8_stats : unit -> Traffic.type_stats list
+val print_table8 : Traffic.type_stats list -> unit
+
+(** {1 Ablations} *)
+
+type ablation_row = { ab_label : string; ab_value : float; ab_unit : string }
+
+val ablation_authentication : unit -> ablation_row list
+(** Sync gas with vs without the threshold-signature quorum certificate. *)
+
+val ablation_aggregation : unit -> ablation_row list
+(** Sync bytes vs posting every processed transaction individually. *)
+
+val ablation_pruning : unit -> ablation_row list
+(** Sidechain storage with vs without meta-block pruning. *)
+
+val print_ablation : title:string -> ablation_row list -> unit

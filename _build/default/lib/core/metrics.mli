@@ -1,0 +1,28 @@
+(** Streaming metric aggregation. Experiments process millions of
+    transactions, so only running sums are kept — never per-transaction
+    lists. *)
+
+(** {1 Scalar aggregates} *)
+
+type agg
+
+val agg : unit -> agg
+val observe : agg -> float -> unit
+val mean : agg -> float
+val count : agg -> int
+val max_value : agg -> float
+
+(** {1 Payout latency tracking}
+
+    When epoch [e]'s Sync lands at time [T], every transaction processed
+    in [e] has payout latency [T - issued_at]; per epoch only
+    [Σ issued_at] and the count are needed. *)
+
+type payout_tracker
+
+val payout_tracker : unit -> payout_tracker
+val note_processed : payout_tracker -> epoch:int -> issued_at:float -> unit
+val settle_epoch : payout_tracker -> epoch:int -> sync_time:float -> unit
+val payout_mean : payout_tracker -> float
+val payout_count : payout_tracker -> int
+val unsettled_epochs : payout_tracker -> int list

@@ -1,0 +1,31 @@
+(* System participants: clients and LPs with key pairs and addresses, and
+   the sidechain miner population with stakes (§3 System model). *)
+
+module Rng = Amm_crypto.Rng
+module Bls = Amm_crypto.Bls
+module Address = Chain.Address
+
+type user = {
+  user_index : int;
+  sk : Bls.secret_key;
+  pk : Bls.public_key;
+  address : Address.t;
+  is_lp : bool;
+}
+
+type miner = {
+  m : Consensus.Election.miner;
+  m_sk : Bls.secret_key;
+}
+
+let make_users rng ~count ~lp_fraction =
+  Array.init count (fun i ->
+      let sk, pk = Bls.keygen rng in
+      { user_index = i; sk; pk; address = Address.of_public_key pk;
+        is_lp = float_of_int i < (lp_fraction *. float_of_int count) })
+
+let make_miners rng ~count =
+  Array.init count (fun i ->
+      let sk, pk = Bls.keygen rng in
+      { m = { Consensus.Election.miner_id = i; stake = 1 + Rng.int rng 10; pk };
+        m_sk = sk })

@@ -1,0 +1,19 @@
+(** System participants (§3): clients and liquidity providers with BLS
+    key pairs and derived addresses, and the sidechain miner population
+    with proof-of-stake weights for sortition. *)
+
+type user = {
+  user_index : int;
+  sk : Amm_crypto.Bls.secret_key;
+  pk : Amm_crypto.Bls.public_key;
+  address : Chain.Address.t;
+  is_lp : bool;  (** also provides liquidity (mint/burn/collect traffic) *)
+}
+
+type miner = {
+  m : Consensus.Election.miner;
+  m_sk : Amm_crypto.Bls.secret_key;
+}
+
+val make_users : Amm_crypto.Rng.t -> count:int -> lp_fraction:float -> user array
+val make_miners : Amm_crypto.Rng.t -> count:int -> miner array

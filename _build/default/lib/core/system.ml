@@ -1,0 +1,702 @@
+(* The ammBoost system simulator: epochs and rounds of the sidechain, the
+   mainchain running in parallel, epoch-based deposits, committee election
+   and key generation, meta/summary block production, Sync submission with
+   mass-sync recovery, pruning on confirmation, and metric collection.
+
+   This realizes the §3 API: SystemSetup/PartySetup happen in [create],
+   CreateTx/VerifyTx in Traffic and Processor, UpdateState is meta/summary
+   block production, Elect is the per-epoch sortition, and Prune fires when
+   a Sync is confirmed. *)
+
+module U256 = Amm_math.U256
+module Rng = Amm_crypto.Rng
+module Bls = Amm_crypto.Bls
+module Address = Chain.Address
+module Tx = Chain.Tx
+module Eth = Mainchain.Eth
+module Erc20 = Mainchain.Erc20
+module Gas = Mainchain.Gas
+module Token_bank = Tokenbank.Token_bank
+module Sync_payload = Tokenbank.Sync_payload
+module Processor = Sidechain.Processor
+module Blocks = Sidechain.Blocks
+
+type submission_status = Pending | Applied | Failed
+
+type submission = {
+  sub_epochs : int list;
+  sub_tag : string;
+  mutable status : submission_status;
+}
+
+type epoch_keys = { vk : Bls.public_key; sign : bytes -> Bls.signature }
+
+type committee_record = {
+  epoch : int;
+  committee : int list;
+  leader : int;
+}
+
+type result = {
+  cfg : Config.t;
+  generated : int;
+  processed : int;
+  rejected : int;
+  throughput : float;
+  mean_tx_latency : float;
+  mean_payout_latency : float;
+  payouts_settled : int;
+  sc_cumulative_bytes : int;
+  sc_stored_bytes : int;
+  sc_max_stored_bytes : int;
+  max_summary_block_bytes : int;
+  mc_tx_bytes : int;
+  mc_gas_total : int;
+  mc_gas_by_label : (string * int) list;
+  mc_bytes_by_label : (string * int) list;
+  deposit_gas_mean : float;
+  deposit_latency_mean : float;
+  sync_latency_mean : float;
+  last_sync_receipt : Token_bank.sync_receipt option;
+  sync_count : int;
+  epochs_run : int;
+  epochs_applied : int;
+  mass_syncs : int;
+  rejection_reasons : (string * int) list;
+  custody_consistent : bool;
+  audit_passed : bool option;
+      (* Some true/false when cfg.self_audit; every epoch summary replayed *)
+  committees : committee_record list;
+  swaps : int;
+  mints : int;
+  burns : int;
+  collects : int;
+}
+
+type t = {
+  cfg : Config.t;
+  rng_traffic : Rng.t;
+  rng_keys : Rng.t;
+  rng_net : Rng.t;
+  users : Party.user array;
+  miners : Party.miner array;
+  eth : Eth.t;
+  erc0 : Erc20.t;
+  erc1 : Erc20.t;
+  bank : Token_bank.t;
+  pool : Uniswap.Pool.t;
+  sc_chain : Blocks.t;
+  traffic : Traffic.t;
+  mempool : Tx.t Chain.Mempool.t;
+  tx_latency : Metrics.agg;
+  payouts : Metrics.payout_tracker;
+  mutable committee_keys : (int * epoch_keys) list;
+  mutable committees : committee_record list;
+  mutable signed_payloads : (int * (Sync_payload.t * Bls.signature)) list;
+  mutable submissions : submission list;
+  mutable pending_confirm : (int list * int * float) list;
+      (* epochs, inclusion height, inclusion time *)
+  mutable checkpoints : (int * Token_bank.checkpoint) list; (* height -> state before *)
+  mutable deposits_submitted_until : int;
+  mutable rollbacks_done : int list;
+  mutable mass_syncs : int;
+  mutable max_summary_bytes : int;
+  mutable max_sc_stored : int;
+  mutable processed_total : int;
+  mutable processed_in_window : int;
+  mutable rejected_total : int;
+  mutable swaps : int;
+  mutable mints : int;
+  mutable burns : int;
+  mutable collects : int;
+  rejections : (string, int) Hashtbl.t;
+  mutable sync_receipts : Token_bank.sync_receipt list;
+  mutable audit_trail :
+    (int * Uniswap.Pool.t * Token_bank.snapshot * Blocks.meta list ref
+    * Blocks.summary option ref)
+    list;
+}
+
+let genesis_liquidity = U256.of_string "1000000000000000000000000" (* 1e24 per side *)
+let faucet_amount = U256.of_string "1000000000000000000000000000000" (* 1e30 *)
+let deposit_lead_seconds = 96.0
+
+(* ------------------------------------------------------------------ *)
+(* Committee machinery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let elect_committee t ~epoch =
+  let randomness = Amm_crypto.Sha256.digest_string (t.cfg.Config.seed ^ "/randomness") in
+  let seed = Consensus.Election.seed_for_epoch ~randomness ~epoch in
+  let credentials =
+    Array.to_list
+      (Array.map
+         (fun (m : Party.miner) ->
+           Consensus.Election.credential ~sk:m.Party.m_sk ~miner:m.Party.m ~seed)
+         t.miners)
+  in
+  let committee, leader =
+    Consensus.Election.elect ~credentials
+      ~committee_size:(Stdlib.min t.cfg.Config.committee_size (Array.length t.miners))
+  in
+  t.committees <- { epoch; committee; leader } :: t.committees
+
+let make_committee_keys ~cfg ~rng_keys ~epoch =
+  let rng = Rng.split rng_keys (Printf.sprintf "committee-%d" epoch) in
+  if cfg.Config.threshold_signing then begin
+    let n = cfg.Config.committee_size in
+    let threshold = Stdlib.min n ((2 * cfg.Config.max_faulty) + 2) in
+    let vk, shares = Bls.dkg rng ~n ~threshold in
+    let sign msg =
+      let partials = List.map (fun s -> Bls.partial_sign s msg) shares in
+      match Bls.combine ~threshold partials with
+      | Some s -> s
+      | None -> failwith "System: threshold combine failed"
+    in
+    { vk; sign }
+  end
+  else begin
+    (* The paper's PoC signs Sync with a pre-generated key. *)
+    let sk, vk = Bls.keygen rng in
+    { vk; sign = (fun msg -> Bls.sign sk msg) }
+  end
+
+let committee_keys t ~epoch =
+  match List.assoc_opt epoch t.committee_keys with
+  | Some k -> k
+  | None ->
+    let keys = make_committee_keys ~cfg:t.cfg ~rng_keys:t.rng_keys ~epoch in
+    t.committee_keys <- (epoch, keys) :: t.committee_keys;
+    keys
+
+(* ------------------------------------------------------------------ *)
+(* Setup                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let create cfg =
+  let rng_root = Rng.create cfg.Config.seed in
+  let rng_traffic = Rng.split rng_root "traffic" in
+  let rng_keys = Rng.split rng_root "keys" in
+  let rng_net = Rng.split rng_root "net" in
+  let users = Party.make_users (Rng.split rng_root "users") ~count:cfg.Config.users
+      ~lp_fraction:cfg.Config.lp_fraction in
+  let miners = Party.make_miners (Rng.split rng_root "miners") ~count:cfg.Config.miners in
+  let token0 = Chain.Token.make ~id:0 ~symbol:"TKA" in
+  let token1 = Chain.Token.make ~id:1 ~symbol:"TKB" in
+  let erc0 = Erc20.deploy token0 and erc1 = Erc20.deploy token1 in
+  let eth = Eth.create ~interval:cfg.Config.mc_block_interval
+      ~gas_limit:cfg.Config.mc_gas_limit ~rng:rng_net () in
+  (* The genesis committee's verification key is recorded at deploy
+     (SystemSetup). *)
+  let keys0 = make_committee_keys ~cfg ~rng_keys ~epoch:0 in
+  let bank = Token_bank.deploy ~token0:erc0 ~token1:erc1 ~genesis_committee_vk:keys0.vk in
+  let pool =
+    Uniswap.Pool.create
+      ~pool_id:(Token_bank.create_pool bank ~flash_fee_pips:cfg.Config.fee_pips)
+      ~token0 ~token1 ~fee_pips:cfg.Config.fee_pips
+      ~tick_spacing:cfg.Config.tick_spacing ~sqrt_price:Amm_math.Q96.q96
+  in
+  let t =
+    { cfg; rng_traffic; rng_keys; rng_net; users; miners; eth; erc0; erc1; bank; pool;
+      sc_chain =
+        Blocks.create
+          ~mainchain_ref:(Amm_crypto.Sha256.digest_string (cfg.Config.seed ^ "/genesis"));
+      traffic = Traffic.create ~rng:rng_traffic ~cfg ~users;
+      mempool = Chain.Mempool.create ~size:(fun tx -> tx.Tx.wire_size);
+      tx_latency = Metrics.agg (); payouts = Metrics.payout_tracker ();
+      committee_keys = []; committees = []; signed_payloads = []; submissions = [];
+      pending_confirm = []; checkpoints = []; deposits_submitted_until = -1;
+      rollbacks_done = []; mass_syncs = 0; max_summary_bytes = 0; max_sc_stored = 0;
+      processed_total = 0; processed_in_window = 0; rejected_total = 0; swaps = 0; mints = 0; burns = 0;
+      collects = 0; rejections = Hashtbl.create 8; sync_receipts = [];
+      audit_trail = [] }
+  in
+  t.committee_keys <- [ (0, keys0) ];
+  (* Faucet + unlimited approvals (users sign them once; the per-epoch
+     deposit flow still models the approval round-trips for latency). *)
+  Array.iter
+    (fun (u : Party.user) ->
+      Erc20.mint erc0 u.Party.address faucet_amount;
+      Erc20.mint erc1 u.Party.address faucet_amount;
+      Erc20.approve erc0 ~owner:u.Party.address ~spender:(Token_bank.address bank)
+        U256.max_value;
+      Erc20.approve erc1 ~owner:u.Party.address ~spender:(Token_bank.address bank)
+        U256.max_value)
+    t.users;
+  (* Bootstrap deposits for epoch 0 (before mainchain time starts). *)
+  Array.iter
+    (fun (u : Party.user) ->
+      let extra =
+        if u.Party.user_index = 0 then U256.mul genesis_liquidity (U256.of_int 2)
+        else U256.zero
+      in
+      match
+        Token_bank.deposit t.bank ~user:u.Party.address ~for_epoch:0
+          ~amount0:(U256.add cfg.Config.deposit_per_epoch extra)
+          ~amount1:(U256.add cfg.Config.deposit_per_epoch extra)
+      with
+      | Ok () -> ()
+      | Error e -> failwith ("System.create: bootstrap deposit failed: " ^ e))
+    t.users;
+  t.deposits_submitted_until <- 0;
+  t
+
+(* The genesis LP seeds the pool with a full-range position in round 0. *)
+let genesis_mint_tx t =
+  let lp = t.users.(0) in
+  let sign = if t.cfg.Config.sign_transactions then Some lp.Party.sk else None in
+  Tx.create ?sign ~issuer:lp.Party.address ~issuer_pk:lp.Party.pk ~pool:0 ~issued_round:0
+    ~issued_at:0.0
+    (Tx.Mint
+       { lower_tick = -887220; upper_tick = 887220;
+         amount0_desired = genesis_liquidity; amount1_desired = genesis_liquidity;
+         target = Tx.New_position })
+
+(* ------------------------------------------------------------------ *)
+(* Deposits for upcoming epochs                                        *)
+(* ------------------------------------------------------------------ *)
+
+let submit_epoch_deposits t ~for_epoch ~at =
+  (* ERC20 approvals are granted once at setup; the deposit's 4-leg flow
+     still models the approval round-trips for latency, and — matching the
+     paper's gas/growth accounting — only the deposit transaction itself
+     is charged to the chain. *)
+  Array.iter
+    (fun (u : Party.user) ->
+      let deposit_size = Chain.Encoding.envelope_size + Chain.Encoding.selector_size + 64 in
+      let meter = Gas.meter () in
+      (* Metering runs against current state at submission; execution moves
+         the tokens when the transaction lands. *)
+      let amount = t.cfg.Config.deposit_per_epoch in
+      Eth.submit t.eth ~at
+        { Eth.label = "deposit"; size_bytes = deposit_size;
+          gas = Gas_model.paper_deposit_gas;
+          flow_txs = Gas_model.deposit_flow_txs; tag = None;
+          execute =
+            Some
+              (fun _height ->
+                match
+                  Token_bank.deposit ~meter t.bank ~user:u.Party.address ~for_epoch
+                    ~amount0:amount ~amount1:amount
+                with
+                | Ok () -> ()
+                | Error e -> failwith ("System: deposit failed: " ^ e)) })
+    t.users
+
+let maybe_submit_deposits t ~now =
+  let dur = Config.epoch_duration t.cfg in
+  let due epoch = (float_of_int epoch *. dur) -. deposit_lead_seconds -. dur in
+  while due (t.deposits_submitted_until + 1) <= now do
+    let e = t.deposits_submitted_until + 1 in
+    submit_epoch_deposits t ~for_epoch:e ~at:now;
+    t.deposits_submitted_until <- e
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sync submission and confirmation                                    *)
+(* ------------------------------------------------------------------ *)
+
+let estimate_sync_gas payloads =
+  List.fold_left
+    (fun acc p ->
+      let size = Sync_payload.abi_size p in
+      acc + Gas.calldata_cost_of_size size + Gas.keccak_cost size + Gas.ec_mul
+      + Gas.pairing_check
+      + (Sync_payload.storage_words p * Gas.sstore_word)
+      + (List.length p.Sync_payload.users * Gas.payout_transfer))
+    Gas.tx_base payloads
+
+let record_rejections t stats =
+  List.iter
+    (fun (reason, n) ->
+      Hashtbl.replace t.rejections reason
+        (n + Option.value ~default:0 (Hashtbl.find_opt t.rejections reason)))
+    stats.Processor.rejection_reasons
+
+let epochs_in_flight t =
+  List.concat_map
+    (fun s -> if s.status = Pending then s.sub_epochs else [])
+    t.submissions
+
+let submit_sync t ~epoch ~at ~corrupt =
+  let applied = Token_bank.last_synced_epoch t.bank in
+  let in_flight = epochs_in_flight t in
+  let wanted =
+    List.filter
+      (fun e -> not (List.mem e in_flight))
+      (List.init (epoch - applied) (fun i -> applied + 1 + i))
+  in
+  if wanted <> [] then begin
+    if List.length wanted > 1 then t.mass_syncs <- t.mass_syncs + 1;
+    let signed =
+      List.map
+        (fun e ->
+          match List.assoc_opt e t.signed_payloads with
+          | Some sp -> sp
+          | None -> failwith (Printf.sprintf "System: no signed payload for epoch %d" e))
+        wanted
+    in
+    let signed =
+      if not corrupt then signed
+      else
+        (* A malicious leader submits tampered balances: TokenBank must
+           reject (signature no longer covers the payload). *)
+        List.map
+          (fun (p, s) ->
+            ( { p with
+                Sync_payload.pool_balance0 =
+                  U256.add p.Sync_payload.pool_balance0 U256.one },
+              s ))
+          signed
+    in
+    let size =
+      List.fold_left (fun acc (p, _) -> acc + Sync_payload.abi_size p) 0 signed
+    in
+    let tag = Printf.sprintf "sync-%d-%d" epoch (List.length t.submissions) in
+    let submission = { sub_epochs = wanted; sub_tag = tag; status = Pending } in
+    t.submissions <- submission :: t.submissions;
+    Eth.submit t.eth ~at
+      { Eth.label = "sync"; size_bytes = size;
+        gas = estimate_sync_gas (List.map fst signed);
+        flow_txs = Gas_model.sync_flow_txs; tag = Some tag;
+        execute =
+          Some
+            (fun height ->
+              (* Snapshot for rollback modeling before any state change. *)
+              t.checkpoints <- (height, Token_bank.checkpoint t.bank) :: t.checkpoints;
+              match Token_bank.sync t.bank ~signed with
+              | Ok receipt ->
+                submission.status <- Applied;
+                t.sync_receipts <- receipt :: t.sync_receipts;
+                let time = Eth.now t.eth in
+                let time = if time > at then time else at in
+                t.pending_confirm <-
+                  (receipt.Token_bank.epochs_covered, height, time) :: t.pending_confirm
+              | Error _ -> submission.status <- Failed) }
+  end
+
+(* Inclusion time isn't passed to the execute callback, so resolve it from
+   the tag when settling. *)
+let settle_confirmed t =
+  let confirmed, still =
+    List.partition (fun (_, h, _) -> h <= Eth.confirmed_height t.eth) t.pending_confirm
+  in
+  List.iter
+    (fun (epochs, _h, inclusion_time) ->
+      List.iter
+        (fun e ->
+          Metrics.settle_epoch t.payouts ~epoch:e ~sync_time:inclusion_time;
+          ignore (Blocks.prune_epoch t.sc_chain ~epoch:e))
+        epochs)
+    confirmed;
+  t.pending_confirm <- still
+
+let inject_rollback t ~epoch =
+  (* Abandon every block after the one carrying this epoch's sync, plus
+     the sync block itself, then restore TokenBank to its pre-sync state;
+     the re-submission happens via the normal mass-sync path. *)
+  match
+    List.find_opt
+      (fun s -> List.mem epoch s.sub_epochs && s.status = Applied)
+      t.submissions
+  with
+  | None -> ()
+  | Some sub ->
+    if not (List.mem epoch t.rollbacks_done) then begin
+      t.rollbacks_done <- epoch :: t.rollbacks_done;
+      (* Find the checkpoint for the sync's block height via pending or past
+         confirmations. *)
+      let height_opt =
+        List.find_map
+          (fun (epochs, h, _) -> if List.mem epoch epochs then Some h else None)
+          t.pending_confirm
+      in
+      match height_opt with
+      | None -> () (* already confirmed: too deep to roll back *)
+      | Some h ->
+        let n = Eth.height t.eth - h + 1 in
+        if n > 0 then begin
+          let _dropped = Eth.rollback t.eth n in
+          (match List.assoc_opt h t.checkpoints with
+          | Some ck -> Token_bank.restore t.bank ck
+          | None -> ());
+          t.pending_confirm <-
+            List.filter (fun (_, h', _) -> h' < h) t.pending_confirm;
+          sub.status <- Failed
+        end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* The main loop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run cfg =
+  let t = create cfg in
+  let committee =
+    if cfg.Config.message_level_consensus then
+      Some
+        (Sidechain.Committee.create
+           ~rng:(Rng.split t.rng_net "committee-consensus")
+           ~members:(Stdlib.min cfg.Config.committee_size 25)
+           ~max_faulty:(Stdlib.min cfg.Config.max_faulty 8)
+           ~delta:(2.0 *. cfg.Config.consensus.Consensus.Latency_model.mean_delay)
+           ~timeout:(cfg.Config.sc_round_duration /. 4.0))
+    else None
+  in
+  let spr = cfg.Config.sc_rounds_per_epoch in
+  let b_t = cfg.Config.sc_round_duration in
+  let epoch_dur = Config.epoch_duration cfg in
+  let epoch = ref 0 in
+  let continue = ref true in
+  Chain.Mempool.push t.mempool (genesis_mint_tx t);
+  while !continue do
+    let e = !epoch in
+    let epoch_start = float_of_int e *. epoch_dur in
+    elect_committee t ~epoch:e;
+    Eth.advance_to t.eth epoch_start;
+    settle_confirmed t;
+    let snapshot = Token_bank.snapshot t.bank ~epoch:e in
+    let audit_entry =
+      if cfg.Config.self_audit then begin
+        let entry = (e, Uniswap.Pool.clone t.pool, snapshot, ref [], ref None) in
+        t.audit_trail <- entry :: t.audit_trail;
+        Some entry
+      end
+      else None
+    in
+    let processor =
+      Processor.begin_epoch ~pool:t.pool ~snapshot
+        ~verify_signatures:cfg.Config.verify_signatures
+    in
+    for r = 0 to spr - 1 do
+      let round = (e * spr) + r in
+      let t_round = epoch_start +. (float_of_int r *. b_t) in
+      (* In the last round of the epoch the committee mines the
+         summary-block instead of a meta-block (chainBoost/ammBoost block
+         structure), so no transactions are processed in that round. *)
+      let summary_round = r = spr - 1 in
+      Eth.advance_to t.eth t_round;
+      (* Interruption: a mainchain fork abandons the block carrying a
+         configured epoch's sync while it is still unconfirmed. *)
+      List.iter
+        (function
+          | Config.Mainchain_rollback re when re < e -> inject_rollback t ~epoch:re
+          | Config.Mainchain_rollback _ | Config.Silent_sync_leader _
+          | Config.Invalid_sync _ | Config.Censoring_committee _ -> ())
+        cfg.Config.interruptions;
+      settle_confirmed t;
+      maybe_submit_deposits t ~now:t_round;
+      if e < cfg.Config.epochs then
+        List.iter (fun tx -> Chain.Mempool.push t.mempool tx)
+          (Traffic.generate_round t.traffic ~round ~time:t_round);
+      (* The committee drains the queue up to the meta-block capacity and
+         processes with the AMM logic; only valid transactions enter the
+         block. *)
+      let censoring =
+        List.exists
+          (function Config.Censoring_committee ce -> ce = e | _ -> false)
+          cfg.Config.interruptions
+      in
+      let candidates =
+        if summary_round then []
+        else Chain.Mempool.take_up_to t.mempool ~max_bytes:cfg.Config.meta_block_bytes
+      in
+      (* A censoring committee omits the victim's transactions; they stay
+         pending (the user rebroadcasts) and the next epoch's committee
+         processes them - the Lemma 2 liveness argument. *)
+      let candidates =
+        if not censoring then candidates
+        else begin
+          let victim = t.users.(0).Party.address in
+          let kept, censored =
+            List.partition
+              (fun tx -> not (Address.equal tx.Tx.issuer victim))
+              candidates
+          in
+          List.iter (fun tx -> Chain.Mempool.push t.mempool tx) censored;
+          kept
+        end
+      in
+      let included =
+        List.filter
+          (fun tx ->
+            match Processor.process processor ~current_round:round tx with
+            | Ok () -> true
+            | Error _ -> false)
+          candidates
+      in
+      if e < cfg.Config.epochs then
+        t.processed_in_window <- t.processed_in_window + List.length included;
+      (* Agreement on the block: message-level PBFT when configured,
+         otherwise the closed-form latency model. *)
+      let consensus_latency, view_changes =
+        match committee with
+        | Some c ->
+          let digest =
+            Amm_crypto.Sha256.concat
+              (Bytes.of_string (Printf.sprintf "round-%d" round)
+              :: List.map (fun tx -> Chain.Ids.Tx_id.to_bytes tx.Tx.id) included)
+          in
+          let o =
+            Sidechain.Committee.agree c ~block_digest:digest ~horizon:b_t
+          in
+          ((if o.Sidechain.Committee.decided then o.Sidechain.Committee.latency else b_t),
+           o.Sidechain.Committee.view_changes)
+        | None ->
+          let size =
+            Blocks.meta_header_size
+            + List.fold_left (fun acc tx -> acc + tx.Tx.wire_size) 0 included
+          in
+          ( Consensus.Latency_model.consensus_latency cfg.Config.consensus
+              ~block_bytes:size,
+            0 )
+      in
+      let meta = Blocks.make_meta ~epoch:e ~round ~view_changes included in
+      if not summary_round then begin
+        Blocks.append_meta t.sc_chain meta;
+        match audit_entry with
+        | Some (_, _, _, metas, _) -> metas := meta :: !metas
+        | None -> ()
+      end;
+      List.iter
+        (fun tx ->
+          let latency = t_round -. tx.Tx.issued_at +. consensus_latency in
+          Metrics.observe t.tx_latency latency;
+          Metrics.note_processed t.payouts ~epoch:e ~issued_at:tx.Tx.issued_at)
+        included;
+      if Blocks.stored_bytes t.sc_chain > t.max_sc_stored then
+        t.max_sc_stored <- Blocks.stored_bytes t.sc_chain
+    done;
+    (* Epoch end: summary block, threshold signature, Sync submission. *)
+    let epoch_end = float_of_int (e + 1) *. epoch_dur in
+    let next_keys = committee_keys t ~epoch:(e + 1) in
+    let payload =
+      Processor.build_payload processor ~epoch:e ~next_committee_vk:next_keys.vk
+    in
+    let keys = committee_keys t ~epoch:e in
+    let signature = keys.sign (Sync_payload.signing_bytes payload) in
+    t.signed_payloads <- (e, (payload, signature)) :: t.signed_payloads;
+    let s_size = Sidechain.Codec.summary_block_size payload in
+    if s_size > t.max_summary_bytes then t.max_summary_bytes <- s_size;
+    let summary_block =
+      { Blocks.s_epoch = e; s_payload = payload; s_size;
+        s_rounds_covered = (e * spr, ((e + 1) * spr) - 1) }
+    in
+    Blocks.append_summary t.sc_chain summary_block;
+    (match audit_entry with
+    | Some (_, _, _, _, summary_ref) -> summary_ref := Some summary_block
+    | None -> ());
+    let silent =
+      List.exists
+        (function Config.Silent_sync_leader se -> se = e | _ -> false)
+        cfg.Config.interruptions
+    in
+    let corrupt =
+      List.exists
+        (function Config.Invalid_sync se -> se = e | _ -> false)
+        cfg.Config.interruptions
+    in
+    if not silent then submit_sync t ~epoch:e ~at:epoch_end ~corrupt;
+    let stats = Processor.stats processor in
+    t.processed_total <- t.processed_total + stats.Processor.processed;
+    t.rejected_total <- t.rejected_total + stats.Processor.rejected;
+    t.swaps <- t.swaps + stats.Processor.swaps;
+    t.mints <- t.mints + stats.Processor.mints;
+    t.burns <- t.burns + stats.Processor.burns;
+    t.collects <- t.collects + stats.Processor.collects;
+    record_rejections t stats;
+    (* Stop once generation is done and the queue has drained (the paper
+       empties the queues to measure comparable latency). *)
+    epoch := e + 1;
+    if !epoch >= cfg.Config.epochs && Chain.Mempool.is_empty t.mempool then
+      continue := false;
+    if !epoch >= cfg.Config.epochs + cfg.Config.max_drain_epochs then continue := false
+  done;
+  (* Let the final syncs land and confirm. *)
+  let final_time =
+    (float_of_int !epoch *. epoch_dur) +. (10.0 *. cfg.Config.mc_block_interval)
+  in
+  Eth.advance_to t.eth final_time;
+  (* One recovery pass in case the very last epoch was interrupted. *)
+  submit_sync t ~epoch:(!epoch - 1) ~at:final_time ~corrupt:false;
+  Eth.advance_to t.eth (final_time +. (5.0 *. cfg.Config.mc_block_interval));
+  settle_confirmed t;
+  (* Custody invariant: bank ERC20 holdings = pool balances + remaining
+     (future-epoch) deposits. *)
+  let custody_consistent =
+    let c0, c1 = Token_bank.total_custody t.bank in
+    let p0, p1 =
+      match Token_bank.pool t.bank 0 with
+      | Some p -> (p.Token_bank.balance0, p.Token_bank.balance1)
+      | None -> (U256.zero, U256.zero)
+    in
+    let rec deposits_sum acc0 acc1 e =
+      if e > t.deposits_submitted_until then (acc0, acc1)
+      else begin
+        let s0, s1 =
+          List.fold_left
+            (fun (a0, a1) (_, (d0, d1)) -> (U256.add a0 d0, U256.add a1 d1))
+            (U256.zero, U256.zero)
+            (Token_bank.deposits_for_epoch t.bank ~epoch:e)
+        in
+        deposits_sum (U256.add acc0 s0) (U256.add acc1 s1) (e + 1)
+      end
+    in
+    let d0, d1 = deposits_sum U256.zero U256.zero 0 in
+    U256.equal c0 (U256.add p0 d0) && U256.equal c1 (U256.add p1 d1)
+  in
+  (* Self-audit: replay every retained epoch and check its summary. *)
+  let audit_passed =
+    if not cfg.Config.self_audit then None
+    else
+      Some
+        (List.for_all
+           (fun (_, pool_at_start, snapshot, metas, summary_ref) ->
+             match !summary_ref with
+             | None -> false
+             | Some summary ->
+               Sidechain.Auditor.verify_summary ~pool_at_start ~snapshot
+                 ~metas:(List.rev !metas) ~summary
+               = Ok ())
+           t.audit_trail)
+  in
+  let gas_by_label = Eth.gas_used_by_label t.eth in
+  let bytes_by_label = Eth.bytes_by_label t.eth in
+  { cfg;
+    generated = Traffic.generated t.traffic;
+    processed = t.processed_total;
+    rejected = t.rejected_total;
+    throughput = float_of_int t.processed_in_window /. Config.generation_duration cfg;
+    mean_tx_latency = Metrics.mean t.tx_latency;
+    mean_payout_latency = Metrics.payout_mean t.payouts;
+    payouts_settled = Metrics.payout_count t.payouts;
+    sc_cumulative_bytes = Blocks.cumulative_bytes t.sc_chain;
+    sc_stored_bytes = Blocks.stored_bytes t.sc_chain;
+    sc_max_stored_bytes = t.max_sc_stored;
+    max_summary_block_bytes = t.max_summary_bytes;
+    mc_tx_bytes = List.fold_left (fun acc (_, b) -> acc + b) 0 bytes_by_label;
+    mc_gas_total = Eth.gas_used_total t.eth;
+    mc_gas_by_label = gas_by_label;
+    mc_bytes_by_label = bytes_by_label;
+    deposit_gas_mean =
+      (match List.assoc_opt "deposit" gas_by_label with
+      | Some g ->
+        let n =
+          match List.assoc_opt "deposit" (Eth.latencies_by_label t.eth) with
+          | Some l -> List.length l
+          | None -> 1
+        in
+        float_of_int g /. float_of_int (Stdlib.max 1 n)
+      | None -> 0.0);
+    deposit_latency_mean = Option.value ~default:0.0 (Eth.mean_latency t.eth "deposit");
+    sync_latency_mean = Option.value ~default:0.0 (Eth.mean_latency t.eth "sync");
+    last_sync_receipt = (match t.sync_receipts with r :: _ -> Some r | [] -> None);
+    sync_count = List.length t.sync_receipts;
+    epochs_run = !epoch;
+    epochs_applied = Token_bank.last_synced_epoch t.bank + 1;
+    mass_syncs = t.mass_syncs;
+    rejection_reasons = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.rejections [];
+    custody_consistent;
+    audit_passed;
+    committees = List.rev t.committees;
+    swaps = t.swaps; mints = t.mints; burns = t.burns; collects = t.collects }

@@ -1,0 +1,60 @@
+(** The ammBoost system simulator — the §3 functionality realized over
+    the substrates: SystemSetup/PartySetup in [run]'s setup phase,
+    CreateTx/VerifyTx in the traffic generator and processor, UpdateState
+    as meta/summary block production, Elect as per-epoch VRF sortition,
+    and Prune on Sync confirmation.
+
+    One call to {!run} simulates the configured epochs (plus queue-drain
+    epochs, as the paper empties queues before measuring latency), the
+    mainchain running in parallel, epoch deposits, Sync submission with
+    mass-sync recovery from interruptions, pruning, and metric
+    collection. Runs are deterministic in the configuration seed. *)
+
+type committee_record = {
+  epoch : int;
+  committee : int list;  (** elected miner ids, best priority first *)
+  leader : int;
+}
+
+type result = {
+  cfg : Config.t;
+  generated : int;
+  processed : int;
+  rejected : int;
+  throughput : float;
+      (** transactions processed within the generation window / its duration *)
+  mean_tx_latency : float;
+      (** submission → meta-block inclusion (the paper's sidechain latency) *)
+  mean_payout_latency : float;
+      (** submission → Sync inclusion on the mainchain *)
+  payouts_settled : int;
+  sc_cumulative_bytes : int;   (** all sidechain blocks ever produced *)
+  sc_stored_bytes : int;       (** after pruning *)
+  sc_max_stored_bytes : int;
+  max_summary_block_bytes : int;
+  mc_tx_bytes : int;           (** mainchain growth: deposits + syncs *)
+  mc_gas_total : int;
+  mc_gas_by_label : (string * int) list;
+  mc_bytes_by_label : (string * int) list;
+  deposit_gas_mean : float;
+  deposit_latency_mean : float;
+  sync_latency_mean : float;
+  last_sync_receipt : Tokenbank.Token_bank.sync_receipt option;
+  sync_count : int;
+  epochs_run : int;
+  epochs_applied : int;        (** epochs whose Sync landed on TokenBank *)
+  mass_syncs : int;            (** recovery syncs covering multiple epochs *)
+  rejection_reasons : (string * int) list;
+  custody_consistent : bool;
+      (** TokenBank ERC20 custody = pool balances + outstanding deposits *)
+  audit_passed : bool option;
+      (** with [Config.self_audit]: every epoch's summary re-derived from
+          its meta-blocks by {!Sidechain.Auditor} and matched *)
+  committees : committee_record list;
+  swaps : int;
+  mints : int;
+  burns : int;
+  collects : int;
+}
+
+val run : Config.t -> result

@@ -1,0 +1,30 @@
+(** Synthetic Uniswap-like traffic following the paper's measured 2023
+    distribution (Table 8; App. C) at the constant arrival rate
+    ρ = ⌈V_D·b_t/86400⌉ per sidechain round.
+
+    LPs mostly supplement their existing positions, occasionally open new
+    ones, and sometimes withdraw fully — keeping the live position count
+    bounded by the LP population, which is what bounds the paper's Sync
+    cost and sidechain growth (Table 5). Burns/collects issued before an
+    LP owns any position fall back to mints, so the realized mint share
+    runs slightly above nominal. *)
+
+type t
+
+val create : rng:Amm_crypto.Rng.t -> cfg:Config.t -> users:Party.user array -> t
+
+val generate_round : t -> round:int -> time:float -> Chain.Tx.t list
+(** The round's arrivals (ρ transactions). *)
+
+val generated : t -> int
+
+(** {1 Table 8 statistics} *)
+
+type type_stats = {
+  ts_name : string;
+  ts_share_pct : float;
+  ts_daily_volume : float;
+  ts_avg_size : float;
+}
+
+val table8_stats : t -> type_stats list

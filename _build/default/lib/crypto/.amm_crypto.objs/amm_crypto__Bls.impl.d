@@ -1,0 +1,1 @@
+lib/crypto/bls.ml: Array Field Group List Rng Stdlib

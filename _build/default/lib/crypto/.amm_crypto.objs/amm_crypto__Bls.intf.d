@@ -1,0 +1,1 @@
+lib/crypto/bls.mli: Group Rng

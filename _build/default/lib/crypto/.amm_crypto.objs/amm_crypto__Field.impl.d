@@ -1,0 +1,1 @@
+lib/crypto/field.ml: Amm_math Sha256

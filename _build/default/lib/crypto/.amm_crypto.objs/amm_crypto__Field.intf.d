@@ -1,0 +1,1 @@
+lib/crypto/field.mli: Amm_math Format

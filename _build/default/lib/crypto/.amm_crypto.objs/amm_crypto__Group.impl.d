@@ -1,0 +1,1 @@
+lib/crypto/group.ml: Amm_math Bytes Field Keccak256

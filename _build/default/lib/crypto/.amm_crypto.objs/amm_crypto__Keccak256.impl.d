@@ -1,0 +1,1 @@
+lib/crypto/keccak256.ml: Array Bytes Char Hex Int64

@@ -1,0 +1,1 @@
+lib/crypto/keccak256.mli:

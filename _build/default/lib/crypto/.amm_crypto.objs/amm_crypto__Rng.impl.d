@@ -1,0 +1,1 @@
+lib/crypto/rng.ml: Amm_math Array Bytes Char Field Sha256 Stdlib

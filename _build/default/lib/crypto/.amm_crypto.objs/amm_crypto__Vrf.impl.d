@@ -1,0 +1,1 @@
+lib/crypto/vrf.ml: Bls Bytes Char Sha256

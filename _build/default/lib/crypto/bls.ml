@@ -1,0 +1,94 @@
+type secret_key = Field.t
+type public_key = Group.g2
+type signature = Group.g1
+
+let keygen rng =
+  let sk = Rng.field rng in
+  (sk, Group.g2_mul Group.g2_generator sk)
+
+let public_key sk = Group.g2_mul Group.g2_generator sk
+
+let sign sk msg = Group.g1_mul (Group.hash_to_g1 msg) sk
+
+let verify pk msg sigma =
+  (* e(sigma, g2) = e(H(m), pk) *)
+  Group.gt_equal
+    (Group.pairing sigma Group.g2_generator)
+    (Group.pairing (Group.hash_to_g1 msg) pk)
+
+let aggregate = function
+  | [] -> invalid_arg "Bls.aggregate: empty list"
+  | s :: rest -> List.fold_left Group.g1_add s rest
+
+let signature_size = 64
+let public_key_size = 128
+let signature_to_bytes = Group.g1_to_bytes
+let public_key_to_bytes = Group.g2_to_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Threshold scheme: Shamir sharing of the committee secret            *)
+(* ------------------------------------------------------------------ *)
+
+type share = { index : int; value : Field.t }
+type partial_signature = { p_index : int; p_sig : Group.g1 }
+
+let share_index s = s.index
+
+let eval_poly coeffs x =
+  (* Horner evaluation of Σ coeffs.(i) · x^i. *)
+  Array.fold_right (fun c acc -> Field.add c (Field.mul acc x)) coeffs Field.zero
+
+let dkg rng ~n ~threshold =
+  if threshold < 1 || threshold > n then invalid_arg "Bls.dkg: bad threshold";
+  (* Equivalent outcome of a Pedersen-style DKG: a uniformly random degree
+     (threshold-1) polynomial nobody fully knows; here the simulation draws
+     it directly from the deterministic rng. *)
+  let coeffs = Array.init threshold (fun _ -> Rng.field rng) in
+  let secret = coeffs.(0) in
+  let shares =
+    List.init n (fun i ->
+        let index = i + 1 in
+        { index; value = eval_poly coeffs (Field.of_int index) })
+  in
+  (Group.g2_mul Group.g2_generator secret, shares)
+
+let partial_sign share msg =
+  { p_index = share.index; p_sig = Group.g1_mul (Group.hash_to_g1 msg) share.value }
+
+let verify_partial p = p.p_index >= 1
+
+let lagrange_coefficient_at_zero indices i =
+  (* λ_i = Π_{j ≠ i} x_j / (x_j − x_i) over the field. *)
+  List.fold_left
+    (fun acc j ->
+      if j = i then acc
+      else
+        let xj = Field.of_int j and xi = Field.of_int i in
+        Field.mul acc (Field.div xj (Field.sub xj xi)))
+    Field.one indices
+
+let combine ~threshold partials =
+  (* Deduplicate by index; any [threshold] distinct shares reconstruct. *)
+  let distinct =
+    List.sort_uniq (fun a b -> Stdlib.compare a.p_index b.p_index) partials
+  in
+  if List.length distinct < threshold then None
+  else begin
+    let used = ref [] in
+    let rec take n = function
+      | _ when n = 0 -> ()
+      | [] -> ()
+      | p :: rest -> used := p :: !used; take (n - 1) rest
+    in
+    take threshold distinct;
+    let indices = List.map (fun p -> p.p_index) !used in
+    let sigma =
+      List.fold_left
+        (fun acc p ->
+          let lambda = lagrange_coefficient_at_zero indices p.p_index in
+          Group.g1_add acc (Group.g1_mul p.p_sig lambda))
+        (Group.g1_mul Group.g1_generator Field.zero)
+        !used
+    in
+    Some sigma
+  end

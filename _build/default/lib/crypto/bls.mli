@@ -1,0 +1,49 @@
+(** BLS signatures over the simulated BN256 groups (see {!Group} for the
+    substitution note), including the threshold variant ammBoost uses to
+    authenticate [Sync] calls: a distributed key generation produces one
+    committee verification key [vk_c] plus one signing-key share per
+    member; any [threshold] members can jointly produce a signature that
+    verifies under [vk_c]. *)
+
+type secret_key
+type public_key = Group.g2
+type signature = Group.g1
+
+val keygen : Rng.t -> secret_key * public_key
+val public_key : secret_key -> public_key
+val sign : secret_key -> bytes -> signature
+val verify : public_key -> bytes -> signature -> bool
+val aggregate : signature list -> signature
+(** Sum of signatures; verifies under the sum of public keys for a common
+    message. *)
+
+val signature_size : int
+(** 64 bytes, as reported in the paper's Table 7. *)
+
+val public_key_size : int
+(** 128 bytes ([vk_c] in Table 7). *)
+
+val signature_to_bytes : signature -> bytes
+val public_key_to_bytes : public_key -> bytes
+
+(** {1 Threshold scheme} *)
+
+type share
+(** A signing-key share held by one committee member. *)
+
+type partial_signature
+
+val share_index : share -> int
+
+val dkg : Rng.t -> n:int -> threshold:int -> public_key * share list
+(** Distributed key generation for an [n]-member committee: returns the
+    committee verification key and one share per member (indices 1..n).
+    Any [threshold] shares can sign; fewer reveal nothing usable. *)
+
+val partial_sign : share -> bytes -> partial_signature
+val verify_partial : partial_signature -> bool
+(** Well-formedness of a partial (index in range). *)
+
+val combine : threshold:int -> partial_signature list -> signature option
+(** Lagrange-combines at least [threshold] distinct partials into a full
+    signature; [None] if there are too few distinct indices. *)

@@ -1,0 +1,37 @@
+module U256 = Amm_math.U256
+
+type t = U256.t
+
+let order =
+  U256.of_string
+    "21888242871839275222246405745257275088548364400416034343698204186575808495617"
+
+let zero = U256.zero
+let one = U256.one
+let of_u256 x = U256.rem x order
+let of_int n = of_u256 (U256.of_int n)
+let to_u256 x = x
+let of_bytes b = of_u256 (U256.of_bytes_be (Sha256.digest b))
+
+let equal = U256.equal
+let is_zero = U256.is_zero
+let add a b = U256.rem (U256.add a b) order
+let sub a b = if U256.ge a b then U256.sub a b else U256.sub (U256.add a order) b
+let neg a = if U256.is_zero a then zero else U256.sub order a
+let mul a b = U256.mul_mod a b order
+
+let pow base exponent =
+  (* Square-and-multiply over the 256 exponent bits. *)
+  let result = ref one and acc = ref base in
+  for i = 0 to U256.bits exponent - 1 do
+    if U256.bit exponent i then result := mul !result !acc;
+    acc := mul !acc !acc
+  done;
+  !result
+
+let inv a =
+  if is_zero a then raise Division_by_zero;
+  pow a (U256.sub order (U256.of_int 2))
+
+let div a b = mul a (inv b)
+let pp fmt x = U256.pp fmt x

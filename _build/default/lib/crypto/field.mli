@@ -1,0 +1,32 @@
+(** Prime-field arithmetic modulo the BN254 group order, used by the
+    simulated BN256 group, Shamir secret sharing and Lagrange
+    interpolation. *)
+
+type t
+(** A field element; always reduced modulo the order. *)
+
+val order : Amm_math.U256.t
+(** 21888242871839275222246405745257275088548364400416034343698204186575808495617,
+    the order of the BN254 (alt_bn128) groups. *)
+
+val zero : t
+val one : t
+val of_u256 : Amm_math.U256.t -> t
+val of_int : int -> t
+val to_u256 : t -> Amm_math.U256.t
+val of_bytes : bytes -> t
+(** Reduces arbitrary bytes into the field (hash-to-field). *)
+
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val inv : t -> t
+(** Multiplicative inverse by Fermat's little theorem. Raises
+    [Division_by_zero] on zero. *)
+
+val div : t -> t -> t
+val pow : t -> Amm_math.U256.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+module U256 = Amm_math.U256
+
+(* Ideal-group model: an element is its discrete log w.r.t. the group
+   generator. The phantom types keep G1/G2/GT apart at compile time. *)
+type g1 = Field.t
+type g2 = Field.t
+type gt = Field.t
+
+let g1_generator = Field.one
+let g2_generator = Field.one
+
+let g1_mul p s = Field.mul p s
+let g2_mul p s = Field.mul p s
+let g1_add a b = Field.add a b
+let g2_add a b = Field.add a b
+let g1_equal = Field.equal
+let g2_equal = Field.equal
+let gt_equal = Field.equal
+
+let hash_to_g1 msg = Field.of_u256 (U256.of_bytes_be (Keccak256.digest msg))
+
+let pairing (p : g1) (q : g2) : gt = Field.mul p q
+
+(* Serializations pad the discrete log to the real curve's uncompressed
+   sizes so byte accounting matches BN256 (64 B G1 points, 128 B G2). *)
+let element_to_bytes size x =
+  let b = Bytes.make size '\000' in
+  let repr = U256.to_bytes_be (Field.to_u256 x) in
+  Bytes.blit repr 0 b (size - 32) 32;
+  b
+
+let element_of_bytes size b =
+  if Bytes.length b <> size then invalid_arg "Group.element_of_bytes: bad length";
+  Field.of_u256 (U256.of_bytes_be (Bytes.sub b (size - 32) 32))
+
+let g1_to_bytes = element_to_bytes 64
+let g2_to_bytes = element_to_bytes 128
+let g1_of_bytes = element_of_bytes 64
+let g2_of_bytes = element_of_bytes 128

@@ -1,0 +1,43 @@
+(** Simulated BN256 (alt_bn128) pairing groups.
+
+    SUBSTITUTION (documented in DESIGN.md): no elliptic-curve library is
+    available offline, so G1, G2 and GT are modeled as ideal cyclic groups
+    of the BN254 order — an element is its discrete logarithm with respect
+    to the group generator, tagged with the group it belongs to. Every
+    protocol-visible behaviour of the real curve is preserved: the group
+    laws, hash-to-curve, the bilinear pairing
+    [e(a·G1, b·G2) = ab·GT], and serialized sizes (G1 64 B, G2 128 B
+    uncompressed, as in the paper's Table 7). What is NOT preserved is
+    hardness of discrete log — acceptable because the evaluation measures
+    protocol costs, not cryptanalytic strength. *)
+
+type g1
+type g2
+type gt
+
+val g1_generator : g1
+val g2_generator : g2
+
+val g1_mul : g1 -> Field.t -> g1
+val g2_mul : g2 -> Field.t -> g2
+val g1_add : g1 -> g1 -> g1
+val g2_add : g2 -> g2 -> g2
+val g1_equal : g1 -> g1 -> bool
+val g2_equal : g2 -> g2 -> bool
+val gt_equal : gt -> gt -> bool
+
+val hash_to_g1 : bytes -> g1
+(** Hash-to-point: Keccak-256 of the message mapped into G1, mirroring the
+    paper's hash-to-point (Keccak256 then scalar multiplication). *)
+
+val pairing : g1 -> g2 -> gt
+(** The bilinear map. *)
+
+val g1_to_bytes : g1 -> bytes
+(** 64-byte encoding (two 32-byte coordinates on the real curve). *)
+
+val g2_to_bytes : g2 -> bytes
+(** 128-byte encoding. *)
+
+val g1_of_bytes : bytes -> g1
+val g2_of_bytes : bytes -> g2

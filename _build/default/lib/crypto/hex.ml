@@ -1,0 +1,28 @@
+(* Hexadecimal encoding helpers shared across the crypto modules. *)
+
+let of_bytes b =
+  let len = Bytes.length b in
+  let out = Buffer.create (2 * len) in
+  for i = 0 to len - 1 do
+    Buffer.add_string out (Printf.sprintf "%02x" (Char.code (Bytes.get b i)))
+  done;
+  Buffer.contents out
+
+let of_string s = of_bytes (Bytes.of_string s)
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.to_bytes: bad character"
+
+let to_bytes s =
+  let s =
+    if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+      String.sub s 2 (String.length s - 2)
+    else s
+  in
+  let len = String.length s in
+  if len mod 2 <> 0 then invalid_arg "Hex.to_bytes: odd length";
+  Bytes.init (len / 2) (fun i -> Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))

@@ -1,0 +1,103 @@
+(* Keccak-f[1600] with 64-bit lanes held in Int64; rate 1088 bits (136 bytes),
+   capacity 512, output 256 bits, multi-rate padding with suffix 0x01. *)
+
+let rounds = 24
+
+let round_constants =
+  [| 0x0000000000000001L; 0x0000000000008082L; 0x800000000000808aL;
+     0x8000000080008000L; 0x000000000000808bL; 0x0000000080000001L;
+     0x8000000080008081L; 0x8000000000008009L; 0x000000000000008aL;
+     0x0000000000000088L; 0x0000000080008009L; 0x000000008000000aL;
+     0x000000008000808bL; 0x800000000000008bL; 0x8000000000008089L;
+     0x8000000000008003L; 0x8000000000008002L; 0x8000000000000080L;
+     0x000000000000800aL; 0x800000008000000aL; 0x8000000080008081L;
+     0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L |]
+
+let rotation_offsets =
+  (* r[x][y] indexed as offsets.(x + 5*y) *)
+  [| 0; 1; 62; 28; 27;
+     36; 44; 6; 55; 20;
+     3; 10; 43; 25; 39;
+     41; 45; 15; 21; 8;
+     18; 2; 61; 56; 14 |]
+
+let rotl64 x n =
+  if n = 0 then x
+  else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+let keccak_f state =
+  let c = Array.make 5 0L and d = Array.make 5 0L in
+  let b = Array.make 25 0L in
+  for round = 0 to rounds - 1 do
+    (* theta *)
+    for x = 0 to 4 do
+      c.(x) <-
+        Int64.logxor state.(x)
+          (Int64.logxor state.(x + 5)
+             (Int64.logxor state.(x + 10) (Int64.logxor state.(x + 15) state.(x + 20))))
+    done;
+    for x = 0 to 4 do
+      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl64 c.((x + 1) mod 5) 1)
+    done;
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        state.(x + 5 * y) <- Int64.logxor state.(x + 5 * y) d.(x)
+      done
+    done;
+    (* rho + pi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        b.(y + 5 * ((2 * x + 3 * y) mod 5)) <-
+          rotl64 state.(x + 5 * y) rotation_offsets.(x + 5 * y)
+      done
+    done;
+    (* chi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        state.(x + 5 * y) <-
+          Int64.logxor b.(x + 5 * y)
+            (Int64.logand (Int64.lognot b.((x + 1) mod 5 + 5 * y)) b.((x + 2) mod 5 + 5 * y))
+      done
+    done;
+    (* iota *)
+    state.(0) <- Int64.logxor state.(0) round_constants.(round)
+  done
+
+let rate_bytes = 136
+
+let digest input =
+  let state = Array.make 25 0L in
+  let len = Bytes.length input in
+  (* Padded length: multiple of the rate, multi-rate padding 0x01 .. 0x80. *)
+  let padded_len = (len / rate_bytes + 1) * rate_bytes in
+  let m = Bytes.make padded_len '\000' in
+  Bytes.blit input 0 m 0 len;
+  Bytes.set m len '\x01';
+  Bytes.set m (padded_len - 1)
+    (Char.chr (Char.code (Bytes.get m (padded_len - 1)) lor 0x80));
+  let lane off =
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get m (off + i))))
+    done;
+    !v
+  in
+  let nblocks = padded_len / rate_bytes in
+  for blk = 0 to nblocks - 1 do
+    for i = 0 to (rate_bytes / 8) - 1 do
+      state.(i) <- Int64.logxor state.(i) (lane (blk * rate_bytes + 8 * i))
+    done;
+    keccak_f state
+  done;
+  let out = Bytes.create 32 in
+  for i = 0 to 3 do
+    let v = state.(i) in
+    for j = 0 to 7 do
+      Bytes.set out (8 * i + j)
+        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * j)) 0xFFL)))
+    done
+  done;
+  out
+
+let digest_string s = digest (Bytes.of_string s)
+let hex s = Hex.of_bytes (digest_string s)

@@ -1,0 +1,9 @@
+(** Keccak-256 as used by Ethereum (original Keccak padding [0x01], not the
+    NIST SHA3-256 variant), implemented from scratch on Keccak-f[1600]. *)
+
+val digest : bytes -> bytes
+(** 32-byte digest of the input. *)
+
+val digest_string : string -> bytes
+val hex : string -> string
+(** Hex digest of a string input, convenient for tests. *)

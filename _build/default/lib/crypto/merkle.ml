@@ -1,0 +1,62 @@
+(* Odd nodes are promoted unpaired (Bitcoin-style duplication is avoided to
+   keep proofs unambiguous). Leaf and node hashes are domain-separated. *)
+
+let leaf_hash payload = Sha256.concat [ Bytes.of_string "\x00"; payload ]
+let node_hash l r = Sha256.concat [ Bytes.of_string "\x01"; l; r ]
+
+type tree = { levels : bytes array array }
+(* levels.(0) = leaf hashes; last level has length 1 (the root). *)
+
+let empty_root = Sha256.digest Bytes.empty
+
+let of_leaves payloads =
+  match payloads with
+  | [] -> { levels = [| [| empty_root |] |] }
+  | _ ->
+    let leaves = Array.of_list (List.map leaf_hash payloads) in
+    let rec build acc level =
+      if Array.length level <= 1 then List.rev (level :: acc)
+      else begin
+        let n = Array.length level in
+        let parents =
+          Array.init ((n + 1) / 2) (fun i ->
+              if (2 * i) + 1 < n then node_hash level.(2 * i) level.((2 * i) + 1)
+              else level.(2 * i))
+        in
+        build (level :: acc) parents
+      end
+    in
+    { levels = Array.of_list (build [] leaves) }
+
+let root t = t.levels.(Array.length t.levels - 1).(0)
+
+type proof = { path : (bool * bytes) list }
+(* (is_right_sibling, sibling hash) from leaf to root; [None] entries for
+   promoted odd nodes are simply omitted. *)
+
+let prove t index =
+  let nleaves = Array.length t.levels.(0) in
+  if index < 0 || index >= nleaves then None
+  else begin
+    let path = ref [] in
+    let idx = ref index in
+    for lvl = 0 to Array.length t.levels - 2 do
+      let level = t.levels.(lvl) in
+      let sibling = !idx lxor 1 in
+      if sibling < Array.length level then
+        path := (sibling > !idx, level.(sibling)) :: !path;
+      idx := !idx / 2
+    done;
+    Some { path = List.rev !path }
+  end
+
+let verify ~root:expected ~leaf proof =
+  let acc =
+    List.fold_left
+      (fun acc (is_right, sibling) ->
+        if is_right then node_hash acc sibling else node_hash sibling acc)
+      (leaf_hash leaf) proof.path
+  in
+  Bytes.equal acc expected
+
+let proof_length p = List.length p.path

@@ -1,0 +1,20 @@
+(** Binary Merkle trees over SHA-256, used for block transaction roots and
+    summary-block checkpoints. *)
+
+type tree
+
+val empty_root : bytes
+(** Root of a tree over the empty list (hash of the empty string). *)
+
+val of_leaves : bytes list -> tree
+(** Builds a tree over the given leaf payloads (hashed internally). *)
+
+val root : tree -> bytes
+
+type proof
+
+val prove : tree -> int -> proof option
+(** Inclusion proof for the leaf at the index, if in range. *)
+
+val verify : root:bytes -> leaf:bytes -> proof -> bool
+val proof_length : proof -> int

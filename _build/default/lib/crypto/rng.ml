@@ -1,0 +1,63 @@
+module U256 = Amm_math.U256
+
+type t = { seed : bytes; mutable counter : int }
+
+let create seed = { seed = Sha256.digest_string seed; counter = 0 }
+
+let split t label =
+  { seed = Sha256.concat [ t.seed; Bytes.of_string ("/" ^ label) ]; counter = 0 }
+
+let next_block t =
+  let ctr = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set ctr i (Char.chr ((t.counter lsr (8 * i)) land 0xFF))
+  done;
+  t.counter <- t.counter + 1;
+  Sha256.concat [ t.seed; ctr ]
+
+let bytes t n =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    let blk = next_block t in
+    let take = Stdlib.min 32 (n - !filled) in
+    Bytes.blit blk 0 out !filled take;
+    filled := !filled + take
+  done;
+  out
+
+let u256 t = U256.of_bytes_be (next_block t)
+let field t = Field.of_u256 (u256 t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* 62 uniform bits are plenty; modulo bias is negligible for the bounds
+     used in the simulation (all far below 2^31). *)
+  let blk = next_block t in
+  let v = ref 0 in
+  for i = 0 to 6 do
+    v := (!v lsl 8) lor Char.code (Bytes.get blk i)
+  done;
+  !v land max_int mod n
+
+let float t =
+  let blk = next_block t in
+  let v = ref 0 in
+  for i = 0 to 6 do
+    v := (!v lsl 8) lor Char.code (Bytes.get blk i)
+  done;
+  float_of_int (!v land ((1 lsl 53) - 1)) /. float_of_int (1 lsl 53)
+
+let bool t = int t 2 = 1
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

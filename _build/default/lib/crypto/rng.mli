@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random generator (SHA-256 in counter mode).
+
+    Every source of randomness in the simulation flows through an [Rng.t]
+    created from an explicit string seed, so whole experiments are
+    reproducible bit-for-bit. *)
+
+type t
+
+val create : string -> t
+(** A generator deterministically derived from the seed. *)
+
+val split : t -> string -> t
+(** An independent generator derived from this one and a label; does not
+    disturb the parent's stream. *)
+
+val bytes : t -> int -> bytes
+val u256 : t -> Amm_math.U256.t
+val field : t -> Field.t
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

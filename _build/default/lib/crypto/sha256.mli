@@ -1,0 +1,11 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch. *)
+
+val digest : bytes -> bytes
+(** 32-byte digest of the input. *)
+
+val digest_string : string -> bytes
+val hex : string -> string
+(** Hex digest of a string input, convenient for tests. *)
+
+val concat : bytes list -> bytes
+(** Digest of the concatenation of the inputs. *)

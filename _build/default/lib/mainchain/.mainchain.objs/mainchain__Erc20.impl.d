@@ -1,0 +1,1 @@
+lib/mainchain/erc20.ml: Amm_math Chain Gas Option Printf

@@ -1,0 +1,1 @@
+lib/mainchain/erc20.mli: Amm_math Chain Gas

@@ -1,0 +1,1 @@
+lib/mainchain/eth.ml: Amm_crypto Chain Hashtbl List Option Stdlib

@@ -1,0 +1,1 @@
+lib/mainchain/eth.mli: Amm_crypto

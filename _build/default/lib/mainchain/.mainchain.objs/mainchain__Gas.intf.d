@@ -1,0 +1,1 @@
+lib/mainchain/gas.mli:

@@ -1,0 +1,38 @@
+(** A standard ERC20 token contract: balances, allowances, transfers.
+    Two instances provide the traded pair, exactly as the paper deploys
+    two standard ERC20 contracts on Sepolia. *)
+
+module U256 = Amm_math.U256
+module Address = Chain.Address
+
+type t
+
+val deploy : Chain.Token.t -> t
+val token : t -> Chain.Token.t
+
+val mint : t -> Address.t -> U256.t -> unit
+(** Test faucet: credits fresh supply. *)
+
+val balance_of : t -> Address.t -> U256.t
+val total_supply : t -> U256.t
+val allowance : t -> owner:Address.t -> spender:Address.t -> U256.t
+
+val approve : ?meter:Gas.meter -> t -> owner:Address.t -> spender:Address.t -> U256.t -> unit
+
+val transfer :
+  ?meter:Gas.meter -> t -> source:Address.t -> dest:Address.t -> U256.t -> (unit, string) result
+(** Moves value; fails when the balance is insufficient. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Snapshot of balances/allowances (cheap: persistent maps), used to
+    model mainchain rollbacks. *)
+
+val restore : t -> checkpoint -> unit
+
+val transfer_from :
+  ?meter:Gas.meter ->
+  t -> spender:Address.t -> source:Address.t -> dest:Address.t -> U256.t ->
+  (unit, string) result
+(** Spends from an allowance, as the contracts' pit-stop deposits do. *)

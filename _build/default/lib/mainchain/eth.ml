@@ -1,0 +1,164 @@
+module Rng = Amm_crypto.Rng
+
+type tx_spec = {
+  label : string;
+  size_bytes : int;
+  gas : int;
+  flow_txs : int;
+  tag : string option;
+  execute : (int -> unit) option;
+}
+
+type pending = {
+  spec : tx_spec;
+  submitted_at : float;
+  ready_at : float;
+}
+
+type included = { i_label : string; i_tag : string option; i_size : int; i_gas : int;
+                  i_latency : float }
+
+type block = {
+  b_height : int;
+  b_time : float;
+  b_txs : included list;
+  b_gas_used : int;
+  b_size : int;
+}
+
+let block_height b = b.b_height
+let block_time b = b.b_time
+let block_tx_tags b = List.filter_map (fun t -> t.i_tag) b.b_txs
+
+type t = {
+  intervl : float;
+  gas_limit : int;
+  header_size : int;
+  rng : Rng.t;
+  mutable pending : pending list; (* kept sorted by ready_at *)
+  ledger : block Chain.Ledger.t;
+  mutable next_block_time : float;
+  mutable current_time : float;
+  gas_by_label : (string, int) Hashtbl.t;
+  bytes_by_label : (string, int) Hashtbl.t;
+  latencies : (string, float list ref) Hashtbl.t;
+  mutable tag_times : (string * float) list;
+  mutable included_count : int;
+}
+
+(* Propagation/queueing offset before a broadcast transaction can appear
+   in a block, in block-interval units; one leg ≈ 1.1 blocks on average. *)
+let propagation_fraction = 0.6
+
+let create ?(interval = 12.0) ?(gas_limit = 30_000_000) ?(header_size = 508)
+    ?(k_depth = 1) ~rng () =
+  let genesis = { b_height = 0; b_time = 0.0; b_txs = []; b_gas_used = 0; b_size = header_size } in
+  { intervl = interval; gas_limit; header_size; rng;
+    pending = [];
+    ledger = Chain.Ledger.create ~genesis ~size:(fun b -> b.b_size) ~k_depth;
+    next_block_time = interval; current_time = 0.0;
+    gas_by_label = Hashtbl.create 16; bytes_by_label = Hashtbl.create 16;
+    latencies = Hashtbl.create 16; tag_times = []; included_count = 0 }
+
+let interval t = t.intervl
+let now t = t.current_time
+let height t = Chain.Ledger.height t.ledger
+let confirmed_height t = Chain.Ledger.confirmed_height t.ledger
+
+let leg_time t = (propagation_fraction +. Rng.float t.rng) *. t.intervl
+
+let submit t ~at spec =
+  (* Prerequisite flow legs run sequentially; the final leg's propagation
+     offset is added here, its block wait comes from mining below. *)
+  let prereq = Stdlib.max 0 (spec.flow_txs - 1) in
+  let ready = ref (at +. (propagation_fraction *. t.intervl)) in
+  for _ = 1 to prereq do
+    ready := !ready +. leg_time t
+  done;
+  let p = { spec; submitted_at = at; ready_at = !ready } in
+  (* Insertion keeping the list sorted by readiness (stable for ties). *)
+  let rec insert = function
+    | [] -> [ p ]
+    | q :: rest when q.ready_at <= p.ready_at -> q :: insert rest
+    | rest -> p :: rest
+  in
+  t.pending <- insert t.pending
+
+let bump tbl key v =
+  Hashtbl.replace tbl key (v + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let record_latency t label v =
+  match Hashtbl.find_opt t.latencies label with
+  | Some l -> l := v :: !l
+  | None -> Hashtbl.add t.latencies label (ref [ v ])
+
+let mine_block t =
+  let time = t.next_block_time in
+  (* Executed callbacks observe the block's timestamp through [now]. *)
+  if time > t.current_time then t.current_time <- time;
+  let gas_used = ref 0 in
+  let included = ref [] in
+  let rec take = function
+    | p :: rest when p.ready_at <= time && !gas_used + p.spec.gas <= t.gas_limit ->
+      gas_used := !gas_used + p.spec.gas;
+      let height = Chain.Ledger.height t.ledger + 1 in
+      (match p.spec.execute with Some f -> f height | None -> ());
+      let latency = time -. p.submitted_at in
+      bump t.gas_by_label p.spec.label p.spec.gas;
+      bump t.bytes_by_label p.spec.label p.spec.size_bytes;
+      record_latency t p.spec.label latency;
+      (match p.spec.tag with
+       | Some tag -> t.tag_times <- (tag, time) :: t.tag_times
+       | None -> ());
+      t.included_count <- t.included_count + 1;
+      included :=
+        { i_label = p.spec.label; i_tag = p.spec.tag; i_size = p.spec.size_bytes;
+          i_gas = p.spec.gas; i_latency = latency }
+        :: !included;
+      take rest
+    | rest -> rest
+  in
+  t.pending <- take t.pending;
+  let txs = List.rev !included in
+  let size = t.header_size + List.fold_left (fun acc i -> acc + i.i_size) 0 txs in
+  Chain.Ledger.append t.ledger
+    { b_height = Chain.Ledger.height t.ledger + 1; b_time = time; b_txs = txs;
+      b_gas_used = !gas_used; b_size = size };
+  t.next_block_time <- time +. t.intervl
+
+let advance_to t time =
+  while t.next_block_time <= time do
+    mine_block t
+  done;
+  t.current_time <- time
+
+let is_tag_included t tag = List.mem_assoc tag t.tag_times
+let tag_inclusion_time t tag = List.assoc_opt tag t.tag_times
+
+let rollback t n =
+  let dropped = Chain.Ledger.rollback t.ledger n in
+  let tags = List.concat_map block_tx_tags dropped in
+  t.tag_times <- List.filter (fun (tag, _) -> not (List.mem tag tags)) t.tag_times;
+  tags
+
+let cumulative_bytes t = Chain.Ledger.cumulative_bytes t.ledger
+let gas_used_total t = Hashtbl.fold (fun _ v acc -> acc + v) t.gas_by_label 0
+
+let assoc_of_tbl tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let gas_used_by_label t = assoc_of_tbl t.gas_by_label
+let bytes_by_label t = assoc_of_tbl t.bytes_by_label
+
+let latencies_by_label t =
+  Hashtbl.fold (fun k v acc -> (k, List.rev !v) :: acc) t.latencies []
+
+let mean_latency t label =
+  match Hashtbl.find_opt t.latencies label with
+  | None -> None
+  | Some l ->
+    let values = !l in
+    if values = [] then None
+    else Some (List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values))
+
+let included_count t = t.included_count
+let pending_count t = List.length t.pending

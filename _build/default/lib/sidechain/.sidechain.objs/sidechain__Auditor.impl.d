@@ -1,0 +1,1 @@
+lib/sidechain/auditor.ml: Blocks Bytes List Printf Processor Tokenbank Uniswap

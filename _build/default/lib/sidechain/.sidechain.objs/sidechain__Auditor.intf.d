@@ -1,0 +1,1 @@
+lib/sidechain/auditor.mli: Amm_crypto Blocks Tokenbank Uniswap

@@ -1,0 +1,1 @@
+lib/sidechain/blocks.ml: Amm_crypto Chain List Tokenbank

@@ -1,0 +1,1 @@
+lib/sidechain/blocks.mli: Amm_crypto Chain Tokenbank

@@ -1,0 +1,1 @@
+lib/sidechain/codec.ml: Amm_math Bytes Chain Char List Tokenbank

@@ -1,0 +1,1 @@
+lib/sidechain/committee.ml: Amm_crypto Array Consensus Float List

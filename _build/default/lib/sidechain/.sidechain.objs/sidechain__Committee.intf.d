@@ -1,0 +1,1 @@
+lib/sidechain/committee.mli: Amm_crypto

@@ -1,0 +1,1 @@
+lib/sidechain/deposits.ml: Amm_math Chain Hashtbl List

@@ -1,0 +1,1 @@
+lib/sidechain/deposits.mli: Amm_math Chain

@@ -1,0 +1,1 @@
+lib/sidechain/processor.ml: Amm_math Chain Deposits Hashtbl List Option Result Tokenbank Uniswap

@@ -1,0 +1,1 @@
+lib/sidechain/processor.mli: Amm_crypto Amm_math Chain Deposits Tokenbank Uniswap

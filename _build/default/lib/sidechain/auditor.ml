@@ -1,0 +1,37 @@
+let replay_epoch ~pool_at_start ~snapshot ~metas ~epoch ~next_committee_vk =
+  let pool = Uniswap.Pool.clone pool_at_start in
+  let processor =
+    (* Auditors re-check signatures the committee already validated only
+       when transactions carry them. *)
+    Processor.begin_epoch ~pool ~snapshot ~verify_signatures:false
+  in
+  List.iter
+    (fun (meta : Blocks.meta) ->
+      List.iter
+        (fun tx ->
+          match Processor.process processor ~current_round:meta.Blocks.m_round tx with
+          | Ok () -> ()
+          | Error e ->
+            (* A transaction the committee included but that does not
+               execute means the meta-block itself is invalid. *)
+            failwith
+              (Printf.sprintf "Auditor: invalid tx in meta-block round %d: %s"
+                 meta.Blocks.m_round e))
+        meta.Blocks.m_txs)
+    metas;
+  Processor.build_payload processor ~epoch ~next_committee_vk
+
+let verify_summary ~pool_at_start ~snapshot ~metas ~summary =
+  let claimed = summary.Blocks.s_payload in
+  match
+    replay_epoch ~pool_at_start ~snapshot ~metas ~epoch:claimed.Tokenbank.Sync_payload.epoch
+      ~next_committee_vk:claimed.Tokenbank.Sync_payload.next_committee_vk
+  with
+  | exception Failure e -> Error e
+  | derived ->
+    if
+      Bytes.equal
+        (Tokenbank.Sync_payload.signing_bytes derived)
+        (Tokenbank.Sync_payload.signing_bytes claimed)
+    then Ok ()
+    else Error "Auditor: summary does not match the meta-block replay"

@@ -1,0 +1,26 @@
+(** Public verifiability of summary-blocks (§3's [VerifyBlock] for
+    [btype = summary], and the safety argument of Lemma 1): until the
+    meta-blocks of an epoch are pruned, anyone can re-execute them from
+    the epoch-start state — with the same unchanged AMM logic — and check
+    that they derive exactly the summary the committee published. A
+    mismatch exposes an invalid summary before its Sync confirms. *)
+
+val replay_epoch :
+  pool_at_start:Uniswap.Pool.t ->
+  snapshot:Tokenbank.Token_bank.snapshot ->
+  metas:Blocks.meta list ->
+  epoch:int ->
+  next_committee_vk:Amm_crypto.Bls.public_key ->
+  Tokenbank.Sync_payload.t
+(** Re-processes the meta-blocks' transactions (in block and intra-block
+    order) on a clone of the epoch-start pool and returns the summary
+    payload they induce. The input pool is not modified. *)
+
+val verify_summary :
+  pool_at_start:Uniswap.Pool.t ->
+  snapshot:Tokenbank.Token_bank.snapshot ->
+  metas:Blocks.meta list ->
+  summary:Blocks.summary ->
+  (unit, string) result
+(** [Ok ()] iff replaying the meta-blocks reproduces the summary-block's
+    payload bit-for-bit (canonical signing bytes). *)

@@ -1,0 +1,61 @@
+(* Sidechain binary packing (Table 7's "size on sidechain" column): a
+   simple packed layout without ABI word padding.
+
+   - user (swap) entry: 97 B = 33 B compressed key + four 16 B amounts
+   - position entry: 215 B = 32 B id + 33 B owner key + two 3 B ticks
+     + 16 B liquidity + four 32 B amount/fee fields.
+
+   Amount fields are truncating (16 B = 2^128) — ample for the simulated
+   economy; encoders check and raise on overflow rather than wrap. *)
+
+module U256 = Amm_math.U256
+module Address = Chain.Address
+
+let user_entry_size = 97
+let position_entry_size = 215
+
+let amount16 v =
+  if U256.bits v > 128 then invalid_arg "Codec.amount16: needs more than 128 bits";
+  Bytes.sub (U256.to_bytes_be v) 16 16
+
+let amount32 v = U256.to_bytes_be v
+
+let compressed_key addr =
+  (* 33 B: a compression-prefix byte plus the 20 B address padded into a
+     32 B field, standing in for a compressed public key. *)
+  let b = Bytes.make 33 '\000' in
+  Bytes.set b 0 '\x02';
+  Bytes.blit (Address.to_bytes addr) 0 b 13 20;
+  b
+
+let tick3 tick =
+  (* Ticks fit in a signed 24-bit field (|tick| <= 887272 < 2^23). *)
+  let v = if tick >= 0 then tick else tick + (1 lsl 24) in
+  Bytes.init 3 (fun i -> Char.chr ((v lsr (8 * (2 - i))) land 0xFF))
+
+let encode_user_entry (e : Tokenbank.Sync_payload.user_entry) =
+  let b =
+    Bytes.concat Bytes.empty
+      [ compressed_key e.user; amount16 e.payin0; amount16 e.payin1;
+        amount16 e.payout0; amount16 e.payout1 ]
+  in
+  assert (Bytes.length b = user_entry_size);
+  b
+
+let encode_position_entry (p : Tokenbank.Sync_payload.position_entry) =
+  let b =
+    Bytes.concat Bytes.empty
+      [ Chain.Ids.Position_id.to_bytes p.pos_id; compressed_key p.owner;
+        tick3 p.lower_tick; tick3 p.upper_tick; amount16 p.liquidity;
+        amount32 p.amount0; amount32 p.amount1; amount32 p.fees0; amount32 p.fees1 ]
+  in
+  assert (Bytes.length b = position_entry_size);
+  b
+
+let summary_block_size (payload : Tokenbank.Sync_payload.t) =
+  (* Header (parent hash, epoch, merkle root, leader signature) + packed
+     entries + pool balances. *)
+  let header = 32 + 8 + 32 + 64 in
+  header + (2 * 16)
+  + (user_entry_size * List.length payload.users)
+  + (position_entry_size * List.length payload.positions)

@@ -1,0 +1,40 @@
+module Pbft = Consensus.Pbft
+
+type t = {
+  rng : Amm_crypto.Rng.t;
+  members : int;
+  max_faulty : int;
+  delta : float;
+  timeout : float;
+}
+
+type round_outcome = {
+  decided : bool;
+  latency : float;
+  view_changes : int;
+}
+
+let create ~rng ~members ~max_faulty ~delta ~timeout =
+  if members < (3 * max_faulty) + 1 then
+    invalid_arg "Committee.create: need members >= 3f+1";
+  { rng; members; max_faulty; delta; timeout }
+
+let agree ?(silent = []) ?(invalid_proposer = false) t ~block_digest ~horizon =
+  let behaviors = Array.make t.members Pbft.Honest in
+  List.iter
+    (fun i -> if i >= 0 && i < t.members then behaviors.(i) <- Pbft.Silent)
+    silent;
+  if invalid_proposer && behaviors.(0) = Pbft.Honest then
+    behaviors.(0) <- Pbft.Propose_invalid;
+  let cfg =
+    { Pbft.n = t.members; f = t.max_faulty; behaviors; delta = t.delta;
+      timeout = t.timeout; max_time = horizon }
+  in
+  let o = Pbft.run ~rng:t.rng cfg ~value:block_digest in
+  let decided = Pbft.all_honest_decided cfg o && Pbft.honest_agreement cfg o in
+  let latency =
+    Array.fold_left
+      (fun acc -> function Some (_, at) -> Float.max acc at | None -> acc)
+      0.0 o.Pbft.decisions
+  in
+  { decided; latency; view_changes = o.Pbft.total_view_changes }

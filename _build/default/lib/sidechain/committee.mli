@@ -1,0 +1,35 @@
+(** Message-level committee operation: each round's meta-block (and the
+    epoch's summary-block) agreed through the real PBFT implementation
+    over the Δ-network, rather than the closed-form latency model the
+    large-scale experiments use. Intended for full-fidelity runs with
+    committees of tens of members (the paper's 500-miner committees are
+    modeled; see DESIGN.md). *)
+
+type t
+
+type round_outcome = {
+  decided : bool;        (** quorum commit reached within the horizon *)
+  latency : float;       (** proposal to slowest honest commit, seconds *)
+  view_changes : int;    (** leader replacements during the round *)
+}
+
+val create :
+  rng:Amm_crypto.Rng.t ->
+  members:int ->
+  max_faulty:int ->
+  delta:float ->
+  timeout:float ->
+  t
+(** A committee of [members] replicas tolerating [max_faulty] faults
+    (requires members >= 3·max_faulty + 1). *)
+
+val agree :
+  ?silent:int list ->
+  ?invalid_proposer:bool ->
+  t ->
+  block_digest:bytes ->
+  horizon:float ->
+  round_outcome
+(** Runs one consensus instance on a block digest. [silent] members never
+    respond; [invalid_proposer] makes the current leader propose an
+    invalid block (detected and resolved by view change). *)

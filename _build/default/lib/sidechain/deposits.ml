@@ -1,0 +1,92 @@
+module U256 = Amm_math.U256
+module Address = Chain.Address
+
+type account = {
+  initial0 : U256.t;
+  initial1 : U256.t;
+  mutable main0 : U256.t;
+  mutable main1 : U256.t;
+  mutable side0 : U256.t;
+  mutable side1 : U256.t;
+}
+
+type t = (Address.t, account) Hashtbl.t
+
+type consumption = {
+  from_main0 : U256.t;
+  from_side0 : U256.t;
+  from_main1 : U256.t;
+  from_side1 : U256.t;
+}
+
+let create ~snapshot =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (user, (d0, d1)) ->
+      Hashtbl.replace table user
+        { initial0 = d0; initial1 = d1; main0 = d0; main1 = d1;
+          side0 = U256.zero; side1 = U256.zero })
+    snapshot;
+  table
+
+let empty_account () =
+  { initial0 = U256.zero; initial1 = U256.zero; main0 = U256.zero; main1 = U256.zero;
+    side0 = U256.zero; side1 = U256.zero }
+
+let account t user =
+  match Hashtbl.find_opt t user with
+  | Some a -> a
+  | None ->
+    let a = empty_account () in
+    Hashtbl.replace t user a;
+    a
+
+let known_users t = Hashtbl.fold (fun u _ acc -> u :: acc) t []
+
+let available t user =
+  let a = account t user in
+  (U256.add a.main0 a.side0, U256.add a.main1 a.side1)
+
+let main_remaining t user =
+  let a = account t user in
+  (a.main0, a.main1)
+
+let side_balance t user =
+  let a = account t user in
+  (a.side0, a.side1)
+
+let consume t user ~amount0 ~amount1 =
+  let a = account t user in
+  if U256.lt (U256.add a.main0 a.side0) amount0 then Error "deposit: token0 not covered"
+  else if U256.lt (U256.add a.main1 a.side1) amount1 then Error "deposit: token1 not covered"
+  else begin
+    let split main amount =
+      if U256.ge main amount then (amount, U256.zero)
+      else (main, U256.sub amount main)
+    in
+    let from_main0, from_side0 = split a.main0 amount0 in
+    let from_main1, from_side1 = split a.main1 amount1 in
+    a.main0 <- U256.sub a.main0 from_main0;
+    a.side0 <- U256.sub a.side0 from_side0;
+    a.main1 <- U256.sub a.main1 from_main1;
+    a.side1 <- U256.sub a.side1 from_side1;
+    Ok { from_main0; from_side0; from_main1; from_side1 }
+  end
+
+let refund t user c =
+  let a = account t user in
+  a.main0 <- U256.add a.main0 c.from_main0;
+  a.side0 <- U256.add a.side0 c.from_side0;
+  a.main1 <- U256.add a.main1 c.from_main1;
+  a.side1 <- U256.add a.side1 c.from_side1
+
+let credit_side t user ~amount0 ~amount1 =
+  let a = account t user in
+  a.side0 <- U256.add a.side0 amount0;
+  a.side1 <- U256.add a.side1 amount1
+
+let payin t user =
+  let a = account t user in
+  (U256.sub a.initial0 a.main0, U256.sub a.initial1 a.main1)
+
+let payout t user = side_balance t user

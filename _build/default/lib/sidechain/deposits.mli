@@ -1,0 +1,45 @@
+(** Dual per-user deposit tracking for one epoch (§4.2): the mainchain
+    deposit snapshot taken at epoch start, and the sidechain-accrued
+    deposit (swap outputs, burn proceeds, collected fees) usable
+    immediately within the epoch. Consumption drains the mainchain
+    deposit first, then the sidechain one; at epoch end the payin is the
+    consumed mainchain amount and the payout is the accrued sidechain
+    balance. *)
+
+module U256 = Amm_math.U256
+module Address = Chain.Address
+
+type t
+
+type consumption = {
+  from_main0 : U256.t;
+  from_side0 : U256.t;
+  from_main1 : U256.t;
+  from_side1 : U256.t;
+}
+
+val create : snapshot:(Address.t * (U256.t * U256.t)) list -> t
+(** Loads the epoch-start mainchain deposits (SnapshotBank). *)
+
+val known_users : t -> Address.t list
+val available : t -> Address.t -> U256.t * U256.t
+(** Total spendable (main + side) per token. *)
+
+val main_remaining : t -> Address.t -> U256.t * U256.t
+val side_balance : t -> Address.t -> U256.t * U256.t
+
+val consume :
+  t -> Address.t -> amount0:U256.t -> amount1:U256.t -> (consumption, string) result
+(** Atomically consumes both token amounts (mainchain first); fails
+    without any change when either is uncovered. *)
+
+val refund : t -> Address.t -> consumption -> unit
+(** Returns a consumption (e.g. a rejected trade) to where it came from. *)
+
+val credit_side : t -> Address.t -> amount0:U256.t -> amount1:U256.t -> unit
+
+val payin : t -> Address.t -> U256.t * U256.t
+(** Mainchain deposit consumed so far (initial − remaining). *)
+
+val payout : t -> Address.t -> U256.t * U256.t
+(** Current sidechain deposit — what the user receives at sync. *)

@@ -1,0 +1,50 @@
+(** The epoch processing engine the elected committee runs: validates and
+    executes sidechain transactions against the pool state using the
+    unchanged AMM logic, maintains the dual deposits, and accumulates
+    everything needed to build the epoch's summary (§4.2).
+
+    Transactions are accepted only when the issuer's deposits cover them
+    (mainchain snapshot first, then sidechain-accrued), signatures verify
+    (when enabled), deadlines have not passed, and position operations
+    come from the owner. *)
+
+module U256 = Amm_math.U256
+module Address = Chain.Address
+module Position_id = Chain.Ids.Position_id
+
+type t
+
+type stats = {
+  processed : int;
+  rejected : int;
+  rejection_reasons : (string * int) list;
+  swaps : int;
+  mints : int;
+  burns : int;
+  collects : int;
+}
+
+val begin_epoch :
+  pool:Uniswap.Pool.t ->
+  snapshot:Tokenbank.Token_bank.snapshot ->
+  verify_signatures:bool ->
+  t
+(** Starts an epoch from the TokenBank snapshot (deposit balances; the
+    committee's pool object carries the full tick/position state, which
+    the permanent summary-blocks let anyone audit). *)
+
+val pool : t -> Uniswap.Pool.t
+val deposits : t -> Deposits.t
+
+val process : t -> current_round:int -> Chain.Tx.t -> (unit, string) result
+(** Validates and executes one transaction; [Error] is a rejection (the
+    transaction is dropped, state unchanged). *)
+
+val stats : t -> stats
+
+val build_payload :
+  t -> epoch:int -> next_committee_vk:Amm_crypto.Bls.public_key ->
+  Tokenbank.Sync_payload.t
+(** The epoch summary: one entry per depositor (payin = consumed
+    mainchain deposit, payout = accrued sidechain deposit), the updated
+    or deleted positions, and the updated pool balances. *)

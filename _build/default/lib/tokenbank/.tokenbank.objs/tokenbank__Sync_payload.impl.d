@@ -1,0 +1,1 @@
+lib/tokenbank/sync_payload.ml: Amm_crypto Amm_math Bytes Chain List

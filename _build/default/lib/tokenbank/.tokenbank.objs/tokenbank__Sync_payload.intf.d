@@ -1,0 +1,1 @@
+lib/tokenbank/sync_payload.mli: Amm_crypto Amm_math Chain

@@ -1,0 +1,1 @@
+lib/tokenbank/token_bank.ml: Amm_crypto Amm_math Chain Hashtbl Int List Mainchain Map Option Printf Result Sync_payload

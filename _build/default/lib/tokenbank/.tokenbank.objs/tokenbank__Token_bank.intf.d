@@ -1,0 +1,1 @@
+lib/tokenbank/token_bank.mli: Amm_crypto Amm_math Chain Mainchain Sync_payload

@@ -1,0 +1,86 @@
+module U256 = Amm_math.U256
+module Address = Chain.Address
+module Position_id = Chain.Ids.Position_id
+module Encoding = Chain.Encoding
+
+type user_entry = {
+  user : Address.t;
+  payin0 : U256.t;
+  payin1 : U256.t;
+  payout0 : U256.t;
+  payout1 : U256.t;
+}
+
+type position_entry = {
+  pos_id : Position_id.t;
+  owner : Address.t;
+  lower_tick : int;
+  upper_tick : int;
+  liquidity : U256.t;
+  amount0 : U256.t;
+  amount1 : U256.t;
+  fees0 : U256.t;
+  fees1 : U256.t;
+  deleted : bool;
+}
+
+type t = {
+  epoch : int;
+  pool : int;
+  pool_balance0 : U256.t;
+  pool_balance1 : U256.t;
+  users : user_entry list;
+  positions : position_entry list;
+  next_committee_vk : Amm_crypto.Bls.public_key;
+}
+
+let tick_word tick =
+  if tick >= 0 then Encoding.int_word tick
+  else Encoding.word (U256.sub U256.zero (U256.of_int (-tick)))
+
+(* A user entry is 11 ABI words = 352 B: the user key padded to two words
+   (as the paper submits full public keys), four amounts, a residual-refund
+   marker, and per-entry dynamic-array bookkeeping. *)
+let abi_user_entry_size = 352
+
+let abi_user_entry e =
+  Bytes.concat Bytes.empty
+    [ Encoding.address_word e.user; Bytes.make 32 '\000' (* key high words *)
+    ; Encoding.word e.payin0; Encoding.word e.payin1
+    ; Encoding.word e.payout0; Encoding.word e.payout1
+    ; Bytes.make (5 * 32) '\000' (* refund marker, offsets, reserved *) ]
+
+(* A position entry is 13 ABI words = 416 B. *)
+let abi_position_entry_size = 416
+
+let abi_position_entry p =
+  Bytes.concat Bytes.empty
+    [ Encoding.bytes32_word (Position_id.to_bytes p.pos_id)
+    ; Encoding.address_word p.owner; Bytes.make 32 '\000'
+    ; tick_word p.lower_tick; tick_word p.upper_tick
+    ; Encoding.word p.liquidity
+    ; Encoding.word p.amount0; Encoding.word p.amount1
+    ; Encoding.word p.fees0; Encoding.word p.fees1
+    ; Encoding.int_word (if p.deleted then 1 else 0)
+    ; Bytes.make (2 * 32) '\000' (* dynamic-array bookkeeping *) ]
+
+let abi_encode t =
+  let head =
+    [ Bytes.make Encoding.selector_size '\xab'
+    ; Encoding.int_word t.epoch; Encoding.int_word t.pool
+    ; Encoding.word t.pool_balance0; Encoding.word t.pool_balance1
+    ; Bytes.make (4 * 32) '\000' (* array offsets and lengths *)
+    ; Amm_crypto.Bls.public_key_to_bytes t.next_committee_vk ]
+  in
+  Bytes.concat Bytes.empty
+    (head @ List.map abi_user_entry t.users @ List.map abi_position_entry t.positions)
+
+let abi_size t = Bytes.length (abi_encode t) + Amm_crypto.Bls.signature_size
+
+let signing_bytes t = Amm_crypto.Sha256.digest (abi_encode t)
+
+let storage_words t =
+  (* Positions persist as 6 words each (192 B, Table 6); deleted entries
+     free their slots instead. Pool balances: 2 words. Next vk: 4 words. *)
+  let live = List.length (List.filter (fun p -> not p.deleted) t.positions) in
+  (6 * live) + 2 + 4

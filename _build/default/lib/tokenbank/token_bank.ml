@@ -1,0 +1,346 @@
+module U256 = Amm_math.U256
+module Address = Chain.Address
+module Position_id = Chain.Ids.Position_id
+module Gas = Mainchain.Gas
+module Erc20 = Mainchain.Erc20
+module Bls = Amm_crypto.Bls
+
+type pool_info = {
+  pool_id : int;
+  token0 : Chain.Token.t;
+  token1 : Chain.Token.t;
+  balance0 : U256.t;
+  balance1 : U256.t;
+  flash_fee_pips : int;
+}
+
+module Epoch_map = Map.Make (Int)
+
+type t = {
+  bank_address : Address.t;
+  erc0 : Erc20.t;
+  erc1 : Erc20.t;
+  mutable pools : pool_info list;
+  mutable next_pool_id : int;
+  mutable user_deposits : (U256.t * U256.t) Address.Map.t Epoch_map.t;
+  position_table : (Position_id.t, Sync_payload.position_entry) Hashtbl.t;
+  mutable vk : Bls.public_key;
+  mutable synced_epoch : int;
+}
+
+let deploy ~token0 ~token1 ~genesis_committee_vk =
+  { bank_address = Address.of_label "TokenBank";
+    erc0 = token0; erc1 = token1;
+    pools = []; next_pool_id = 0;
+    user_deposits = Epoch_map.empty;
+    position_table = Hashtbl.create 64;
+    vk = genesis_committee_vk;
+    synced_epoch = -1 }
+
+let address t = t.bank_address
+
+let create_pool t ~flash_fee_pips =
+  let pool_id = t.next_pool_id in
+  t.next_pool_id <- pool_id + 1;
+  t.pools <-
+    { pool_id; token0 = Erc20.token t.erc0; token1 = Erc20.token t.erc1;
+      balance0 = U256.zero; balance1 = U256.zero; flash_fee_pips }
+    :: t.pools;
+  pool_id
+
+let pool t id = List.find_opt (fun p -> p.pool_id = id) t.pools
+
+let set_pool_balances t id balance0 balance1 =
+  t.pools <-
+    List.map (fun p -> if p.pool_id = id then { p with balance0; balance1 } else p) t.pools
+
+let committee_vk t = t.vk
+let last_synced_epoch t = t.synced_epoch
+
+(* ------------------------------------------------------------------ *)
+(* Deposits                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let epoch_deposits t epoch =
+  Option.value ~default:Address.Map.empty (Epoch_map.find_opt epoch t.user_deposits)
+
+let deposit_of t ~epoch user =
+  Option.value ~default:(U256.zero, U256.zero)
+    (Address.Map.find_opt user (epoch_deposits t epoch))
+
+let deposits_for_epoch t ~epoch = Address.Map.bindings (epoch_deposits t epoch)
+
+let charge meter label amount =
+  match meter with Some m -> Gas.charge m label amount | None -> ()
+
+let ( let* ) = Result.bind
+
+let deposit ?meter t ~user ~for_epoch ~amount0 ~amount1 =
+  charge meter "base" Gas.tx_base;
+  charge meter "calldata" (Gas.calldata_cost_of_size (Chain.Encoding.selector_size + 64));
+  let* () =
+    if U256.is_zero amount0 then Ok ()
+    else Erc20.transfer_from ?meter t.erc0 ~spender:t.bank_address ~source:user
+        ~dest:t.bank_address amount0
+  in
+  let* () =
+    if U256.is_zero amount1 then Ok ()
+    else Erc20.transfer_from ?meter t.erc1 ~spender:t.bank_address ~source:user
+        ~dest:t.bank_address amount1
+  in
+  let d0, d1 = deposit_of t ~epoch:for_epoch user in
+  t.user_deposits <-
+    Epoch_map.add for_epoch
+      (Address.Map.add user (U256.add d0 amount0, U256.add d1 amount1)
+         (epoch_deposits t for_epoch))
+      t.user_deposits;
+  charge meter "deposit.bookkeeping" (Gas.sload + (2 * Gas.sstore_update));
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Sync                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type sync_receipt = {
+  gas : Gas.meter;
+  calldata_bytes : int;
+  payouts_dispensed : int;
+  positions_written : int;
+  positions_deleted : int;
+  epochs_covered : int list;
+}
+
+let conservation_ok ~balance0 ~balance1 payload =
+  let sum f =
+    List.fold_left (fun acc u -> U256.add acc (f u)) U256.zero payload.Sync_payload.users
+  in
+  let in0 = sum (fun u -> u.Sync_payload.payin0)
+  and in1 = sum (fun u -> u.Sync_payload.payin1)
+  and out0 = sum (fun u -> u.Sync_payload.payout0)
+  and out1 = sum (fun u -> u.Sync_payload.payout1) in
+  (* new = old + payins − payouts, per token; fails if payouts exceed
+     what the pool plus payins can cover. *)
+  let check old payin payout updated =
+    let credited = U256.add old payin in
+    U256.ge credited payout && U256.equal (U256.sub credited payout) updated
+  in
+  check balance0 in0 out0 payload.Sync_payload.pool_balance0
+  && check balance1 in1 out1 payload.Sync_payload.pool_balance1
+
+let apply_payload t (m : Gas.meter) payload =
+  let open Sync_payload in
+  (* Positions: write updates, delete withdrawn. *)
+  let written = ref 0 and deleted = ref 0 in
+  List.iter
+    (fun p ->
+      if p.deleted then begin
+        Hashtbl.remove t.position_table p.pos_id;
+        incr deleted
+      end
+      else begin
+        Hashtbl.replace t.position_table p.pos_id p;
+        incr written
+      end)
+    payload.positions;
+  Gas.charge m "storage" (storage_words payload * Gas.sstore_word);
+  set_pool_balances t payload.pool payload.pool_balance0 payload.pool_balance1;
+  (* Users: deduct payins, dispense payouts, refund residual deposits. *)
+  let payouts_dispensed = ref 0 in
+  List.iter
+    (fun u ->
+      let d0, d1 = deposit_of t ~epoch:payload.epoch u.user in
+      (* Payin beyond the deposit is taken out of the payout (§4.2). *)
+      let short0 = if U256.ge d0 u.payin0 then U256.zero else U256.sub u.payin0 d0 in
+      let short1 = if U256.ge d1 u.payin1 then U256.zero else U256.sub u.payin1 d1 in
+      let residual0 = if U256.ge d0 u.payin0 then U256.sub d0 u.payin0 else U256.zero in
+      let residual1 = if U256.ge d1 u.payin1 then U256.sub d1 u.payin1 else U256.zero in
+      let pay0 = U256.sub (U256.max u.payout0 short0) short0 in
+      let pay1 = U256.sub (U256.max u.payout1 short1) short1 in
+      (* Payout plus residual refund leave the bank in one transfer per
+         token. *)
+      let send erc amount =
+        if not (U256.is_zero amount) then begin
+          match
+            Erc20.transfer erc ~source:t.bank_address ~dest:u.user amount
+          with
+          | Ok () -> incr payouts_dispensed
+          | Error e -> failwith ("TokenBank.sync: custody underflow: " ^ e)
+        end
+      in
+      send t.erc0 (U256.add pay0 residual0);
+      send t.erc1 (U256.add pay1 residual1);
+      t.user_deposits <-
+        Epoch_map.add payload.epoch
+          (Address.Map.remove u.user (epoch_deposits t payload.epoch))
+          t.user_deposits)
+    payload.users;
+  Gas.charge m "payouts" (!payouts_dispensed * Gas.payout_transfer);
+  t.vk <- payload.next_committee_vk;
+  t.synced_epoch <- payload.epoch;
+  (!written, !deleted, !payouts_dispensed)
+
+let sync t ~signed =
+  match signed with
+  | [] -> Error "TokenBank.sync: empty payload list"
+  | _ ->
+    let payloads = List.map fst signed in
+    let m = Gas.meter () in
+    Gas.charge m "base" Gas.tx_base;
+    let calldata_bytes =
+      List.fold_left (fun acc p -> acc + Sync_payload.abi_size p) 0 payloads
+    in
+    Gas.charge m "calldata" (Gas.calldata_cost_of_size calldata_bytes);
+    (* Dry-run verification pass — nothing is applied unless every payload
+       checks out. The committee key chain advances payload by payload:
+       epoch e's signature verifies under the vk recorded by e−1. *)
+    let rec verify_all ~vk ~expected_epoch ~balance0 ~balance1 = function
+      | [] -> Ok ()
+      | (p, signature) :: rest ->
+        Gas.charge m "auth.hash_to_point"
+          (Gas.keccak_cost (Sync_payload.abi_size p) + Gas.ec_mul);
+        Gas.charge m "auth.pairing" Gas.pairing_check;
+        if not (Bls.verify vk (Sync_payload.signing_bytes p) signature) then
+          Error
+            (Printf.sprintf "TokenBank.sync: bad committee signature for epoch %d"
+               p.Sync_payload.epoch)
+        else if p.Sync_payload.epoch <> expected_epoch then
+          Error
+            (Printf.sprintf "TokenBank.sync: expected epoch %d, got %d" expected_epoch
+               p.Sync_payload.epoch)
+        else if not (conservation_ok ~balance0 ~balance1 p) then
+          Error
+            (Printf.sprintf "TokenBank.sync: token conservation violated in epoch %d"
+               p.Sync_payload.epoch)
+        else
+          verify_all ~vk:p.Sync_payload.next_committee_vk
+            ~expected_epoch:(expected_epoch + 1)
+            ~balance0:p.Sync_payload.pool_balance0
+            ~balance1:p.Sync_payload.pool_balance1 rest
+    in
+    let balance0, balance1 =
+      match payloads with
+      | p :: _ ->
+        (match pool t p.Sync_payload.pool with
+        | Some info -> (info.balance0, info.balance1)
+        | None -> (U256.zero, U256.zero))
+      | [] -> (U256.zero, U256.zero)
+    in
+    let* () =
+      verify_all ~vk:t.vk ~expected_epoch:(t.synced_epoch + 1) ~balance0 ~balance1 signed
+    in
+    let written = ref 0 and deleted = ref 0 and paid = ref 0 in
+    List.iter
+      (fun p ->
+        let w, d, pd = apply_payload t m p in
+        written := !written + w;
+        deleted := !deleted + d;
+        paid := !paid + pd)
+      payloads;
+    Ok
+      { gas = m; calldata_bytes; payouts_dispensed = !paid;
+        positions_written = !written; positions_deleted = !deleted;
+        epochs_covered = List.map (fun p -> p.Sync_payload.epoch) payloads }
+
+let positions t = Hashtbl.fold (fun _ p acc -> p :: acc) t.position_table []
+let find_position t pid = Hashtbl.find_opt t.position_table pid
+
+(* ------------------------------------------------------------------ *)
+(* Flash loans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let flash ?meter t ~pool:pool_id ~borrower ~amount0 ~amount1 ~callback =
+  match pool t pool_id with
+  | None -> Error "TokenBank.flash: unknown pool"
+  | Some p ->
+    if U256.gt amount0 p.balance0 || U256.gt amount1 p.balance1 then
+      Error "TokenBank.flash: exceeds pool reserves"
+    else begin
+      charge meter "base" Gas.tx_base;
+      let fee_of a =
+        U256.mul_div_rounding_up a (U256.of_int p.flash_fee_pips)
+          (U256.of_int Amm_math.Swap_math.fee_denominator)
+      in
+      let fee0 = fee_of amount0 and fee1 = fee_of amount1 in
+      (* The entire flash executes inside one transaction: on any failure
+         every token movement — including whatever the callback did —
+         reverts, exactly as the EVM unwinds state. *)
+      let ck0 = Erc20.checkpoint t.erc0 and ck1 = Erc20.checkpoint t.erc1 in
+      let revert () =
+        Erc20.restore t.erc0 ck0;
+        Erc20.restore t.erc1 ck1
+      in
+      let lend erc amount =
+        if U256.is_zero amount then Ok ()
+        else Erc20.transfer ?meter erc ~source:t.bank_address ~dest:borrower amount
+      in
+      let repay () =
+        let pull erc amount =
+          if U256.is_zero amount then Ok ()
+          else Erc20.transfer ?meter erc ~source:borrower ~dest:t.bank_address amount
+        in
+        let* () = pull t.erc0 (U256.add amount0 fee0) in
+        pull t.erc1 (U256.add amount1 fee1)
+      in
+      let outcome =
+        let* () = lend t.erc0 amount0 in
+        let* () = lend t.erc1 amount1 in
+        let* () = callback ~fee0 ~fee1 in
+        repay ()
+      in
+      match outcome with
+      | Error e ->
+        revert ();
+        Error ("TokenBank.flash: reverted: " ^ e)
+      | Ok () ->
+        (* Fees accrue to the pool reserves. *)
+        set_pool_balances t pool_id (U256.add p.balance0 fee0) (U256.add p.balance1 fee1);
+        Ok (fee0, fee1)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_epoch : int;
+  snap_deposits : (Address.t * (U256.t * U256.t)) list;
+  snap_pool_balances : (int * (U256.t * U256.t)) list;
+  snap_positions : Sync_payload.position_entry list;
+}
+
+let snapshot t ~epoch =
+  { snap_epoch = epoch;
+    snap_deposits = deposits_for_epoch t ~epoch;
+    snap_pool_balances = List.map (fun p -> (p.pool_id, (p.balance0, p.balance1))) t.pools;
+    snap_positions = positions t }
+
+type checkpoint = {
+  ck_pools : pool_info list;
+  ck_next_pool_id : int;
+  ck_deposits : (U256.t * U256.t) Address.Map.t Epoch_map.t;
+  ck_positions : (Position_id.t * Sync_payload.position_entry) list;
+  ck_vk : Bls.public_key;
+  ck_synced_epoch : int;
+  ck_erc0 : Erc20.checkpoint;
+  ck_erc1 : Erc20.checkpoint;
+}
+
+let checkpoint t =
+  { ck_pools = t.pools; ck_next_pool_id = t.next_pool_id; ck_deposits = t.user_deposits;
+    ck_positions = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.position_table [];
+    ck_vk = t.vk; ck_synced_epoch = t.synced_epoch;
+    ck_erc0 = Erc20.checkpoint t.erc0; ck_erc1 = Erc20.checkpoint t.erc1 }
+
+let restore t ck =
+  t.pools <- ck.ck_pools;
+  t.next_pool_id <- ck.ck_next_pool_id;
+  t.user_deposits <- ck.ck_deposits;
+  Hashtbl.reset t.position_table;
+  List.iter (fun (k, v) -> Hashtbl.replace t.position_table k v) ck.ck_positions;
+  t.vk <- ck.ck_vk;
+  t.synced_epoch <- ck.ck_synced_epoch;
+  Erc20.restore t.erc0 ck.ck_erc0;
+  Erc20.restore t.erc1 ck.ck_erc1
+
+let total_custody t =
+  (Erc20.balance_of t.erc0 t.bank_address, Erc20.balance_of t.erc1 t.bank_address)

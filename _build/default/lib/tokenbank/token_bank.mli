@@ -1,0 +1,121 @@
+(** TokenBank — the minimal base smart contract ammBoost leaves on the
+    mainchain (Fig. 4): it custodies the actual tokens, tracks pool
+    balances, user deposits and synced liquidity positions, processes
+    epoch-based deposits, applies authenticated Sync summaries (dispensing
+    payouts, deducting payins, refunding residual deposits), and serves
+    flash loans in real time. *)
+
+module U256 = Amm_math.U256
+module Address = Chain.Address
+module Position_id = Chain.Ids.Position_id
+
+type t
+
+type pool_info = {
+  pool_id : int;
+  token0 : Chain.Token.t;
+  token1 : Chain.Token.t;
+  balance0 : U256.t;
+  balance1 : U256.t;
+  flash_fee_pips : int;
+}
+
+val deploy :
+  token0:Mainchain.Erc20.t ->
+  token1:Mainchain.Erc20.t ->
+  genesis_committee_vk:Amm_crypto.Bls.public_key ->
+  t
+(** Deploys the contract over the two ERC20s and records the first
+    epoch committee's verification key. *)
+
+val address : t -> Address.t
+val create_pool : t -> flash_fee_pips:int -> int
+(** Initializes a pool for the token pair; returns its id. *)
+
+val pool : t -> int -> pool_info option
+val committee_vk : t -> Amm_crypto.Bls.public_key
+val last_synced_epoch : t -> int
+(** -1 before the first sync. *)
+
+(** {1 Deposits} *)
+
+val deposit :
+  ?meter:Mainchain.Gas.meter ->
+  t -> user:Address.t -> for_epoch:int -> amount0:U256.t -> amount1:U256.t ->
+  (unit, string) result
+(** Epoch-based deposit backing the user's sidechain activity during
+    [for_epoch]; pulls the tokens from the user's ERC20 balances
+    (requires prior approvals, reflected in the metered gas and the
+    4-transaction flow latency). Deposits are scoped to their epoch, so
+    funding epoch e+1 during epoch e never collides with e's sync. *)
+
+val deposit_of : t -> epoch:int -> Address.t -> U256.t * U256.t
+val deposits_for_epoch : t -> epoch:int -> (Address.t * (U256.t * U256.t)) list
+
+(** {1 Sync} *)
+
+type sync_receipt = {
+  gas : Mainchain.Gas.meter;
+  calldata_bytes : int;
+  payouts_dispensed : int;
+  positions_written : int;
+  positions_deleted : int;
+  epochs_covered : int list;
+}
+
+val sync :
+  t ->
+  signed:(Sync_payload.t * Amm_crypto.Bls.signature) list ->
+  (sync_receipt, string) result
+(** Applies one or more epoch summaries, each carrying its own epoch
+    committee's threshold signature (a list longer than one is a
+    mass-sync after an interruption — recorded keys advance payload by
+    payload, so epoch e's signature verifies under the vk recorded by
+    epoch e−1's payload). Checks epoch contiguity and token conservation
+    (new pool balance = old + payins − payouts), then updates positions,
+    dispenses payouts, deducts payins (any excess over the deposit comes
+    out of the payout, §4.2), refunds residual deposits, and records each
+    next committee's key. Nothing is applied when any step fails. *)
+
+val positions : t -> Sync_payload.position_entry list
+val find_position : t -> Position_id.t -> Sync_payload.position_entry option
+
+(** {1 Flash loans (mainchain-resident, §4.2 "Flashes")} *)
+
+val flash :
+  ?meter:Mainchain.Gas.meter ->
+  t ->
+  pool:int ->
+  borrower:Address.t ->
+  amount0:U256.t ->
+  amount1:U256.t ->
+  callback:(fee0:U256.t -> fee1:U256.t -> (unit, string) result) ->
+  (U256.t * U256.t, string) result
+(** Lends pool reserves to the borrower within a single block; the
+    callback must leave the borrower holding principal + fee for
+    repayment or the whole loan inverts. Returns the fees earned. *)
+
+(** {1 Snapshot (the sidechain's SnapshotBank call)} *)
+
+type snapshot = {
+  snap_epoch : int;
+  snap_deposits : (Address.t * (U256.t * U256.t)) list;
+  snap_pool_balances : (int * (U256.t * U256.t)) list;
+  snap_positions : Sync_payload.position_entry list;
+}
+
+val snapshot : t -> epoch:int -> snapshot
+(** The sidechain committee's epoch-start view: the deposits scoped to
+    the starting epoch, pool balances and positions. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Full-state snapshot (contract fields plus both ERC20s), used to model
+    mainchain rollbacks abandoning executed Sync calls. *)
+
+val restore : t -> checkpoint -> unit
+
+val total_custody : t -> U256.t * U256.t
+(** ERC20 balances held by the contract — must equal deposits + pool
+    balances (conservation invariant, checked in tests). *)

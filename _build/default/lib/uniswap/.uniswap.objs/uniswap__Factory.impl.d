@@ -1,0 +1,1 @@
+lib/uniswap/factory.ml: Hashtbl Pool

@@ -1,0 +1,1 @@
+lib/uniswap/factory.mli: Amm_math Chain Pool

@@ -1,0 +1,1 @@
+lib/uniswap/nfpm.ml: Amm_crypto Amm_math Bytes Chain Hashtbl List Option Pool Position Result Router

@@ -1,0 +1,1 @@
+lib/uniswap/nfpm.mli: Amm_math Chain Pool Router

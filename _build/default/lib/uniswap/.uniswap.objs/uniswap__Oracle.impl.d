@@ -1,0 +1,1 @@
+lib/uniswap/oracle.ml: Array Stdlib

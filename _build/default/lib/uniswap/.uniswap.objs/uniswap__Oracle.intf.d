@@ -1,0 +1,1 @@
+lib/uniswap/oracle.mli:

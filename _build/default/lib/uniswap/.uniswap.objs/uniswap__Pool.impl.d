@@ -1,0 +1,1 @@
+lib/uniswap/pool.ml: Amm_math Chain Hashtbl Position Stdlib Tick

@@ -1,0 +1,1 @@
+lib/uniswap/pool.mli: Amm_math Chain Position

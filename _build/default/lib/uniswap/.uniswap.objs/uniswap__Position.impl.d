@@ -1,0 +1,1 @@
+lib/uniswap/position.ml: Amm_crypto Amm_math Chain

@@ -1,0 +1,1 @@
+lib/uniswap/position.mli: Amm_math Chain

@@ -1,0 +1,1 @@
+lib/uniswap/router.ml: Amm_math Chain Pool Position Result

@@ -1,0 +1,1 @@
+lib/uniswap/router.mli: Amm_math Chain Pool

@@ -1,0 +1,1 @@
+lib/uniswap/tick.ml: Amm_math Hashtbl Int Set

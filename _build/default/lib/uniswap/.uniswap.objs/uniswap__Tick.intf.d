@@ -1,0 +1,1 @@
+lib/uniswap/tick.mli: Amm_math

@@ -1,0 +1,14 @@
+type t = { mutable next_id : int; table : (int, Pool.t) Hashtbl.t }
+
+let create () = { next_id = 0; table = Hashtbl.create 8 }
+
+let create_pool t ~token0 ~token1 ~fee_pips ~tick_spacing ~sqrt_price =
+  let pool_id = t.next_id in
+  t.next_id <- pool_id + 1;
+  let pool = Pool.create ~pool_id ~token0 ~token1 ~fee_pips ~tick_spacing ~sqrt_price in
+  Hashtbl.add t.table pool_id pool;
+  pool
+
+let find t id = Hashtbl.find_opt t.table id
+let pools t = Hashtbl.fold (fun _ p acc -> p :: acc) t.table []
+let count t = Hashtbl.length t.table

@@ -1,0 +1,19 @@
+(** Pool registry — the PoolFactory/PoolDeployer equivalent. *)
+
+type t
+
+val create : unit -> t
+
+val create_pool :
+  t ->
+  token0:Chain.Token.t ->
+  token1:Chain.Token.t ->
+  fee_pips:int ->
+  tick_spacing:int ->
+  sqrt_price:Amm_math.U256.t ->
+  Pool.t
+(** Deploys a new pool with a fresh id. *)
+
+val find : t -> int -> Pool.t option
+val pools : t -> Pool.t list
+val count : t -> int

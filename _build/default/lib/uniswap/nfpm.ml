@@ -1,0 +1,102 @@
+module U256 = Amm_math.U256
+module Address = Chain.Address
+module Position_id = Chain.Ids.Position_id
+
+type token_id = int
+
+type token = {
+  t_owner : Address.t;
+  t_approved : Address.t option;
+  t_position : Position_id.t;
+}
+
+type t = {
+  self : Address.t;
+  mutable next_id : int;
+  tokens : (token_id, token) Hashtbl.t;
+}
+
+let create () =
+  { self = Address.of_label "NonfungiblePositionManager"; next_id = 1;
+    tokens = Hashtbl.create 32 }
+
+let address t = t.self
+let owner_of t id = Option.map (fun tok -> tok.t_owner) (Hashtbl.find_opt t.tokens id)
+let token_count t = Hashtbl.length t.tokens
+
+let tokens_of t owner =
+  Hashtbl.fold
+    (fun id tok acc -> if Address.equal tok.t_owner owner then id :: acc else acc)
+    t.tokens []
+  |> List.sort compare
+
+let ( let* ) = Result.bind
+
+let position_id t token_id =
+  (* Position ids derive from the manager and the token, so each NFT maps
+     to exactly one pool position. *)
+  Position_id.of_hash
+    (Amm_crypto.Sha256.concat
+       [ Address.to_bytes t.self; Bytes.of_string (string_of_int token_id) ])
+
+let mint t pool ~recipient ~lower_tick ~upper_tick ~amount0_desired ~amount1_desired =
+  let id = t.next_id in
+  let pid = position_id t id in
+  let* outcome =
+    Router.mint pool ~position_id:pid ~owner:t.self ~lower_tick ~upper_tick
+      ~amount0_desired ~amount1_desired
+  in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.tokens id { t_owner = recipient; t_approved = None; t_position = pid };
+  Ok (id, outcome)
+
+let authorized t ~caller token_id =
+  match Hashtbl.find_opt t.tokens token_id with
+  | None -> Error "nfpm: unknown token"
+  | Some tok ->
+    if Address.equal tok.t_owner caller
+       || (match tok.t_approved with Some op -> Address.equal op caller | None -> false)
+    then Ok tok
+    else Error "nfpm: caller is not owner nor approved"
+
+let approve t ~caller token_id ~operator =
+  match Hashtbl.find_opt t.tokens token_id with
+  | None -> Error "nfpm: unknown token"
+  | Some tok ->
+    if not (Address.equal tok.t_owner caller) then Error "nfpm: only the owner can approve"
+    else begin
+      Hashtbl.replace t.tokens token_id { tok with t_approved = operator };
+      Ok ()
+    end
+
+let transfer t ~caller token_id ~dest =
+  let* tok = authorized t ~caller token_id in
+  Hashtbl.replace t.tokens token_id { tok with t_owner = dest; t_approved = None };
+  Ok ()
+
+let increase_liquidity t pool ~caller token_id ~amount0_desired ~amount1_desired =
+  let* tok = authorized t ~caller token_id in
+  match Pool.find_position pool tok.t_position with
+  | None -> Error "nfpm: position no longer exists"
+  | Some p ->
+    Router.mint pool ~position_id:tok.t_position ~owner:t.self
+      ~lower_tick:p.Position.lower_tick ~upper_tick:p.Position.upper_tick
+      ~amount0_desired ~amount1_desired
+
+let decrease_liquidity t pool ~caller token_id ~amount0_requested ~amount1_requested =
+  let* tok = authorized t ~caller token_id in
+  Router.burn pool ~position_id:tok.t_position ~caller:t.self ~amount0_requested
+    ~amount1_requested
+
+let collect t pool ~caller token_id ~amount0_requested ~amount1_requested =
+  let* tok = authorized t ~caller token_id in
+  Router.collect pool ~position_id:tok.t_position ~caller:t.self ~amount0_requested
+    ~amount1_requested
+
+let burn t pool ~caller token_id =
+  let* tok = authorized t ~caller token_id in
+  match Pool.find_position pool tok.t_position with
+  | Some _ -> Error "nfpm: position still holds liquidity or owed tokens"
+  | None ->
+    Hashtbl.remove t.tokens token_id;
+    Ok ()

@@ -1,0 +1,65 @@
+(** The NonfungiblePositionManager equivalent — V3's NFT wrapper over
+    liquidity positions, and the extension ammBoost's Remark 1 discusses:
+    the pool-level position is owned by the manager contract itself while
+    user-facing ownership lives in a transferable ERC721-style token, so
+    positions can be traded between LPs.
+
+    Under ammBoost, NFT minting is a mainchain operation: a position
+    created on the sidechain gets its token at the end of the epoch, and
+    operations through a fresh token wait for the next epoch (Remark 1).
+    This module provides the ownership layer itself; both deployments use
+    it identically. *)
+
+module U256 = Amm_math.U256
+module Address = Chain.Address
+
+type t
+type token_id = int
+
+val create : unit -> t
+val address : t -> Address.t
+(** The manager's own address — the owner of every wrapped pool
+    position. *)
+
+val mint :
+  t ->
+  Pool.t ->
+  recipient:Address.t ->
+  lower_tick:int ->
+  upper_tick:int ->
+  amount0_desired:U256.t ->
+  amount1_desired:U256.t ->
+  (token_id * Router.mint_outcome, string) result
+(** Mints pool liquidity wrapped in a fresh NFT for the recipient. *)
+
+val owner_of : t -> token_id -> Address.t option
+val token_count : t -> int
+val tokens_of : t -> Address.t -> token_id list
+
+val approve : t -> caller:Address.t -> token_id -> operator:Address.t option ->
+  (unit, string) result
+(** Grants (or clears) a single approved operator; owner only. *)
+
+val transfer : t -> caller:Address.t -> token_id -> dest:Address.t -> (unit, string) result
+(** Moves the NFT — and with it the position — to a new owner. The caller
+    must be the owner or the approved operator; approval clears on
+    transfer. *)
+
+val increase_liquidity :
+  t -> Pool.t -> caller:Address.t -> token_id ->
+  amount0_desired:U256.t -> amount1_desired:U256.t ->
+  (Router.mint_outcome, string) result
+
+val decrease_liquidity :
+  t -> Pool.t -> caller:Address.t -> token_id ->
+  amount0_requested:U256.t -> amount1_requested:U256.t ->
+  (Router.burn_outcome, string) result
+
+val collect :
+  t -> Pool.t -> caller:Address.t -> token_id ->
+  amount0_requested:U256.t -> amount1_requested:U256.t ->
+  (Router.collect_outcome, string) result
+
+val burn : t -> Pool.t -> caller:Address.t -> token_id -> (unit, string) result
+(** Destroys the NFT. Requires the underlying position to be fully
+    withdrawn and collected first, as V3's [Burn_NFPM] does. *)

@@ -1,0 +1,84 @@
+(* Ring buffer of (time, tick_cumulative) pairs; the cumulative value is
+   Σ tick·dt since creation. Between observations the tick is constant,
+   so cumulative values interpolate linearly and extrapolate with the
+   latest tick, matching V3's observation semantics. *)
+
+type observation = {
+  o_time : float;
+  o_tick : int;            (* tick active since this observation *)
+  o_cumulative : float;    (* Σ tick·dt up to o_time *)
+}
+
+type t = {
+  ring : observation array;
+  mutable next : int;      (* slot for the next write *)
+  mutable count : int;
+}
+
+let create ?(capacity = 128) ~time ~tick () =
+  if capacity < 2 then invalid_arg "Oracle.create: capacity must be at least 2";
+  let seed = { o_time = time; o_tick = tick; o_cumulative = 0.0 } in
+  let ring = Array.make capacity seed in
+  { ring; next = 1; count = 1 }
+
+let capacity t = Array.length t.ring
+let observation_count t = t.count
+
+let newest t =
+  t.ring.((t.next + Array.length t.ring - 1) mod Array.length t.ring)
+
+let oldest t =
+  if t.count < Array.length t.ring then t.ring.(0)
+  else t.ring.(t.next mod Array.length t.ring)
+
+let oldest_time t = (oldest t).o_time
+let newest_time t = (newest t).o_time
+
+let write t ~time ~tick =
+  let last = newest t in
+  if time < last.o_time then invalid_arg "Oracle.write: time moved backwards";
+  if time = last.o_time then begin
+    (* Same block: the last write wins. *)
+    let slot = (t.next + Array.length t.ring - 1) mod Array.length t.ring in
+    t.ring.(slot) <- { last with o_tick = tick }
+  end
+  else begin
+    let cumulative = last.o_cumulative +. (float_of_int last.o_tick *. (time -. last.o_time)) in
+    t.ring.(t.next) <- { o_time = time; o_tick = tick; o_cumulative = cumulative };
+    t.next <- (t.next + 1) mod Array.length t.ring;
+    t.count <- Stdlib.min (t.count + 1) (Array.length t.ring)
+  end
+
+(* Observations in time order. *)
+let fold_observations t ~init ~f =
+  let len = Array.length t.ring in
+  let start = if t.count < len then 0 else t.next mod len in
+  let acc = ref init in
+  for i = 0 to t.count - 1 do
+    acc := f !acc t.ring.((start + i) mod len)
+  done;
+  !acc
+
+let tick_cumulative_at t ~time =
+  if time < oldest_time t then
+    invalid_arg "Oracle.tick_cumulative_at: older than the stored history";
+  let last = newest t in
+  if time >= last.o_time then
+    (* Extrapolate with the latest tick. *)
+    last.o_cumulative +. (float_of_int last.o_tick *. (time -. last.o_time))
+  else begin
+    (* Find the observation at or before the query and interpolate. *)
+    let before =
+      fold_observations t ~init:None ~f:(fun acc o ->
+          if o.o_time <= time then Some o else acc)
+    in
+    match before with
+    | Some o -> o.o_cumulative +. (float_of_int o.o_tick *. (time -. o.o_time))
+    | None -> assert false (* guarded by the oldest_time check *)
+  end
+
+let twap_tick t ~now ~window =
+  if window <= 0.0 then invalid_arg "Oracle.twap_tick: window must be positive";
+  let c_now = tick_cumulative_at t ~time:now in
+  let c_then = tick_cumulative_at t ~time:(now -. window) in
+  (c_now -. c_then) /. window

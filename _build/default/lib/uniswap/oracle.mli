@@ -1,0 +1,33 @@
+(** The price observation oracle of Uniswap V3: a ring buffer of
+    cumulative (tick x time) observations written as the pool's price
+    moves, from which time-weighted average prices (TWAPs) over arbitrary
+    recent windows are computed. Lens contracts read this on-chain
+    history (App. B.1); the baseline deployment carries it, and ammBoost
+    can serve it from the sidechain state. *)
+
+type t
+
+val create : ?capacity:int -> time:float -> tick:int -> unit -> t
+(** A fresh oracle seeded with the pool's initial tick. [capacity] is the
+    ring size (V3's "observation cardinality", default 128). *)
+
+val capacity : t -> int
+val observation_count : t -> int
+(** Observations currently stored (at most [capacity]). *)
+
+val write : t -> time:float -> tick:int -> unit
+(** Records the pool tick at a timestamp. Writes at a timestamp equal to
+    the previous observation's are coalesced (one observation per block,
+    as in V3). Raises [Invalid_argument] if time moves backwards. *)
+
+val tick_cumulative_at : t -> time:float -> float
+(** The cumulative tick·seconds accumulator interpolated/extrapolated at
+    a query time, as V3's [observe]. Raises [Invalid_argument] for times
+    before the oldest stored observation. *)
+
+val twap_tick : t -> now:float -> window:float -> float
+(** Time-weighted average tick over [[now - window, now]]; the TWAP price
+    is [1.0001 ** twap_tick]. *)
+
+val oldest_time : t -> float
+val newest_time : t -> float

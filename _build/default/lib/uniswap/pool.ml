@@ -1,0 +1,417 @@
+module U256 = Amm_math.U256
+module Q96 = Amm_math.Q96
+module Signed = Amm_math.Signed
+module Tick_math = Amm_math.Tick_math
+module Swap_math = Amm_math.Swap_math
+module Sqrt_price_math = Amm_math.Sqrt_price_math
+module Liquidity_math = Amm_math.Liquidity_math
+module Address = Chain.Address
+module Position_id = Chain.Ids.Position_id
+
+type t = {
+  pool_id : int;
+  token0 : Chain.Token.t;
+  token1 : Chain.Token.t;
+  fee_pips : int;
+  ticks : Tick.table;
+  position_table : (Position_id.t, Position.t) Hashtbl.t;
+  mutable sqrt_price : U256.t;
+  mutable tick : int;
+  mutable liquidity : U256.t;
+  mutable fee_growth_global0 : U256.t;
+  mutable fee_growth_global1 : U256.t;
+  mutable balance0 : U256.t;
+  mutable balance1 : U256.t;
+  mutable protocol_fee_denominator : int option;
+  mutable protocol_fees0 : U256.t;
+  mutable protocol_fees1 : U256.t;
+}
+
+let create ~pool_id ~token0 ~token1 ~fee_pips ~tick_spacing ~sqrt_price =
+  if U256.lt sqrt_price Tick_math.min_sqrt_ratio || U256.ge sqrt_price Tick_math.max_sqrt_ratio
+  then invalid_arg "Pool.create: sqrt_price out of range";
+  { pool_id; token0; token1; fee_pips;
+    ticks = Tick.create ~tick_spacing;
+    position_table = Hashtbl.create 64;
+    sqrt_price;
+    tick = Tick_math.get_tick_at_sqrt_ratio sqrt_price;
+    liquidity = U256.zero;
+    fee_growth_global0 = U256.zero; fee_growth_global1 = U256.zero;
+    balance0 = U256.zero; balance1 = U256.zero;
+    protocol_fee_denominator = None;
+    protocol_fees0 = U256.zero; protocol_fees1 = U256.zero }
+
+let clone t =
+  let position_table = Hashtbl.create (Hashtbl.length t.position_table) in
+  Hashtbl.iter
+    (fun k (p : Position.t) ->
+      Hashtbl.replace position_table k
+        { p with Position.liquidity = p.Position.liquidity })
+    t.position_table;
+  { t with ticks = Tick.clone t.ticks; position_table }
+
+let pool_id t = t.pool_id
+let token0 t = t.token0
+let token1 t = t.token1
+let fee_pips t = t.fee_pips
+let sqrt_price t = t.sqrt_price
+let current_tick t = t.tick
+let liquidity t = t.liquidity
+let balance0 t = t.balance0
+let balance1 t = t.balance1
+let fee_growth_global0 t = t.fee_growth_global0
+let fee_growth_global1 t = t.fee_growth_global1
+let find_position t pid = Hashtbl.find_opt t.position_table pid
+
+let set_protocol_fee t ~denominator =
+  (match denominator with
+  | Some n when n < 4 || n > 10 ->
+    invalid_arg "Pool.set_protocol_fee: denominator must be in 4..10"
+  | Some _ | None -> ());
+  t.protocol_fee_denominator <- denominator
+
+let protocol_fee_denominator t = t.protocol_fee_denominator
+let protocol_fees t = (t.protocol_fees0, t.protocol_fees1)
+
+let collect_protocol t ~amount0_requested ~amount1_requested =
+  let pay0 = U256.min amount0_requested t.protocol_fees0 in
+  let pay1 = U256.min amount1_requested t.protocol_fees1 in
+  t.protocol_fees0 <- U256.sub t.protocol_fees0 pay0;
+  t.protocol_fees1 <- U256.sub t.protocol_fees1 pay1;
+  t.balance0 <- U256.checked_sub t.balance0 pay0;
+  t.balance1 <- U256.checked_sub t.balance1 pay1;
+  (pay0, pay1)
+let positions t = Hashtbl.fold (fun _ p acc -> p :: acc) t.position_table []
+let position_count t = Hashtbl.length t.position_table
+let initialized_tick_count t = Tick.initialized_count t.ticks
+
+(* ------------------------------------------------------------------ *)
+(* Fee growth inside a range                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fee_growth_inside t ~lower_tick ~upper_tick =
+  let outside tick =
+    match Tick.find t.ticks tick with
+    | Some info -> (info.Tick.fee_growth_outside0, info.Tick.fee_growth_outside1)
+    | None -> (U256.zero, U256.zero)
+  in
+  let lower0, lower1 = outside lower_tick in
+  let upper0, upper1 = outside upper_tick in
+  (* All subtractions wrap, exactly as V3's X128 accounting does. *)
+  let below0, below1 =
+    if t.tick >= lower_tick then (lower0, lower1)
+    else (U256.sub t.fee_growth_global0 lower0, U256.sub t.fee_growth_global1 lower1)
+  in
+  let above0, above1 =
+    if t.tick < upper_tick then (upper0, upper1)
+    else (U256.sub t.fee_growth_global0 upper0, U256.sub t.fee_growth_global1 upper1)
+  in
+  ( U256.sub (U256.sub t.fee_growth_global0 below0) above0,
+    U256.sub (U256.sub t.fee_growth_global1 below1) above1 )
+
+(* ------------------------------------------------------------------ *)
+(* Swaps                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type swap_result = {
+  amount_in : U256.t;
+  amount_out : U256.t;
+  fee_paid : U256.t;
+  sqrt_price_after : U256.t;
+  tick_after : int;
+  ticks_crossed : int;
+}
+
+let default_price_limit ~zero_for_one =
+  if zero_for_one then U256.add Tick_math.min_sqrt_ratio U256.one
+  else U256.sub Tick_math.max_sqrt_ratio U256.one
+
+let swap t ~zero_for_one ~amount ~sqrt_price_limit =
+  let valid_limit =
+    if zero_for_one then
+      U256.lt sqrt_price_limit t.sqrt_price && U256.ge sqrt_price_limit Tick_math.min_sqrt_ratio
+    else
+      U256.gt sqrt_price_limit t.sqrt_price && U256.lt sqrt_price_limit Tick_math.max_sqrt_ratio
+  in
+  let specified_positive =
+    match amount with
+    | Swap_math.Exact_in a | Swap_math.Exact_out a -> not (U256.is_zero a)
+  in
+  if not valid_limit then Error "pool: invalid price limit"
+  else if not specified_positive then Error "pool: zero amount"
+  else begin
+    let remaining = ref amount in
+    let total_in = ref U256.zero and total_out = ref U256.zero in
+    let total_fee = ref U256.zero in
+    let crossed = ref 0 in
+    let finished = ref false in
+    while not !finished do
+      let exhausted =
+        match !remaining with
+        | Swap_math.Exact_in a | Swap_math.Exact_out a -> U256.is_zero a
+      in
+      if exhausted || U256.equal t.sqrt_price sqrt_price_limit then finished := true
+      else begin
+        (* Find the next initialized tick in the swap direction; the pool
+           edge acts as a final pseudo-tick. *)
+        let tick_next, initialized =
+          if zero_for_one then
+            match Tick.next_initialized t.ticks ~from_tick:t.tick ~lte:true with
+            | Some tk -> (Stdlib.max tk Tick_math.min_tick, true)
+            | None -> (Tick_math.min_tick, false)
+          else
+            match Tick.next_initialized t.ticks ~from_tick:t.tick ~lte:false with
+            | Some tk -> (Stdlib.min tk Tick_math.max_tick, true)
+            | None -> (Tick_math.max_tick, false)
+        in
+        let sqrt_tick_next = Tick_math.get_sqrt_ratio_at_tick tick_next in
+        let target =
+          if zero_for_one then U256.max sqrt_tick_next sqrt_price_limit
+          else U256.min sqrt_tick_next sqrt_price_limit
+        in
+        if U256.equal target t.sqrt_price then
+          (* No liquidity left in the direction of travel. *)
+          finished := true
+        else begin
+          let step =
+            Swap_math.compute_swap_step ~sqrt_price_current:t.sqrt_price
+              ~sqrt_price_target:target ~liquidity:t.liquidity
+              ~amount_remaining:!remaining ~fee_pips:t.fee_pips
+          in
+          t.sqrt_price <- step.Swap_math.sqrt_price_next;
+          let consumed_in = U256.add step.amount_in step.fee_amount in
+          total_in := U256.add !total_in consumed_in;
+          total_out := U256.add !total_out step.amount_out;
+          total_fee := U256.add !total_fee step.fee_amount;
+          (remaining :=
+             match !remaining with
+             | Swap_math.Exact_in a ->
+               Swap_math.Exact_in
+                 (if U256.ge consumed_in a then U256.zero else U256.sub a consumed_in)
+             | Swap_math.Exact_out a ->
+               Swap_math.Exact_out
+                 (if U256.ge step.amount_out a then U256.zero else U256.sub a step.amount_out));
+          (* The protocol's cut comes off the top; the remainder accrues
+             to in-range liquidity on the input token side. *)
+          let protocol_cut =
+            match t.protocol_fee_denominator with
+            | Some n -> U256.div step.fee_amount (U256.of_int n)
+            | None -> U256.zero
+          in
+          (if not (U256.is_zero protocol_cut) then
+             if zero_for_one then
+               t.protocol_fees0 <- U256.add t.protocol_fees0 protocol_cut
+             else t.protocol_fees1 <- U256.add t.protocol_fees1 protocol_cut);
+          let lp_fee = U256.sub step.fee_amount protocol_cut in
+          if not (U256.is_zero t.liquidity) then begin
+            let growth = U256.mul_div lp_fee Q96.q128 t.liquidity in
+            if zero_for_one then
+              t.fee_growth_global0 <- U256.add t.fee_growth_global0 growth
+            else t.fee_growth_global1 <- U256.add t.fee_growth_global1 growth
+          end;
+          if U256.equal t.sqrt_price sqrt_tick_next then begin
+            if initialized then begin
+              incr crossed;
+              let net =
+                Tick.cross t.ticks ~tick:tick_next
+                  ~fee_growth_global0:t.fee_growth_global0
+                  ~fee_growth_global1:t.fee_growth_global1
+              in
+              let net = if zero_for_one then Signed.neg net else net in
+              t.liquidity <- Signed.apply t.liquidity net
+            end;
+            t.tick <- (if zero_for_one then tick_next - 1 else tick_next)
+          end
+          else t.tick <- Tick_math.get_tick_at_sqrt_ratio t.sqrt_price
+        end
+      end
+    done;
+    if U256.is_zero !total_in && U256.is_zero !total_out then
+      Error "pool: insufficient liquidity"
+    else begin
+      if zero_for_one then begin
+        t.balance0 <- U256.add t.balance0 !total_in;
+        t.balance1 <- U256.checked_sub t.balance1 !total_out
+      end
+      else begin
+        t.balance1 <- U256.add t.balance1 !total_in;
+        t.balance0 <- U256.checked_sub t.balance0 !total_out
+      end;
+      Ok
+        { amount_in = !total_in; amount_out = !total_out; fee_paid = !total_fee;
+          sqrt_price_after = t.sqrt_price; tick_after = t.tick;
+          ticks_crossed = !crossed }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Liquidity management                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_ticks t ~lower_tick ~upper_tick =
+  let spacing = Tick.tick_spacing t.ticks in
+  if lower_tick >= upper_tick then Error "pool: lower tick must be below upper tick"
+  else if lower_tick < Tick_math.min_tick || upper_tick > Tick_math.max_tick then
+    Error "pool: tick out of range"
+  else if lower_tick mod spacing <> 0 || upper_tick mod spacing <> 0 then
+    Error "pool: tick not a multiple of spacing"
+  else Ok ()
+
+let update_position_liquidity t position ~liquidity_delta =
+  let lower_tick = position.Position.lower_tick in
+  let upper_tick = position.Position.upper_tick in
+  let flipped_lower =
+    Tick.update t.ticks ~tick:lower_tick ~current_tick:t.tick
+      ~fee_growth_global0:t.fee_growth_global0 ~fee_growth_global1:t.fee_growth_global1
+      ~liquidity_delta ~upper:false
+  in
+  let flipped_upper =
+    Tick.update t.ticks ~tick:upper_tick ~current_tick:t.tick
+      ~fee_growth_global0:t.fee_growth_global0 ~fee_growth_global1:t.fee_growth_global1
+      ~liquidity_delta ~upper:true
+  in
+  let inside0, inside1 = fee_growth_inside t ~lower_tick ~upper_tick in
+  Position.update position ~liquidity_delta ~fee_growth_inside0:inside0
+    ~fee_growth_inside1:inside1;
+  (* Ticks whose gross liquidity dropped to zero are garbage collected. *)
+  (match liquidity_delta with
+  | Liquidity_math.Remove _ ->
+    if flipped_lower then Tick.clear t.ticks lower_tick;
+    if flipped_upper then Tick.clear t.ticks upper_tick
+  | Liquidity_math.Add _ -> ());
+  if t.tick >= lower_tick && t.tick < upper_tick then
+    t.liquidity <- Liquidity_math.apply_delta t.liquidity liquidity_delta
+
+let mint t ~position_id ~owner ~lower_tick ~upper_tick ~liquidity =
+  match check_ticks t ~lower_tick ~upper_tick with
+  | Error e -> Error e
+  | Ok () ->
+    if U256.is_zero liquidity then Error "pool: zero liquidity mint"
+    else begin
+      let position =
+        match Hashtbl.find_opt t.position_table position_id with
+        | Some p -> p
+        | None ->
+          let p = Position.create ~id:position_id ~owner ~lower_tick ~upper_tick in
+          Hashtbl.add t.position_table position_id p;
+          p
+      in
+      if not (Address.equal position.Position.owner owner) then
+        Error "pool: not the position owner"
+      else if position.Position.lower_tick <> lower_tick
+              || position.Position.upper_tick <> upper_tick then
+        Error "pool: position range mismatch"
+      else begin
+        update_position_liquidity t position ~liquidity_delta:(Liquidity_math.Add liquidity);
+        let amount0, amount1 =
+          Liquidity_math.get_amounts_for_liquidity_rounding_up ~sqrt_price:t.sqrt_price
+            ~sqrt_a:(Tick_math.get_sqrt_ratio_at_tick lower_tick)
+            ~sqrt_b:(Tick_math.get_sqrt_ratio_at_tick upper_tick)
+            ~liquidity
+        in
+        t.balance0 <- U256.add t.balance0 amount0;
+        t.balance1 <- U256.add t.balance1 amount1;
+        Ok (amount0, amount1)
+      end
+    end
+
+let burn t ~position_id ~liquidity =
+  match Hashtbl.find_opt t.position_table position_id with
+  | None -> Error "pool: unknown position"
+  | Some position ->
+    if U256.gt liquidity position.Position.liquidity then
+      Error "pool: burning more than the position holds"
+    else if U256.is_zero liquidity then Error "pool: zero liquidity burn"
+    else begin
+      update_position_liquidity t position
+        ~liquidity_delta:(Liquidity_math.Remove liquidity);
+      let amount0, amount1 =
+        Liquidity_math.get_amounts_for_liquidity ~sqrt_price:t.sqrt_price
+          ~sqrt_a:(Tick_math.get_sqrt_ratio_at_tick position.Position.lower_tick)
+          ~sqrt_b:(Tick_math.get_sqrt_ratio_at_tick position.Position.upper_tick)
+          ~liquidity
+      in
+      position.Position.tokens_owed0 <- U256.add position.Position.tokens_owed0 amount0;
+      position.Position.tokens_owed1 <- U256.add position.Position.tokens_owed1 amount1;
+      Ok (amount0, amount1)
+    end
+
+let touch_position t position_id =
+  match Hashtbl.find_opt t.position_table position_id with
+  | None -> Error "pool: unknown position"
+  | Some position ->
+    let inside0, inside1 =
+      fee_growth_inside t ~lower_tick:position.Position.lower_tick
+        ~upper_tick:position.Position.upper_tick
+    in
+    Position.update position ~liquidity_delta:(Liquidity_math.Add U256.zero)
+      ~fee_growth_inside0:inside0 ~fee_growth_inside1:inside1;
+    Ok ()
+
+let collect t ~position_id ~amount0_requested ~amount1_requested =
+  match touch_position t position_id with
+  | Error e -> Error e
+  | Ok () ->
+    let position = Hashtbl.find t.position_table position_id in
+    let pay0 = U256.min amount0_requested position.Position.tokens_owed0 in
+    let pay1 = U256.min amount1_requested position.Position.tokens_owed1 in
+    position.Position.tokens_owed0 <- U256.sub position.Position.tokens_owed0 pay0;
+    position.Position.tokens_owed1 <- U256.sub position.Position.tokens_owed1 pay1;
+    t.balance0 <- U256.checked_sub t.balance0 pay0;
+    t.balance1 <- U256.checked_sub t.balance1 pay1;
+    if Position.is_empty position then Hashtbl.remove t.position_table position_id;
+    Ok (pay0, pay1)
+
+(* ------------------------------------------------------------------ *)
+(* Flash loans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let flash t ~amount0 ~amount1 ~callback =
+  if U256.gt amount0 t.balance0 || U256.gt amount1 t.balance1 then
+    Error "pool: flash exceeds reserves"
+  else begin
+    let fee_den = U256.of_int Swap_math.fee_denominator in
+    let fee_of a = U256.mul_div_rounding_up a (U256.of_int t.fee_pips) fee_den in
+    let fee0 = fee_of amount0 and fee1 = fee_of amount1 in
+    let before0 = t.balance0 and before1 = t.balance1 in
+    t.balance0 <- U256.sub t.balance0 amount0;
+    t.balance1 <- U256.sub t.balance1 amount1;
+    match callback ~fee0 ~fee1 with
+    | Error e ->
+      (* The whole flash inverts: reserves are restored untouched. *)
+      t.balance0 <- before0;
+      t.balance1 <- before1;
+      Error e
+    | Ok (repay0, repay1) ->
+      let owed0 = U256.add amount0 fee0 and owed1 = U256.add amount1 fee1 in
+      if U256.lt repay0 owed0 || U256.lt repay1 owed1 then begin
+        t.balance0 <- before0;
+        t.balance1 <- before1;
+        Error "pool: flash not repaid"
+      end
+      else begin
+        t.balance0 <- U256.add t.balance0 repay0;
+        t.balance1 <- U256.add t.balance1 repay1;
+        if not (U256.is_zero t.liquidity) then begin
+          let credit fee global =
+            U256.add global (U256.mul_div fee Q96.q128 t.liquidity)
+          in
+          t.fee_growth_global0 <- credit fee0 t.fee_growth_global0;
+          t.fee_growth_global1 <- credit fee1 t.fee_growth_global1
+        end;
+        Ok (fee0, fee1)
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_liquidity_consistency t =
+  (* Sum liquidity_net over all initialized ticks at or below the current
+     tick; the result must equal the tracked in-range liquidity. *)
+  let net =
+    Tick.fold t.ticks ~init:Signed.zero ~f:(fun tick info acc ->
+        if tick <= t.tick then Signed.add acc info.Tick.liquidity_net else acc)
+  in
+  (not (Signed.is_negative net)) && U256.equal (Signed.magnitude net) t.liquidity

@@ -1,0 +1,44 @@
+module U256 = Amm_math.U256
+module Liquidity_math = Amm_math.Liquidity_math
+module Address = Chain.Address
+
+type t = {
+  id : Chain.Ids.Position_id.t;
+  owner : Address.t;
+  lower_tick : int;
+  upper_tick : int;
+  mutable liquidity : U256.t;
+  mutable fee_growth_inside0_last : U256.t;
+  mutable fee_growth_inside1_last : U256.t;
+  mutable tokens_owed0 : U256.t;
+  mutable tokens_owed1 : U256.t;
+}
+
+let create ~id ~owner ~lower_tick ~upper_tick =
+  { id; owner; lower_tick; upper_tick; liquidity = U256.zero;
+    fee_growth_inside0_last = U256.zero; fee_growth_inside1_last = U256.zero;
+    tokens_owed0 = U256.zero; tokens_owed1 = U256.zero }
+
+let q128 = Amm_math.Q96.q128
+
+let update t ~liquidity_delta ~fee_growth_inside0 ~fee_growth_inside1 =
+  (* Fees owed since last touch: Δgrowth (wrapping) · L / 2^128. *)
+  let owed0 =
+    U256.mul_div (U256.sub fee_growth_inside0 t.fee_growth_inside0_last) t.liquidity q128
+  in
+  let owed1 =
+    U256.mul_div (U256.sub fee_growth_inside1 t.fee_growth_inside1_last) t.liquidity q128
+  in
+  t.tokens_owed0 <- U256.add t.tokens_owed0 owed0;
+  t.tokens_owed1 <- U256.add t.tokens_owed1 owed1;
+  t.fee_growth_inside0_last <- fee_growth_inside0;
+  t.fee_growth_inside1_last <- fee_growth_inside1;
+  t.liquidity <- Liquidity_math.apply_delta t.liquidity liquidity_delta
+
+let is_empty t =
+  U256.is_zero t.liquidity && U256.is_zero t.tokens_owed0 && U256.is_zero t.tokens_owed1
+
+let derive_id ~minter ~tx_id =
+  Chain.Ids.Position_id.of_hash
+    (Amm_crypto.Sha256.concat
+       [ Chain.Ids.Tx_id.to_bytes tx_id; Address.to_bytes minter ])

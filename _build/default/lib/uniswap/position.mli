@@ -1,0 +1,39 @@
+(** Liquidity positions: a share of pool liquidity over a tick range,
+    with per-position fee accounting (Uniswap V3's Position library).
+    Ownership is tracked by address — the scheme ammBoost uses on the
+    sidechain (§4.2 "Mints": identifier plus owner public key). *)
+
+module U256 = Amm_math.U256
+module Address = Chain.Address
+
+type t = {
+  id : Chain.Ids.Position_id.t;
+  owner : Address.t;
+  lower_tick : int;
+  upper_tick : int;
+  mutable liquidity : U256.t;
+  mutable fee_growth_inside0_last : U256.t;  (** X128 snapshot *)
+  mutable fee_growth_inside1_last : U256.t;
+  mutable tokens_owed0 : U256.t;
+  mutable tokens_owed1 : U256.t;
+}
+
+val create :
+  id:Chain.Ids.Position_id.t -> owner:Address.t -> lower_tick:int -> upper_tick:int -> t
+
+val update :
+  t ->
+  liquidity_delta:Amm_math.Liquidity_math.delta ->
+  fee_growth_inside0:U256.t ->
+  fee_growth_inside1:U256.t ->
+  unit
+(** Credits fees accrued since the last touch into [tokens_owed] and
+    applies the liquidity delta. *)
+
+val is_empty : t -> bool
+(** No liquidity and nothing owed — eligible for deletion. *)
+
+val derive_id :
+  minter:Address.t -> tx_id:Chain.Ids.Tx_id.t -> Chain.Ids.Position_id.t
+(** ammBoost's position identifier: hash of the mint transaction and the
+    LP's identity (§4.2). *)

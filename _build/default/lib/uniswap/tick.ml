@@ -1,0 +1,95 @@
+module U256 = Amm_math.U256
+module Signed = Amm_math.Signed
+module Liquidity_math = Amm_math.Liquidity_math
+
+type info = {
+  mutable liquidity_gross : U256.t;
+  mutable liquidity_net : Signed.t;
+  mutable fee_growth_outside0 : U256.t;
+  mutable fee_growth_outside1 : U256.t;
+}
+
+module Int_set = Set.Make (Int)
+
+type table = {
+  spacing : int;
+  infos : (int, info) Hashtbl.t;
+  mutable initialized : Int_set.t;
+}
+
+let create ~tick_spacing =
+  if tick_spacing <= 0 then invalid_arg "Tick.create: spacing must be positive";
+  { spacing = tick_spacing; infos = Hashtbl.create 64; initialized = Int_set.empty }
+
+let clone t =
+  let infos = Hashtbl.create (Hashtbl.length t.infos) in
+  Hashtbl.iter (fun k (v : info) -> Hashtbl.replace infos k { v with liquidity_gross = v.liquidity_gross }) t.infos;
+  { spacing = t.spacing; infos; initialized = t.initialized }
+
+let tick_spacing t = t.spacing
+
+let find t tick = Hashtbl.find_opt t.infos tick
+let is_initialized t tick = Int_set.mem tick t.initialized
+
+let get_or_create t tick =
+  match Hashtbl.find_opt t.infos tick with
+  | Some info -> info
+  | None ->
+    let info =
+      { liquidity_gross = U256.zero; liquidity_net = Signed.zero;
+        fee_growth_outside0 = U256.zero; fee_growth_outside1 = U256.zero }
+    in
+    Hashtbl.add t.infos tick info;
+    info
+
+let update t ~tick ~current_tick ~fee_growth_global0 ~fee_growth_global1 ~liquidity_delta
+    ~upper =
+  if tick mod t.spacing <> 0 then invalid_arg "Tick.update: tick not on spacing";
+  let info = get_or_create t tick in
+  let gross_before = info.liquidity_gross in
+  info.liquidity_gross <- Liquidity_math.apply_delta info.liquidity_gross liquidity_delta;
+  let signed_delta =
+    match liquidity_delta with
+    | Liquidity_math.Add d -> Signed.of_u256 d
+    | Liquidity_math.Remove d -> Signed.neg_of_u256 d
+  in
+  (* Upper ticks subtract liquidity when crossed left→right. *)
+  info.liquidity_net <-
+    (if upper then Signed.sub info.liquidity_net signed_delta
+     else Signed.add info.liquidity_net signed_delta);
+  let was = not (U256.is_zero gross_before) in
+  let is = not (U256.is_zero info.liquidity_gross) in
+  let flipped = was <> is in
+  if flipped then begin
+    if is then begin
+      (* Convention: assume all growth so far happened below the tick. *)
+      if tick <= current_tick then begin
+        info.fee_growth_outside0 <- fee_growth_global0;
+        info.fee_growth_outside1 <- fee_growth_global1
+      end;
+      t.initialized <- Int_set.add tick t.initialized
+    end
+    else t.initialized <- Int_set.remove tick t.initialized
+  end;
+  flipped
+
+let clear t tick =
+  Hashtbl.remove t.infos tick;
+  t.initialized <- Int_set.remove tick t.initialized
+
+let cross t ~tick ~fee_growth_global0 ~fee_growth_global1 =
+  match find t tick with
+  | None -> Signed.zero
+  | Some info ->
+    (* Wrapping subtraction, as in V3. *)
+    info.fee_growth_outside0 <- U256.sub fee_growth_global0 info.fee_growth_outside0;
+    info.fee_growth_outside1 <- U256.sub fee_growth_global1 info.fee_growth_outside1;
+    info.liquidity_net
+
+let next_initialized t ~from_tick ~lte =
+  if lte then Int_set.find_last_opt (fun tick -> tick <= from_tick) t.initialized
+  else Int_set.find_first_opt (fun tick -> tick > from_tick) t.initialized
+
+let initialized_count t = Int_set.cardinal t.initialized
+
+let fold t ~init ~f = Hashtbl.fold f t.infos init

@@ -1,0 +1,48 @@
+(** Per-tick state and the initialized-tick table of a concentrated
+    liquidity pool (Uniswap V3's Tick + TickBitmap equivalents; the
+    next-initialized-tick search uses an ordered set instead of a
+    bitmap). *)
+
+module U256 = Amm_math.U256
+module Signed = Amm_math.Signed
+
+type info = {
+  mutable liquidity_gross : U256.t;   (** total liquidity referencing the tick *)
+  mutable liquidity_net : Signed.t;   (** net liquidity added crossing left→right *)
+  mutable fee_growth_outside0 : U256.t;  (** X128 *)
+  mutable fee_growth_outside1 : U256.t;  (** X128 *)
+}
+
+type table
+
+val create : tick_spacing:int -> table
+val clone : table -> table
+(** Deep copy (per-tick records included), for auditing replays. *)
+
+val tick_spacing : table -> int
+
+val find : table -> int -> info option
+val is_initialized : table -> int -> bool
+
+val update :
+  table -> tick:int -> current_tick:int ->
+  fee_growth_global0:U256.t -> fee_growth_global1:U256.t ->
+  liquidity_delta:Amm_math.Liquidity_math.delta -> upper:bool -> bool
+(** Applies a mint/burn liquidity delta to the tick; returns [true] when
+    the tick flipped between initialized and uninitialized. Initializes
+    fee-growth-outside to the global values for ticks at or below the
+    current tick, as V3 does. *)
+
+val clear : table -> int -> unit
+
+val cross :
+  table -> tick:int -> fee_growth_global0:U256.t -> fee_growth_global1:U256.t -> Signed.t
+(** Crossing during a swap: flips the fee-growth-outside snapshots and
+    returns the liquidity-net to apply. *)
+
+val next_initialized : table -> from_tick:int -> lte:bool -> int option
+(** Nearest initialized tick at or below ([lte]) / strictly above the
+    given tick. *)
+
+val initialized_count : table -> int
+val fold : table -> init:'a -> f:(int -> info -> 'a -> 'a) -> 'a

@@ -1,0 +1,1 @@
+test/test_chain.ml: Address Alcotest Amm_crypto Amm_math Bytes Chain Encoding Ids Ledger List Mempool QCheck2 QCheck_alcotest Stdlib String Token Tx

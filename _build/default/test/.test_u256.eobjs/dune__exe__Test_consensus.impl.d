@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Amm_crypto Array Bytes Consensus Election Float Latency_model List Network Pbft Pqueue Printf QCheck2 QCheck_alcotest

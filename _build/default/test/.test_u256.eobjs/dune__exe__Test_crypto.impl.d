@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Amm_crypto Amm_math Array Bls Bytes Field Fun Group Keccak256 List Merkle Printf QCheck2 QCheck_alcotest Rng Sha256 String Vrf

@@ -1,0 +1,1 @@
+test/test_math.ml: Alcotest Amm_math Float Liquidity_math List Printf Q96 QCheck2 QCheck_alcotest Sqrt_price_math Swap_math Tick_math U256

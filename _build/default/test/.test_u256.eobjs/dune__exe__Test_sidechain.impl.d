@@ -1,0 +1,1 @@
+test/test_sidechain.ml: Alcotest Amm_crypto Amm_math Auditor Blocks Bytes Chain Codec Deposits List Processor QCheck2 QCheck_alcotest Sidechain Tokenbank Uniswap

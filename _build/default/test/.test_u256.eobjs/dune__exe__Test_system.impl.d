@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Amm_crypto Amm_math Ammboost Baseline Bytes Chain Config Float List Mainchain Party Printf QCheck2 QCheck_alcotest Sidechain System Tokenbank Traffic Uniswap

@@ -1,0 +1,1 @@
+test/test_tokenbank.ml: Alcotest Amm_crypto Amm_math Array Chain List Mainchain Printf String Sync_payload Token_bank Tokenbank

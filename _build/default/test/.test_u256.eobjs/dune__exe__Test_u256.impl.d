@@ -1,0 +1,1 @@
+test/test_u256.ml: Alcotest Amm_math Bytes List QCheck2 QCheck_alcotest Signed U256

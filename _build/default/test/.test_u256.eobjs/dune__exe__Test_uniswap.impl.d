@@ -1,0 +1,1 @@
+test/test_uniswap.ml: Alcotest Amm_crypto Amm_math Chain Factory Float List Nfpm Option Oracle Pool Position Printf QCheck2 QCheck_alcotest Router Tick Uniswap

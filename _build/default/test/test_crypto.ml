@@ -1,0 +1,316 @@
+(* Hash test vectors, field laws, BLS and threshold signatures, VRF,
+   Merkle trees, and the deterministic RNG. *)
+
+open Amm_crypto
+module U256 = Amm_math.U256
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:100 ~name gen f)
+let gen_msg = QCheck2.Gen.(map Bytes.of_string (string_size (int_range 0 300)))
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256 (FIPS 180-4 vectors)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_sha256_vectors () =
+  let cases =
+    [ ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      (String.make 1000 'a',
+       "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3") ]
+  in
+  List.iter (fun (input, expect) -> Alcotest.(check string) input expect (Sha256.hex input)) cases
+
+let test_sha256_block_boundaries () =
+  (* Lengths that straddle the 64-byte block and padding boundaries. *)
+  List.iter
+    (fun n ->
+      let d = Sha256.digest (Bytes.make n 'x') in
+      Alcotest.(check int) (Printf.sprintf "len %d" n) 32 (Bytes.length d))
+    [ 54; 55; 56; 63; 64; 65; 119; 120; 128 ]
+
+(* ------------------------------------------------------------------ *)
+(* Keccak-256 (Ethereum vectors)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_keccak_vectors () =
+  let cases =
+    [ ("", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+      ("abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+      ("hello", "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8");
+      ("testing", "5f16f4c7f149ac4f9510d9cf8cf384038ad348b3bcdc01915f95de12df9d1b02") ]
+  in
+  List.iter (fun (input, expect) -> Alcotest.(check string) input expect (Keccak256.hex input)) cases
+
+let test_keccak_rate_boundaries () =
+  (* The 136-byte rate boundary and multiples. *)
+  List.iter
+    (fun n ->
+      let d = Keccak256.digest (Bytes.make n 'k') in
+      Alcotest.(check int) (Printf.sprintf "len %d" n) 32 (Bytes.length d))
+    [ 135; 136; 137; 271; 272; 273 ]
+
+let hash_props =
+  [ prop "sha256 deterministic" gen_msg (fun m ->
+        Bytes.equal (Sha256.digest m) (Sha256.digest m));
+    prop "keccak deterministic" gen_msg (fun m ->
+        Bytes.equal (Keccak256.digest m) (Keccak256.digest m));
+    prop "sha256 avalanche" gen_msg (fun m ->
+        let m' = Bytes.cat m (Bytes.of_string "x") in
+        not (Bytes.equal (Sha256.digest m) (Sha256.digest m'))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Field                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_field =
+  QCheck2.Gen.(map (fun s -> Field.of_bytes (Bytes.of_string s)) (string_size (return 16)))
+
+let field_props =
+  [ prop "field inverse" gen_field (fun a ->
+        Field.is_zero a || Field.equal Field.one (Field.mul a (Field.inv a)));
+    prop "field add inverse" gen_field (fun a ->
+        Field.is_zero (Field.add a (Field.neg a)));
+    prop "field distributivity" (QCheck2.Gen.triple gen_field gen_field gen_field)
+      (fun (a, b, c) ->
+        Field.equal (Field.mul a (Field.add b c))
+          (Field.add (Field.mul a b) (Field.mul a c))) ]
+
+let test_field_pow () =
+  let a = Field.of_int 7 in
+  Alcotest.(check bool) "a^(p-1) = 1 (Fermat)" true
+    (Field.equal Field.one (Field.pow a (U256.sub Field.order U256.one)))
+
+(* ------------------------------------------------------------------ *)
+(* BLS and threshold signatures                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rng () = Rng.create "crypto-tests"
+
+let test_bls_sign_verify () =
+  let r = rng () in
+  let sk, pk = Bls.keygen r in
+  let msg = Bytes.of_string "epoch 7 summary" in
+  let s = Bls.sign sk msg in
+  Alcotest.(check bool) "valid" true (Bls.verify pk msg s);
+  Alcotest.(check bool) "wrong message" false (Bls.verify pk (Bytes.of_string "other") s);
+  let _, pk2 = Bls.keygen r in
+  Alcotest.(check bool) "wrong key" false (Bls.verify pk2 msg s)
+
+let test_bls_sizes () =
+  let sk, pk = Bls.keygen (rng ()) in
+  Alcotest.(check int) "sig 64B" 64
+    (Bytes.length (Bls.signature_to_bytes (Bls.sign sk (Bytes.of_string "m"))));
+  Alcotest.(check int) "vk 128B" 128 (Bytes.length (Bls.public_key_to_bytes pk))
+
+let test_bls_aggregate () =
+  let r = rng () in
+  let msg = Bytes.of_string "m" in
+  let keys = List.init 5 (fun _ -> Bls.keygen r) in
+  let sigs = List.map (fun (sk, _) -> Bls.sign sk msg) keys in
+  let agg_sig = Bls.aggregate sigs in
+  (* Aggregate verifies under the aggregated public key in the ideal
+     group: sum of keys = key of summed secrets. *)
+  let agg_pk =
+    List.fold_left
+      (fun acc (_, pk) -> Group.g2_add acc pk)
+      (Group.g2_mul Group.g2_generator Field.zero)
+      keys
+  in
+  Alcotest.(check bool) "aggregate verifies" true (Bls.verify agg_pk msg agg_sig)
+
+let test_threshold_basic () =
+  let vk, shares = Bls.dkg (rng ()) ~n:10 ~threshold:7 in
+  let msg = Bytes.of_string "sync payload" in
+  let partials = List.map (fun s -> Bls.partial_sign s msg) shares in
+  (match Bls.combine ~threshold:7 partials with
+  | Some s -> Alcotest.(check bool) "full set verifies" true (Bls.verify vk msg s)
+  | None -> Alcotest.fail "combine failed");
+  (* Any 7-subset works. *)
+  let subset = List.filteri (fun i _ -> i mod 3 <> 1) partials in
+  (match Bls.combine ~threshold:7 subset with
+  | Some s -> Alcotest.(check bool) "subset verifies" true (Bls.verify vk msg s)
+  | None -> Alcotest.fail "subset combine failed")
+
+let test_threshold_too_few () =
+  let _, shares = Bls.dkg (rng ()) ~n:10 ~threshold:7 in
+  let msg = Bytes.of_string "m" in
+  let partials = List.filteri (fun i _ -> i < 6) (List.map (fun s -> Bls.partial_sign s msg) shares) in
+  Alcotest.(check bool) "6 < 7 rejected" true (Bls.combine ~threshold:7 partials = None)
+
+let test_threshold_duplicates_dont_count () =
+  let _, shares = Bls.dkg (rng ()) ~n:10 ~threshold:4 in
+  let msg = Bytes.of_string "m" in
+  let p = Bls.partial_sign (List.hd shares) msg in
+  Alcotest.(check bool) "duplicates rejected" true
+    (Bls.combine ~threshold:4 [ p; p; p; p ] = None)
+
+let test_threshold_wrong_subset_signature_rejected () =
+  let vk, shares = Bls.dkg (rng ()) ~n:7 ~threshold:5 in
+  let msg = Bytes.of_string "m" in
+  let other = Bytes.of_string "forged" in
+  let partials = List.map (fun s -> Bls.partial_sign s other) shares in
+  match Bls.combine ~threshold:5 partials with
+  | Some s -> Alcotest.(check bool) "signature on other message" false (Bls.verify vk msg s)
+  | None -> Alcotest.fail "combine failed"
+
+let threshold_subset_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:40 ~name:"any t-subset combines, smaller never"
+       QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 9))
+       (fun (salt, drop) ->
+         let r = Rng.create (Printf.sprintf "subset-%d" salt) in
+         let n = 9 and threshold = 5 in
+         let vk, shares = Bls.dkg r ~n ~threshold in
+         let msg = Bytes.of_string (string_of_int salt) in
+         let partials = List.map (fun s -> Bls.partial_sign s msg) shares in
+         (* Remove up to [drop] distinct shares. *)
+         let kept = List.filteri (fun i _ -> i >= drop) partials in
+         match Bls.combine ~threshold kept with
+         | Some sigma -> List.length kept >= threshold && Bls.verify vk msg sigma
+         | None -> List.length kept < threshold))
+
+let test_dkg_bad_threshold () =
+  Alcotest.check_raises "threshold > n" (Invalid_argument "Bls.dkg: bad threshold")
+    (fun () -> ignore (Bls.dkg (rng ()) ~n:3 ~threshold:4))
+
+(* ------------------------------------------------------------------ *)
+(* VRF                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vrf_roundtrip () =
+  let sk, pk = Bls.keygen (rng ()) in
+  let input = Bytes.of_string "election seed" in
+  let out, proof = Vrf.evaluate sk input in
+  Alcotest.(check bool) "verifies" true (Vrf.verify pk input proof = Some out);
+  Alcotest.(check bool) "wrong input" true (Vrf.verify pk (Bytes.of_string "x") proof = None)
+
+let test_vrf_deterministic () =
+  let sk, _ = Bls.keygen (rng ()) in
+  let input = Bytes.of_string "seed" in
+  let o1, _ = Vrf.evaluate sk input in
+  let o2, _ = Vrf.evaluate sk input in
+  Alcotest.(check bool) "same output" true (Bytes.equal o1 o2)
+
+let test_vrf_output_below () =
+  let out = Bytes.make 32 '\000' in
+  Alcotest.(check bool) "0 below 0.5" true (Vrf.output_below out 0.5);
+  let top = Bytes.make 32 '\xff' in
+  Alcotest.(check bool) "max not below 0.999" false (Vrf.output_below top 0.999)
+
+(* ------------------------------------------------------------------ *)
+(* Merkle                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let leaves n = List.init n (fun i -> Bytes.of_string (Printf.sprintf "leaf-%d" i))
+
+let test_merkle_all_proofs () =
+  List.iter
+    (fun n ->
+      let l = leaves n in
+      let t = Merkle.of_leaves l in
+      List.iteri
+        (fun i leaf ->
+          match Merkle.prove t i with
+          | Some p ->
+            Alcotest.(check bool)
+              (Printf.sprintf "n=%d i=%d" n i)
+              true
+              (Merkle.verify ~root:(Merkle.root t) ~leaf p)
+          | None -> Alcotest.failf "no proof for %d/%d" i n)
+        l)
+    [ 1; 2; 3; 4; 5; 7; 8; 9; 16; 33 ]
+
+let test_merkle_bad_proof () =
+  let t = Merkle.of_leaves (leaves 8) in
+  match Merkle.prove t 3 with
+  | Some p ->
+    Alcotest.(check bool) "wrong leaf fails" false
+      (Merkle.verify ~root:(Merkle.root t) ~leaf:(Bytes.of_string "leaf-4") p)
+  | None -> Alcotest.fail "no proof"
+
+let test_merkle_empty_and_range () =
+  let t = Merkle.of_leaves [] in
+  Alcotest.(check bool) "empty root" true (Bytes.equal (Merkle.root t) Merkle.empty_root);
+  let t8 = Merkle.of_leaves (leaves 8) in
+  Alcotest.(check bool) "out of range" true (Merkle.prove t8 8 = None);
+  Alcotest.(check bool) "negative" true (Merkle.prove t8 (-1) = None)
+
+let test_merkle_proof_length () =
+  let t = Merkle.of_leaves (leaves 16) in
+  match Merkle.prove t 5 with
+  | Some p -> Alcotest.(check int) "log2 16" 4 (Merkle.proof_length p)
+  | None -> Alcotest.fail "no proof"
+
+(* ------------------------------------------------------------------ *)
+(* RNG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create "seed" and b = Rng.create "seed" in
+  for _ = 1 to 10 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create "seed" in
+  let c1 = Rng.split parent "a" and c2 = Rng.split parent "b" in
+  let s1 = List.init 8 (fun _ -> Rng.int c1 1_000_000) in
+  let s2 = List.init 8 (fun _ -> Rng.int c2 1_000_000) in
+  Alcotest.(check bool) "different streams" true (s1 <> s2)
+
+let test_rng_bounds () =
+  let r = Rng.create "bounds" in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of bounds: %d" v;
+    let f = Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of bounds: %f" f
+  done;
+  Alcotest.check_raises "nonpositive bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create "shuffle" in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let () =
+  Alcotest.run "crypto"
+    [ ( "sha256",
+        [ Alcotest.test_case "vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "block boundaries" `Quick test_sha256_block_boundaries ] );
+      ( "keccak256",
+        [ Alcotest.test_case "vectors" `Quick test_keccak_vectors;
+          Alcotest.test_case "rate boundaries" `Quick test_keccak_rate_boundaries ]
+        @ hash_props );
+      ("field", Alcotest.test_case "fermat" `Quick test_field_pow :: field_props);
+      ( "bls",
+        [ Alcotest.test_case "sign/verify" `Quick test_bls_sign_verify;
+          Alcotest.test_case "sizes" `Quick test_bls_sizes;
+          Alcotest.test_case "aggregate" `Quick test_bls_aggregate;
+          Alcotest.test_case "threshold basic" `Quick test_threshold_basic;
+          Alcotest.test_case "threshold too few" `Quick test_threshold_too_few;
+          Alcotest.test_case "threshold duplicates" `Quick test_threshold_duplicates_dont_count;
+          Alcotest.test_case "threshold wrong message" `Quick
+            test_threshold_wrong_subset_signature_rejected;
+          Alcotest.test_case "dkg bad threshold" `Quick test_dkg_bad_threshold;
+          threshold_subset_prop ] );
+      ( "vrf",
+        [ Alcotest.test_case "roundtrip" `Quick test_vrf_roundtrip;
+          Alcotest.test_case "deterministic" `Quick test_vrf_deterministic;
+          Alcotest.test_case "output below" `Quick test_vrf_output_below ] );
+      ( "merkle",
+        [ Alcotest.test_case "all proofs verify" `Quick test_merkle_all_proofs;
+          Alcotest.test_case "bad proof" `Quick test_merkle_bad_proof;
+          Alcotest.test_case "empty and range" `Quick test_merkle_empty_and_range;
+          Alcotest.test_case "proof length" `Quick test_merkle_proof_length ] );
+      ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes ] ) ]

@@ -1,0 +1,526 @@
+(* TokenBank: deposits, Sync authentication and application, token
+   conservation, the payin-exceeds-deposit rule, mass-sync key chaining,
+   flash loans, checkpoint/restore, and the ERC20 + gas substrate. *)
+
+module U256 = Amm_math.U256
+module Address = Chain.Address
+module Erc20 = Mainchain.Erc20
+module Gas = Mainchain.Gas
+module Bls = Amm_crypto.Bls
+open Tokenbank
+
+let u = U256.of_string
+let check_u256 = Alcotest.testable U256.pp U256.equal
+let one_e18 = u "1000000000000000000"
+let one_e21 = u "1000000000000000000000"
+
+let alice = Address.of_label "alice"
+let bob = Address.of_label "bob"
+
+type env = {
+  bank : Token_bank.t;
+  erc0 : Erc20.t;
+  erc1 : Erc20.t;
+  keys : (Bls.secret_key * Bls.public_key) array; (* per epoch *)
+  pool_id : int;
+}
+
+let make_env () =
+  let rng = Amm_crypto.Rng.create "tokenbank-tests" in
+  let erc0 = Erc20.deploy (Chain.Token.make ~id:0 ~symbol:"TKA") in
+  let erc1 = Erc20.deploy (Chain.Token.make ~id:1 ~symbol:"TKB") in
+  let keys = Array.init 8 (fun _ -> Bls.keygen rng) in
+  let bank = Token_bank.deploy ~token0:erc0 ~token1:erc1 ~genesis_committee_vk:(snd keys.(0)) in
+  let pool_id = Token_bank.create_pool bank ~flash_fee_pips:3000 in
+  List.iter
+    (fun who ->
+      Erc20.mint erc0 who one_e21;
+      Erc20.mint erc1 who one_e21;
+      Erc20.approve erc0 ~owner:who ~spender:(Token_bank.address bank) U256.max_value;
+      Erc20.approve erc1 ~owner:who ~spender:(Token_bank.address bank) U256.max_value)
+    [ alice; bob ];
+  { bank; erc0; erc1; keys; pool_id }
+
+let payload ?(users = []) ?(positions = []) env ~epoch ~balance0 ~balance1 =
+  { Sync_payload.epoch; pool = env.pool_id; pool_balance0 = balance0;
+    pool_balance1 = balance1; users; positions;
+    next_committee_vk = snd env.keys.(epoch + 1) }
+
+let sign env ~epoch p = Bls.sign (fst env.keys.(epoch)) (Sync_payload.signing_bytes p)
+
+let user_entry ?(payin0 = U256.zero) ?(payin1 = U256.zero) ?(payout0 = U256.zero)
+    ?(payout1 = U256.zero) who =
+  { Sync_payload.user = who; payin0; payin1; payout0; payout1 }
+
+(* ------------------------------------------------------------------ *)
+(* Deposits                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_deposit_moves_tokens () =
+  let env = make_env () in
+  (match Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:one_e18 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.check check_u256 "deposit recorded" one_e18
+    (fst (Token_bank.deposit_of env.bank ~epoch:0 alice));
+  Alcotest.check check_u256 "custody holds tokens" one_e18
+    (fst (Token_bank.total_custody env.bank));
+  Alcotest.check check_u256 "user debited" (U256.sub one_e21 one_e18)
+    (Erc20.balance_of env.erc0 alice)
+
+let test_deposit_epoch_scoping () =
+  let env = make_env () in
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:U256.zero);
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:1 ~amount0:(U256.mul one_e18 U256.two) ~amount1:U256.zero);
+  Alcotest.check check_u256 "epoch 0" one_e18 (fst (Token_bank.deposit_of env.bank ~epoch:0 alice));
+  Alcotest.check check_u256 "epoch 1" (U256.mul one_e18 U256.two)
+    (fst (Token_bank.deposit_of env.bank ~epoch:1 alice))
+
+let test_deposit_insufficient_balance () =
+  let env = make_env () in
+  match
+    Token_bank.deposit env.bank ~user:alice ~for_epoch:0
+      ~amount0:(U256.mul one_e21 (U256.of_int 5)) ~amount1:U256.zero
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "overdraft accepted"
+
+let test_deposit_gas_metered () =
+  let env = make_env () in
+  let m = Gas.meter () in
+  ignore (Token_bank.deposit ~meter:m env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:one_e18);
+  let total = Gas.total m in
+  (* Structured metering lands in the neighborhood of the paper's 52 696. *)
+  Alcotest.(check bool) (Printf.sprintf "deposit gas %d plausible" total) true
+    (total > 40_000 && total < 80_000)
+
+(* ------------------------------------------------------------------ *)
+(* Sync                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sync_happy_path () =
+  let env = make_env () in
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:U256.zero);
+  (* Alice swapped 1e18 of token0 for 9e17 of token1. *)
+  let p =
+    payload env ~epoch:0 ~balance0:one_e18 ~balance1:U256.zero
+      ~users:[ user_entry alice ~payin0:one_e18 ~payout1:U256.zero ]
+  in
+  (* Pool must conserve: it gains payin0 and pays nothing (payout comes
+     from its balance — here zero balance1 means no payout). *)
+  (match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
+  | Ok receipt ->
+    Alcotest.(check (list int)) "epoch covered" [ 0 ] receipt.Token_bank.epochs_covered;
+    Alcotest.(check int) "synced" 0 (Token_bank.last_synced_epoch env.bank)
+  | Error e -> Alcotest.fail e);
+  match Token_bank.pool env.bank env.pool_id with
+  | Some pi -> Alcotest.check check_u256 "pool credited" one_e18 pi.Token_bank.balance0
+  | None -> Alcotest.fail "pool missing"
+
+let test_sync_bad_signature_rejected () =
+  let env = make_env () in
+  let p = payload env ~epoch:0 ~balance0:U256.zero ~balance1:U256.zero in
+  (* Signed by the wrong committee's key. *)
+  let bad = Bls.sign (fst env.keys.(3)) (Sync_payload.signing_bytes p) in
+  match Token_bank.sync env.bank ~signed:[ (p, bad) ] with
+  | Error _ -> Alcotest.(check int) "state untouched" (-1) (Token_bank.last_synced_epoch env.bank)
+  | Ok _ -> Alcotest.fail "forged sync accepted"
+
+let test_sync_tampered_payload_rejected () =
+  let env = make_env () in
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:U256.zero);
+  let p =
+    payload env ~epoch:0 ~balance0:one_e18 ~balance1:U256.zero
+      ~users:[ user_entry alice ~payin0:one_e18 ]
+  in
+  let signature = sign env ~epoch:0 p in
+  let tampered = { p with Sync_payload.pool_balance0 = U256.mul one_e18 U256.two } in
+  match Token_bank.sync env.bank ~signed:[ (tampered, signature) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered payload accepted"
+
+let test_sync_conservation_violation_rejected () =
+  let env = make_env () in
+  (* Claim the pool pays out more than it takes in. *)
+  let p =
+    payload env ~epoch:0 ~balance0:U256.zero ~balance1:U256.zero
+      ~users:[ user_entry alice ~payout0:one_e18 ]
+  in
+  match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
+  | Error e ->
+    Alcotest.(check bool) "conservation error" true
+      (String.length e > 0 && Token_bank.last_synced_epoch env.bank = -1)
+  | Ok _ -> Alcotest.fail "uncovered payout accepted"
+
+let test_sync_wrong_epoch_rejected () =
+  let env = make_env () in
+  let p = payload env ~epoch:2 ~balance0:U256.zero ~balance1:U256.zero in
+  match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:2 p) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "epoch gap accepted"
+
+let test_sync_payout_and_refund () =
+  let env = make_env () in
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:U256.zero);
+  let balance_before0 = Erc20.balance_of env.erc0 alice in
+  let balance_before1 = Erc20.balance_of env.erc1 alice in
+  (* Alice spent 0.4e18 token0, got 0.3e18 token1; pool starts empty. *)
+  let spent = u "400000000000000000" and got = u "300000000000000000" in
+  (* Seed pool with enough token1 via bob's payin. *)
+  ignore (Token_bank.deposit env.bank ~user:bob ~for_epoch:0 ~amount0:U256.zero ~amount1:one_e18);
+  let p =
+    payload env ~epoch:0 ~balance0:spent ~balance1:(U256.sub one_e18 got)
+      ~users:
+        [ user_entry alice ~payin0:spent ~payout1:got;
+          user_entry bob ~payin1:one_e18 ]
+  in
+  (match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* Alice got her payout in token1 and the unspent 0.6e18 token0 refund. *)
+  Alcotest.check check_u256 "token1 payout" (U256.add balance_before1 got)
+    (Erc20.balance_of env.erc1 alice);
+  Alcotest.check check_u256 "token0 residual refund"
+    (U256.add balance_before0 (U256.sub one_e18 spent))
+    (Erc20.balance_of env.erc0 alice);
+  (* Deposit ledger cleared for the epoch. *)
+  Alcotest.check check_u256 "deposit cleared" U256.zero
+    (fst (Token_bank.deposit_of env.bank ~epoch:0 alice));
+  (* Custody equals pool balances exactly after the epoch settles. *)
+  let c0, c1 = Token_bank.total_custody env.bank in
+  (match Token_bank.pool env.bank env.pool_id with
+  | Some pi ->
+    Alcotest.check check_u256 "custody = pool 0" pi.Token_bank.balance0 c0;
+    Alcotest.check check_u256 "custody = pool 1" pi.Token_bank.balance1 c1
+  | None -> Alcotest.fail "pool missing")
+
+let test_sync_payin_exceeding_deposit_clipped_from_payout () =
+  let env = make_env () in
+  (* Alice deposited 1e18 but her sidechain activity consumed 1.5e18 of
+     token0 (she re-spent sidechain credit); the 0.5e18 shortfall comes out
+     of her payout (§4.2). *)
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:U256.zero);
+  let payin = u "1500000000000000000" and payout = u "800000000000000000" in
+  let short = U256.sub payin one_e18 in
+  let before0 = Erc20.balance_of env.erc0 alice in
+  let p =
+    payload env ~epoch:0 ~balance0:(U256.sub payin payout) ~balance1:U256.zero
+      ~users:[ user_entry alice ~payin0:payin ~payout0:payout ]
+  in
+  (match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.check check_u256 "payout clipped by shortfall"
+    (U256.add before0 (U256.sub payout short))
+    (Erc20.balance_of env.erc0 alice)
+
+let test_mass_sync_key_chain () =
+  let env = make_env () in
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:U256.zero);
+  let p0 =
+    payload env ~epoch:0 ~balance0:one_e18 ~balance1:U256.zero
+      ~users:[ user_entry alice ~payin0:one_e18 ]
+  in
+  let p1 = payload env ~epoch:1 ~balance0:one_e18 ~balance1:U256.zero in
+  let p2 = payload env ~epoch:2 ~balance0:one_e18 ~balance1:U256.zero in
+  (* Epochs 0-2 land in one mass-sync; each is signed by its own epoch
+     committee, whose key is recorded by the previous payload. *)
+  (match
+     Token_bank.sync env.bank
+       ~signed:
+         [ (p0, sign env ~epoch:0 p0); (p1, sign env ~epoch:1 p1);
+           (p2, sign env ~epoch:2 p2) ]
+   with
+  | Ok receipt ->
+    Alcotest.(check (list int)) "covered" [ 0; 1; 2 ] receipt.Token_bank.epochs_covered;
+    Alcotest.(check int) "synced to 2" 2 (Token_bank.last_synced_epoch env.bank)
+  | Error e -> Alcotest.fail e);
+  (* A payload signed by the wrong link of the chain is rejected. *)
+  let env2 = make_env () in
+  let q0 = payload env2 ~epoch:0 ~balance0:U256.zero ~balance1:U256.zero in
+  let q1 = payload env2 ~epoch:1 ~balance0:U256.zero ~balance1:U256.zero in
+  match
+    Token_bank.sync env2.bank
+      ~signed:[ (q0, sign env2 ~epoch:0 q0); (q1, sign env2 ~epoch:0 q1) ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong chain link accepted"
+
+let test_sync_gas_itemization () =
+  let env = make_env () in
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:U256.zero);
+  let p =
+    payload env ~epoch:0 ~balance0:one_e18 ~balance1:U256.zero
+      ~users:[ user_entry alice ~payin0:one_e18 ]
+  in
+  match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
+  | Error e -> Alcotest.fail e
+  | Ok receipt ->
+    let items = Gas.breakdown receipt.Token_bank.gas in
+    List.iter
+      (fun key ->
+        if not (List.mem_assoc key items) then Alcotest.failf "missing component %s" key)
+      [ "base"; "calldata"; "auth.hash_to_point"; "auth.pairing"; "storage" ];
+    Alcotest.(check int) "pairing cost" Gas.pairing_check
+      (List.assoc "auth.pairing" items);
+    Alcotest.(check bool) "storage covers vk + balances" true
+      (List.assoc "storage" items >= 6 * Gas.sstore_word)
+
+let test_position_lifecycle_through_sync () =
+  let env = make_env () in
+  let pid = Chain.Ids.Position_id.of_hash (Amm_crypto.Sha256.digest_string "pos") in
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:U256.zero);
+  let pos_entry =
+    { Sync_payload.pos_id = pid; owner = alice; lower_tick = -60; upper_tick = 60;
+      liquidity = one_e18; amount0 = one_e18; amount1 = U256.zero;
+      fees0 = U256.zero; fees1 = U256.zero; deleted = false }
+  in
+  let p0 =
+    payload env ~epoch:0 ~balance0:one_e18 ~balance1:U256.zero
+      ~users:[ user_entry alice ~payin0:one_e18 ]
+      ~positions:[ pos_entry ]
+  in
+  ignore (Token_bank.sync env.bank ~signed:[ (p0, sign env ~epoch:0 p0) ]);
+  Alcotest.(check bool) "position stored" true (Token_bank.find_position env.bank pid <> None);
+  (* Next epoch deletes it (full withdrawal paid back to alice). *)
+  ignore (Token_bank.deposit env.bank ~user:bob ~for_epoch:1 ~amount0:U256.zero ~amount1:U256.zero);
+  let p1 =
+    payload env ~epoch:1 ~balance0:U256.zero ~balance1:U256.zero
+      ~users:[ user_entry alice ~payout0:one_e18 ]
+      ~positions:[ { pos_entry with Sync_payload.deleted = true } ]
+  in
+  (match Token_bank.sync env.bank ~signed:[ (p1, sign env ~epoch:1 p1) ] with
+  | Ok receipt -> Alcotest.(check int) "one delete" 1 receipt.Token_bank.positions_deleted
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "position gone" true (Token_bank.find_position env.bank pid = None)
+
+let test_sync_empty_epoch () =
+  (* An epoch with no activity still syncs (records the next vk). *)
+  let env = make_env () in
+  let p = payload env ~epoch:0 ~balance0:U256.zero ~balance1:U256.zero in
+  match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
+  | Ok receipt ->
+    Alcotest.(check int) "no payouts" 0 receipt.Token_bank.payouts_dispensed;
+    Alcotest.(check int) "epoch advanced" 0 (Token_bank.last_synced_epoch env.bank)
+  | Error e -> Alcotest.fail e
+
+let test_sync_replay_rejected () =
+  (* A confirmed Sync resubmitted verbatim must be rejected (stale
+     epoch). *)
+  let env = make_env () in
+  let p = payload env ~epoch:0 ~balance0:U256.zero ~balance1:U256.zero in
+  let signed = [ (p, sign env ~epoch:0 p) ] in
+  (match Token_bank.sync env.bank ~signed with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Token_bank.sync env.bank ~signed with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "replayed sync accepted"
+
+let test_multi_pool_sync () =
+  let env = make_env () in
+  let pool2 = Token_bank.create_pool env.bank ~flash_fee_pips:500 in
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:U256.zero);
+  (* Fund pool2 instead of pool 0. *)
+  let p =
+    { (payload env ~epoch:0 ~balance0:one_e18 ~balance1:U256.zero
+         ~users:[ user_entry alice ~payin0:one_e18 ])
+      with Sync_payload.pool = pool2 }
+  in
+  (match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Token_bank.pool env.bank pool2 with
+  | Some pi -> Alcotest.check check_u256 "pool2 funded" one_e18 pi.Token_bank.balance0
+  | None -> Alcotest.fail "pool2 missing");
+  match Token_bank.pool env.bank env.pool_id with
+  | Some pi -> Alcotest.check check_u256 "pool0 untouched" U256.zero pi.Token_bank.balance0
+  | None -> Alcotest.fail "pool0 missing"
+
+(* ------------------------------------------------------------------ *)
+(* Flash loans on the mainchain                                        *)
+(* ------------------------------------------------------------------ *)
+
+let flash_env () =
+  let env = make_env () in
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:one_e18);
+  let p =
+    payload env ~epoch:0 ~balance0:one_e18 ~balance1:one_e18
+      ~users:[ user_entry alice ~payin0:one_e18 ~payin1:one_e18 ]
+  in
+  (match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  env
+
+let test_flash_repaid () =
+  let env = flash_env () in
+  let borrow = u "100000000000000000" in
+  match
+    Token_bank.flash env.bank ~pool:env.pool_id ~borrower:bob ~amount0:borrow
+      ~amount1:U256.zero ~callback:(fun ~fee0:_ ~fee1:_ -> Ok ())
+  with
+  | Ok (fee0, _) ->
+    Alcotest.(check bool) "fee positive" true (U256.gt fee0 U256.zero);
+    (match Token_bank.pool env.bank env.pool_id with
+    | Some pi ->
+      Alcotest.check check_u256 "pool grew by fee" (U256.add one_e18 fee0)
+        pi.Token_bank.balance0
+    | None -> Alcotest.fail "pool missing")
+  | Error e -> Alcotest.fail e
+
+let test_flash_not_repaid_inverts () =
+  let env = flash_env () in
+  let borrow = u "100000000000000000" in
+  let bob_before = Erc20.balance_of env.erc0 bob in
+  (match
+     Token_bank.flash env.bank ~pool:env.pool_id ~borrower:bob ~amount0:borrow
+       ~amount1:U256.zero
+       ~callback:(fun ~fee0 ~fee1:_ ->
+         (* Bob burns the fee he owes so he cannot repay. *)
+         ignore (Erc20.transfer env.erc0 ~source:bob ~dest:(Address.of_label "void") fee0);
+         ignore
+           (Erc20.transfer env.erc0 ~source:bob ~dest:(Address.of_label "void")
+              (Erc20.balance_of env.erc0 bob));
+         Ok ())
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unrepayable flash accepted");
+  ignore bob_before;
+  match Token_bank.pool env.bank env.pool_id with
+  | Some pi -> Alcotest.check check_u256 "pool balance intact" one_e18 pi.Token_bank.balance0
+  | None -> Alcotest.fail "pool missing"
+
+let test_flash_pool_balances_unchanged_for_sidechain () =
+  (* Flashes must not invalidate the sidechain's epoch-start snapshot:
+     pool balances after a successful flash differ only by the earned fee
+     (and are identical when the fee is zero). *)
+  let env = flash_env () in
+  let snap_before = Token_bank.snapshot env.bank ~epoch:1 in
+  (match
+     Token_bank.flash env.bank ~pool:env.pool_id ~borrower:bob
+       ~amount0:(u "500000000000000000") ~amount1:U256.zero
+       ~callback:(fun ~fee0:_ ~fee1:_ -> Ok ())
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let snap_after = Token_bank.snapshot env.bank ~epoch:1 in
+  Alcotest.(check bool) "deposits unchanged" true
+    (snap_before.Token_bank.snap_deposits = snap_after.Token_bank.snap_deposits)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / restore (rollback modeling)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_restore () =
+  let env = make_env () in
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:U256.zero);
+  let ck = Token_bank.checkpoint env.bank in
+  let p =
+    payload env ~epoch:0 ~balance0:one_e18 ~balance1:U256.zero
+      ~users:[ user_entry alice ~payin0:one_e18 ]
+  in
+  ignore (Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ]);
+  Alcotest.(check int) "applied" 0 (Token_bank.last_synced_epoch env.bank);
+  Token_bank.restore env.bank ck;
+  Alcotest.(check int) "restored epoch" (-1) (Token_bank.last_synced_epoch env.bank);
+  Alcotest.check check_u256 "restored deposit" one_e18
+    (fst (Token_bank.deposit_of env.bank ~epoch:0 alice));
+  (* The same signed payload re-applies after the rollback (mass-sync). *)
+  match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
+  | Ok _ -> Alcotest.(check int) "re-applied" 0 (Token_bank.last_synced_epoch env.bank)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* ABI payload encoding                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_abi_sizes () =
+  let env = make_env () in
+  let p =
+    payload env ~epoch:0 ~balance0:U256.zero ~balance1:U256.zero
+      ~users:[ user_entry alice; user_entry bob ]
+      ~positions:
+        [ { Sync_payload.pos_id = Chain.Ids.Position_id.of_hash (Amm_crypto.Sha256.digest_string "x");
+            owner = alice; lower_tick = -60; upper_tick = 60; liquidity = U256.one;
+            amount0 = U256.one; amount1 = U256.one; fees0 = U256.zero; fees1 = U256.zero;
+            deleted = false } ]
+  in
+  let base_p = payload env ~epoch:0 ~balance0:U256.zero ~balance1:U256.zero in
+  let delta = Sync_payload.abi_size p - Sync_payload.abi_size base_p in
+  Alcotest.(check int) "2 users + 1 position delta"
+    ((2 * Sync_payload.abi_user_entry_size) + Sync_payload.abi_position_entry_size)
+    delta;
+  Alcotest.(check int) "user entry 352" 352 Sync_payload.abi_user_entry_size;
+  Alcotest.(check int) "position entry 416" 416 Sync_payload.abi_position_entry_size;
+  (* Storage: 6 words per live position + 2 pool + 4 vk. *)
+  Alcotest.(check int) "storage words" (6 + 2 + 4) (Sync_payload.storage_words p)
+
+let test_erc20_semantics () =
+  let erc = Erc20.deploy (Chain.Token.make ~id:9 ~symbol:"T") in
+  Erc20.mint erc alice (U256.of_int 100);
+  (match Erc20.transfer erc ~source:alice ~dest:bob (U256.of_int 30) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.check check_u256 "balances move" (U256.of_int 70) (Erc20.balance_of erc alice);
+  (match Erc20.transfer erc ~source:alice ~dest:bob (U256.of_int 71) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "overdraft");
+  (* transfer_from needs allowance. *)
+  (match
+     Erc20.transfer_from erc ~spender:bob ~source:alice ~dest:bob (U256.of_int 10)
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "no allowance");
+  Erc20.approve erc ~owner:alice ~spender:bob (U256.of_int 10);
+  (match
+     Erc20.transfer_from erc ~spender:bob ~source:alice ~dest:bob (U256.of_int 10)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.check check_u256 "allowance consumed" U256.zero
+    (Erc20.allowance erc ~owner:alice ~spender:bob)
+
+let test_gas_meter () =
+  let m = Gas.meter () in
+  Gas.charge m "a" 10;
+  Gas.charge m "b" 20;
+  Gas.charge m "a" 5;
+  Alcotest.(check int) "total" 35 (Gas.total m);
+  Alcotest.(check (list (pair string int))) "merged breakdown" [ ("a", 15); ("b", 20) ]
+    (Gas.breakdown m);
+  Alcotest.(check int) "keccak cost" (30 + 6 * 2) (Gas.keccak_cost 64)
+
+let () =
+  Alcotest.run "tokenbank"
+    [ ( "deposits",
+        [ Alcotest.test_case "moves tokens" `Quick test_deposit_moves_tokens;
+          Alcotest.test_case "epoch scoping" `Quick test_deposit_epoch_scoping;
+          Alcotest.test_case "insufficient balance" `Quick test_deposit_insufficient_balance;
+          Alcotest.test_case "gas metered" `Quick test_deposit_gas_metered ] );
+      ( "sync",
+        [ Alcotest.test_case "happy path" `Quick test_sync_happy_path;
+          Alcotest.test_case "bad signature" `Quick test_sync_bad_signature_rejected;
+          Alcotest.test_case "tampered payload" `Quick test_sync_tampered_payload_rejected;
+          Alcotest.test_case "conservation" `Quick test_sync_conservation_violation_rejected;
+          Alcotest.test_case "wrong epoch" `Quick test_sync_wrong_epoch_rejected;
+          Alcotest.test_case "payout + refund" `Quick test_sync_payout_and_refund;
+          Alcotest.test_case "payin shortfall clipped" `Quick
+            test_sync_payin_exceeding_deposit_clipped_from_payout;
+          Alcotest.test_case "mass-sync key chain" `Quick test_mass_sync_key_chain;
+          Alcotest.test_case "gas itemization" `Quick test_sync_gas_itemization;
+          Alcotest.test_case "position lifecycle" `Quick test_position_lifecycle_through_sync;
+          Alcotest.test_case "empty epoch" `Quick test_sync_empty_epoch;
+          Alcotest.test_case "replay rejected" `Quick test_sync_replay_rejected;
+          Alcotest.test_case "multi-pool" `Quick test_multi_pool_sync ] );
+      ( "flash",
+        [ Alcotest.test_case "repaid" `Quick test_flash_repaid;
+          Alcotest.test_case "not repaid inverts" `Quick test_flash_not_repaid_inverts;
+          Alcotest.test_case "snapshot unaffected" `Quick
+            test_flash_pool_balances_unchanged_for_sidechain ] );
+      ( "checkpoint",
+        [ Alcotest.test_case "restore + resync" `Quick test_checkpoint_restore ] );
+      ( "encoding/substrate",
+        [ Alcotest.test_case "abi sizes" `Quick test_abi_sizes;
+          Alcotest.test_case "erc20" `Quick test_erc20_semantics;
+          Alcotest.test_case "gas meter" `Quick test_gas_meter ] ) ]

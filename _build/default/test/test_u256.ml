@@ -1,0 +1,254 @@
+(* Unit and property tests for the from-scratch 256-bit integers and the
+   sign-magnitude layer on top. *)
+
+open Amm_math
+
+let u = U256.of_string
+
+let check_u256 = Alcotest.testable U256.pp U256.equal
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random values across the whole range: a random bit-width keeps small
+   and huge magnitudes equally likely. *)
+let gen_u256 =
+  QCheck2.Gen.(
+    let* width = int_range 0 255 in
+    let* a = int_range 0 max_int in
+    let* b = int_range 0 max_int in
+    let base = U256.logor (U256.of_int a) (U256.shift_left (U256.of_int b) 62) in
+    let masked = U256.rem base (U256.shift_left U256.one width) in
+    return (if U256.is_zero masked then U256.of_int (a land 0xFFFF) else masked))
+
+let gen_nonzero = QCheck2.Gen.map (fun x -> U256.add x U256.one) gen_u256
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_constants () =
+  Alcotest.(check string) "zero" "0" (U256.to_string U256.zero);
+  Alcotest.(check string) "one" "1" (U256.to_string U256.one);
+  Alcotest.(check string) "max"
+    "115792089237316195423570985008687907853269984665640564039457584007913129639935"
+    (U256.to_string U256.max_value)
+
+let test_of_string_roundtrip () =
+  let cases =
+    [ "0"; "1"; "42"; "65535"; "65536"; "18446744073709551615";
+      "340282366920938463463374607431768211456";
+      "115792089237316195423570985008687907853269984665640564039457584007913129639935" ]
+  in
+  List.iter (fun s -> Alcotest.(check string) s s (U256.to_string (u s))) cases
+
+let test_hex () =
+  Alcotest.(check string) "hex" "deadbeef" (U256.to_hex (u "0xdeadbeef"));
+  Alcotest.check check_u256 "hex value" (U256.of_int 0xdeadbeef) (u "0xDEADBEEF");
+  Alcotest.(check string) "zero hex" "0" (U256.to_hex U256.zero)
+
+let test_add_carry_chain () =
+  (* 2^256 - 1 + 1 wraps to 0 through sixteen digit carries. *)
+  Alcotest.check check_u256 "wrap" U256.zero (U256.add U256.max_value U256.one);
+  Alcotest.check_raises "checked overflow" U256.Overflow (fun () ->
+      ignore (U256.checked_add U256.max_value U256.one))
+
+let test_sub_borrow_chain () =
+  let x = U256.shift_left U256.one 128 in
+  Alcotest.(check string) "borrow chain" "340282366920938463463374607431768211455"
+    (U256.to_string (U256.sub x U256.one));
+  Alcotest.check_raises "checked underflow" U256.Overflow (fun () ->
+      ignore (U256.checked_sub U256.zero U256.one))
+
+let test_mul_known () =
+  Alcotest.(check string) "mul"
+    "121932631356500531591068431581771069347203169112635269"
+    (U256.to_string
+       (U256.mul (u "123456789123456789123456789") (u "987654321987654321987654321")));
+  Alcotest.check_raises "checked mul overflow" U256.Overflow (fun () ->
+      ignore (U256.checked_mul U256.max_value (U256.of_int 2)))
+
+let test_div_known () =
+  let q, r = U256.divmod (u "1000000000000000000000000000000") (u "7777777777777") in
+  Alcotest.(check string) "quotient" "128571428571441428" (U256.to_string q);
+  Alcotest.(check string) "remainder" "4444444454444" (U256.to_string r);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (U256.div U256.one U256.zero))
+
+let test_div_normalization_edge () =
+  (* Divisors with a high leading digit exercise the Knuth-D qhat
+     correction path. *)
+  let a = u "0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff" in
+  let b = u "0xffffffff00000000ffffffff" in
+  let q, r = U256.divmod a b in
+  Alcotest.check check_u256 "identity" a (U256.add (U256.mul q b) r);
+  Alcotest.(check bool) "r < b" true (U256.lt r b)
+
+let test_mul_div () =
+  (* floor(a*b/c) where a*b overflows 256 bits. *)
+  let a = U256.shift_left U256.one 200 in
+  let b = U256.shift_left U256.one 100 in
+  let c = U256.shift_left U256.one 60 in
+  Alcotest.check check_u256 "muldiv 512-bit" (U256.shift_left U256.one 240)
+    (U256.mul_div a b c);
+  Alcotest.check_raises "muldiv overflow" U256.Overflow (fun () ->
+      ignore (U256.mul_div U256.max_value U256.max_value U256.one))
+
+let test_mul_div_rounding () =
+  Alcotest.check check_u256 "exact" (U256.of_int 6)
+    (U256.mul_div_rounding_up (U256.of_int 4) (U256.of_int 3) (U256.of_int 2));
+  Alcotest.check check_u256 "rounds up" (U256.of_int 7)
+    (U256.mul_div_rounding_up (U256.of_int 13) U256.one (U256.of_int 2));
+  Alcotest.check check_u256 "floor" (U256.of_int 6)
+    (U256.mul_div (U256.of_int 13) U256.one (U256.of_int 2))
+
+let test_shifts () =
+  let x = u "0x123456789abcdef" in
+  Alcotest.check check_u256 "left-right" x (U256.shift_right (U256.shift_left x 137) 137);
+  Alcotest.check check_u256 "shift out" U256.zero (U256.shift_left x 256);
+  Alcotest.check check_u256 "right out" U256.zero (U256.shift_right x 256)
+
+let test_bits () =
+  Alcotest.(check int) "bits 0" 0 (U256.bits U256.zero);
+  Alcotest.(check int) "bits 1" 1 (U256.bits U256.one);
+  Alcotest.(check int) "bits 2^255" 256 (U256.bits (U256.shift_left U256.one 255));
+  Alcotest.(check bool) "bit test" true (U256.bit (U256.shift_left U256.one 93) 93)
+
+let test_sqrt_known () =
+  Alcotest.check check_u256 "sqrt(10^40)" (U256.pow (U256.of_int 10) 20)
+    (U256.sqrt (U256.pow (U256.of_int 10) 40));
+  Alcotest.check check_u256 "sqrt 0" U256.zero (U256.sqrt U256.zero);
+  Alcotest.check check_u256 "sqrt 3" U256.one (U256.sqrt (U256.of_int 3))
+
+let test_bytes_be () =
+  let x = u "0x0102030405" in
+  let b = U256.to_bytes_be x in
+  Alcotest.(check int) "length" 32 (Bytes.length b);
+  Alcotest.(check char) "last byte" '\x05' (Bytes.get b 31);
+  Alcotest.check check_u256 "roundtrip" x (U256.of_bytes_be b);
+  Alcotest.check check_u256 "short input" (U256.of_int 0x0102)
+    (U256.of_bytes_be (Bytes.of_string "\x01\x02"))
+
+let test_mul_mod () =
+  let p = u "21888242871839275222246405745257275088548364400416034343698204186575808495617" in
+  let a = U256.sub p U256.one in
+  (* (p-1)^2 mod p = 1 *)
+  Alcotest.check check_u256 "fermat square" U256.one (U256.mul_mod a a p)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pair = QCheck2.Gen.pair gen_u256 gen_u256
+
+let props =
+  [ prop "add commutative" pair (fun (a, b) -> U256.equal (U256.add a b) (U256.add b a));
+    prop "add associative" (QCheck2.Gen.triple gen_u256 gen_u256 gen_u256)
+      (fun (a, b, c) ->
+        U256.equal (U256.add (U256.add a b) c) (U256.add a (U256.add b c)));
+    prop "mul commutative" pair (fun (a, b) -> U256.equal (U256.mul a b) (U256.mul b a));
+    prop "distributivity" (QCheck2.Gen.triple gen_u256 gen_u256 gen_u256)
+      (fun (a, b, c) ->
+        U256.equal (U256.mul a (U256.add b c)) (U256.add (U256.mul a b) (U256.mul a c)));
+    prop "sub inverse of add" pair (fun (a, b) -> U256.equal (U256.sub (U256.add a b) b) a);
+    prop "division identity" (QCheck2.Gen.pair gen_u256 gen_nonzero) (fun (a, b) ->
+        let q, r = U256.divmod a b in
+        U256.equal a (U256.add (U256.mul q b) r) && U256.lt r b);
+    prop "mul_div vs divmod when in range" (QCheck2.Gen.pair gen_u256 gen_nonzero)
+      (fun (a, b) -> U256.equal (U256.mul_div a b b) a);
+    prop "mul_mod matches divmod" (QCheck2.Gen.triple gen_u256 gen_u256 gen_nonzero)
+      (fun (a, b, c) ->
+        let p = U256.mul_mod a b c in
+        U256.lt p c);
+    prop "decimal roundtrip" gen_u256 (fun a ->
+        U256.equal a (U256.of_string (U256.to_string a)));
+    prop "hex roundtrip" gen_u256 (fun a -> U256.equal a (U256.of_hex (U256.to_hex a)));
+    prop "bytes roundtrip" gen_u256 (fun a ->
+        U256.equal a (U256.of_bytes_be (U256.to_bytes_be a)));
+    prop "sqrt bounds" gen_u256 (fun a ->
+        let s = U256.sqrt a in
+        U256.le (U256.mul s s) a
+        && (U256.equal s U256.max_value
+           || U256.gt (U256.mul (U256.add s U256.one) (U256.add s U256.one)) a
+           || U256.lt (U256.mul (U256.add s U256.one) (U256.add s U256.one)) s));
+    prop "compare antisymmetric" pair (fun (a, b) ->
+        U256.compare a b = -U256.compare b a);
+    prop "shift_left is mul by 2^k"
+      QCheck2.Gen.(pair gen_u256 (int_range 0 64))
+      (fun (a, k) ->
+        U256.equal (U256.shift_left a k) (U256.mul a (U256.pow U256.two k)));
+    prop "logical ops involution" pair (fun (a, b) ->
+        U256.equal (U256.logxor (U256.logxor a b) b) a
+        && U256.equal (U256.lognot (U256.lognot a)) a);
+    prop "ceil - floor division is 0 or 1"
+      (QCheck2.Gen.triple gen_u256 gen_u256 gen_nonzero)
+      (fun (a, b, c) ->
+        match U256.mul_div_rounding_up a b c with
+        | up ->
+          let down = U256.mul_div a b c in
+          let diff = U256.sub up down in
+          U256.is_zero diff || U256.equal diff U256.one
+        | exception U256.Overflow -> true);
+    prop "to_float monotone" pair (fun (a, b) ->
+        let fa = U256.to_float a and fb = U256.to_float b in
+        if U256.le a b then fa <= fb else fa >= fb) ]
+
+(* ------------------------------------------------------------------ *)
+(* Signed values                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_signed = Alcotest.testable Signed.pp Signed.equal
+
+let test_signed_basics () =
+  Alcotest.check check_signed "neg neg" (Signed.of_int 5) (Signed.neg (Signed.of_int (-5)));
+  Alcotest.check check_signed "add mixed" (Signed.of_int (-2))
+    (Signed.add (Signed.of_int 3) (Signed.of_int (-5)));
+  Alcotest.check check_signed "sub" (Signed.of_int 8)
+    (Signed.sub (Signed.of_int 3) (Signed.of_int (-5)));
+  Alcotest.(check bool) "zero not negative" false
+    (Signed.is_negative (Signed.add (Signed.of_int 5) (Signed.of_int (-5))))
+
+let test_signed_apply () =
+  Alcotest.check check_u256 "apply pos" (U256.of_int 15)
+    (Signed.apply (U256.of_int 10) (Signed.of_int 5));
+  Alcotest.check check_u256 "apply neg" (U256.of_int 5)
+    (Signed.apply (U256.of_int 10) (Signed.of_int (-5)));
+  Alcotest.check_raises "apply below zero" U256.Overflow (fun () ->
+      ignore (Signed.apply (U256.of_int 1) (Signed.of_int (-2))))
+
+let signed_gen =
+  QCheck2.Gen.(
+    map2 (fun v neg -> if neg then Signed.neg_of_u256 v else Signed.of_u256 v) gen_u256 bool)
+
+let signed_props =
+  [ prop "signed add commutative" (QCheck2.Gen.pair signed_gen signed_gen) (fun (a, b) ->
+        Signed.equal (Signed.add a b) (Signed.add b a));
+    prop "signed sub self is zero" signed_gen (fun a -> Signed.is_zero (Signed.sub a a));
+    prop "signed neg involution" signed_gen (fun a -> Signed.equal a (Signed.neg (Signed.neg a))) ]
+
+let () =
+  Alcotest.run "u256"
+    [ ( "unit",
+        [ Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "decimal roundtrip" `Quick test_of_string_roundtrip;
+          Alcotest.test_case "hex" `Quick test_hex;
+          Alcotest.test_case "add carries" `Quick test_add_carry_chain;
+          Alcotest.test_case "sub borrows" `Quick test_sub_borrow_chain;
+          Alcotest.test_case "mul known" `Quick test_mul_known;
+          Alcotest.test_case "div known" `Quick test_div_known;
+          Alcotest.test_case "div normalization edge" `Quick test_div_normalization_edge;
+          Alcotest.test_case "mul_div 512-bit" `Quick test_mul_div;
+          Alcotest.test_case "mul_div rounding" `Quick test_mul_div_rounding;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "bits" `Quick test_bits;
+          Alcotest.test_case "sqrt known" `Quick test_sqrt_known;
+          Alcotest.test_case "bytes" `Quick test_bytes_be;
+          Alcotest.test_case "mul_mod" `Quick test_mul_mod ] );
+      ("properties", props);
+      ( "signed",
+        [ Alcotest.test_case "basics" `Quick test_signed_basics;
+          Alcotest.test_case "apply" `Quick test_signed_apply ]
+        @ signed_props ) ]
