@@ -3,7 +3,9 @@
    runs Bechamel micro-benchmarks of the hot primitives.
 
    Environment: AMMBOOST_BENCH_SCALE=<n> divides the daily traffic volumes
-   by n for quicker runs (1 = the paper's full volumes). *)
+   by n for quicker runs (1 = the paper's full volumes);
+   AMMBOOST_METRICS_DIR=<dir> writes one telemetry metrics snapshot per
+   experiment to <dir>/<name>.metrics.json. *)
 
 module E = Ammboost.Experiments
 
@@ -110,42 +112,44 @@ let run_micro () =
 (* Experiment dispatch                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_table1 () =
+let run_table1 sink =
   E.print_perf_table ~title:"Table 1: scalability of ammBoost" ~col_header:"Daily volume"
-    (E.table1_scalability ())
+    (E.table1_scalability ~sink ())
 
-let run_table2 () =
+let run_table2 sink =
   E.print_perf_table ~title:"Table 2: impact of sidechain block size (V_D = 50M)"
-    ~col_header:"Block size" (E.table2_block_size ())
+    ~col_header:"Block size" (E.table2_block_size ~sink ())
 
-let run_table3 () =
+let run_table3 sink =
   E.print_perf_table ~title:"Table 3: impact of sidechain round duration (V_D = 25M)"
-    ~col_header:"Round duration" (E.table3_round_duration ())
+    ~col_header:"Round duration" (E.table3_round_duration ~sink ())
 
-let run_table4 () =
+let run_table4 sink =
   E.print_perf_table ~title:"Table 4: impact of epoch length (V_D = 25M)"
-    ~col_header:"Epoch (sc rounds)" (E.table4_epoch_length ())
+    ~col_header:"Epoch (sc rounds)" (E.table4_epoch_length ~sink ())
 
-let run_table5 () =
+let run_table5 sink =
   E.print_perf_table ~title:"Table 5: impact of traffic distribution (V_D = 25M)"
-    ~col_header:"(swap,mint,burn,collect)" (E.table5_distribution ())
+    ~col_header:"(swap,mint,burn,collect)" (E.table5_distribution ~sink ())
 
-let run_table6 () = E.print_table6 (E.table6_gas_itemized ())
-let run_table7 () = E.print_table7 (E.table7_storage ())
-let run_fig6 () = E.print_fig6 (E.fig6_overall ())
-let run_table8 () = E.print_table8 (E.table8_stats ())
+let run_table6 sink = E.print_table6 (E.table6_gas_itemized ~sink ())
+let run_table7 _sink = E.print_table7 (E.table7_storage ())
+let run_fig6 sink = E.print_fig6 (E.fig6_overall ~sink ())
+let run_table8 _sink = E.print_table8 (E.table8_stats ())
 
-let run_ablations () =
-  E.print_ablation ~title:"QC authentication cost" (E.ablation_authentication ());
+let run_ablations sink =
+  E.print_ablation ~title:"QC authentication cost" (E.ablation_authentication ~sink ());
   E.print_ablation ~title:"summary aggregation vs per-tx posting"
-    (E.ablation_aggregation ());
-  E.print_ablation ~title:"meta-block pruning" (E.ablation_pruning ())
+    (E.ablation_aggregation ~sink ());
+  E.print_ablation ~title:"meta-block pruning" (E.ablation_pruning ~sink ())
 
 let all_experiments =
   [ ("table1", run_table1); ("table2", run_table2); ("table3", run_table3);
     ("table4", run_table4); ("table5", run_table5); ("table6", run_table6);
     ("table7", run_table7); ("table8", run_table8); ("fig6", run_fig6);
-    ("ablations", run_ablations); ("micro", run_micro) ]
+    ("ablations", run_ablations); ("micro", fun _sink -> run_micro ()) ]
+
+let metrics_dir = Sys.getenv_opt "AMMBOOST_METRICS_DIR"
 
 let () =
   let targets =
@@ -158,9 +162,18 @@ let () =
     (fun name ->
       match List.assoc_opt name all_experiments with
       | Some f ->
-        let t0 = Sys.time () in
-        f ();
-        Printf.printf "  [%s done in %.1fs cpu]\n%!" name (Sys.time () -. t0)
+        (* One metrics registry per experiment: the snapshot aggregates
+           every simulator run behind that table. *)
+        let sink = Telemetry.Report.sink () in
+        let sw = Telemetry.Clock.stopwatch () in
+        f sink;
+        Printf.printf "  [%s done in %.1fs wall, %.1fs cpu]\n%!" name
+          (Telemetry.Clock.elapsed_wall sw) (Telemetry.Clock.elapsed_cpu sw);
+        (match metrics_dir with
+        | Some dir ->
+          Telemetry.Report.write_metrics sink
+            ~path:(Filename.concat dir (name ^ ".metrics.json"))
+        | None -> ())
       | None ->
         Printf.eprintf "unknown experiment %S; available: %s\n" name
           (String.concat ", " (List.map fst all_experiments)))

@@ -91,6 +91,58 @@ let config_term =
         $ committee $ seed $ threshold_signing $ interruptions)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry flags                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let trace_out =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the run's simulated-clock phase \
+                 spans to $(docv); open it in chrome://tracing or ui.perfetto.dev.")
+
+let metrics_out =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the run's metrics snapshot (counters, gauges, histograms with \
+                 p50/p90/p99) as JSON to $(docv).")
+
+let log_level =
+  let levels =
+    [ ("error", Telemetry.Log.Error); ("warn", Telemetry.Log.Warn);
+      ("info", Telemetry.Log.Info); ("debug", Telemetry.Log.Debug) ]
+  in
+  Arg.(value & opt (some (enum levels)) None
+       & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Emit structured JSON-line logs on stderr at LEVEL \
+                 (error|warn|info|debug). Overrides AMMBOOST_LOG; off by default.")
+
+let telemetry_term =
+  let make trace_out metrics_out log_level = (trace_out, metrics_out, log_level) in
+  Term.(const make $ trace_out $ metrics_out $ log_level)
+
+(* Runs [f] against a fresh sink, then writes whichever outputs were
+   requested. Without flags this adds nothing to stdout or disk. *)
+let with_telemetry (trace_out, metrics_out, log_level) f =
+  (match log_level with
+  | Some _ as l -> Telemetry.Log.set_level l
+  | None -> ());
+  let sink = Telemetry.Report.sink ~trace:(trace_out <> None) () in
+  let result = f sink in
+  let write g =
+    try g ()
+    with Sys_error e ->
+      Printf.eprintf "ammboost-sim: cannot write telemetry output: %s\n" e;
+      exit 1
+  in
+  (match metrics_out with
+  | Some path -> write (fun () -> Telemetry.Report.write_metrics sink ~path)
+  | None -> ());
+  (match trace_out with
+  | Some path -> write (fun () -> Telemetry.Report.write_trace sink ~path)
+  | None -> ());
+  result
+
+(* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -132,18 +184,22 @@ let report_baseline (b : Baseline.result) =
 
 let run_cmd =
   let doc = "Run the ammBoost system simulation and report its metrics." in
-  Cmd.v (Cmd.info "run" ~doc)
-    Term.(const (fun cfg -> report_run (System.run cfg)) $ config_term)
+  let run cfg tele =
+    with_telemetry tele (fun sink -> report_run (System.run ~sink cfg))
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ config_term $ telemetry_term)
 
 let baseline_cmd =
   let doc = "Run the baseline (Uniswap directly on the mainchain)." in
-  Cmd.v (Cmd.info "baseline" ~doc)
-    Term.(const (fun cfg -> report_baseline (Baseline.run cfg)) $ config_term)
+  let run cfg tele =
+    with_telemetry tele (fun _sink -> report_baseline (Baseline.run cfg))
+  in
+  Cmd.v (Cmd.info "baseline" ~doc) Term.(const run $ config_term $ telemetry_term)
 
 let compare_cmd =
   let doc = "Run both systems on the same traffic and print the reductions (Fig. 6)." in
-  let compare cfg =
-    let r = System.run cfg in
+  let compare cfg tele =
+    let r = with_telemetry tele (fun sink -> System.run ~sink cfg) in
     let b = Baseline.run cfg in
     report_run r;
     print_newline ();
@@ -159,7 +215,7 @@ let compare_cmd =
       (reduction r.System.mc_tx_bytes b.Baseline.mc_tx_bytes)
       (reduction r.System.mc_tx_bytes b.Baseline.mc_tx_bytes_ethereum)
   in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const compare $ config_term)
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const compare $ config_term $ telemetry_term)
 
 let () =
   let doc = "ammBoost: state growth control for AMMs (simulation)" in

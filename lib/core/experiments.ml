@@ -60,10 +60,10 @@ let print_perf_table ~title ~col_header rows =
 
 let table1_volumes = [ 50_000; 500_000; 5_000_000; 25_000_000 ]
 
-let table1_scalability () =
+let table1_scalability ?sink () =
   List.map
     (fun volume ->
-      let r = System.run { base with daily_volume = scaled volume; seed = base.seed ^ "-t1" } in
+      let r = System.run ?sink { base with daily_volume = scaled volume; seed = base.seed ^ "-t1" } in
       row_of_result ~label:(Printf.sprintf "%dK" (volume / 1000)) r ~extra:[])
     table1_volumes
 
@@ -73,7 +73,7 @@ let table1_scalability () =
 
 let table2_sizes_mb = [ 0.5; 1.0; 1.5; 2.0 ]
 
-let table2_block_size () =
+let table2_block_size ?sink () =
   List.map
     (fun mb ->
       let cfg =
@@ -82,7 +82,7 @@ let table2_block_size () =
           meta_block_bytes = int_of_float (mb *. 1_000_000.0);
           seed = base.seed ^ "-t2" }
       in
-      let r = System.run cfg in
+      let r = System.run ?sink cfg in
       row_of_result ~label:(Printf.sprintf "%.1fMB" mb) r ~extra:[])
     table2_sizes_mb
 
@@ -92,7 +92,7 @@ let table2_block_size () =
 
 let table3_durations = [ 4.0; 6.0; 9.0; 12.0 ]
 
-let table3_round_duration () =
+let table3_round_duration ?sink () =
   List.map
     (fun b_t ->
       (* The epoch stays 10 mainchain rounds (120 s) as in §6, so longer
@@ -105,7 +105,7 @@ let table3_round_duration () =
             Stdlib.max 2 (int_of_float (Float.round (120.0 /. b_t)));
           seed = base.seed ^ "-t3" }
       in
-      let r = System.run cfg in
+      let r = System.run ?sink cfg in
       row_of_result ~label:(Printf.sprintf "%.0fs" b_t) r ~extra:[])
     table3_durations
 
@@ -115,7 +115,7 @@ let table3_round_duration () =
 
 let table4_epoch_lengths = [ 5; 10; 20; 30; 60; 96 ]
 
-let table4_epoch_length () =
+let table4_epoch_length ?sink () =
   List.map
     (fun rounds ->
       (* Keep total experiment time constant (11 default epochs' worth). *)
@@ -128,7 +128,7 @@ let table4_epoch_length () =
           epochs;
           seed = base.seed ^ "-t4" }
       in
-      let r = System.run cfg in
+      let r = System.run ?sink cfg in
       row_of_result ~label:(string_of_int rounds) r ~extra:[])
     table4_epoch_lengths
 
@@ -140,7 +140,7 @@ let table5_mixes =
   [ (60., 20., 10., 10.); (60., 10., 20., 10.); (60., 10., 10., 20.);
     (80., 10., 5., 5.); (80., 5., 10., 5.); (80., 5., 5., 10.) ]
 
-let table5_distribution () =
+let table5_distribution ?sink () =
   List.map
     (fun (s, m, b, c) ->
       let cfg =
@@ -150,7 +150,7 @@ let table5_distribution () =
             { Config.swap_pct = s; mint_pct = m; burn_pct = b; collect_pct = c };
           seed = base.seed ^ "-t5" }
       in
-      let r = System.run cfg in
+      let r = System.run ?sink cfg in
       row_of_result ~label:(Printf.sprintf "(%.0f,%.0f,%.0f,%.0f)" s m b c) r
         ~extra:
           [ ("Max summary block (B)", string_of_int r.System.max_summary_block_bytes) ])
@@ -175,9 +175,9 @@ type table6 = {
   uniswap_latency : (string * float) list;
 }
 
-let table6_gas_itemized () =
+let table6_gas_itemized ?sink () =
   let cfg = { base with daily_volume = scaled 500_000; seed = base.seed ^ "-t6" } in
-  let r = System.run cfg in
+  let r = System.run ?sink cfg in
   let b = Baseline.run cfg in
   let breakdown =
     match r.System.last_sync_receipt with
@@ -293,9 +293,9 @@ type fig6 = {
   baseline_result : Baseline.result;
 }
 
-let fig6_overall () =
+let fig6_overall ?sink () =
   let cfg = { base with daily_volume = scaled 500_000; seed = base.seed ^ "-fig6" } in
-  let r = System.run cfg in
+  let r = System.run ?sink cfg in
   let b = Baseline.run cfg in
   let reduction ours theirs =
     100.0 *. (1.0 -. (float_of_int ours /. float_of_int (Stdlib.max 1 theirs)))
@@ -362,9 +362,9 @@ type ablation_row = { ab_label : string; ab_value : float; ab_unit : string }
 
 (* Sync authentication cost: gas with vs without the threshold-signature
    quorum certificate. *)
-let ablation_authentication () =
+let ablation_authentication ?sink () =
   let cfg = { base with daily_volume = scaled 500_000; epochs = 4; seed = base.seed ^ "-aba" } in
-  let r = System.run cfg in
+  let r = System.run ?sink cfg in
   match r.System.last_sync_receipt with
   | None -> []
   | Some receipt ->
@@ -385,9 +385,9 @@ let ablation_authentication () =
 (* Summary aggregation: the Sync's per-user aggregation vs naively posting
    every processed transaction on the mainchain (batched but
    unsummarized). *)
-let ablation_aggregation () =
+let ablation_aggregation ?sink () =
   let cfg = { base with daily_volume = scaled 500_000; epochs = 4; seed = base.seed ^ "-abg" } in
-  let r = System.run cfg in
+  let r = System.run ?sink cfg in
   (* Compare what syncing actually posts against posting every processed
      transaction individually (batched but unsummarized). *)
   let summarized =
@@ -409,9 +409,9 @@ let ablation_aggregation () =
       ab_unit = "%" } ]
 
 (* Pruning: sidechain bytes stored with and without meta-block pruning. *)
-let ablation_pruning () =
+let ablation_pruning ?sink () =
   let cfg = { base with daily_volume = scaled 500_000; epochs = 4; seed = base.seed ^ "-abp" } in
-  let r = System.run cfg in
+  let r = System.run ?sink cfg in
   [ { ab_label = "sidechain bytes without pruning";
       ab_value = float_of_int r.System.sc_cumulative_bytes; ab_unit = "B" };
     { ab_label = "sidechain bytes with pruning";

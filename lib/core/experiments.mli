@@ -16,20 +16,20 @@ type perf_row = {
   extra : (string * string) list;
 }
 
-val table1_scalability : unit -> perf_row list
+val table1_scalability : ?sink:Telemetry.Report.sink -> unit -> perf_row list
 (** V_D ∈ {50K, 500K, 5M, 25M} at the default configuration. *)
 
-val table2_block_size : unit -> perf_row list
+val table2_block_size : ?sink:Telemetry.Report.sink -> unit -> perf_row list
 (** Meta-block size ∈ {0.5, 1, 1.5, 2} MB at V_D = 50M. *)
 
-val table3_round_duration : unit -> perf_row list
+val table3_round_duration : ?sink:Telemetry.Report.sink -> unit -> perf_row list
 (** Sidechain round ∈ {4, 6, 9, 12} s at V_D = 25M. *)
 
-val table4_epoch_length : unit -> perf_row list
+val table4_epoch_length : ?sink:Telemetry.Report.sink -> unit -> perf_row list
 (** Epoch ∈ {5, 10, 20, 30, 60, 96} sidechain rounds at V_D = 25M (total
     experiment length held constant). *)
 
-val table5_distribution : unit -> perf_row list
+val table5_distribution : ?sink:Telemetry.Report.sink -> unit -> perf_row list
 (** Six (swap, mint, burn, collect) mixes at V_D = 25M; the extra column
     reports the maximum summary-block size. *)
 
@@ -52,7 +52,7 @@ type table6 = {
   uniswap_latency : (string * float) list;
 }
 
-val table6_gas_itemized : unit -> table6
+val table6_gas_itemized : ?sink:Telemetry.Report.sink -> unit -> table6
 val print_table6 : table6 -> unit
 
 type table7 = {
@@ -82,7 +82,7 @@ type fig6 = {
   baseline_result : Baseline.result;
 }
 
-val fig6_overall : unit -> fig6
+val fig6_overall : ?sink:Telemetry.Report.sink -> unit -> fig6
 val print_fig6 : fig6 -> unit
 
 val table8_stats : unit -> Traffic.type_stats list
@@ -92,13 +92,13 @@ val print_table8 : Traffic.type_stats list -> unit
 
 type ablation_row = { ab_label : string; ab_value : float; ab_unit : string }
 
-val ablation_authentication : unit -> ablation_row list
+val ablation_authentication : ?sink:Telemetry.Report.sink -> unit -> ablation_row list
 (** Sync gas with vs without the threshold-signature quorum certificate. *)
 
-val ablation_aggregation : unit -> ablation_row list
+val ablation_aggregation : ?sink:Telemetry.Report.sink -> unit -> ablation_row list
 (** Sync bytes vs posting every processed transaction individually. *)
 
-val ablation_pruning : unit -> ablation_row list
+val ablation_pruning : ?sink:Telemetry.Report.sink -> unit -> ablation_row list
 (** Sidechain storage with vs without meta-block pruning. *)
 
 val print_ablation : title:string -> ablation_row list -> unit

@@ -45,6 +45,14 @@ let settle_epoch t ~epoch ~sync_time =
     t.latencies.sum <- t.latencies.sum +. ((sync_time *. float_of_int !n) -. !sum);
     Hashtbl.remove t.pending epoch
 
+(* Mean issue time and count of an epoch's still-pending payouts; lets
+   callers derive the epoch's payout latency at settle time. *)
+let pending_mean_issued t ~epoch =
+  match Hashtbl.find_opt t.pending epoch with
+  | None -> None
+  | Some (sum, n) when !n > 0 -> Some (!sum /. float_of_int !n, !n)
+  | Some _ -> None
+
 let payout_mean t = mean t.latencies
 let payout_count t = count t.latencies
 let unsettled_epochs t = Hashtbl.fold (fun e _ acc -> e :: acc) t.pending []

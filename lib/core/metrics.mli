@@ -23,6 +23,11 @@ type payout_tracker
 val payout_tracker : unit -> payout_tracker
 val note_processed : payout_tracker -> epoch:int -> issued_at:float -> unit
 val settle_epoch : payout_tracker -> epoch:int -> sync_time:float -> unit
+val pending_mean_issued : payout_tracker -> epoch:int -> (float * int) option
+(** Mean issue time and count of an epoch's still-pending payouts, or
+    [None] if nothing is pending; lets callers derive the epoch's payout
+    latency at settle time. *)
+
 val payout_mean : payout_tracker -> float
 val payout_count : payout_tracker -> int
 val unsettled_epochs : payout_tracker -> int list

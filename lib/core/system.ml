@@ -20,6 +20,59 @@ module Token_bank = Tokenbank.Token_bank
 module Sync_payload = Tokenbank.Sync_payload
 module Processor = Sidechain.Processor
 module Blocks = Sidechain.Blocks
+module Tmetrics = Telemetry.Metrics
+module Trace = Telemetry.Trace
+module Log = Telemetry.Log
+module Json = Telemetry.Json
+
+let scope = "system"
+
+(* Pre-resolved handles into the run's metrics registry, so the per-tx
+   hot path pays a field access instead of a name lookup. *)
+type tele = {
+  sink : Telemetry.Report.sink;
+  tr : Trace.t;
+  c_generated : Tmetrics.counter;
+  c_processed : Tmetrics.counter;
+  c_rejected : Tmetrics.counter;
+  c_sync_submitted : Tmetrics.counter;
+  c_sync_applied : Tmetrics.counter;
+  c_sync_failed : Tmetrics.counter;
+  c_mass_syncs : Tmetrics.counter;
+  c_pruned_epochs : Tmetrics.counter;
+  c_deposits : Tmetrics.counter;
+  c_rollbacks : Tmetrics.counter;
+  g_mempool_bytes : Tmetrics.gauge;
+  h_tx_latency : Telemetry.Histogram.t;
+  h_consensus : Telemetry.Histogram.t;
+  h_payout : Telemetry.Histogram.t;
+  h_sync_inclusion : Telemetry.Histogram.t;
+  h_meta_txs : Telemetry.Histogram.t;
+  h_meta_bytes : Telemetry.Histogram.t;
+  h_summary_bytes : Telemetry.Histogram.t;
+}
+
+let make_tele sink =
+  let reg = sink.Telemetry.Report.metrics in
+  { sink; tr = sink.Telemetry.Report.trace;
+    c_generated = Tmetrics.counter reg "traffic.generated";
+    c_processed = Tmetrics.counter reg "txs.processed";
+    c_rejected = Tmetrics.counter reg "txs.rejected";
+    c_sync_submitted = Tmetrics.counter reg "sync.submitted";
+    c_sync_applied = Tmetrics.counter reg "sync.applied";
+    c_sync_failed = Tmetrics.counter reg "sync.failed";
+    c_mass_syncs = Tmetrics.counter reg "sync.mass";
+    c_pruned_epochs = Tmetrics.counter reg "prune.epochs";
+    c_deposits = Tmetrics.counter reg "deposits.submitted";
+    c_rollbacks = Tmetrics.counter reg "interruption.rollbacks";
+    g_mempool_bytes = Tmetrics.gauge reg "mempool.bytes";
+    h_tx_latency = Tmetrics.histogram reg "latency.tx.sidechain";
+    h_consensus = Tmetrics.histogram reg "latency.consensus";
+    h_payout = Tmetrics.histogram reg "latency.payout.epoch";
+    h_sync_inclusion = Tmetrics.histogram reg "latency.sync.inclusion";
+    h_meta_txs = Tmetrics.histogram reg "meta_block.txs";
+    h_meta_bytes = Tmetrics.histogram reg "meta_block.bytes";
+    h_summary_bytes = Tmetrics.histogram reg "summary_block.bytes" }
 
 type submission_status = Pending | Applied | Failed
 
@@ -109,6 +162,7 @@ type t = {
   mutable mints : int;
   mutable burns : int;
   mutable collects : int;
+  tele : tele;
   rejections : (string, int) Hashtbl.t;
   mutable sync_receipts : Token_bank.sync_receipt list;
   mutable audit_trail :
@@ -173,7 +227,10 @@ let committee_keys t ~epoch =
 (* Setup                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let create cfg =
+let create ?sink cfg =
+  let sink =
+    match sink with Some s -> s | None -> Telemetry.Report.sink ()
+  in
   let rng_root = Rng.create cfg.Config.seed in
   let rng_traffic = Rng.split rng_root "traffic" in
   let rng_keys = Rng.split rng_root "keys" in
@@ -208,8 +265,8 @@ let create cfg =
       pending_confirm = []; checkpoints = []; deposits_submitted_until = -1;
       rollbacks_done = []; mass_syncs = 0; max_summary_bytes = 0; max_sc_stored = 0;
       processed_total = 0; processed_in_window = 0; rejected_total = 0; swaps = 0; mints = 0; burns = 0;
-      collects = 0; rejections = Hashtbl.create 8; sync_receipts = [];
-      audit_trail = [] }
+      collects = 0; tele = make_tele sink; rejections = Hashtbl.create 8;
+      sync_receipts = []; audit_trail = [] }
   in
   t.committee_keys <- [ (0, keys0) ];
   (* Faucet + unlimited approvals (users sign them once; the per-epoch
@@ -289,6 +346,14 @@ let maybe_submit_deposits t ~now =
   while due (t.deposits_submitted_until + 1) <= now do
     let e = t.deposits_submitted_until + 1 in
     submit_epoch_deposits t ~for_epoch:e ~at:now;
+    Tmetrics.inc ~by:(Array.length t.users) t.tele.c_deposits;
+    Trace.instant t.tele.tr ~cat:"mainchain" ~tid:2
+      ~args:
+        [ ("for_epoch", Json.Int e); ("users", Json.Int (Array.length t.users)) ]
+      ~name:"deposits-submitted" ~ts:now ();
+    Log.debug ~scope ~t:now
+      ~fields:[ ("for_epoch", Json.Int e); ("users", Json.Int (Array.length t.users)) ]
+      "epoch deposits submitted";
     t.deposits_submitted_until <- e
   done
 
@@ -327,7 +392,16 @@ let submit_sync t ~epoch ~at ~corrupt =
       (List.init (epoch - applied) (fun i -> applied + 1 + i))
   in
   if wanted <> [] then begin
-    if List.length wanted > 1 then t.mass_syncs <- t.mass_syncs + 1;
+    let mass = List.length wanted > 1 in
+    if mass then begin
+      t.mass_syncs <- t.mass_syncs + 1;
+      Tmetrics.inc t.tele.c_mass_syncs;
+      Log.warn ~scope ~t:at
+        ~fields:
+          [ ("epochs",
+             Json.String (String.concat "," (List.map string_of_int wanted))) ]
+        "mass-sync recovery: resubmitting unapplied epochs"
+    end;
     let signed =
       List.map
         (fun e ->
@@ -355,6 +429,12 @@ let submit_sync t ~epoch ~at ~corrupt =
     let tag = Printf.sprintf "sync-%d-%d" epoch (List.length t.submissions) in
     let submission = { sub_epochs = wanted; sub_tag = tag; status = Pending } in
     t.submissions <- submission :: t.submissions;
+    Tmetrics.inc t.tele.c_sync_submitted;
+    let span_name = if mass then "mass-sync" else "sync" in
+    let span_args status =
+      [ ("epochs", Json.String (String.concat "," (List.map string_of_int wanted)));
+        ("bytes", Json.Int size); ("status", Json.String status) ]
+    in
     Eth.submit t.eth ~at
       { Eth.label = "sync"; size_bytes = size;
         gas = estimate_sync_gas (List.map fst signed);
@@ -364,15 +444,28 @@ let submit_sync t ~epoch ~at ~corrupt =
             (fun height ->
               (* Snapshot for rollback modeling before any state change. *)
               t.checkpoints <- (height, Token_bank.checkpoint t.bank) :: t.checkpoints;
+              let time = Eth.now t.eth in
+              let time = if time > at then time else at in
               match Token_bank.sync t.bank ~signed with
               | Ok receipt ->
                 submission.status <- Applied;
                 t.sync_receipts <- receipt :: t.sync_receipts;
-                let time = Eth.now t.eth in
-                let time = if time > at then time else at in
+                Tmetrics.inc t.tele.c_sync_applied;
+                Telemetry.Histogram.observe t.tele.h_sync_inclusion (time -. at);
+                Trace.complete t.tele.tr ~cat:"mainchain" ~tid:2
+                  ~args:(span_args "applied") ~name:span_name ~ts:at
+                  ~dur:(time -. at) ();
                 t.pending_confirm <-
                   (receipt.Token_bank.epochs_covered, height, time) :: t.pending_confirm
-              | Error _ -> submission.status <- Failed) }
+              | Error reason ->
+                submission.status <- Failed;
+                Tmetrics.inc t.tele.c_sync_failed;
+                Trace.complete t.tele.tr ~cat:"mainchain" ~tid:2
+                  ~args:(span_args "failed") ~name:span_name ~ts:at ~dur:(time -. at)
+                  ();
+                Log.warn ~scope ~t:time
+                  ~fields:[ ("tag", Json.String tag); ("reason", Json.String reason) ]
+                  "sync transaction failed on chain") }
   end
 
 (* Inclusion time isn't passed to the execute callback, so resolve it from
@@ -381,12 +474,32 @@ let settle_confirmed t =
   let confirmed, still =
     List.partition (fun (_, h, _) -> h <= Eth.confirmed_height t.eth) t.pending_confirm
   in
+  let now = Eth.now t.eth in
   List.iter
     (fun (epochs, _h, inclusion_time) ->
+      Trace.complete t.tele.tr ~cat:"mainchain" ~tid:2
+        ~args:
+          [ ("epochs", Json.String (String.concat "," (List.map string_of_int epochs)))
+          ]
+        ~name:"confirm" ~ts:inclusion_time
+        ~dur:(Float.max 0.0 (now -. inclusion_time))
+        ();
       List.iter
         (fun e ->
+          (match Metrics.pending_mean_issued t.payouts ~epoch:e with
+          | Some (mean_issued, _n) ->
+            Telemetry.Histogram.observe t.tele.h_payout (inclusion_time -. mean_issued)
+          | None -> ());
           Metrics.settle_epoch t.payouts ~epoch:e ~sync_time:inclusion_time;
-          ignore (Blocks.prune_epoch t.sc_chain ~epoch:e))
+          let reclaimed = Blocks.prune_epoch t.sc_chain ~epoch:e in
+          Tmetrics.inc t.tele.c_pruned_epochs;
+          Trace.complete t.tele.tr ~cat:"mainchain" ~tid:2
+            ~args:[ ("epoch", Json.Int e); ("reclaimed_bytes", Json.Int reclaimed) ]
+            ~name:"prune" ~ts:now ~dur:0.0 ();
+          Log.debug ~scope ~t:now
+            ~fields:
+              [ ("epoch", Json.Int e); ("reclaimed_bytes", Json.Int reclaimed) ]
+            "epoch confirmed: meta-blocks pruned")
         epochs)
     confirmed;
   t.pending_confirm <- still
@@ -416,6 +529,10 @@ let inject_rollback t ~epoch =
       | Some h ->
         let n = Eth.height t.eth - h + 1 in
         if n > 0 then begin
+          Tmetrics.inc t.tele.c_rollbacks;
+          Log.warn ~scope ~t:(Eth.now t.eth)
+            ~fields:[ ("epoch", Json.Int epoch); ("blocks", Json.Int n) ]
+            "interruption: rolling back mainchain past sync inclusion";
           let _dropped = Eth.rollback t.eth n in
           (match List.assoc_opt h t.checkpoints with
           | Some ck -> Token_bank.restore t.bank ck
@@ -430,8 +547,9 @@ let inject_rollback t ~epoch =
 (* The main loop                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run cfg =
-  let t = create cfg in
+let run ?sink cfg =
+  let t = create ?sink cfg in
+  let tele = t.tele in
   let committee =
     if cfg.Config.message_level_consensus then
       Some
@@ -453,6 +571,14 @@ let run cfg =
     let e = !epoch in
     let epoch_start = float_of_int e *. epoch_dur in
     elect_committee t ~epoch:e;
+    (match t.committees with
+    | { epoch = ce; committee = members; leader } :: _ when ce = e ->
+      Log.debug ~scope ~t:epoch_start
+        ~fields:
+          [ ("epoch", Json.Int e); ("committee", Json.Int (List.length members));
+            ("leader", Json.Int leader) ]
+        "epoch started: committee elected"
+    | _ -> ());
     Eth.advance_to t.eth epoch_start;
     settle_confirmed t;
     let snapshot = Token_bank.snapshot t.bank ~epoch:e in
@@ -486,9 +612,18 @@ let run cfg =
         cfg.Config.interruptions;
       settle_confirmed t;
       maybe_submit_deposits t ~now:t_round;
-      if e < cfg.Config.epochs then
-        List.iter (fun tx -> Chain.Mempool.push t.mempool tx)
-          (Traffic.generate_round t.traffic ~round ~time:t_round);
+      if e < cfg.Config.epochs then begin
+        let generated = Traffic.generate_round t.traffic ~round ~time:t_round in
+        List.iter (fun tx -> Chain.Mempool.push t.mempool tx) generated;
+        Tmetrics.inc ~by:(List.length generated) tele.c_generated;
+        Trace.complete tele.tr
+          ~args:
+            [ ("generated", Json.Int (List.length generated));
+              ("round", Json.Int round) ]
+          ~name:"traffic" ~ts:t_round ~dur:(0.35 *. b_t) ()
+      end;
+      Tmetrics.set tele.g_mempool_bytes
+        (float_of_int (Chain.Mempool.byte_size t.mempool));
       (* The committee drains the queue up to the meta-block capacity and
          processes with the AMM logic; only valid transactions enter the
          block. *)
@@ -552,8 +687,23 @@ let run cfg =
             0 )
       in
       let meta = Blocks.make_meta ~epoch:e ~round ~view_changes included in
+      Telemetry.Histogram.observe tele.h_consensus consensus_latency;
       if not summary_round then begin
         Blocks.append_meta t.sc_chain meta;
+        Telemetry.Histogram.observe tele.h_meta_txs
+          (float_of_int (List.length included));
+        Telemetry.Histogram.observe tele.h_meta_bytes
+          (float_of_int meta.Blocks.m_size);
+        Trace.complete tele.tr
+          ~args:
+            [ ("txs", Json.Int (List.length included));
+              ("bytes", Json.Int meta.Blocks.m_size);
+              ("view_changes", Json.Int view_changes);
+              ("consensus_latency", Json.Float consensus_latency) ]
+          ~name:"meta-block"
+          ~ts:(t_round +. (0.35 *. b_t))
+          ~dur:(Float.min consensus_latency (0.65 *. b_t))
+          ();
         match audit_entry with
         | Some (_, _, _, metas, _) -> metas := meta :: !metas
         | None -> ()
@@ -562,6 +712,7 @@ let run cfg =
         (fun tx ->
           let latency = t_round -. tx.Tx.issued_at +. consensus_latency in
           Metrics.observe t.tx_latency latency;
+          Telemetry.Histogram.observe tele.h_tx_latency latency;
           Metrics.note_processed t.payouts ~epoch:e ~issued_at:tx.Tx.issued_at)
         included;
       if Blocks.stored_bytes t.sc_chain > t.max_sc_stored then
@@ -578,6 +729,21 @@ let run cfg =
     t.signed_payloads <- (e, (payload, signature)) :: t.signed_payloads;
     let s_size = Sidechain.Codec.summary_block_size payload in
     if s_size > t.max_summary_bytes then t.max_summary_bytes <- s_size;
+    Telemetry.Histogram.observe tele.h_summary_bytes (float_of_int s_size);
+    (* The summary round (last of the epoch) splits into summary build
+       and threshold signing on the simulated timeline. *)
+    let t_summary = epoch_start +. (float_of_int (spr - 1) *. b_t) in
+    Trace.complete tele.tr
+      ~args:
+        [ ("epoch", Json.Int e); ("bytes", Json.Int s_size);
+          ("users", Json.Int (List.length payload.Sync_payload.users));
+          ("positions", Json.Int (List.length payload.Sync_payload.positions)) ]
+      ~name:"summary" ~ts:t_summary ~dur:(0.5 *. b_t) ();
+    Trace.complete tele.tr
+      ~args:[ ("threshold", Json.Bool cfg.Config.threshold_signing) ]
+      ~name:"sign"
+      ~ts:(t_summary +. (0.5 *. b_t))
+      ~dur:(0.5 *. b_t) ();
     let summary_block =
       { Blocks.s_epoch = e; s_payload = payload; s_size;
         s_rounds_covered = (e * spr, ((e + 1) * spr) - 1) }
@@ -605,6 +771,25 @@ let run cfg =
     t.burns <- t.burns + stats.Processor.burns;
     t.collects <- t.collects + stats.Processor.collects;
     record_rejections t stats;
+    Tmetrics.inc ~by:stats.Processor.processed tele.c_processed;
+    Tmetrics.inc ~by:stats.Processor.rejected tele.c_rejected;
+    let reg = tele.sink.Telemetry.Report.metrics in
+    Tmetrics.inc ~by:stats.Processor.swaps (Tmetrics.counter reg "txs.swap");
+    Tmetrics.inc ~by:stats.Processor.mints (Tmetrics.counter reg "txs.mint");
+    Tmetrics.inc ~by:stats.Processor.burns (Tmetrics.counter reg "txs.burn");
+    Tmetrics.inc ~by:stats.Processor.collects (Tmetrics.counter reg "txs.collect");
+    Trace.complete tele.tr ~cat:"epoch"
+      ~args:
+        [ ("epoch", Json.Int e); ("processed", Json.Int stats.Processor.processed);
+          ("rejected", Json.Int stats.Processor.rejected) ]
+      ~name:(Printf.sprintf "epoch-%d" e)
+      ~ts:epoch_start ~dur:epoch_dur ();
+    Log.info ~scope ~t:epoch_end
+      ~fields:
+        [ ("epoch", Json.Int e); ("processed", Json.Int stats.Processor.processed);
+          ("rejected", Json.Int stats.Processor.rejected);
+          ("summary_bytes", Json.Int s_size) ]
+      "epoch complete";
     (* Stop once generation is done and the queue has drained (the paper
        empties the queues to measure comparable latency). *)
     epoch := e + 1;
@@ -660,8 +845,22 @@ let run cfg =
                = Ok ())
            t.audit_trail)
   in
-  let gas_by_label = Eth.gas_used_by_label t.eth in
-  let bytes_by_label = Eth.bytes_by_label t.eth in
+  (* Deterministic result ordering: Hashtbl-derived assoc lists are
+     sorted by key so reports and tests never depend on iteration order. *)
+  let sorted_assoc l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  let gas_by_label = sorted_assoc (Eth.gas_used_by_label t.eth) in
+  let bytes_by_label = sorted_assoc (Eth.bytes_by_label t.eth) in
+  let reg = tele.sink.Telemetry.Report.metrics in
+  let final_gauge name v = Tmetrics.set (Tmetrics.gauge reg name) v in
+  final_gauge "sidechain.cumulative_bytes"
+    (float_of_int (Blocks.cumulative_bytes t.sc_chain));
+  final_gauge "sidechain.stored_bytes" (float_of_int (Blocks.stored_bytes t.sc_chain));
+  final_gauge "sidechain.max_stored_bytes" (float_of_int t.max_sc_stored);
+  final_gauge "mainchain.gas_total" (float_of_int (Eth.gas_used_total t.eth));
+  final_gauge "mainchain.bytes_total"
+    (float_of_int (List.fold_left (fun acc (_, b) -> acc + b) 0 bytes_by_label));
+  final_gauge "epochs.applied" (float_of_int (Token_bank.last_synced_epoch t.bank + 1));
+  final_gauge "custody.consistent" (if custody_consistent then 1.0 else 0.0);
   { cfg;
     generated = Traffic.generated t.traffic;
     processed = t.processed_total;
@@ -695,7 +894,8 @@ let run cfg =
     epochs_run = !epoch;
     epochs_applied = Token_bank.last_synced_epoch t.bank + 1;
     mass_syncs = t.mass_syncs;
-    rejection_reasons = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.rejections [];
+    rejection_reasons =
+      sorted_assoc (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.rejections []);
     custody_consistent;
     audit_passed;
     committees = List.rev t.committees;

@@ -57,4 +57,10 @@ type result = {
   collects : int;
 }
 
-val run : Config.t -> result
+val run : ?sink:Telemetry.Report.sink -> Config.t -> result
+(** [run ?sink cfg] simulates the system. When [sink] is given, the run
+    fills its metrics registry (counters, gauges, latency/size
+    histograms) and — if the sink's tracer is enabled — records
+    simulated-clock phase spans (traffic, meta-block, summary, sign,
+    sync, confirm, prune) exportable as Chrome trace JSON. Metrics
+    snapshots are deterministic in the configuration seed. *)

@@ -1,4 +1,7 @@
 module Rng = Amm_crypto.Rng
+module Log = Telemetry.Log
+
+let scope = "eth"
 
 type tx_spec = {
   label : string;
@@ -121,9 +124,21 @@ let mine_block t =
   t.pending <- take t.pending;
   let txs = List.rev !included in
   let size = t.header_size + List.fold_left (fun acc i -> acc + i.i_size) 0 txs in
+  let height = Chain.Ledger.height t.ledger + 1 in
   Chain.Ledger.append t.ledger
-    { b_height = Chain.Ledger.height t.ledger + 1; b_time = time; b_txs = txs;
-      b_gas_used = !gas_used; b_size = size };
+    { b_height = height; b_time = time; b_txs = txs; b_gas_used = !gas_used;
+      b_size = size };
+  if txs <> [] then
+    Log.debug ~scope ~t:time
+      ~fields:
+        [ ("height", Telemetry.Json.Int height);
+          ("txs", Telemetry.Json.Int (List.length txs));
+          ("gas", Telemetry.Json.Int !gas_used);
+          ("bytes", Telemetry.Json.Int size);
+          ("labels",
+           Telemetry.Json.String (String.concat "," (List.map (fun i -> i.i_label) txs)))
+        ]
+      "block mined";
   t.next_block_time <- time +. t.intervl
 
 let advance_to t time =
@@ -138,6 +153,12 @@ let tag_inclusion_time t tag = List.assoc_opt tag t.tag_times
 let rollback t n =
   let dropped = Chain.Ledger.rollback t.ledger n in
   let tags = List.concat_map block_tx_tags dropped in
+  Log.warn ~scope ~t:t.current_time
+    ~fields:
+      [ ("blocks", Telemetry.Json.Int (List.length dropped));
+        ("new_height", Telemetry.Json.Int (Chain.Ledger.height t.ledger));
+        ("dropped_tags", Telemetry.Json.String (String.concat "," tags)) ]
+    "fork: mainchain rollback abandoned blocks";
   t.tag_times <- List.filter (fun (tag, _) -> not (List.mem tag tags)) t.tag_times;
   tags
 

@@ -55,10 +55,18 @@ let side_balance t user =
   let a = account t user in
   (a.side0, a.side1)
 
+let insufficient user reason =
+  Telemetry.Log.debug ~scope:"deposits"
+    ~fields:[ ("user", Telemetry.Json.String (Address.to_hex user)) ]
+    reason;
+  Error reason
+
 let consume t user ~amount0 ~amount1 =
   let a = account t user in
-  if U256.lt (U256.add a.main0 a.side0) amount0 then Error "deposit: token0 not covered"
-  else if U256.lt (U256.add a.main1 a.side1) amount1 then Error "deposit: token1 not covered"
+  if U256.lt (U256.add a.main0 a.side0) amount0 then
+    insufficient user "deposit: token0 not covered"
+  else if U256.lt (U256.add a.main1 a.side1) amount1 then
+    insufficient user "deposit: token1 not covered"
   else begin
     let split main amount =
       if U256.ge main amount then (amount, U256.zero)

@@ -7,6 +7,9 @@ module Router = Uniswap.Router
 module Pool = Uniswap.Pool
 module Position = Uniswap.Position
 module Sync_payload = Tokenbank.Sync_payload
+module Log = Telemetry.Log
+
+let scope = "processor"
 
 type deleted_position = {
   del_id : Position_id.t;
@@ -57,10 +60,16 @@ let deposits t = t.deposits
 
 let ( let* ) = Result.bind
 
-let reject t reason =
+let reject t ~tx reason =
   t.rejected_total <- t.rejected_total + 1;
   Hashtbl.replace t.rejections reason
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.rejections reason));
+  Log.debug ~scope
+    ~fields:
+      [ ("reason", Telemetry.Json.String reason);
+        ("issuer", Telemetry.Json.String (Address.to_hex tx.Tx.issuer));
+        ("issued_round", Telemetry.Json.Int tx.Tx.issued_round) ]
+    "transaction rejected";
   Error reason
 
 let needed_amounts ~zero_for_one amount =
@@ -227,7 +236,7 @@ let process t ~current_round (tx : Tx.t) =
     | Tx.Burn _ -> t.burns <- t.burns + 1
     | Tx.Collect _ -> t.collects <- t.collects + 1);
     Ok ()
-  | Error reason -> reject t reason
+  | Error reason -> reject t ~tx reason
 
 let stats (t : t) =
   { processed = t.processed; rejected = t.rejected_total;
@@ -295,6 +304,15 @@ let build_payload t ~epoch ~next_committee_vk =
     |> List.sort (fun a b ->
            Position_id.compare a.Sync_payload.pos_id b.Sync_payload.pos_id)
   in
+  Log.info ~scope
+    ~fields:
+      [ ("epoch", Telemetry.Json.Int epoch);
+        ("users", Telemetry.Json.Int (List.length users));
+        ("positions", Telemetry.Json.Int (List.length positions));
+        ("deleted", Telemetry.Json.Int (List.length deletions));
+        ("processed", Telemetry.Json.Int t.processed);
+        ("rejected", Telemetry.Json.Int t.rejected_total) ]
+    "epoch summary payload built";
   { Sync_payload.epoch; pool = Pool.pool_id t.pool;
     pool_balance0 = Pool.balance0 t.pool; pool_balance1 = Pool.balance1 t.pool;
     users; positions; next_committee_vk }

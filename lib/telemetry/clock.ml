@@ -1,0 +1,20 @@
+(* Wall and CPU clocks for the harnesses. [Sys.time] measures CPU time
+   only, which hides time spent blocked; experiment timing wants both.
+   The wall clock is monotonic-ish: readings never go backwards within a
+   process even if the system clock is stepped. *)
+
+let last_wall = ref neg_infinity
+
+let wall () =
+  let t = Unix.gettimeofday () in
+  let t = if t > !last_wall then t else !last_wall in
+  last_wall := t;
+  t
+
+let cpu () = Sys.time ()
+
+type stopwatch = { started_wall : float; started_cpu : float }
+
+let stopwatch () = { started_wall = wall (); started_cpu = cpu () }
+let elapsed_wall sw = wall () -. sw.started_wall
+let elapsed_cpu sw = cpu () -. sw.started_cpu

@@ -1,0 +1,77 @@
+(* Log-bucketed histogram with streaming quantiles. Values land in
+   geometric buckets (default 20 per decade ≈ 12% bucket width) so the
+   memory stays O(decades) while p50/p90/p99 come back within a few
+   percent. Non-positive observations are tracked in a dedicated zero
+   bucket. Deterministic: the snapshot depends only on the observations. *)
+
+type t = {
+  per_decade : int;
+  counts : (int, int) Hashtbl.t; (* bucket index -> count, v in 10^(i/pd) *)
+  mutable zero : int; (* observations <= 0 *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create ?(buckets_per_decade = 20) () =
+  if buckets_per_decade <= 0 then invalid_arg "Histogram.create";
+  { per_decade = buckets_per_decade; counts = Hashtbl.create 32; zero = 0;
+    count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let bucket_index t v =
+  int_of_float (Float.floor (Float.log10 v *. float_of_int t.per_decade))
+
+(* Geometric midpoint of bucket [i]: representative value for quantiles. *)
+let bucket_value t i =
+  Float.pow 10.0 ((float_of_int i +. 0.5) /. float_of_int t.per_decade)
+
+let observe t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  if v <= 0.0 then t.zero <- t.zero + 1
+  else begin
+    let i = bucket_index t v in
+    Hashtbl.replace t.counts i
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts i))
+  end
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then 0.0 else t.min_v
+let max_value t = if t.count = 0 then 0.0 else t.max_v
+
+let sorted_buckets t =
+  Hashtbl.fold (fun i n acc -> (i, n) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Quantile by cumulative walk over the ordered buckets; the answer is
+   the bucket midpoint clamped to the observed [min,max]. q in [0,1]. *)
+let quantile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let target = q *. float_of_int t.count in
+    let clamp v = Float.min t.max_v (Float.max t.min_v v) in
+    if float_of_int t.zero >= target && t.zero > 0 then clamp 0.0
+    else begin
+      let rec walk acc = function
+        | [] -> t.max_v
+        | (i, n) :: rest ->
+          let acc = acc + n in
+          if float_of_int acc >= target then clamp (bucket_value t i)
+          else walk acc rest
+      in
+      walk t.zero (sorted_buckets t)
+    end
+  end
+
+let snapshot_fields t =
+  [ ("count", Json.Int t.count); ("sum", Json.Float t.sum);
+    ("mean", Json.Float (mean t)); ("min", Json.Float (min_value t));
+    ("max", Json.Float (max_value t)); ("p50", Json.Float (quantile t 0.50));
+    ("p90", Json.Float (quantile t 0.90)); ("p99", Json.Float (quantile t 0.99)) ]
+
+let to_json t = Json.obj_of_fields (snapshot_fields t)

@@ -1,0 +1,50 @@
+(* Minimal deterministic JSON emission shared by the telemetry modules.
+   Output is byte-stable for identical inputs: fields keep insertion
+   order, floats use a fixed format, and no locale/time state leaks in. *)
+
+type field =
+  | String of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let string s = "\"" ^ escape s ^ "\""
+
+(* JSON has no NaN/Infinity; clamp them so output always parses. *)
+let float f =
+  if Float.is_nan f then "0"
+  else if f = Float.infinity then "1e308"
+  else if f = Float.neg_infinity then "-1e308"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let value = function
+  | String s -> string s
+  | Int i -> string_of_int i
+  | Float f -> float f
+  | Bool b -> if b then "true" else "false"
+
+let obj fields =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> string k ^ ": " ^ v) fields)
+  ^ "}"
+
+let obj_of_fields fields = obj (List.map (fun (k, v) -> (k, value v)) fields)
+let array items = "[" ^ String.concat ", " items ^ "]"

@@ -1,0 +1,62 @@
+(* Leveled structured logger: one JSON object per line on stderr so that
+   stdout reports and piped metrics stay clean. Disabled by default —
+   enable with AMMBOOST_LOG=<level> or [set_level]. Simulated time is
+   attached by the caller via ~t (there is no global simulation clock). *)
+
+type level = Error | Warn | Info | Debug
+
+let rank = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let level_name = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" | "trace" -> Some Debug
+  | _ -> None (* includes "off"/"none"/garbage: stay silent *)
+
+let current : level option ref = ref None
+let env_read = ref false
+let out_channel = ref stderr
+
+let effective () =
+  if not !env_read then begin
+    env_read := true;
+    match Sys.getenv_opt "AMMBOOST_LOG" with
+    | Some s -> current := level_of_string s
+    | None -> ()
+  end;
+  !current
+
+let set_level l =
+  env_read := true;
+  current := l
+
+let set_channel ch = out_channel := ch
+
+let enabled lvl =
+  match effective () with None -> false | Some l -> rank lvl <= rank l
+
+let emit lvl ~scope ?t ?(fields = []) msg =
+  if enabled lvl then begin
+    let base =
+      [ ("lvl", Json.String (level_name lvl)); ("scope", Json.String scope) ]
+    in
+    let time = match t with Some t -> [ ("t", Json.Float t) ] | None -> [] in
+    let line =
+      Json.obj_of_fields (base @ time @ (("msg", Json.String msg) :: fields))
+    in
+    output_string !out_channel (line ^ "\n");
+    flush !out_channel
+  end
+
+let error ~scope ?t ?fields msg = emit Error ~scope ?t ?fields msg
+let warn ~scope ?t ?fields msg = emit Warn ~scope ?t ?fields msg
+let info ~scope ?t ?fields msg = emit Info ~scope ?t ?fields msg
+let debug ~scope ?t ?fields msg = emit Debug ~scope ?t ?fields msg

@@ -1,0 +1,105 @@
+(* Named-series registry: counters, gauges, and histograms, get-or-create
+   by name. Snapshots sort series by name, so two identical runs produce
+   byte-identical JSON / Prometheus dumps regardless of registration or
+   Hashtbl iteration order. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type series =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Histogram.t
+
+type t = { table : (string, series) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let find_or_add t name make =
+  match Hashtbl.find_opt t.table name with
+  | Some s -> s
+  | None ->
+    let s = make () in
+    Hashtbl.add t.table name s;
+    s
+
+let kind_error name = failwith ("Metrics: series kind mismatch for " ^ name)
+
+let counter t name =
+  match find_or_add t name (fun () -> Counter { c_name = name; c_value = 0 }) with
+  | Counter c -> c
+  | Gauge _ | Histogram _ -> kind_error name
+
+let gauge t name =
+  match find_or_add t name (fun () -> Gauge { g_name = name; g_value = 0.0 }) with
+  | Gauge g -> g
+  | Counter _ | Histogram _ -> kind_error name
+
+let histogram ?buckets_per_decade t name =
+  match
+    find_or_add t name (fun () -> Histogram (Histogram.create ?buckets_per_decade ()))
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ -> kind_error name
+
+let inc ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+let set g v = g.g_value <- v
+let add_gauge g v = g.g_value <- g.g_value +. v
+let gauge_value g = g.g_value
+
+(* Convenience: record into a histogram looked up by name. *)
+let observe t name v = Histogram.observe (histogram t name) v
+
+let series_count t = Hashtbl.length t.table
+
+let sorted_series t =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_json_string t =
+  let entry (name, s) =
+    let body =
+      match s with
+      | Counter c ->
+        Json.obj [ ("type", Json.string "counter"); ("value", string_of_int c.c_value) ]
+      | Gauge g ->
+        Json.obj [ ("type", Json.string "gauge"); ("value", Json.float g.g_value) ]
+      | Histogram h ->
+        Json.obj
+          (("type", Json.string "histogram")
+          :: List.map (fun (k, v) -> (k, Json.value v)) (Histogram.snapshot_fields h))
+    in
+    Json.string name ^ ": " ^ body
+  in
+  "{" ^ String.concat ", " (List.map entry (sorted_series t)) ^ "}\n"
+
+(* Prometheus text exposition. Series names become metric names with
+   dots mapped to underscores; histograms export count/sum/quantiles. *)
+let to_prometheus t =
+  let mangle name =
+    String.map (fun c -> if c = '.' || c = '-' then '_' else c) name
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, s) ->
+      let n = mangle name in
+      match s with
+      | Counter c ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n c.c_value)
+      | Gauge g ->
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (Json.float g.g_value))
+      | Histogram h ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+        List.iter
+          (fun q ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n (Json.float q)
+                 (Json.float (Histogram.quantile h q))))
+          [ 0.5; 0.9; 0.99 ];
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %s\n%s_count %d\n" n
+             (Json.float (Histogram.sum h)) n (Histogram.count h)))
+    (sorted_series t);
+  Buffer.contents buf

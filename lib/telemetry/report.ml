@@ -1,0 +1,19 @@
+(* Glue: one sink bundles the per-run metrics registry and span tracer,
+   plus writers for their on-disk forms. A fresh sink per run keeps
+   snapshots deterministic (no cross-run state). *)
+
+type sink = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+}
+
+let sink ?(trace = false) () =
+  { metrics = Metrics.create (); trace = Trace.create ~enabled:trace () }
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let write_metrics s ~path = write_file path (Metrics.to_json_string s.metrics)
+let write_prometheus s ~path = write_file path (Metrics.to_prometheus s.metrics)
+let write_trace s ~path = write_file path (Trace.to_chrome_json s.trace)

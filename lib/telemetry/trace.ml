@@ -1,0 +1,102 @@
+(* Span tracer keyed to the *simulated* clock. Spans carry timestamps in
+   simulated seconds (the caller decides what "now" means) and export as
+   Chrome trace_event JSON — load the file in chrome://tracing or
+   https://ui.perfetto.dev. Disabled tracers drop every event so the
+   default run pays only a branch per call site. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char; (* 'X' complete | 'B' begin | 'E' end | 'i' instant *)
+  ev_ts : float; (* microseconds of simulated time *)
+  ev_dur : float option; (* microseconds, X events only *)
+  ev_tid : int;
+  ev_args : (string * Json.field) list;
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable events : event list; (* newest first *)
+  mutable depth : int; (* open B spans *)
+  mutable count : int;
+}
+
+let create ?(enabled = false) () = { enabled; events = []; depth = 0; count = 0 }
+let set_enabled t b = t.enabled <- b
+let enabled t = t.enabled
+let depth t = t.depth
+let event_count t = t.count
+
+let us_of_seconds s = s *. 1e6
+
+let push t ev =
+  t.events <- ev :: t.events;
+  t.count <- t.count + 1
+
+(* A complete span: [ts, ts+dur] in simulated seconds. *)
+let complete t ?(cat = "phase") ?(tid = 1) ?(args = []) ~name ~ts ~dur () =
+  if t.enabled then
+    push t
+      { ev_name = name; ev_cat = cat; ev_ph = 'X'; ev_ts = us_of_seconds ts;
+        ev_dur = Some (us_of_seconds (Float.max 0.0 dur)); ev_tid = tid;
+        ev_args = args }
+
+let begin_span t ?(cat = "phase") ?(tid = 1) ?(args = []) ~name ~ts () =
+  if t.enabled then begin
+    t.depth <- t.depth + 1;
+    push t
+      { ev_name = name; ev_cat = cat; ev_ph = 'B'; ev_ts = us_of_seconds ts;
+        ev_dur = None; ev_tid = tid; ev_args = args }
+  end
+
+let end_span t ?(tid = 1) ~ts () =
+  if t.enabled then begin
+    if t.depth <= 0 then failwith "Trace.end_span: no open span";
+    t.depth <- t.depth - 1;
+    push t
+      { ev_name = ""; ev_cat = ""; ev_ph = 'E'; ev_ts = us_of_seconds ts;
+        ev_dur = None; ev_tid = tid; ev_args = [] }
+  end
+
+let instant t ?(cat = "event") ?(tid = 1) ?(args = []) ~name ~ts () =
+  if t.enabled then
+    push t
+      { ev_name = name; ev_cat = cat; ev_ph = 'i'; ev_ts = us_of_seconds ts;
+        ev_dur = None; ev_tid = tid; ev_args = args }
+
+let event_json ev =
+  let fields =
+    [ ("name", Json.string ev.ev_name); ("cat", Json.string ev.ev_cat);
+      ("ph", Json.string (String.make 1 ev.ev_ph)); ("ts", Json.float ev.ev_ts);
+      ("pid", "1"); ("tid", string_of_int ev.ev_tid) ]
+  in
+  let fields =
+    match ev.ev_dur with
+    | Some d -> fields @ [ ("dur", Json.float d) ]
+    | None -> fields
+  in
+  let fields = if ev.ev_ph = 'i' then fields @ [ ("s", Json.string "t") ] else fields in
+  let fields =
+    match ev.ev_args with
+    | [] -> fields
+    | args -> fields @ [ ("args", Json.obj_of_fields args) ]
+  in
+  Json.obj fields
+
+(* Events sort by (ts, duration desc, insertion order) so nested X spans
+   come out parent-first, which the Chrome/Perfetto importers expect. *)
+let to_chrome_json t =
+  let numbered = List.mapi (fun i ev -> (t.count - i, ev)) t.events in
+  let dur ev = Option.value ~default:0.0 ev.ev_dur in
+  let ordered =
+    List.sort
+      (fun (ia, a) (ib, b) ->
+        match compare a.ev_ts b.ev_ts with
+        | 0 -> (match compare (dur b) (dur a) with 0 -> compare ia ib | c -> c)
+        | c -> c)
+      numbered
+  in
+  Json.obj
+    [ ("traceEvents", Json.array (List.map (fun (_, ev) -> event_json ev) ordered));
+      ("displayTimeUnit", Json.string "ms") ]
+  ^ "\n"

@@ -4,6 +4,9 @@ module Position_id = Chain.Ids.Position_id
 module Gas = Mainchain.Gas
 module Erc20 = Mainchain.Erc20
 module Bls = Amm_crypto.Bls
+module Log = Telemetry.Log
+
+let scope = "token_bank"
 
 type pool_info = {
   pool_id : int;
@@ -95,6 +98,13 @@ let deposit ?meter t ~user ~for_epoch ~amount0 ~amount1 =
          (epoch_deposits t for_epoch))
       t.user_deposits;
   charge meter "deposit.bookkeeping" (Gas.sload + (2 * Gas.sstore_update));
+  Log.debug ~scope
+    ~fields:
+      [ ("user", Telemetry.Json.String (Address.to_hex user));
+        ("for_epoch", Telemetry.Json.Int for_epoch);
+        ("amount0", Telemetry.Json.String (U256.to_string amount0));
+        ("amount1", Telemetry.Json.String (U256.to_string amount1)) ]
+    "deposit recorded";
   Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -226,7 +236,19 @@ let sync t ~signed =
       | [] -> (U256.zero, U256.zero)
     in
     let* () =
-      verify_all ~vk:t.vk ~expected_epoch:(t.synced_epoch + 1) ~balance0 ~balance1 signed
+      match
+        verify_all ~vk:t.vk ~expected_epoch:(t.synced_epoch + 1) ~balance0 ~balance1
+          signed
+      with
+      | Ok () -> Ok ()
+      | Error reason ->
+        Log.warn ~scope
+          ~fields:
+            [ ("reason", Telemetry.Json.String reason);
+              ("payloads", Telemetry.Json.Int (List.length payloads));
+              ("synced_epoch", Telemetry.Json.Int t.synced_epoch) ]
+          "sync rejected: state unchanged";
+        Error reason
     in
     let written = ref 0 and deleted = ref 0 and paid = ref 0 in
     List.iter
@@ -236,10 +258,21 @@ let sync t ~signed =
         deleted := !deleted + d;
         paid := !paid + pd)
       payloads;
+    let epochs_covered = List.map (fun p -> p.Sync_payload.epoch) payloads in
+    Log.info ~scope
+      ~fields:
+        [ ("epochs",
+           Telemetry.Json.String (String.concat "," (List.map string_of_int epochs_covered)));
+          ("payouts", Telemetry.Json.Int !paid);
+          ("positions_written", Telemetry.Json.Int !written);
+          ("positions_deleted", Telemetry.Json.Int !deleted);
+          ("calldata_bytes", Telemetry.Json.Int calldata_bytes);
+          ("gas", Telemetry.Json.Int (Gas.total m)) ]
+      "sync applied: committee key rotated";
     Ok
       { gas = m; calldata_bytes; payouts_dispensed = !paid;
         positions_written = !written; positions_deleted = !deleted;
-        epochs_covered = List.map (fun p -> p.Sync_payload.epoch) payloads }
+        epochs_covered }
 
 let positions t = Hashtbl.fold (fun _ p acc -> p :: acc) t.position_table []
 let find_position t pid = Hashtbl.find_opt t.position_table pid
@@ -332,6 +365,11 @@ let checkpoint t =
     ck_erc0 = Erc20.checkpoint t.erc0; ck_erc1 = Erc20.checkpoint t.erc1 }
 
 let restore t ck =
+  Log.warn ~scope
+    ~fields:
+      [ ("from_epoch", Telemetry.Json.Int t.synced_epoch);
+        ("to_epoch", Telemetry.Json.Int ck.ck_synced_epoch) ]
+    "state restored to pre-sync checkpoint";
   t.pools <- ck.ck_pools;
   t.next_pool_id <- ck.ck_next_pool_id;
   t.user_deposits <- ck.ck_deposits;

@@ -1,0 +1,361 @@
+(* Telemetry subsystem: histogram quantile accuracy, registry snapshots
+   and their determinism, span nesting balance, and well-formedness of
+   the Chrome trace export (parsed with a minimal JSON reader so no
+   extra dependency is needed). *)
+
+module H = Telemetry.Histogram
+module M = Telemetry.Metrics
+module T = Telemetry.Trace
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON well-formedness checker                              *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+          advance ();
+          Buffer.add_char b '?';
+          go ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done;
+          Buffer.add_char b '?';
+          go ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        advance ();
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let token = String.sub s start (!pos - start) in
+    match float_of_string_opt token with
+    | Some f -> f
+    | None -> fail ("bad number " ^ token)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected , or }"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ]"
+        in
+        Arr (items [])
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_close name ~tolerance expected actual =
+  let rel = Float.abs (actual -. expected) /. Float.max 1e-9 (Float.abs expected) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.4f within %.0f%% of %.4f" name actual (100. *. tolerance)
+       expected)
+    true (rel <= tolerance)
+
+let test_histogram_uniform () =
+  let h = H.create () in
+  for v = 1 to 10_000 do
+    H.observe h (float_of_int v)
+  done;
+  Alcotest.(check int) "count" 10_000 (H.count h);
+  Alcotest.(check (float 1e-6)) "min" 1.0 (H.min_value h);
+  Alcotest.(check (float 1e-6)) "max" 10_000.0 (H.max_value h);
+  check_close "mean" ~tolerance:1e-9 5000.5 (H.mean h);
+  (* Log-bucketed quantiles: a bucket spans ~12%, so allow that. *)
+  check_close "p50" ~tolerance:0.13 5000.0 (H.quantile h 0.50);
+  check_close "p90" ~tolerance:0.13 9000.0 (H.quantile h 0.90);
+  check_close "p99" ~tolerance:0.13 9900.0 (H.quantile h 0.99)
+
+let test_histogram_lognormal_like () =
+  (* A two-decade spread: 90% of mass at 10, 10% at 1000. *)
+  let h = H.create () in
+  for _ = 1 to 900 do
+    H.observe h 10.0
+  done;
+  for _ = 1 to 100 do
+    H.observe h 1000.0
+  done;
+  check_close "p50" ~tolerance:0.13 10.0 (H.quantile h 0.50);
+  check_close "p99" ~tolerance:0.13 1000.0 (H.quantile h 0.99)
+
+let test_histogram_edge_cases () =
+  let h = H.create () in
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (H.quantile h 0.5);
+  H.observe h 0.0;
+  H.observe h (-5.0);
+  H.observe h 2.0;
+  Alcotest.(check int) "count with zeros" 3 (H.count h);
+  (* Two of three observations are <= 0, so the median is the zero bucket. *)
+  Alcotest.(check (float 1e-9)) "p50 dominated by zero bucket" 0.0
+    (H.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p99 positive" 2.0 (H.quantile h 0.99)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let populate reg =
+  let c = M.counter reg "txs.processed" in
+  M.inc c;
+  M.inc ~by:41 c;
+  M.set (M.gauge reg "mempool.bytes") 123.5;
+  M.observe reg "latency" 0.25;
+  M.observe reg "latency" 0.75
+
+let test_registry_snapshot () =
+  let reg = M.create () in
+  populate reg;
+  let json = M.to_json_string reg in
+  (match parse_json (String.trim json) with
+  | Obj fields ->
+    Alcotest.(check (list string)) "series sorted by name"
+      [ "latency"; "mempool.bytes"; "txs.processed" ]
+      (List.map fst fields);
+    (match List.assoc "txs.processed" fields with
+    | Obj c -> Alcotest.(check bool) "counter value" true (List.assoc "value" c = Num 42.0)
+    | _ -> Alcotest.fail "counter not an object")
+  | _ -> Alcotest.fail "snapshot not an object");
+  (* Registering the same name with another kind is a hard error. *)
+  Alcotest.check_raises "kind mismatch"
+    (Failure "Metrics: series kind mismatch for txs.processed") (fun () ->
+      ignore (M.gauge reg "txs.processed"))
+
+let test_registry_deterministic () =
+  let a = M.create () and b = M.create () in
+  populate a;
+  populate b;
+  Alcotest.(check string) "identical registries snapshot identically"
+    (M.to_json_string a) (M.to_json_string b);
+  Alcotest.(check string) "prometheus dump identical too" (M.to_prometheus a)
+    (M.to_prometheus b);
+  Alcotest.(check bool) "prometheus has quantile lines" true
+    (let dump = M.to_prometheus a in
+     let contains hay needle =
+       let ln = String.length needle and lh = String.length hay in
+       let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+       go 0
+     in
+     contains dump "latency{quantile=\"0.99\"}")
+
+(* ------------------------------------------------------------------ *)
+(* Span tracer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let tr = T.create ~enabled:true () in
+  T.begin_span tr ~name:"epoch" ~ts:0.0 ();
+  T.begin_span tr ~name:"round" ~ts:1.0 ();
+  Alcotest.(check int) "two open spans" 2 (T.depth tr);
+  T.end_span tr ~ts:2.0 ();
+  T.end_span tr ~ts:3.0 ();
+  Alcotest.(check int) "balanced" 0 (T.depth tr);
+  Alcotest.check_raises "unbalanced end rejected"
+    (Failure "Trace.end_span: no open span") (fun () -> T.end_span tr ~ts:4.0 ())
+
+let test_disabled_tracer_records_nothing () =
+  let tr = T.create () in
+  T.begin_span tr ~name:"x" ~ts:0.0 ();
+  T.complete tr ~name:"y" ~ts:0.0 ~dur:1.0 ();
+  T.end_span tr ~ts:1.0 ();
+  Alcotest.(check int) "no events" 0 (T.event_count tr)
+
+let test_chrome_export_well_formed () =
+  let tr = T.create ~enabled:true () in
+  T.complete tr ~name:"traffic" ~ts:0.0 ~dur:2.1
+    ~args:[ ("generated", Telemetry.Json.Int 7) ]
+    ();
+  T.begin_span tr ~name:"meta \"quoted\"\nblock" ~ts:2.1 ();
+  T.end_span tr ~ts:5.0 ();
+  T.instant tr ~name:"prune" ~ts:6.0 ();
+  let json = parse_json (String.trim (T.to_chrome_json tr)) in
+  match json with
+  | Obj fields ->
+    (match List.assoc "traceEvents" fields with
+    | Arr events ->
+      let phase ev =
+        match ev with
+        | Obj f -> (
+          match List.assoc "ph" f with Str p -> p | _ -> Alcotest.fail "ph not a string")
+        | _ -> Alcotest.fail "event not an object"
+      in
+      let phases = List.map phase events in
+      let count p = List.length (List.filter (String.equal p) phases) in
+      Alcotest.(check int) "four events" 4 (List.length events);
+      Alcotest.(check int) "B/E matched" (count "B") (count "E");
+      Alcotest.(check int) "one complete event" 1 (count "X");
+      List.iter
+        (fun ev ->
+          match ev with
+          | Obj f ->
+            Alcotest.(check bool) "has ts" true (List.mem_assoc "ts" f);
+            Alcotest.(check bool) "has pid/tid" true
+              (List.mem_assoc "pid" f && List.mem_assoc "tid" f);
+            if phase ev = "X" then
+              Alcotest.(check bool) "X has dur" true (List.mem_assoc "dur" f)
+          | _ -> Alcotest.fail "event not an object")
+        events
+    | _ -> Alcotest.fail "traceEvents not an array")
+  | _ -> Alcotest.fail "trace not an object"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: instrumented run determinism                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_system_metrics_deterministic () =
+  let open Ammboost in
+  let cfg =
+    { Config.default with
+      epochs = 2; daily_volume = 20_000; users = 12; miners = 30;
+      committee_size = 10; max_faulty = 2; seed = "telemetry-determinism" }
+  in
+  let snapshot () =
+    let sink = Telemetry.Report.sink ~trace:true () in
+    let _r = System.run ~sink cfg in
+    (M.to_json_string sink.Telemetry.Report.metrics,
+     T.to_chrome_json sink.Telemetry.Report.trace)
+  in
+  let m1, t1 = snapshot () in
+  let m2, t2 = snapshot () in
+  Alcotest.(check string) "metrics snapshots byte-identical" m1 m2;
+  Alcotest.(check string) "trace exports byte-identical" t1 t2;
+  (match parse_json (String.trim m1) with
+  | Obj fields ->
+    Alcotest.(check bool)
+      (Printf.sprintf "at least 10 series (%d)" (List.length fields))
+      true
+      (List.length fields >= 10)
+  | _ -> Alcotest.fail "metrics not an object");
+  ignore (parse_json (String.trim t1))
+
+let () =
+  Alcotest.run "telemetry"
+    [ ("histogram",
+       [ Alcotest.test_case "uniform quantiles" `Quick test_histogram_uniform;
+         Alcotest.test_case "bimodal quantiles" `Quick test_histogram_lognormal_like;
+         Alcotest.test_case "edge cases" `Quick test_histogram_edge_cases ]);
+      ("metrics",
+       [ Alcotest.test_case "snapshot shape" `Quick test_registry_snapshot;
+         Alcotest.test_case "deterministic output" `Quick test_registry_deterministic ]);
+      ("trace",
+       [ Alcotest.test_case "span nesting balance" `Quick test_span_nesting;
+         Alcotest.test_case "disabled tracer" `Quick test_disabled_tracer_records_nothing;
+         Alcotest.test_case "chrome export well-formed" `Quick
+           test_chrome_export_well_formed ]);
+      ("system",
+       [ Alcotest.test_case "instrumented run deterministic" `Quick
+           test_system_metrics_deterministic ]) ]
