@@ -2,16 +2,49 @@
    evaluation (one sub-command per table; no argument runs everything) and
    runs Bechamel micro-benchmarks of the hot primitives.
 
+   Simulator experiments run concurrently on OCaml 5 domains: the job
+   count comes from -j N / --jobs N, else AMMBOOST_BENCH_JOBS, else the
+   machine's recommended domain count. Each experiment computes against a
+   private telemetry sink and returns a printer; printing happens
+   sequentially in command-line order afterwards, so stdout is
+   byte-identical at any job count (timing lines go to stderr). The micro
+   benchmark is timing-sensitive and always runs serially, at its position
+   in the target list.
+
    Environment: AMMBOOST_BENCH_SCALE=<n> divides the daily traffic volumes
    by n for quicker runs (1 = the paper's full volumes);
+   AMMBOOST_BENCH_JOBS=<n> sets the default domain count;
    AMMBOOST_METRICS_DIR=<dir> writes one telemetry metrics snapshot per
-   experiment to <dir>/<name>.metrics.json. *)
+   experiment to <dir>/<name>.metrics.json;
+   AMMBOOST_BENCH_RESULTS=<path> sets where the machine-readable results
+   JSON lands (default ./BENCH_results.json). *)
 
 module E = Ammboost.Experiments
+module Json = Telemetry.Json
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
+
+(* Report order = declaration order below. Bechamel hands results back in
+   a Hashtbl whose iteration order is unspecified, so the report walks
+   this static list instead. *)
+let micro_names =
+  [ "u256 mul_div"; "u256 sqrt"; "tick->sqrt ratio"; "sqrt ratio->tick";
+    "keccak256 (1KiB)"; "sha256 (1KiB)"; "bls sign"; "bls verify";
+    "threshold sign 11-of-16"; "pool swap (exact in)" ]
+  |> List.map (fun n -> "ammboost/" ^ n)
+
+(* ns/run measured on the pre-optimisation tree (same machine class, same
+   Bechamel settings), kept for before/after comparison in the results
+   JSON. *)
+let baseline_micro_ns =
+  [ ("ammboost/u256 mul_div", 1349.9); ("ammboost/u256 sqrt", 6469.2);
+    ("ammboost/tick->sqrt ratio", 4546.7); ("ammboost/sqrt ratio->tick", 130382.8);
+    ("ammboost/keccak256 (1KiB)", 140086.3); ("ammboost/sha256 (1KiB)", 22705.3);
+    ("ammboost/bls sign", 17244.3); ("ammboost/bls verify", 23639.9);
+    ("ammboost/threshold sign 11-of-16", 145973092.7);
+    ("ammboost/pool swap (exact in)", 89366.4) ]
 
 let micro_tests () =
   let open Bechamel in
@@ -93,88 +126,293 @@ let micro_tests () =
 
 let run_micro () =
   let open Bechamel in
-  Printf.printf "\n=== Micro-benchmarks (Bechamel; ns/run via OLS) ===\n%!";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let raw = Benchmark.all cfg instances (micro_tests ()) in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |] in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
-  List.iter
+  List.map
     (fun name ->
-      let r = Hashtbl.find results name in
-      match Analyze.OLS.estimates r with
-      | Some (t :: _) -> Printf.printf "  %-32s %12.1f ns/run\n" name t
-      | Some [] | None -> Printf.printf "  %-32s (no estimate)\n" name)
-    (List.sort compare names)
+      let ns =
+        match Hashtbl.find_opt results name with
+        | None -> None
+        | Some r ->
+          (match Analyze.OLS.estimates r with
+          | Some (t :: _) -> Some t
+          | Some [] | None -> None)
+      in
+      (name, ns))
+    micro_names
+
+let print_micro rows =
+  Printf.printf "\n=== Micro-benchmarks (Bechamel; ns/run via OLS) ===\n";
+  List.iter
+    (fun (name, ns) ->
+      match ns with
+      | Some t -> Printf.printf "  %-32s %12.1f ns/run\n" name t
+      | None -> Printf.printf "  %-32s (no estimate)\n" name)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Experiment dispatch                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_table1 sink =
-  E.print_perf_table ~title:"Table 1: scalability of ammBoost" ~col_header:"Daily volume"
-    (E.table1_scalability ~sink ())
+(* Each simulator experiment is compute/print split: [compute sink]
+   performs the runs (this part fans out over domains) and returns a
+   printer closure over the finished rows. *)
 
-let run_table2 sink =
-  E.print_perf_table ~title:"Table 2: impact of sidechain block size (V_D = 50M)"
-    ~col_header:"Block size" (E.table2_block_size ~sink ())
+let compute_table1 sink =
+  let rows = E.table1_scalability ~sink () in
+  fun () ->
+    E.print_perf_table ~title:"Table 1: scalability of ammBoost"
+      ~col_header:"Daily volume" rows
 
-let run_table3 sink =
-  E.print_perf_table ~title:"Table 3: impact of sidechain round duration (V_D = 25M)"
-    ~col_header:"Round duration" (E.table3_round_duration ~sink ())
+let compute_table2 sink =
+  let rows = E.table2_block_size ~sink () in
+  fun () ->
+    E.print_perf_table ~title:"Table 2: impact of sidechain block size (V_D = 50M)"
+      ~col_header:"Block size" rows
 
-let run_table4 sink =
-  E.print_perf_table ~title:"Table 4: impact of epoch length (V_D = 25M)"
-    ~col_header:"Epoch (sc rounds)" (E.table4_epoch_length ~sink ())
+let compute_table3 sink =
+  let rows = E.table3_round_duration ~sink () in
+  fun () ->
+    E.print_perf_table ~title:"Table 3: impact of sidechain round duration (V_D = 25M)"
+      ~col_header:"Round duration" rows
 
-let run_table5 sink =
-  E.print_perf_table ~title:"Table 5: impact of traffic distribution (V_D = 25M)"
-    ~col_header:"(swap,mint,burn,collect)" (E.table5_distribution ~sink ())
+let compute_table4 sink =
+  let rows = E.table4_epoch_length ~sink () in
+  fun () ->
+    E.print_perf_table ~title:"Table 4: impact of epoch length (V_D = 25M)"
+      ~col_header:"Epoch (sc rounds)" rows
 
-let run_table6 sink = E.print_table6 (E.table6_gas_itemized ~sink ())
-let run_table7 _sink = E.print_table7 (E.table7_storage ())
-let run_fig6 sink = E.print_fig6 (E.fig6_overall ~sink ())
-let run_table8 _sink = E.print_table8 (E.table8_stats ())
+let compute_table5 sink =
+  let rows = E.table5_distribution ~sink () in
+  fun () ->
+    E.print_perf_table ~title:"Table 5: impact of traffic distribution (V_D = 25M)"
+      ~col_header:"(swap,mint,burn,collect)" rows
 
-let run_ablations sink =
-  E.print_ablation ~title:"QC authentication cost" (E.ablation_authentication ~sink ());
-  E.print_ablation ~title:"summary aggregation vs per-tx posting"
-    (E.ablation_aggregation ~sink ());
-  E.print_ablation ~title:"meta-block pruning" (E.ablation_pruning ~sink ())
+let compute_table6 sink =
+  let t = E.table6_gas_itemized ~sink () in
+  fun () -> E.print_table6 t
+
+let compute_table7 _sink =
+  let t = E.table7_storage () in
+  fun () -> E.print_table7 t
+
+let compute_fig6 sink =
+  let f = E.fig6_overall ~sink () in
+  fun () -> E.print_fig6 f
+
+let compute_table8 _sink =
+  let rows = E.table8_stats () in
+  fun () -> E.print_table8 rows
+
+let compute_ablations sink =
+  (* The three ablations are independent runs: fan them out too. *)
+  let auth, (agg, pruning) =
+    Parallel.run_pair
+      (fun () -> E.ablation_authentication ~sink ())
+      (fun () ->
+        Parallel.run_pair
+          (fun () -> E.ablation_aggregation ~sink ())
+          (fun () -> E.ablation_pruning ~sink ()))
+  in
+  fun () ->
+    E.print_ablation ~title:"QC authentication cost" auth;
+    E.print_ablation ~title:"summary aggregation vs per-tx posting" agg;
+    E.print_ablation ~title:"meta-block pruning" pruning
+
+type experiment = Sim of (Telemetry.Report.sink -> unit -> unit) | Micro
 
 let all_experiments =
-  [ ("table1", run_table1); ("table2", run_table2); ("table3", run_table3);
-    ("table4", run_table4); ("table5", run_table5); ("table6", run_table6);
-    ("table7", run_table7); ("table8", run_table8); ("fig6", run_fig6);
-    ("ablations", run_ablations); ("micro", fun _sink -> run_micro ()) ]
+  [ ("table1", Sim compute_table1); ("table2", Sim compute_table2);
+    ("table3", Sim compute_table3); ("table4", Sim compute_table4);
+    ("table5", Sim compute_table5); ("table6", Sim compute_table6);
+    ("table7", Sim compute_table7); ("table8", Sim compute_table8);
+    ("fig6", Sim compute_fig6); ("ablations", Sim compute_ablations);
+    ("micro", Micro) ]
 
 let metrics_dir = Sys.getenv_opt "AMMBOOST_METRICS_DIR"
 
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Orchestration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  o_name : string;
+  o_print : unit -> unit;
+  o_sink : Telemetry.Report.sink;
+  o_wall : float;
+  o_cpu : float;
+  o_micro : (string * float option) list;  (* non-empty only for micro *)
+}
+
+let run_sim name compute =
+  (* One metrics registry per experiment: the snapshot aggregates every
+     simulator run behind that table. The sink is private to this
+     experiment, so concurrent experiments never share one. *)
+  let sink = Telemetry.Report.sink () in
+  let sw = Telemetry.Clock.stopwatch () in
+  let print = compute sink in
+  { o_name = name; o_print = print; o_sink = sink;
+    o_wall = Telemetry.Clock.elapsed_wall sw;
+    o_cpu = Telemetry.Clock.elapsed_cpu sw; o_micro = [] }
+
+let run_micro_outcome () =
+  (* Even idle pool domains degrade minor-GC pauses; join them so the
+     micro numbers measure the primitive, not the pool. The pool restarts
+     lazily if more simulator experiments follow. *)
+  Parallel.shutdown ();
+  let sink = Telemetry.Report.sink () in
+  let sw = Telemetry.Clock.stopwatch () in
+  let rows = run_micro () in
+  { o_name = "micro"; o_print = (fun () -> print_micro rows); o_sink = sink;
+    o_wall = Telemetry.Clock.elapsed_wall sw;
+    o_cpu = Telemetry.Clock.elapsed_cpu sw; o_micro = rows }
+
+let finish outcome =
+  outcome.o_print ();
+  flush stdout;
+  (* Timing depends on load and job count: stderr, so stdout stays
+     byte-identical across -j values. *)
+  Printf.eprintf "  [%s done in %.1fs wall, %.1fs cpu]\n%!" outcome.o_name
+    outcome.o_wall outcome.o_cpu;
+  match metrics_dir with
+  | Some dir ->
+    mkdir_p dir;
+    Telemetry.Report.write_metrics outcome.o_sink
+      ~path:(Filename.concat dir (outcome.o_name ^ ".metrics.json"))
+  | None -> ()
+
+(* Simulator experiments between two micro runs execute as one parallel
+   batch; printing stays in command-line order. *)
+let run_targets targets =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | ("micro", Micro) :: rest ->
+      let o = run_micro_outcome () in
+      finish o;
+      go (o :: acc) rest
+    | (_, Sim _) :: _ as l ->
+      let sims, rest =
+        let rec split acc = function
+          | (name, Sim f) :: tl -> split ((name, f) :: acc) tl
+          | tl -> (List.rev acc, tl)
+        in
+        split [] l
+      in
+      let outcomes = Parallel.map_list (fun (name, f) -> run_sim name f) sims in
+      List.iter finish outcomes;
+      go (List.rev_append outcomes acc) rest
+    | (name, Micro) :: rest ->
+      (* unreachable: only "micro" carries Micro *)
+      ignore name;
+      go acc rest
+  in
+  go [] targets
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results                                            *)
+(* ------------------------------------------------------------------ *)
+
+let results_path () =
+  match Sys.getenv_opt "AMMBOOST_BENCH_RESULTS" with
+  | Some p when p <> "" -> p
+  | _ -> "BENCH_results.json"
+
+let write_results ~jobs outcomes =
+  let micro_rows = List.concat_map (fun o -> o.o_micro) outcomes in
+  let ns_obj rows =
+    Json.obj
+      (List.filter_map
+         (fun (name, ns) -> Option.map (fun t -> (name, Json.float t)) ns)
+         rows)
+  in
+  let experiments =
+    Json.array
+      (List.map
+         (fun o ->
+           Json.obj_of_fields
+             [ ("name", Json.String o.o_name); ("wall_s", Json.Float o.o_wall);
+               ("cpu_s", Json.Float o.o_cpu) ])
+         outcomes)
+  in
+  let doc =
+    Json.obj
+      [ ("schema", Json.string "ammboost-bench/1");
+        ("scale", Json.float E.scale);
+        ("jobs", string_of_int jobs);
+        ("experiments", experiments);
+        ("micro_ns", ns_obj micro_rows);
+        ("baseline_micro_ns",
+         ns_obj (List.map (fun (n, v) -> (n, Some v)) baseline_micro_ns)) ]
+  in
+  let path = results_path () in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (doc ^ "\n"));
+  Printf.eprintf "  [results written to %s]\n%!" path
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [-j N | --jobs N] [experiment ...]\navailable experiments: %s\n"
+    (String.concat ", " (List.map fst all_experiments));
+  exit 2
+
+let parse_jobs s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> n
+  | _ ->
+    Printf.eprintf "invalid job count %S (want a positive integer)\n" s;
+    exit 2
+
+let parse_argv argv =
+  let rec go jobs targets = function
+    | [] -> (jobs, List.rev targets)
+    | ("-j" | "--jobs") :: n :: rest -> go (Some (parse_jobs n)) targets rest
+    | [ "-j" ] | [ "--jobs" ] ->
+      Printf.eprintf "missing job count after -j\n";
+      exit 2
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      go (Some (parse_jobs (String.sub arg 7 (String.length arg - 7)))) targets rest
+    | arg :: rest
+      when String.length arg > 2 && String.sub arg 0 2 = "-j"
+           && int_of_string_opt (String.sub arg 2 (String.length arg - 2)) <> None ->
+      go (Some (parse_jobs (String.sub arg 2 (String.length arg - 2)))) targets rest
+    | ("-h" | "--help") :: _ -> usage ()
+    | arg :: rest -> go jobs (arg :: targets) rest
+  in
+  go None [] (List.tl (Array.to_list argv))
+
 let () =
+  let jobs_flag, names = parse_argv Sys.argv in
+  (match jobs_flag with Some n -> Parallel.set_default_domains n | None -> ());
+  let jobs = Parallel.default_domains () in
+  let names = if names = [] then List.map fst all_experiments else names in
   let targets =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_experiments
+    List.filter_map
+      (fun name ->
+        match List.assoc_opt name all_experiments with
+        | Some kind -> Some (name, kind)
+        | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst all_experiments));
+          None)
+      names
   in
   Printf.printf "ammBoost benchmark harness (volumes = paper volumes / %.0f)\n" E.scale;
-  List.iter
-    (fun name ->
-      match List.assoc_opt name all_experiments with
-      | Some f ->
-        (* One metrics registry per experiment: the snapshot aggregates
-           every simulator run behind that table. *)
-        let sink = Telemetry.Report.sink () in
-        let sw = Telemetry.Clock.stopwatch () in
-        f sink;
-        Printf.printf "  [%s done in %.1fs wall, %.1fs cpu]\n%!" name
-          (Telemetry.Clock.elapsed_wall sw) (Telemetry.Clock.elapsed_cpu sw);
-        (match metrics_dir with
-        | Some dir ->
-          Telemetry.Report.write_metrics sink
-            ~path:(Filename.concat dir (name ^ ".metrics.json"))
-        | None -> ())
-      | None ->
-        Printf.eprintf "unknown experiment %S; available: %s\n" name
-          (String.concat ", " (List.map fst all_experiments)))
-    targets
+  Printf.eprintf "  [running %d experiment(s) with %d job(s)]\n%!"
+    (List.length targets) jobs;
+  let outcomes = run_targets targets in
+  write_results ~jobs outcomes

@@ -35,7 +35,7 @@ let factors =
      "0x48a170391f7dc42444e8fa2" |]
   |> Array.map U256.of_hex
 
-let get_sqrt_ratio_at_tick tick =
+let get_sqrt_ratio_at_tick_uncached tick =
   if tick < min_tick || tick > max_tick then
     invalid_arg (Printf.sprintf "Tick_math.get_sqrt_ratio_at_tick: tick %d out of range" tick);
   let abs_tick = abs tick in
@@ -50,6 +50,28 @@ let get_sqrt_ratio_at_tick tick =
   let shifted = U256.shift_right !ratio 32 in
   let low_bits = U256.logand !ratio (U256.sub (U256.shift_left U256.one 32) U256.one) in
   if U256.is_zero low_bits then shifted else U256.add shifted U256.one
+
+(* Swap traffic revisits a narrow tick band over and over (and the binary
+   search in [get_tick_at_sqrt_ratio] recomputes ~20 ratios per call), so
+   the 20-multiply derivation above is worth caching. The memo table is
+   domain-local — parallel experiment cells each fill their own — and
+   bounded: if a scan ever touches more than [memo_cap] distinct ticks the
+   table resets rather than holding 1.7M boxed ratios. Cached values are
+   shared, never mutated (see the U256 in-place API contract). *)
+let memo_cap = 1 lsl 17
+
+let memo_key : (int, U256.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+let get_sqrt_ratio_at_tick tick =
+  let tbl = Domain.DLS.get memo_key in
+  match Hashtbl.find_opt tbl tick with
+  | Some ratio -> ratio
+  | None ->
+    let ratio = get_sqrt_ratio_at_tick_uncached tick in
+    if Hashtbl.length tbl >= memo_cap then Hashtbl.reset tbl;
+    Hashtbl.add tbl tick ratio;
+    ratio
 
 let get_tick_at_sqrt_ratio sqrt_ratio =
   if U256.lt sqrt_ratio min_sqrt_ratio || U256.ge sqrt_ratio max_sqrt_ratio then

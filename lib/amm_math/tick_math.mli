@@ -19,7 +19,14 @@ val max_sqrt_ratio : U256.t
 
 val get_sqrt_ratio_at_tick : int -> U256.t
 (** [get_sqrt_ratio_at_tick tick] is [sqrt(1.0001^tick) * 2^96], rounded as
-    in Uniswap V3. Raises [Invalid_argument] outside [min_tick, max_tick]. *)
+    in Uniswap V3. Raises [Invalid_argument] outside [min_tick, max_tick].
+    Results are memoised in a bounded, domain-local table (swap traffic
+    revisits a narrow tick band); returned values are shared and must not
+    be mutated. *)
+
+val get_sqrt_ratio_at_tick_uncached : int -> U256.t
+(** Same result as {!get_sqrt_ratio_at_tick} but always recomputed —
+    bypasses the memo table. Reference implementation for tests. *)
 
 val get_tick_at_sqrt_ratio : U256.t -> int
 (** Greatest tick whose ratio is [<=] the argument. Raises

@@ -40,7 +40,7 @@ let of_int64 n =
 
 let to_int_opt x =
   (* Native ints hold 62 value bits; accept values below 2^62. *)
-  let rec high_clear i = i >= 4 || (x.(i) = 0 && high_clear (i + 1)) in
+  let rec high_clear i = i >= ndigits || (x.(i) = 0 && high_clear (i + 1)) in
   if not (high_clear 4) || x.(3) >= 0x4000 then None
   else Some (x.(0) lor (x.(1) lsl 16) lor (x.(2) lsl 32) lor (x.(3) lsl 48))
 
@@ -72,18 +72,37 @@ let min a b = if le a b then a else b
 let max a b = if ge a b then a else b
 
 (* ------------------------------------------------------------------ *)
+(* Scratch buffers and copies (for the destination-passing variants)    *)
+(* ------------------------------------------------------------------ *)
+
+let copy = Array.copy
+let scratch () = make_zero ()
+
+let arr_effective_len a =
+  let rec go i = if i > 0 && a.(i - 1) = 0 then go (i - 1) else i in
+  go (Array.length a)
+
+(* ------------------------------------------------------------------ *)
 (* Addition / subtraction                                              *)
 (* ------------------------------------------------------------------ *)
 
-let add_with_carry a b =
-  let r = make_zero () in
+(* Destination-passing core: writes a+b into [dst] (aliasing allowed,
+   the loop reads index i before writing it) and returns the carry. *)
+let add_into_carry dst a b =
   let carry = ref 0 in
   for i = 0 to ndigits - 1 do
     let s = a.(i) + b.(i) + !carry in
-    r.(i) <- s land mask;
+    dst.(i) <- s land mask;
     carry := s lsr digit_bits
   done;
-  (r, !carry)
+  !carry
+
+let add_into ~dst a b = ignore (add_into_carry dst a b)
+
+let add_with_carry a b =
+  let r = make_zero () in
+  let c = add_into_carry r a b in
+  (r, c)
 
 let add a b = fst (add_with_carry a b)
 
@@ -91,14 +110,21 @@ let checked_add a b =
   let r, c = add_with_carry a b in
   if c <> 0 then raise Overflow else r
 
-let sub_with_borrow a b =
-  let r = make_zero () in
+let sub_into_borrow dst a b =
   let borrow = ref 0 in
   for i = 0 to ndigits - 1 do
     let s = a.(i) - b.(i) - !borrow in
-    if s < 0 then (r.(i) <- s + base; borrow := 1) else (r.(i) <- s; borrow := 0)
+    if s < 0 then (dst.(i) <- s + base; borrow := 1)
+    else (dst.(i) <- s; borrow := 0)
   done;
-  (r, !borrow)
+  !borrow
+
+let sub_into ~dst a b = ignore (sub_into_borrow dst a b)
+
+let sub_with_borrow a b =
+  let r = make_zero () in
+  let bw = sub_into_borrow r a b in
+  (r, bw)
 
 let sub a b = fst (sub_with_borrow a b)
 
@@ -110,41 +136,77 @@ let checked_sub a b =
 (* Multiplication                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Schoolbook product of two digit arrays; result has |a| + |b| digits. *)
+(* Schoolbook product over the *effective* (nonzero) digit lengths: the
+   typical simulator operand uses 4-10 of its 16 digits, so trimming the
+   loop bounds and the result allocation cuts the inner-loop work by an
+   order of magnitude versus always walking 16x16 digits. *)
 let arr_mul a b =
-  let la = Array.length a and lb = Array.length b in
-  let r = Array.make (la + lb) 0 in
-  for i = 0 to la - 1 do
-    if a.(i) <> 0 then begin
-      let carry = ref 0 in
-      for j = 0 to lb - 1 do
-        let p = (a.(i) * b.(j)) + r.(i + j) + !carry in
-        r.(i + j) <- p land mask;
-        carry := p lsr digit_bits
-      done;
-      r.(i + lb) <- r.(i + lb) + !carry
-    end
-  done;
+  let la = arr_effective_len a and lb = arr_effective_len b in
+  if la = 0 || lb = 0 then [| 0 |]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = Array.unsafe_get a i in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let p =
+            (ai * Array.unsafe_get b j) + Array.unsafe_get r (i + j) + !carry
+          in
+          Array.unsafe_set r (i + j) (p land mask);
+          carry := p lsr digit_bits
+        done;
+        r.(i + lb) <- r.(i + lb) + !carry
+      end
+    done;
+    r
+  end
+
+(* Low 256 bits of a (possibly shorter or longer) digit array. *)
+let arr_low_256 p =
+  let r = make_zero () in
+  Array.blit p 0 r 0 (Stdlib.min (Array.length p) ndigits);
   r
 
-let mul a b =
-  let p = arr_mul a b in
-  Array.sub p 0 ndigits
+let mul a b = arr_low_256 (arr_mul a b)
 
 let checked_mul a b =
   let p = arr_mul a b in
   for i = ndigits to Array.length p - 1 do
     if p.(i) <> 0 then raise Overflow
   done;
-  Array.sub p 0 ndigits
+  arr_low_256 p
+
+(* Destination-passing wrapping multiply. [dst] must not alias [a] or
+   [b]: the product is accumulated in place across both loops, so an
+   aliased input would be read after it was partially overwritten. *)
+let mul_into ~dst a b =
+  if dst == a || dst == b then invalid_arg "U256.mul_into: dst aliases an input";
+  Array.fill dst 0 ndigits 0;
+  let la = arr_effective_len a and lb = arr_effective_len b in
+  for i = 0 to la - 1 do
+    let ai = Array.unsafe_get a i in
+    if ai <> 0 then begin
+      let carry = ref 0 in
+      let jmax = Stdlib.min (lb - 1) (ndigits - 1 - i) in
+      for j = 0 to jmax do
+        let p =
+          (ai * Array.unsafe_get b j) + Array.unsafe_get dst (i + j) + !carry
+        in
+        Array.unsafe_set dst (i + j) (p land mask);
+        carry := p lsr digit_bits
+      done;
+      (* The spill cell i+jmax+1 is provably still zero here (earlier
+         iterations only touch lower cells), so the carry fits as-is; a
+         later iteration's inner loop renormalizes it if it grows. *)
+      if i + jmax + 1 < ndigits then
+        dst.(i + jmax + 1) <- dst.(i + jmax + 1) + !carry
+    end
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Division: Knuth algorithm D over base-2^16 digits                   *)
 (* ------------------------------------------------------------------ *)
-
-let arr_effective_len a =
-  let rec go i = if i > 0 && a.(i - 1) = 0 then go (i - 1) else i in
-  go (Array.length a)
 
 (* Short division of [u] (length m) by a single digit [d]. *)
 let arr_div_digit u m d =
@@ -256,16 +318,53 @@ let div_rounding_up a b =
   let q, r = divmod a b in
   if is_zero r then q else checked_add q one
 
+(* Small-operand fast path for the mul_div family: when a*b fits in a
+   native int the whole 512-bit product/divide machinery is overkill.
+   Returns the quotient and remainder as native ints. *)
+let small_muldivmod a b c =
+  match to_int_opt a with
+  | None -> None
+  | Some ia ->
+    (match to_int_opt b with
+    | None -> None
+    | Some ib when ia = 0 || ib = 0 || ib <= max_int / ia ->
+      let p = ia * ib in
+      (match to_int_opt c with
+      | Some 0 -> raise Division_by_zero
+      | Some ic -> Some (p / ic, p mod ic)
+      | None ->
+        (* c needs more than 62 bits (so c <> 0 and c > a*b): quotient 0. *)
+        Some (0, p))
+    | Some _ -> None)
+
 let mul_div a b c =
-  let p = arr_mul a b in
-  let q, _ = arr_divmod p c in
-  fit_256 q
+  if b == c then begin
+    (* a*b/b = a exactly; Q96 scale/unscale round-trips hit this. *)
+    if is_zero c then raise Division_by_zero;
+    a
+  end
+  else
+    match small_muldivmod a b c with
+    | Some (q, _) -> of_int q
+    | None ->
+      let p = arr_mul a b in
+      let q, _ = arr_divmod p c in
+      fit_256 q
 
 let mul_div_rounding_up a b c =
-  let p = arr_mul a b in
-  let q, r = arr_divmod p c in
-  let q = fit_256 q in
-  if arr_effective_len r = 0 then q else checked_add q one
+  if b == c then begin
+    if is_zero c then raise Division_by_zero;
+    a (* remainder is zero: nothing to round *)
+  end
+  else
+    match small_muldivmod a b c with
+    | Some (q, 0) -> of_int q
+    | Some (q, _) -> of_int (q + 1)
+    | None ->
+      let p = arr_mul a b in
+      let q, r = arr_divmod p c in
+      let q = fit_256 q in
+      if arr_effective_len r = 0 then q else checked_add q one
 
 let mul_mod a b c =
   let p = arr_mul a b in

@@ -110,6 +110,34 @@ val mul_mod : t -> t -> t -> t
 val pow : t -> int -> t
 (** Wrapping exponentiation by squaring. *)
 
+(** {1 Destination-passing variants}
+
+    Hot loops can avoid per-operation allocation by writing into a scratch
+    value they own. Only ever mutate values obtained from {!scratch} or
+    {!copy}: every other [t] (including the constants above and anything
+    returned by the functions in this interface) must be treated as
+    immutable — several operations return inputs or cached values by
+    physical sharing. *)
+
+val scratch : unit -> t
+(** A fresh mutable value, initially zero. *)
+
+val copy : t -> t
+(** A private mutable copy of [x]. *)
+
+val add_into : dst:t -> t -> t -> unit
+(** [add_into ~dst a b] stores the wrapping sum in [dst]. [dst] may be
+    physically equal to [a] and/or [b]. *)
+
+val sub_into : dst:t -> t -> t -> unit
+(** [sub_into ~dst a b] stores the wrapping difference in [dst]; aliasing
+    allowed as for {!add_into}. *)
+
+val mul_into : dst:t -> t -> t -> unit
+(** [mul_into ~dst a b] stores the wrapping product in [dst]. Raises
+    [Invalid_argument] if [dst] is physically equal to [a] or [b] (the
+    product accumulates in place, so aliasing would corrupt it). *)
+
 val sqrt : t -> t
 (** Integer square root (floor). *)
 

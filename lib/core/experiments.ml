@@ -29,6 +29,66 @@ let row_of_result ~label (r : System.result) ~extra =
     sc_latency = r.System.mean_tx_latency;
     payout_latency = r.System.mean_payout_latency; extra }
 
+(* ------------------------------------------------------------------ *)
+(* Parallel cell runner                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One table cell: an independent simulator run. Cells share nothing (each
+   [System.run] builds its own world from its config seed), so a table's
+   cells fan out across domains. Every cell gets a private telemetry sink;
+   the private sinks are merged into the caller's sink sequentially, in
+   submission order, after the parallel phase — which makes the aggregated
+   metrics snapshot (and the row list) identical at any domain count. *)
+type cell = {
+  cell_label : string;
+  cell_cfg : Config.t;
+  cell_extra : System.result -> (string * string) list;
+}
+
+let cell ?(extra = fun _ -> []) ~label cfg =
+  { cell_label = label; cell_cfg = cfg; cell_extra = extra }
+
+let run_cells ?sink ?domains cells =
+  let trace_wanted =
+    match sink with
+    | Some s -> Telemetry.Trace.enabled s.Telemetry.Report.trace
+    | None -> false
+  in
+  let ran =
+    Parallel.map_list ?domains
+      (fun c ->
+        let private_sink = Telemetry.Report.sink ~trace:trace_wanted () in
+        let r = System.run ~sink:private_sink c.cell_cfg in
+        (private_sink, r))
+      cells
+  in
+  List.map2
+    (fun c (private_sink, r) ->
+      (match sink with
+      | Some s -> Telemetry.Report.merge_into ~into:s private_sink
+      | None -> ());
+      row_of_result ~label:c.cell_label r ~extra:(c.cell_extra r))
+    cells ran
+
+(* A System.run/Baseline.run pair for the comparison experiments; the
+   System side keeps the same private-sink discipline as [run_cells]. *)
+let run_vs_baseline ?sink ?domains cfg =
+  let trace_wanted =
+    match sink with
+    | Some s -> Telemetry.Trace.enabled s.Telemetry.Report.trace
+    | None -> false
+  in
+  let private_sink = Telemetry.Report.sink ~trace:trace_wanted () in
+  let r, b =
+    Parallel.run_pair ?domains
+      (fun () -> System.run ~sink:private_sink cfg)
+      (fun () -> Baseline.run cfg)
+  in
+  (match sink with
+  | Some s -> Telemetry.Report.merge_into ~into:s private_sink
+  | None -> ());
+  (r, b)
+
 let print_perf_table ~title ~col_header rows =
   Printf.printf "\n=== %s ===\n" title;
   Printf.printf "%-28s" col_header;
@@ -60,12 +120,14 @@ let print_perf_table ~title ~col_header rows =
 
 let table1_volumes = [ 50_000; 500_000; 5_000_000; 25_000_000 ]
 
-let table1_scalability ?sink () =
-  List.map
-    (fun volume ->
-      let r = System.run ?sink { base with daily_volume = scaled volume; seed = base.seed ^ "-t1" } in
-      row_of_result ~label:(Printf.sprintf "%dK" (volume / 1000)) r ~extra:[])
-    table1_volumes
+let table1_scalability ?sink ?domains () =
+  run_cells ?sink ?domains
+    (List.map
+       (fun volume ->
+         cell
+           ~label:(Printf.sprintf "%dK" (volume / 1000))
+           { base with daily_volume = scaled volume; seed = base.seed ^ "-t1" })
+       table1_volumes)
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: impact of meta-block size (V_D = 50M)                      *)
@@ -73,18 +135,17 @@ let table1_scalability ?sink () =
 
 let table2_sizes_mb = [ 0.5; 1.0; 1.5; 2.0 ]
 
-let table2_block_size ?sink () =
-  List.map
-    (fun mb ->
-      let cfg =
-        { base with
-          daily_volume = scaled 50_000_000;
-          meta_block_bytes = int_of_float (mb *. 1_000_000.0);
-          seed = base.seed ^ "-t2" }
-      in
-      let r = System.run ?sink cfg in
-      row_of_result ~label:(Printf.sprintf "%.1fMB" mb) r ~extra:[])
-    table2_sizes_mb
+let table2_block_size ?sink ?domains () =
+  run_cells ?sink ?domains
+    (List.map
+       (fun mb ->
+         cell
+           ~label:(Printf.sprintf "%.1fMB" mb)
+           { base with
+             daily_volume = scaled 50_000_000;
+             meta_block_bytes = int_of_float (mb *. 1_000_000.0);
+             seed = base.seed ^ "-t2" })
+       table2_sizes_mb)
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: impact of sidechain round duration (V_D = 25M)             *)
@@ -92,22 +153,21 @@ let table2_block_size ?sink () =
 
 let table3_durations = [ 4.0; 6.0; 9.0; 12.0 ]
 
-let table3_round_duration ?sink () =
-  List.map
-    (fun b_t ->
-      (* The epoch stays 10 mainchain rounds (120 s) as in §6, so longer
-         sidechain rounds mean fewer of them per epoch. *)
-      let cfg =
-        { base with
-          daily_volume = scaled 25_000_000;
-          sc_round_duration = b_t;
-          sc_rounds_per_epoch =
-            Stdlib.max 2 (int_of_float (Float.round (120.0 /. b_t)));
-          seed = base.seed ^ "-t3" }
-      in
-      let r = System.run ?sink cfg in
-      row_of_result ~label:(Printf.sprintf "%.0fs" b_t) r ~extra:[])
-    table3_durations
+let table3_round_duration ?sink ?domains () =
+  run_cells ?sink ?domains
+    (List.map
+       (fun b_t ->
+         (* The epoch stays 10 mainchain rounds (120 s) as in §6, so longer
+            sidechain rounds mean fewer of them per epoch. *)
+         cell
+           ~label:(Printf.sprintf "%.0fs" b_t)
+           { base with
+             daily_volume = scaled 25_000_000;
+             sc_round_duration = b_t;
+             sc_rounds_per_epoch =
+               Stdlib.max 2 (int_of_float (Float.round (120.0 /. b_t)));
+             seed = base.seed ^ "-t3" })
+       table3_durations)
 
 (* ------------------------------------------------------------------ *)
 (* Table 4: impact of epoch length in sidechain rounds (V_D = 25M)     *)
@@ -115,22 +175,21 @@ let table3_round_duration ?sink () =
 
 let table4_epoch_lengths = [ 5; 10; 20; 30; 60; 96 ]
 
-let table4_epoch_length ?sink () =
-  List.map
-    (fun rounds ->
-      (* Keep total experiment time constant (11 default epochs' worth). *)
-      let total_rounds = base.epochs * base.sc_rounds_per_epoch in
-      let epochs = Stdlib.max 1 (total_rounds / rounds) in
-      let cfg =
-        { base with
-          daily_volume = scaled 25_000_000;
-          sc_rounds_per_epoch = rounds;
-          epochs;
-          seed = base.seed ^ "-t4" }
-      in
-      let r = System.run ?sink cfg in
-      row_of_result ~label:(string_of_int rounds) r ~extra:[])
-    table4_epoch_lengths
+let table4_epoch_length ?sink ?domains () =
+  run_cells ?sink ?domains
+    (List.map
+       (fun rounds ->
+         (* Keep total experiment time constant (11 default epochs' worth). *)
+         let total_rounds = base.epochs * base.sc_rounds_per_epoch in
+         let epochs = Stdlib.max 1 (total_rounds / rounds) in
+         cell
+           ~label:(string_of_int rounds)
+           { base with
+             daily_volume = scaled 25_000_000;
+             sc_rounds_per_epoch = rounds;
+             epochs;
+             seed = base.seed ^ "-t4" })
+       table4_epoch_lengths)
 
 (* ------------------------------------------------------------------ *)
 (* Table 5: impact of traffic distribution (V_D = 25M)                 *)
@@ -140,21 +199,21 @@ let table5_mixes =
   [ (60., 20., 10., 10.); (60., 10., 20., 10.); (60., 10., 10., 20.);
     (80., 10., 5., 5.); (80., 5., 10., 5.); (80., 5., 5., 10.) ]
 
-let table5_distribution ?sink () =
-  List.map
-    (fun (s, m, b, c) ->
-      let cfg =
-        { base with
-          daily_volume = scaled 25_000_000;
-          distribution =
-            { Config.swap_pct = s; mint_pct = m; burn_pct = b; collect_pct = c };
-          seed = base.seed ^ "-t5" }
-      in
-      let r = System.run ?sink cfg in
-      row_of_result ~label:(Printf.sprintf "(%.0f,%.0f,%.0f,%.0f)" s m b c) r
-        ~extra:
-          [ ("Max summary block (B)", string_of_int r.System.max_summary_block_bytes) ])
-    table5_mixes
+let table5_distribution ?sink ?domains () =
+  run_cells ?sink ?domains
+    (List.map
+       (fun (s, m, b, c) ->
+         cell
+           ~label:(Printf.sprintf "(%.0f,%.0f,%.0f,%.0f)" s m b c)
+           ~extra:(fun r ->
+             [ ("Max summary block (B)",
+                string_of_int r.System.max_summary_block_bytes) ])
+           { base with
+             daily_volume = scaled 25_000_000;
+             distribution =
+               { Config.swap_pct = s; mint_pct = m; burn_pct = b; collect_pct = c };
+             seed = base.seed ^ "-t5" })
+       table5_mixes)
 
 (* ------------------------------------------------------------------ *)
 (* Table 6: itemized gas and latency                                   *)
@@ -175,10 +234,9 @@ type table6 = {
   uniswap_latency : (string * float) list;
 }
 
-let table6_gas_itemized ?sink () =
+let table6_gas_itemized ?sink ?domains () =
   let cfg = { base with daily_volume = scaled 500_000; seed = base.seed ^ "-t6" } in
-  let r = System.run ?sink cfg in
-  let b = Baseline.run cfg in
+  let r, b = run_vs_baseline ?sink ?domains cfg in
   let breakdown =
     match r.System.last_sync_receipt with
     | Some receipt -> Mainchain.Gas.breakdown receipt.Tokenbank.Token_bank.gas
@@ -293,10 +351,9 @@ type fig6 = {
   baseline_result : Baseline.result;
 }
 
-let fig6_overall ?sink () =
+let fig6_overall ?sink ?domains () =
   let cfg = { base with daily_volume = scaled 500_000; seed = base.seed ^ "-fig6" } in
-  let r = System.run ?sink cfg in
-  let b = Baseline.run cfg in
+  let r, b = run_vs_baseline ?sink ?domains cfg in
   let reduction ours theirs =
     100.0 *. (1.0 -. (float_of_int ours /. float_of_int (Stdlib.max 1 theirs)))
   in

@@ -16,20 +16,48 @@ type perf_row = {
   extra : (string * string) list;
 }
 
-val table1_scalability : ?sink:Telemetry.Report.sink -> unit -> perf_row list
+(** {2 Parallel cell runner}
+
+    A table is a list of independent simulator runs ("cells"); [run_cells]
+    fans them out across OCaml 5 domains. Every cell runs against a private
+    telemetry sink; after the parallel phase the private sinks are merged
+    into [?sink] sequentially in submission order, so both the row list and
+    the aggregated metrics snapshot are identical at any [?domains] value
+    (including the sequential [~domains:1]). *)
+
+type cell = {
+  cell_label : string;  (** the row/column header for this run *)
+  cell_cfg : Config.t;
+  cell_extra : System.result -> (string * string) list;
+      (** extra report lines derived from the finished run *)
+}
+
+val cell :
+  ?extra:(System.result -> (string * string) list) ->
+  label:string -> Config.t -> cell
+
+val run_cells :
+  ?sink:Telemetry.Report.sink -> ?domains:int -> cell list -> perf_row list
+
+val table1_scalability :
+  ?sink:Telemetry.Report.sink -> ?domains:int -> unit -> perf_row list
 (** V_D ∈ {50K, 500K, 5M, 25M} at the default configuration. *)
 
-val table2_block_size : ?sink:Telemetry.Report.sink -> unit -> perf_row list
+val table2_block_size :
+  ?sink:Telemetry.Report.sink -> ?domains:int -> unit -> perf_row list
 (** Meta-block size ∈ {0.5, 1, 1.5, 2} MB at V_D = 50M. *)
 
-val table3_round_duration : ?sink:Telemetry.Report.sink -> unit -> perf_row list
+val table3_round_duration :
+  ?sink:Telemetry.Report.sink -> ?domains:int -> unit -> perf_row list
 (** Sidechain round ∈ {4, 6, 9, 12} s at V_D = 25M. *)
 
-val table4_epoch_length : ?sink:Telemetry.Report.sink -> unit -> perf_row list
+val table4_epoch_length :
+  ?sink:Telemetry.Report.sink -> ?domains:int -> unit -> perf_row list
 (** Epoch ∈ {5, 10, 20, 30, 60, 96} sidechain rounds at V_D = 25M (total
     experiment length held constant). *)
 
-val table5_distribution : ?sink:Telemetry.Report.sink -> unit -> perf_row list
+val table5_distribution :
+  ?sink:Telemetry.Report.sink -> ?domains:int -> unit -> perf_row list
 (** Six (swap, mint, burn, collect) mixes at V_D = 25M; the extra column
     reports the maximum summary-block size. *)
 
@@ -52,7 +80,11 @@ type table6 = {
   uniswap_latency : (string * float) list;
 }
 
-val table6_gas_itemized : ?sink:Telemetry.Report.sink -> unit -> table6
+val table6_gas_itemized :
+  ?sink:Telemetry.Report.sink -> ?domains:int -> unit -> table6
+(** The ammBoost run and the Uniswap baseline run execute concurrently
+    (they are independent simulations over the same config). *)
+
 val print_table6 : table6 -> unit
 
 type table7 = {
@@ -82,7 +114,7 @@ type fig6 = {
   baseline_result : Baseline.result;
 }
 
-val fig6_overall : ?sink:Telemetry.Report.sink -> unit -> fig6
+val fig6_overall : ?sink:Telemetry.Report.sink -> ?domains:int -> unit -> fig6
 val print_fig6 : fig6 -> unit
 
 val table8_stats : unit -> Traffic.type_stats list

@@ -143,15 +143,15 @@ type t = {
   mempool : Tx.t Chain.Mempool.t;
   tx_latency : Metrics.agg;
   payouts : Metrics.payout_tracker;
-  mutable committee_keys : (int * epoch_keys) list;
+  committee_keys : (int, epoch_keys) Hashtbl.t;
   mutable committees : committee_record list;
-  mutable signed_payloads : (int * (Sync_payload.t * Bls.signature)) list;
+  signed_payloads : (int, Sync_payload.t * Bls.signature) Hashtbl.t;
   mutable submissions : submission list;
   mutable pending_confirm : (int list * int * float) list;
       (* epochs, inclusion height, inclusion time *)
   mutable checkpoints : (int * Token_bank.checkpoint) list; (* height -> state before *)
   mutable deposits_submitted_until : int;
-  mutable rollbacks_done : int list;
+  rollbacks_done : (int, unit) Hashtbl.t;
   mutable mass_syncs : int;
   mutable max_summary_bytes : int;
   mutable max_sc_stored : int;
@@ -216,11 +216,11 @@ let make_committee_keys ~cfg ~rng_keys ~epoch =
   end
 
 let committee_keys t ~epoch =
-  match List.assoc_opt epoch t.committee_keys with
+  match Hashtbl.find_opt t.committee_keys epoch with
   | Some k -> k
   | None ->
     let keys = make_committee_keys ~cfg:t.cfg ~rng_keys:t.rng_keys ~epoch in
-    t.committee_keys <- (epoch, keys) :: t.committee_keys;
+    Hashtbl.replace t.committee_keys epoch keys;
     keys
 
 (* ------------------------------------------------------------------ *)
@@ -261,14 +261,16 @@ let create ?sink cfg =
       traffic = Traffic.create ~rng:rng_traffic ~cfg ~users;
       mempool = Chain.Mempool.create ~size:(fun tx -> tx.Tx.wire_size);
       tx_latency = Metrics.agg (); payouts = Metrics.payout_tracker ();
-      committee_keys = []; committees = []; signed_payloads = []; submissions = [];
+      committee_keys = Hashtbl.create 16; committees = [];
+      signed_payloads = Hashtbl.create 16; submissions = [];
       pending_confirm = []; checkpoints = []; deposits_submitted_until = -1;
-      rollbacks_done = []; mass_syncs = 0; max_summary_bytes = 0; max_sc_stored = 0;
+      rollbacks_done = Hashtbl.create 4; mass_syncs = 0; max_summary_bytes = 0;
+      max_sc_stored = 0;
       processed_total = 0; processed_in_window = 0; rejected_total = 0; swaps = 0; mints = 0; burns = 0;
       collects = 0; tele = make_tele sink; rejections = Hashtbl.create 8;
       sync_receipts = []; audit_trail = [] }
   in
-  t.committee_keys <- [ (0, keys0) ];
+  Hashtbl.replace t.committee_keys 0 keys0;
   (* Faucet + unlimited approvals (users sign them once; the per-epoch
      deposit flow still models the approval round-trips for latency). *)
   Array.iter
@@ -405,7 +407,7 @@ let submit_sync t ~epoch ~at ~corrupt =
     let signed =
       List.map
         (fun e ->
-          match List.assoc_opt e t.signed_payloads with
+          match Hashtbl.find_opt t.signed_payloads e with
           | Some sp -> sp
           | None -> failwith (Printf.sprintf "System: no signed payload for epoch %d" e))
         wanted
@@ -515,8 +517,8 @@ let inject_rollback t ~epoch =
   with
   | None -> ()
   | Some sub ->
-    if not (List.mem epoch t.rollbacks_done) then begin
-      t.rollbacks_done <- epoch :: t.rollbacks_done;
+    if not (Hashtbl.mem t.rollbacks_done epoch) then begin
+      Hashtbl.replace t.rollbacks_done epoch ();
       (* Find the checkpoint for the sync's block height via pending or past
          confirmations. *)
       let height_opt =
@@ -726,7 +728,7 @@ let run ?sink cfg =
     in
     let keys = committee_keys t ~epoch:e in
     let signature = keys.sign (Sync_payload.signing_bytes payload) in
-    t.signed_payloads <- (e, (payload, signature)) :: t.signed_payloads;
+    Hashtbl.replace t.signed_payloads e (payload, signature);
     let s_size = Sidechain.Codec.summary_block_size payload in
     if s_size > t.max_summary_bytes then t.max_summary_bytes <- s_size;
     Telemetry.Histogram.observe tele.h_summary_bytes (float_of_int s_size);

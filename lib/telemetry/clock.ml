@@ -3,13 +3,19 @@
    The wall clock is monotonic-ish: readings never go backwards within a
    process even if the system clock is stepped. *)
 
-let last_wall = ref neg_infinity
+let last_wall = Atomic.make neg_infinity
 
 let wall () =
+  (* Atomic CAS keeps the monotonic floor consistent when stopwatches are
+     read from several domains at once. *)
   let t = Unix.gettimeofday () in
-  let t = if t > !last_wall then t else !last_wall in
-  last_wall := t;
-  t
+  let rec floor_to t =
+    let last = Atomic.get last_wall in
+    if t <= last then last
+    else if Atomic.compare_and_set last_wall last t then t
+    else floor_to t
+  in
+  floor_to t
 
 let cpu () = Sys.time ()
 

@@ -40,6 +40,27 @@ let observe t v =
 
 let count t = t.count
 let sum t = t.sum
+let buckets_per_decade t = t.per_decade
+
+(* Merge [src] into [into] as if [src]'s observations had been replayed
+   after [into]'s. Bucketed counts add exactly; the float [sum] adds as
+   one term per source, so merging the same sources in the same order is
+   deterministic (which is what the parallel experiment runner needs). *)
+let merge_into ~into src =
+  if src.per_decade <> into.per_decade then
+    invalid_arg "Histogram.merge_into: bucket layouts differ";
+  Hashtbl.iter
+    (fun i n ->
+      Hashtbl.replace into.counts i
+        (n + Option.value ~default:0 (Hashtbl.find_opt into.counts i)))
+    src.counts;
+  into.zero <- into.zero + src.zero;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.count > 0 then begin
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v
+  end
 let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
 let min_value t = if t.count = 0 then 0.0 else t.min_v
 let max_value t = if t.count = 0 then 0.0 else t.max_v

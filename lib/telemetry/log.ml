@@ -43,6 +43,10 @@ let set_channel ch = out_channel := ch
 let enabled lvl =
   match effective () with None -> false | Some l -> rank lvl <= rank l
 
+(* Simulator runs may log from several domains at once; serialize the
+   write+flush so JSON lines never interleave mid-line. *)
+let emit_mutex = Mutex.create ()
+
 let emit lvl ~scope ?t ?(fields = []) msg =
   if enabled lvl then begin
     let base =
@@ -52,8 +56,10 @@ let emit lvl ~scope ?t ?(fields = []) msg =
     let line =
       Json.obj_of_fields (base @ time @ (("msg", Json.String msg) :: fields))
     in
+    Mutex.lock emit_mutex;
     output_string !out_channel (line ^ "\n");
-    flush !out_channel
+    flush !out_channel;
+    Mutex.unlock emit_mutex
   end
 
 let error ~scope ?t ?fields msg = emit Error ~scope ?t ?fields msg

@@ -53,6 +53,28 @@ let observe t name v = Histogram.observe (histogram t name) v
 
 let series_count t = Hashtbl.length t.table
 
+(* Merge [src] into [into]: counters add, gauges take [src]'s value
+   (merging sinks in submission order then matches a sequential run's
+   last-write-wins), histograms merge bucket-exact. Series are visited
+   in name order so the operation is deterministic. *)
+let merge_into ~into src =
+  let sorted =
+    Hashtbl.fold (fun name s acc -> (name, s) :: acc) src.table []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, s) ->
+      match s with
+      | Counter c -> inc ~by:c.c_value (counter into name)
+      | Gauge g -> set (gauge into name) g.g_value
+      | Histogram h ->
+        Histogram.merge_into
+          ~into:
+            (histogram ~buckets_per_decade:(Histogram.buckets_per_decade h) into
+               name)
+          h)
+    sorted
+
 let sorted_series t =
   Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

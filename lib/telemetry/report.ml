@@ -10,6 +10,14 @@ type sink = {
 let sink ?(trace = false) () =
   { metrics = Metrics.create (); trace = Trace.create ~enabled:trace () }
 
+(* Fold one sink into another (counters add, gauges last-write, histogram
+   buckets add, trace events append). The parallel experiment runner gives
+   every simulator run a private sink and merges them back in submission
+   order, which keeps aggregated snapshots identical at any job count. *)
+let merge_into ~into src =
+  Metrics.merge_into ~into:into.metrics src.metrics;
+  Trace.merge_into ~into:into.trace src.trace
+
 let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

@@ -64,6 +64,16 @@ let instant t ?(cat = "event") ?(tid = 1) ?(args = []) ~name ~ts () =
       { ev_name = name; ev_cat = cat; ev_ph = 'i'; ev_ts = us_of_seconds ts;
         ev_dur = None; ev_tid = tid; ev_args = args }
 
+(* Append [src]'s events after [into]'s existing ones, as if they had
+   been recorded on [into] next. A disabled [into] drops the events, the
+   same way it drops direct recordings. *)
+let merge_into ~into src =
+  if into.enabled then begin
+    into.events <- src.events @ into.events;
+    into.count <- into.count + src.count;
+    into.depth <- into.depth + src.depth
+  end
+
 let event_json ev =
   let fields =
     [ ("name", Json.string ev.ev_name); ("cat", Json.string ev.ev_cat);

@@ -44,6 +44,31 @@ let test_tick_inverse_roundtrip () =
         (Tick_math.get_tick_at_sqrt_ratio (Tick_math.get_sqrt_ratio_at_tick t)))
     [ Tick_math.min_tick; -100_000; -60; -1; 0; 1; 60; 100_000; Tick_math.max_tick - 1 ]
 
+let test_tick_memo_matches_uncached () =
+  (* The memoised entry point must agree with the recomputed ratio across
+     the full tick range at every pool tick spacing, and exhaustively in
+     the band swap traffic actually visits. *)
+  let check_tick t =
+    Alcotest.check check_u256
+      (Printf.sprintf "tick %d" t)
+      (Tick_math.get_sqrt_ratio_at_tick_uncached t)
+      (Tick_math.get_sqrt_ratio_at_tick t)
+  in
+  List.iter
+    (fun spacing ->
+      let t = ref (-(Tick_math.max_tick / spacing * spacing)) in
+      while !t <= Tick_math.max_tick do
+        check_tick !t;
+        t := !t + spacing
+      done)
+    [ 200; 60; 10 ];
+  for t = -1000 to 1000 do
+    check_tick t
+  done;
+  (* Second lookup hits the memo: still the same value. *)
+  check_tick 123456;
+  check_tick 123456
+
 let tick_gen = QCheck2.Gen.int_range Tick_math.min_tick Tick_math.max_tick
 
 let tick_props =
@@ -287,7 +312,9 @@ let () =
         [ Alcotest.test_case "endpoints" `Quick test_tick_endpoints;
           Alcotest.test_case "out of range" `Quick test_tick_out_of_range;
           Alcotest.test_case "float cross-check" `Quick test_tick_float_crosscheck;
-          Alcotest.test_case "inverse roundtrip" `Quick test_tick_inverse_roundtrip ]
+          Alcotest.test_case "inverse roundtrip" `Quick test_tick_inverse_roundtrip;
+          Alcotest.test_case "memo matches uncached" `Quick
+            test_tick_memo_matches_uncached ]
         @ tick_props );
       ( "sqrt_price_math",
         [ Alcotest.test_case "input directions" `Quick test_next_price_from_input_directions;

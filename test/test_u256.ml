@@ -197,6 +197,120 @@ let props =
         if U256.le a b then fa <= fb else fa >= fb) ]
 
 (* ------------------------------------------------------------------ *)
+(* Destination-passing variants and mul_div fast paths                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every in-place operation must agree with its allocating counterpart,
+   including at the representation boundaries and under the aliasing
+   patterns the interface allows. *)
+
+let boundary_values =
+  [ U256.zero; U256.one; U256.two; U256.max_value; U256.of_int 65535;
+    U256.of_int 65536; U256.of_int max_int;
+    U256.shift_left U256.one 128;
+    U256.sub (U256.shift_left U256.one 128) U256.one ]
+
+let test_into_boundaries () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let dst = U256.scratch () in
+          U256.add_into ~dst a b;
+          Alcotest.check check_u256 "add_into" (U256.add a b) dst;
+          U256.sub_into ~dst a b;
+          Alcotest.check check_u256 "sub_into" (U256.sub a b) dst;
+          U256.mul_into ~dst a b;
+          Alcotest.check check_u256 "mul_into" (U256.mul a b) dst)
+        boundary_values)
+    boundary_values
+
+let test_into_aliasing () =
+  let a = u "123456789123456789123456789123456789123456789" in
+  let b = u "987654321987654321987654321987654321" in
+  (* dst == first operand *)
+  let c = U256.copy a in
+  U256.add_into ~dst:c c b;
+  Alcotest.check check_u256 "add dst==a" (U256.add a b) c;
+  (* dst == second operand *)
+  let c = U256.copy b in
+  U256.add_into ~dst:c a c;
+  Alcotest.check check_u256 "add dst==b" (U256.add a b) c;
+  (* dst == both operands *)
+  let c = U256.copy a in
+  U256.add_into ~dst:c c c;
+  Alcotest.check check_u256 "add dst==a==b" (U256.add a a) c;
+  let c = U256.copy a in
+  U256.sub_into ~dst:c c b;
+  Alcotest.check check_u256 "sub dst==a" (U256.sub a b) c;
+  let c = U256.copy b in
+  U256.sub_into ~dst:c a c;
+  Alcotest.check check_u256 "sub dst==b" (U256.sub a b) c;
+  (* mul_into rejects aliasing (the product accumulates in place) *)
+  let c = U256.copy a in
+  Alcotest.check_raises "mul dst==a"
+    (Invalid_argument "U256.mul_into: dst aliases an input") (fun () ->
+      U256.mul_into ~dst:c c b)
+
+let test_mul_div_fast_paths () =
+  (* b == c short-circuit: a * b / b = a without touching the 512-bit
+     path, but division by zero must still raise. *)
+  let b = u "987654321987654321987654321987654321" in
+  Alcotest.check check_u256 "b==c" U256.max_value (U256.mul_div U256.max_value b b);
+  Alcotest.check_raises "b==c zero" Division_by_zero (fun () ->
+      ignore (U256.mul_div U256.one U256.zero U256.zero));
+  (* Small-operand path: everything fits in a native int. *)
+  Alcotest.check check_u256 "small floor" (U256.of_int ((12345 * 6789) / 997))
+    (U256.mul_div (U256.of_int 12345) (U256.of_int 6789) (U256.of_int 997));
+  Alcotest.check check_u256 "small ceil"
+    (U256.of_int (((12345 * 6789) + 996) / 997))
+    (U256.mul_div_rounding_up (U256.of_int 12345) (U256.of_int 6789)
+       (U256.of_int 997));
+  (* Small product, huge divisor: quotient 0 (and 1 when rounding up). *)
+  let huge = U256.shift_left U256.one 200 in
+  Alcotest.check check_u256 "huge divisor floor" U256.zero
+    (U256.mul_div (U256.of_int 12345) (U256.of_int 6789) huge);
+  Alcotest.check check_u256 "huge divisor ceil" U256.one
+    (U256.mul_div_rounding_up (U256.of_int 12345) (U256.of_int 6789) huge)
+
+let gen_small_int = QCheck2.Gen.int_range 0 0x3FFFFFFF (* ~2^30: products fit *)
+
+let into_props =
+  [ prop "add_into matches add" pair (fun (a, b) ->
+        let dst = U256.scratch () in
+        U256.add_into ~dst a b;
+        U256.equal dst (U256.add a b));
+    prop "sub_into matches sub" pair (fun (a, b) ->
+        let dst = U256.scratch () in
+        U256.sub_into ~dst a b;
+        U256.equal dst (U256.sub a b));
+    prop "mul_into matches mul" pair (fun (a, b) ->
+        let dst = U256.scratch () in
+        U256.mul_into ~dst a b;
+        U256.equal dst (U256.mul a b));
+    prop "add_into aliased matches add" pair (fun (a, b) ->
+        let c = U256.copy a in
+        U256.add_into ~dst:c c b;
+        U256.equal c (U256.add a b));
+    prop "sub_into aliased matches sub" pair (fun (a, b) ->
+        let c = U256.copy b in
+        U256.sub_into ~dst:c a c;
+        U256.equal c (U256.sub a b));
+    prop "mul_div small operands exact"
+      QCheck2.Gen.(triple gen_small_int gen_small_int (int_range 1 0x3FFFFFFF))
+      (fun (a, b, c) ->
+        let p = a * b in
+        let floor = p / c in
+        let ceil = if p mod c = 0 then floor else floor + 1 in
+        U256.equal
+          (U256.mul_div (U256.of_int a) (U256.of_int b) (U256.of_int c))
+          (U256.of_int floor)
+        && U256.equal
+             (U256.mul_div_rounding_up (U256.of_int a) (U256.of_int b)
+                (U256.of_int c))
+             (U256.of_int ceil)) ]
+
+(* ------------------------------------------------------------------ *)
 (* Signed values                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -248,6 +362,11 @@ let () =
           Alcotest.test_case "bytes" `Quick test_bytes_be;
           Alcotest.test_case "mul_mod" `Quick test_mul_mod ] );
       ("properties", props);
+      ( "in-place",
+        [ Alcotest.test_case "boundaries" `Quick test_into_boundaries;
+          Alcotest.test_case "aliasing" `Quick test_into_aliasing;
+          Alcotest.test_case "mul_div fast paths" `Quick test_mul_div_fast_paths ]
+        @ into_props );
       ( "signed",
         [ Alcotest.test_case "basics" `Quick test_signed_basics;
           Alcotest.test_case "apply" `Quick test_signed_apply ]
