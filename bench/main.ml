@@ -207,6 +207,13 @@ let compute_table8 _sink =
   let rows = E.table8_stats () in
   fun () -> E.print_table8 rows
 
+let compute_chaos sink =
+  let rows = E.chaos_soak ~sink () in
+  fun () ->
+    E.print_perf_table
+      ~title:"Chaos soak: fault-rate sweep (recovery + replay oracle)"
+      ~col_header:"Fault intensity" rows
+
 let compute_ablations sink =
   (* The three ablations are independent runs: fan them out too. *)
   let auth, (agg, pruning) =
@@ -230,7 +237,7 @@ let all_experiments =
     ("table5", Sim compute_table5); ("table6", Sim compute_table6);
     ("table7", Sim compute_table7); ("table8", Sim compute_table8);
     ("fig6", Sim compute_fig6); ("ablations", Sim compute_ablations);
-    ("micro", Micro) ]
+    ("chaos", Sim compute_chaos); ("micro", Micro) ]
 
 let metrics_dir = Sys.getenv_opt "AMMBOOST_METRICS_DIR"
 

@@ -2,11 +2,27 @@
     paper's adversary section): every sent message is delivered within
     [delta] seconds; actual delays are drawn uniformly from
     [[0.1·delta, delta]]. The adversary may reorder in that window — which
-    random delays exercise — but cannot drop messages. *)
+    random delays exercise — but by default cannot drop messages.
+
+    An optional [chaos] hook strengthens the adversary for fault
+    injection: consulted once per {!send}, it may drop the message,
+    duplicate it (the copy arrives [extra] seconds after the original) or
+    add delay beyond Δ. Timers scheduled with {!schedule} are local
+    events and are never subject to chaos. *)
+
+(** Per-message verdict of the chaos hook. *)
+type delivery =
+  | Deliver            (** normal bounded-delay delivery *)
+  | Drop               (** the message is lost *)
+  | Duplicate of float (** delivered, plus a copy [extra] seconds later *)
+  | Delay of float     (** delivered [extra] seconds beyond the drawn delay *)
 
 type 'msg t
 
-val create : rng:Amm_crypto.Rng.t -> delta:float -> 'msg t
+val create :
+  ?chaos:(now:float -> src:int -> dst:int -> delivery) ->
+  rng:Amm_crypto.Rng.t -> delta:float -> unit -> 'msg t
+
 val delta : 'msg t -> float
 
 val send : 'msg t -> at:float -> src:int -> dst:int -> 'msg -> unit

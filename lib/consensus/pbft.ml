@@ -34,11 +34,15 @@ type outcome = {
 
 let leader_of_view ~n v = v mod n
 
-let run ~rng cfg ~value =
+(* Back-off cap: timers never exceed timeout * 2^6 however far views
+   climb, so a long faulty-leader streak delays but cannot stall runs. *)
+let backoff_cap = 6
+
+let run ~rng ?chaos cfg ~value =
   if cfg.n < (3 * cfg.f) + 1 then invalid_arg "Pbft.run: need n >= 3f+1";
   if Array.length cfg.behaviors <> cfg.n then invalid_arg "Pbft.run: behaviors length";
   let quorum = (2 * cfg.f) + 1 in
-  let net = Network.create ~rng ~delta:cfg.delta in
+  let net = Network.create ?chaos ~rng ~delta:cfg.delta () in
   let replicas = Array.init cfg.n (fun id ->
       { id; view = 0; sent_prepare_for = -1; sent_commit_for = -1; decision = None })
   in
@@ -76,8 +80,9 @@ let run ~rng cfg ~value =
     end
   in
   let schedule_timeout ~at r =
-    (* Exponential back-off keeps successive view changes from racing. *)
-    let multiplier = float_of_int (r.view + 1) in
+    (* Exponential back-off keeps successive view changes from racing:
+       the view-v timer waits timeout * 2^min(v, cap). *)
+    let multiplier = float_of_int (1 lsl Stdlib.min r.view backoff_cap) in
     Network.schedule net ~at:(at +. (cfg.timeout *. multiplier)) ~dst:r.id
       (Timeout { view = r.view })
   in

@@ -31,10 +31,18 @@ type outcome = {
 
 val leader_of_view : n:int -> int -> int
 
-val run : rng:Amm_crypto.Rng.t -> config -> value:bytes -> outcome
+val backoff_cap : int
+(** View-change timers back off exponentially, timeout · 2^min(view, cap);
+    this is the cap exponent. *)
+
+val run :
+  rng:Amm_crypto.Rng.t ->
+  ?chaos:(now:float -> src:int -> dst:int -> Network.delivery) ->
+  config -> value:bytes -> outcome
 (** Runs one consensus instance on [value]; the honest leader of view [v]
     proposes [H(value || v)], so agreement across replicas implies they
-    decided the same view's proposal. *)
+    decided the same view's proposal. [chaos] is passed to the underlying
+    {!Network} to drop/duplicate/delay individual messages. *)
 
 val honest_agreement : config -> outcome -> bool
 (** All honest replicas that decided agree on one digest. *)

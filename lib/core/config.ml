@@ -58,6 +58,10 @@ type t = {
                                       population (Table 5's invariant) *)
   deposit_per_epoch : Amm_math.U256.t;  (* per token, per user, per epoch *)
   interruptions : interruption list;
+  faults : Faults.Fault_plan.spec; (* probabilistic fault plan (chaos runs);
+                                      Fault_plan.none injects nothing *)
+  mc_confirmations : int;          (* blocks burying a tx before it is final;
+                                      raise for deeper-reorg chaos runs *)
   max_drain_epochs : int;          (* cap on queue-drain epochs after generation *)
   consensus : Consensus.Latency_model.params;
 }
@@ -88,6 +92,8 @@ let default =
     max_positions_per_lp = 4;
     deposit_per_epoch = Amm_math.U256.of_string "10000000000000000000000"; (* 1e22 *)
     interruptions = [];
+    faults = Faults.Fault_plan.none;
+    mc_confirmations = 1;
     max_drain_epochs = 200;
     consensus =
       { Consensus.Latency_model.committee_size = 500; mean_delay = 0.011;

@@ -58,6 +58,11 @@ type t = {
                                        the invariant behind Table 5 *)
   deposit_per_epoch : Amm_math.U256.t;  (** per token, per user, per epoch *)
   interruptions : interruption list;
+  faults : Faults.Fault_plan.spec; (** probabilistic fault plan (chaos runs);
+                                       {!Faults.Fault_plan.none} injects
+                                       nothing *)
+  mc_confirmations : int;          (** blocks burying a mainchain tx before it
+                                       is final; raise for deeper-reorg chaos *)
   max_drain_epochs : int;          (** cap on queue-drain epochs after generation *)
   consensus : Consensus.Latency_model.params;
 }

@@ -486,3 +486,42 @@ let print_ablation ~title rows =
   List.iter
     (fun r -> Printf.printf "  %-36s %14.2f %s\n" r.ab_label r.ab_value r.ab_unit)
     rows
+
+(* ------------------------------------------------------------------ *)
+(* Chaos soak: fault-rate sweep with recovery + replay-oracle report   *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_intensities = [ 0.0; 0.05; 0.1; 0.2 ]
+
+let chaos_soak ?sink ?domains () =
+  run_cells ?sink ?domains
+    (List.map
+       (fun intensity ->
+         cell
+           ~label:(Printf.sprintf "%d%%" (int_of_float ((intensity *. 100.) +. 0.5)))
+           ~extra:(fun r ->
+             [ ("Epochs applied",
+                Printf.sprintf "%d/%d" r.System.epochs_applied r.System.epochs_run);
+               ("Faults injected",
+                string_of_int
+                  (List.fold_left (fun acc (_, n) -> acc + n) 0
+                     r.System.faults_injected));
+               ("Mass-syncs", string_of_int r.System.mass_syncs);
+               ("Sync retries", string_of_int r.System.sync_retries);
+               ("Degraded signings", string_of_int r.System.degraded_signings);
+               ("Rollbacks", string_of_int r.System.rollbacks);
+               ("Replay oracle",
+                if r.System.replay_consistent then "pass" else "FAIL") ])
+           { base with
+             epochs = 4;
+             daily_volume = scaled 50_000;
+             users = 12;
+             miners = 40;
+             committee_size = 13;
+             max_faulty = 4;
+             threshold_signing = true;
+             message_level_consensus = true;
+             mc_confirmations = 3;
+             faults = Faults.Fault_plan.chaos ~intensity ();
+             seed = base.seed ^ "-chaos" })
+       chaos_intensities)

@@ -134,3 +134,14 @@ val ablation_pruning : ?sink:Telemetry.Report.sink -> unit -> ablation_row list
 (** Sidechain storage with vs without meta-block pruning. *)
 
 val print_ablation : title:string -> ablation_row list -> unit
+
+val chaos_intensities : float list
+
+val chaos_soak :
+  ?sink:Telemetry.Report.sink -> ?domains:int -> unit -> perf_row list
+(** Chaos soak: a small threshold-signing, message-level-consensus system
+    swept across fault-plan intensities ({!chaos_intensities}, scaled by
+    {!Faults.Fault_plan.chaos}). Extra rows report epochs applied, faults
+    injected, recovery actions (mass-syncs, retries, degraded signings,
+    rollbacks) and the replay-oracle verdict — rows are deterministic in
+    the seed at any [?domains] value. *)

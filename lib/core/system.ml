@@ -42,7 +42,10 @@ type tele = {
   c_pruned_epochs : Tmetrics.counter;
   c_deposits : Tmetrics.counter;
   c_rollbacks : Tmetrics.counter;
+  c_sync_retries : Tmetrics.counter;
+  c_degraded_signing : Tmetrics.counter;
   g_mempool_bytes : Tmetrics.gauge;
+  h_recovery : Telemetry.Histogram.t;
   h_tx_latency : Telemetry.Histogram.t;
   h_consensus : Telemetry.Histogram.t;
   h_payout : Telemetry.Histogram.t;
@@ -65,7 +68,10 @@ let make_tele sink =
     c_pruned_epochs = Tmetrics.counter reg "prune.epochs";
     c_deposits = Tmetrics.counter reg "deposits.submitted";
     c_rollbacks = Tmetrics.counter reg "interruption.rollbacks";
+    c_sync_retries = Tmetrics.counter reg "recovery.sync_retries";
+    c_degraded_signing = Tmetrics.counter reg "recovery.degraded_signing";
     g_mempool_bytes = Tmetrics.gauge reg "mempool.bytes";
+    h_recovery = Tmetrics.histogram reg "latency.recovery.sync";
     h_tx_latency = Tmetrics.histogram reg "latency.tx.sidechain";
     h_consensus = Tmetrics.histogram reg "latency.consensus";
     h_payout = Tmetrics.histogram reg "latency.payout.epoch";
@@ -82,7 +88,13 @@ type submission = {
   mutable status : submission_status;
 }
 
-type epoch_keys = { vk : Bls.public_key; sign : bytes -> Bls.signature }
+(* Keep the raw signing material per epoch so fault injection can decide,
+   at signing time, which share holders withhold their contribution. *)
+type signer =
+  | Plain_key of Bls.secret_key
+  | Shared of { shares : Bls.share list; threshold : int }
+
+type epoch_keys = { vk : Bls.public_key; signer : signer }
 
 type committee_record = {
   epoch : int;
@@ -115,6 +127,11 @@ type result = {
   epochs_run : int;
   epochs_applied : int;
   mass_syncs : int;
+  sync_retries : int;
+  degraded_signings : int;
+  rollbacks : int;
+  faults_injected : (string * int) list;
+  replay_consistent : bool;
   rejection_reasons : (string * int) list;
   custody_consistent : bool;
   audit_passed : bool option;
@@ -149,9 +166,20 @@ type t = {
   mutable submissions : submission list;
   mutable pending_confirm : (int list * int * float) list;
       (* epochs, inclusion height, inclusion time *)
-  mutable checkpoints : (int * Token_bank.checkpoint) list; (* height -> state before *)
+  mutable checkpoints : (int * Token_bank.checkpoint * int) list;
+      (* height -> (state before, oracle mark before) *)
   mutable deposits_submitted_until : int;
   rollbacks_done : (int, unit) Hashtbl.t;
+  plan : Faults.Fault_plan.t;
+  oracle : Faults.Replay_oracle.t;
+  genesis_vk : Bls.public_key;
+  mutable last_summary_epoch : int;
+  mutable retry_attempt : int;
+  mutable next_retry_at : float;
+  mutable outage_start : float option;
+  mutable sync_retries : int;
+  mutable degraded_signings : int;
+  mutable rollback_count : int;
   mutable mass_syncs : int;
   mutable max_summary_bytes : int;
   mutable max_sc_stored : int;
@@ -201,18 +229,12 @@ let make_committee_keys ~cfg ~rng_keys ~epoch =
     let n = cfg.Config.committee_size in
     let threshold = Stdlib.min n ((2 * cfg.Config.max_faulty) + 2) in
     let vk, shares = Bls.dkg rng ~n ~threshold in
-    let sign msg =
-      let partials = List.map (fun s -> Bls.partial_sign s msg) shares in
-      match Bls.combine ~threshold partials with
-      | Some s -> s
-      | None -> failwith "System: threshold combine failed"
-    in
-    { vk; sign }
+    { vk; signer = Shared { shares; threshold } }
   end
   else begin
     (* The paper's PoC signs Sync with a pre-generated key. *)
     let sk, vk = Bls.keygen rng in
-    { vk; sign = (fun msg -> Bls.sign sk msg) }
+    { vk; signer = Plain_key sk }
   end
 
 let committee_keys t ~epoch =
@@ -222,6 +244,50 @@ let committee_keys t ~epoch =
     let keys = make_committee_keys ~cfg:t.cfg ~rng_keys:t.rng_keys ~epoch in
     Hashtbl.replace t.committee_keys epoch keys;
     keys
+
+(* Threshold-sign the epoch summary. The fault plan may withhold up to
+   min(f, n − threshold) shares — the degraded-quorum path: any
+   [threshold] distinct shares Lagrange-combine to the same group
+   element, so the signature still verifies under the committee vk. *)
+let sign_payload t ~epoch keys msg =
+  match keys.signer with
+  | Plain_key sk -> Bls.sign sk msg
+  | Shared { shares; threshold } ->
+    let n = List.length shares in
+    let max_withheld = Stdlib.min t.cfg.Config.max_faulty (n - threshold) in
+    let withheld =
+      Faults.Fault_plan.withheld_shares t.plan ~epoch ~n ~max_withheld
+    in
+    let usable =
+      if withheld = [] then shares
+      else
+        List.filter (fun s -> not (List.mem (Bls.share_index s) withheld)) shares
+    in
+    let partials = List.map (fun s -> Bls.partial_sign s msg) usable in
+    match Bls.combine ~threshold partials with
+    | Some signature ->
+      if withheld <> [] then begin
+        t.degraded_signings <- t.degraded_signings + 1;
+        Tmetrics.inc t.tele.c_degraded_signing;
+        Log.warn ~scope
+          ~fields:
+            [ ("epoch", Json.Int epoch);
+              ("withheld", Json.Int (List.length withheld));
+              ("quorum", Json.Int (List.length usable)) ]
+          "degraded-quorum signing: shares withheld"
+      end;
+      signature
+    | None -> failwith "System: threshold combine failed"
+
+(* Capped exponential backoff for Sync re-submission after an observed
+   failure (dropped from the mempool, rejected on chain, reorged out). *)
+let max_retry_exponent = 5
+
+let schedule_retry t ~now =
+  let mult = float_of_int (1 lsl Stdlib.min t.retry_attempt max_retry_exponent) in
+  t.retry_attempt <- t.retry_attempt + 1;
+  t.next_retry_at <- now +. (t.cfg.Config.mc_block_interval *. mult);
+  if t.outage_start = None then t.outage_start <- Some now
 
 (* ------------------------------------------------------------------ *)
 (* Setup                                                               *)
@@ -242,7 +308,9 @@ let create ?sink cfg =
   let token1 = Chain.Token.make ~id:1 ~symbol:"TKB" in
   let erc0 = Erc20.deploy token0 and erc1 = Erc20.deploy token1 in
   let eth = Eth.create ~interval:cfg.Config.mc_block_interval
-      ~gas_limit:cfg.Config.mc_gas_limit ~rng:rng_net () in
+      ~gas_limit:cfg.Config.mc_gas_limit ~k_depth:cfg.Config.mc_confirmations
+      ~rng:rng_net () in
+  let plan = Faults.Fault_plan.create ~seed:cfg.Config.seed cfg.Config.faults in
   (* The genesis committee's verification key is recorded at deploy
      (SystemSetup). *)
   let keys0 = make_committee_keys ~cfg ~rng_keys ~epoch:0 in
@@ -264,7 +332,11 @@ let create ?sink cfg =
       committee_keys = Hashtbl.create 16; committees = [];
       signed_payloads = Hashtbl.create 16; submissions = [];
       pending_confirm = []; checkpoints = []; deposits_submitted_until = -1;
-      rollbacks_done = Hashtbl.create 4; mass_syncs = 0; max_summary_bytes = 0;
+      rollbacks_done = Hashtbl.create 4;
+      plan; oracle = Faults.Replay_oracle.create (); genesis_vk = keys0.vk;
+      last_summary_epoch = -1; retry_attempt = 0; next_retry_at = Float.infinity;
+      outage_start = None; sync_retries = 0; degraded_signings = 0;
+      rollback_count = 0; mass_syncs = 0; max_summary_bytes = 0;
       max_sc_stored = 0;
       processed_total = 0; processed_in_window = 0; rejected_total = 0; swaps = 0; mints = 0; burns = 0;
       collects = 0; tele = make_tele sink; rejections = Hashtbl.create 8;
@@ -289,12 +361,15 @@ let create ?sink cfg =
         if u.Party.user_index = 0 then U256.mul genesis_liquidity (U256.of_int 2)
         else U256.zero
       in
+      let amount0 = U256.add cfg.Config.deposit_per_epoch extra in
+      let amount1 = U256.add cfg.Config.deposit_per_epoch extra in
       match
-        Token_bank.deposit t.bank ~user:u.Party.address ~for_epoch:0
-          ~amount0:(U256.add cfg.Config.deposit_per_epoch extra)
-          ~amount1:(U256.add cfg.Config.deposit_per_epoch extra)
+        Token_bank.deposit t.bank ~user:u.Party.address ~for_epoch:0 ~amount0
+          ~amount1
       with
-      | Ok () -> ()
+      | Ok () ->
+        Faults.Replay_oracle.record_deposit t.oracle ~user:u.Party.address
+          ~for_epoch:0 ~amount0 ~amount1
       | Error e -> failwith ("System.create: bootstrap deposit failed: " ^ e))
     t.users;
   t.deposits_submitted_until <- 0;
@@ -338,7 +413,10 @@ let submit_epoch_deposits t ~for_epoch ~at =
                   Token_bank.deposit ~meter t.bank ~user:u.Party.address ~for_epoch
                     ~amount0:amount ~amount1:amount
                 with
-                | Ok () -> ()
+                | Ok () ->
+                  Faults.Replay_oracle.record_deposit t.oracle
+                    ~user:u.Party.address ~for_epoch ~amount0:amount
+                    ~amount1:amount
                 | Error e -> failwith ("System: deposit failed: " ^ e)) })
     t.users
 
@@ -428,7 +506,8 @@ let submit_sync t ~epoch ~at ~corrupt =
     let size =
       List.fold_left (fun acc (p, _) -> acc + Sync_payload.abi_size p) 0 signed
     in
-    let tag = Printf.sprintf "sync-%d-%d" epoch (List.length t.submissions) in
+    let attempt = List.length t.submissions in
+    let tag = Printf.sprintf "sync-%d-%d" epoch attempt in
     let submission = { sub_epochs = wanted; sub_tag = tag; status = Pending } in
     t.submissions <- submission :: t.submissions;
     Tmetrics.inc t.tele.c_sync_submitted;
@@ -437,37 +516,86 @@ let submit_sync t ~epoch ~at ~corrupt =
       [ ("epochs", Json.String (String.concat "," (List.map string_of_int wanted)));
         ("bytes", Json.Int size); ("status", Json.String status) ]
     in
-    Eth.submit t.eth ~at
-      { Eth.label = "sync"; size_bytes = size;
-        gas = estimate_sync_gas (List.map fst signed);
-        flow_txs = Gas_model.sync_flow_txs; tag = Some tag;
-        execute =
-          Some
-            (fun height ->
-              (* Snapshot for rollback modeling before any state change. *)
-              t.checkpoints <- (height, Token_bank.checkpoint t.bank) :: t.checkpoints;
-              let time = Eth.now t.eth in
-              let time = if time > at then time else at in
-              match Token_bank.sync t.bank ~signed with
-              | Ok receipt ->
-                submission.status <- Applied;
-                t.sync_receipts <- receipt :: t.sync_receipts;
-                Tmetrics.inc t.tele.c_sync_applied;
-                Telemetry.Histogram.observe t.tele.h_sync_inclusion (time -. at);
-                Trace.complete t.tele.tr ~cat:"mainchain" ~tid:2
-                  ~args:(span_args "applied") ~name:span_name ~ts:at
-                  ~dur:(time -. at) ();
-                t.pending_confirm <-
-                  (receipt.Token_bank.epochs_covered, height, time) :: t.pending_confirm
-              | Error reason ->
-                submission.status <- Failed;
-                Tmetrics.inc t.tele.c_sync_failed;
-                Trace.complete t.tele.tr ~cat:"mainchain" ~tid:2
-                  ~args:(span_args "failed") ~name:span_name ~ts:at ~dur:(time -. at)
-                  ();
-                Log.warn ~scope ~t:time
-                  ~fields:[ ("tag", Json.String tag); ("reason", Json.String reason) ]
-                  "sync transaction failed on chain") }
+    if Faults.Fault_plan.sync_dropped t.plan ~epoch ~attempt then begin
+      (* Mempool eviction: the transaction never reaches a block. The
+         leader notices the missing receipt and retries with backoff. *)
+      submission.status <- Failed;
+      Tmetrics.inc t.tele.c_sync_failed;
+      Trace.complete t.tele.tr ~cat:"mainchain" ~tid:2
+        ~args:(span_args "dropped") ~name:span_name ~ts:at ~dur:0.0 ();
+      Log.warn ~scope ~t:at
+        ~fields:[ ("tag", Json.String tag) ]
+        "fault: sync transaction dropped from the mempool";
+      schedule_retry t ~now:at
+    end
+    else
+      Eth.submit t.eth ~at
+        { Eth.label = "sync"; size_bytes = size;
+          gas = estimate_sync_gas (List.map fst signed);
+          flow_txs = Gas_model.sync_flow_txs; tag = Some tag;
+          execute =
+            Some
+              (fun height ->
+                (* Snapshot for rollback modeling before any state change,
+                   paired with the oracle's op-log position. *)
+                t.checkpoints <-
+                  (height, Token_bank.checkpoint t.bank,
+                   Faults.Replay_oracle.mark t.oracle)
+                  :: t.checkpoints;
+                let time = Eth.now t.eth in
+                let time = if time > at then time else at in
+                match Token_bank.sync t.bank ~signed with
+                | Ok receipt ->
+                  submission.status <- Applied;
+                  t.sync_receipts <- receipt :: t.sync_receipts;
+                  Faults.Replay_oracle.record_sync t.oracle signed;
+                  Tmetrics.inc t.tele.c_sync_applied;
+                  Telemetry.Histogram.observe t.tele.h_sync_inclusion (time -. at);
+                  (* An applied sync ends any submission outage. *)
+                  t.retry_attempt <- 0;
+                  t.next_retry_at <- Float.infinity;
+                  (match t.outage_start with
+                  | Some t0 ->
+                    Telemetry.Histogram.observe t.tele.h_recovery (time -. t0);
+                    t.outage_start <- None
+                  | None -> ());
+                  Trace.complete t.tele.tr ~cat:"mainchain" ~tid:2
+                    ~args:(span_args "applied") ~name:span_name ~ts:at
+                    ~dur:(time -. at) ();
+                  t.pending_confirm <-
+                    (receipt.Token_bank.epochs_covered, height, time)
+                    :: t.pending_confirm
+                | Error reason ->
+                  submission.status <- Failed;
+                  Tmetrics.inc t.tele.c_sync_failed;
+                  Trace.complete t.tele.tr ~cat:"mainchain" ~tid:2
+                    ~args:(span_args "failed") ~name:span_name ~ts:at
+                    ~dur:(time -. at) ();
+                  Log.warn ~scope ~t:time
+                    ~fields:
+                      [ ("tag", Json.String tag); ("reason", Json.String reason) ]
+                    "sync transaction failed on chain";
+                  schedule_retry t ~now:time) }
+  end
+
+(* Retry pump: once the backoff deadline passes and summaries are still
+   unapplied, re-submit (a mass-sync when several epochs are missing). *)
+let maybe_retry_sync t ~now =
+  if t.next_retry_at <= now then begin
+    t.next_retry_at <- Float.infinity;
+    if
+      t.last_summary_epoch >= 0
+      && Token_bank.last_synced_epoch t.bank < t.last_summary_epoch
+    then begin
+      t.sync_retries <- t.sync_retries + 1;
+      Tmetrics.inc t.tele.c_sync_retries;
+      Log.info ~scope ~t:now
+        ~fields:
+          [ ("attempt", Json.Int t.retry_attempt);
+            ("target_epoch", Json.Int t.last_summary_epoch) ]
+        "sync retry (capped exponential backoff)";
+      submit_sync t ~epoch:t.last_summary_epoch ~at:now ~corrupt:false
+    end
   end
 
 (* Inclusion time isn't passed to the execute callback, so resolve it from
@@ -506,44 +634,84 @@ let settle_confirmed t =
     confirmed;
   t.pending_confirm <- still
 
+(* Fork switch abandoning every block from [height] to the tip: restore
+   TokenBank (and the oracle's op log) to the paired pre-sync checkpoint,
+   fail every sync the fork orphaned, and arm the retry machinery; the
+   re-submission happens via retry or the normal mass-sync path. *)
+let rollback_to t ~height =
+  let n = Eth.height t.eth - height + 1 in
+  if n > 0 then begin
+    t.rollback_count <- t.rollback_count + 1;
+    Tmetrics.inc t.tele.c_rollbacks;
+    let _dropped = Eth.rollback t.eth n in
+    (match List.find_opt (fun (h, _, _) -> h = height) t.checkpoints with
+    | Some (_, ck, mark) ->
+      Token_bank.restore t.bank ck;
+      Faults.Replay_oracle.truncate t.oracle mark
+    | None -> ());
+    (* Checkpoints at or past the fork point refer to abandoned blocks. *)
+    t.checkpoints <- List.filter (fun (h, _, _) -> h < height) t.checkpoints;
+    let gone, keep =
+      List.partition (fun (_, h', _) -> h' >= height) t.pending_confirm
+    in
+    t.pending_confirm <- keep;
+    List.iter
+      (fun (epochs, _, _) ->
+        List.iter
+          (fun s ->
+            if
+              s.status = Applied
+              && List.exists (fun e -> List.mem e s.sub_epochs) epochs
+            then s.status <- Failed)
+          t.submissions)
+      gone;
+    schedule_retry t ~now:(Eth.now t.eth)
+  end
+
+(* Scripted interruption: a fork abandons the block carrying the
+   configured epoch's sync while it is still unconfirmed. *)
 let inject_rollback t ~epoch =
-  (* Abandon every block after the one carrying this epoch's sync, plus
-     the sync block itself, then restore TokenBank to its pre-sync state;
-     the re-submission happens via the normal mass-sync path. *)
+  if not (Hashtbl.mem t.rollbacks_done epoch) then
+    match
+      List.find_map
+        (fun (epochs, h, _) -> if List.mem epoch epochs then Some h else None)
+        t.pending_confirm
+    with
+    | None -> () (* not applied yet, or already confirmed: too deep *)
+    | Some h ->
+      Hashtbl.replace t.rollbacks_done epoch ();
+      Log.warn ~scope ~t:(Eth.now t.eth)
+        ~fields:
+          [ ("epoch", Json.Int epoch);
+            ("blocks", Json.Int (Eth.height t.eth - h + 1)) ]
+        "interruption: rolling back mainchain past sync inclusion";
+      rollback_to t ~height:h
+
+(* Plan-driven variable-depth reorgs: an unconfirmed sync whose epoch
+   drew a reorg is rolled back once the fork reaches the drawn depth
+   (raise [mc_confirmations] to widen the vulnerable window). At most
+   one reorg fires per round. *)
+let inject_chaos_reorgs t =
   match
-    List.find_opt
-      (fun s -> List.mem epoch s.sub_epochs && s.status = Applied)
-      t.submissions
+    List.find_map
+      (fun (epochs, h, _) ->
+        let key_epoch = List.fold_left Stdlib.max 0 epochs in
+        if Hashtbl.mem t.rollbacks_done key_epoch then None
+        else
+          match Faults.Fault_plan.reorg_depth t.plan ~epoch:key_epoch with
+          | Some depth when Eth.height t.eth - h + 1 >= depth ->
+            Some (key_epoch, h, depth)
+          | _ -> None)
+      t.pending_confirm
   with
   | None -> ()
-  | Some sub ->
-    if not (Hashtbl.mem t.rollbacks_done epoch) then begin
-      Hashtbl.replace t.rollbacks_done epoch ();
-      (* Find the checkpoint for the sync's block height via pending or past
-         confirmations. *)
-      let height_opt =
-        List.find_map
-          (fun (epochs, h, _) -> if List.mem epoch epochs then Some h else None)
-          t.pending_confirm
-      in
-      match height_opt with
-      | None -> () (* already confirmed: too deep to roll back *)
-      | Some h ->
-        let n = Eth.height t.eth - h + 1 in
-        if n > 0 then begin
-          Tmetrics.inc t.tele.c_rollbacks;
-          Log.warn ~scope ~t:(Eth.now t.eth)
-            ~fields:[ ("epoch", Json.Int epoch); ("blocks", Json.Int n) ]
-            "interruption: rolling back mainchain past sync inclusion";
-          let _dropped = Eth.rollback t.eth n in
-          (match List.assoc_opt h t.checkpoints with
-          | Some ck -> Token_bank.restore t.bank ck
-          | None -> ());
-          t.pending_confirm <-
-            List.filter (fun (_, h', _) -> h' < h) t.pending_confirm;
-          sub.status <- Failed
-        end
-    end
+  | Some (epoch, h, depth) ->
+    Hashtbl.replace t.rollbacks_done epoch ();
+    Faults.Fault_plan.note t.plan "mainchain.reorg" 1;
+    Log.warn ~scope ~t:(Eth.now t.eth)
+      ~fields:[ ("epoch", Json.Int epoch); ("depth", Json.Int depth) ]
+      "fault: mainchain reorg abandons sync inclusion";
+    rollback_to t ~height:h
 
 (* ------------------------------------------------------------------ *)
 (* The main loop                                                       *)
@@ -582,6 +750,20 @@ let run ?sink cfg =
         "epoch started: committee elected"
     | _ -> ());
     Eth.advance_to t.eth epoch_start;
+    (* Gas-limit congestion window: congested epochs mine under a reduced
+       limit, restored at the next non-congested epoch start. *)
+    if Faults.Fault_plan.congested t.plan ~epoch:e then begin
+      let limit = (Faults.Fault_plan.spec t.plan).Faults.Fault_plan.mainchain
+                    .Faults.Fault_plan.congestion_gas_limit in
+      if limit > 0 && limit < cfg.Config.mc_gas_limit then begin
+        Eth.set_gas_limit t.eth limit;
+        Log.warn ~scope ~t:epoch_start
+          ~fields:[ ("epoch", Json.Int e); ("gas_limit", Json.Int limit) ]
+          "fault: gas-limit congestion window"
+      end
+    end
+    else if Eth.gas_limit t.eth <> cfg.Config.mc_gas_limit then
+      Eth.set_gas_limit t.eth cfg.Config.mc_gas_limit;
     settle_confirmed t;
     let snapshot = Token_bank.snapshot t.bank ~epoch:e in
     let audit_entry =
@@ -612,7 +794,9 @@ let run ?sink cfg =
           | Config.Mainchain_rollback _ | Config.Silent_sync_leader _
           | Config.Invalid_sync _ | Config.Censoring_committee _ -> ())
         cfg.Config.interruptions;
+      inject_chaos_reorgs t;
       settle_confirmed t;
+      maybe_retry_sync t ~now:t_round;
       maybe_submit_deposits t ~now:t_round;
       if e < cfg.Config.epochs then begin
         let generated = Traffic.generate_round t.traffic ~round ~time:t_round in
@@ -674,8 +858,23 @@ let run ?sink cfg =
               (Bytes.of_string (Printf.sprintf "round-%d" round)
               :: List.map (fun tx -> Chain.Ids.Tx_id.to_bytes tx.Tx.id) included)
           in
+          (* Plan-driven per-round replica faults: crashed members,
+             a Byzantine proposer, and message-level network chaos. *)
+          let silent =
+            Faults.Fault_plan.crashed_members t.plan ~epoch:e ~round
+              ~members:(Sidechain.Committee.members c)
+              ~max_faulty:(Sidechain.Committee.max_faulty c)
+          in
+          let invalid_proposer =
+            Faults.Fault_plan.byzantine_proposer t.plan ~epoch:e ~round
+          in
+          let chaos =
+            Faults.Fault_plan.net_chaos t.plan ~epoch:e ~round
+              ~members:(Sidechain.Committee.members c)
+          in
           let o =
-            Sidechain.Committee.agree c ~block_digest:digest ~horizon:b_t
+            Sidechain.Committee.agree ~silent ~invalid_proposer ?chaos c
+              ~block_digest:digest ~horizon:b_t
           in
           ((if o.Sidechain.Committee.decided then o.Sidechain.Committee.latency else b_t),
            o.Sidechain.Committee.view_changes)
@@ -727,8 +926,9 @@ let run ?sink cfg =
       Processor.build_payload processor ~epoch:e ~next_committee_vk:next_keys.vk
     in
     let keys = committee_keys t ~epoch:e in
-    let signature = keys.sign (Sync_payload.signing_bytes payload) in
+    let signature = sign_payload t ~epoch:e keys (Sync_payload.signing_bytes payload) in
     Hashtbl.replace t.signed_payloads e (payload, signature);
+    t.last_summary_epoch <- e;
     let s_size = Sidechain.Codec.summary_block_size payload in
     if s_size > t.max_summary_bytes then t.max_summary_bytes <- s_size;
     Telemetry.Histogram.observe tele.h_summary_bytes (float_of_int s_size);
@@ -758,11 +958,14 @@ let run ?sink cfg =
       List.exists
         (function Config.Silent_sync_leader se -> se = e | _ -> false)
         cfg.Config.interruptions
+      || Faults.Fault_plan.silent_leader t.plan ~epoch:e
     in
     let corrupt =
-      List.exists
-        (function Config.Invalid_sync se -> se = e | _ -> false)
-        cfg.Config.interruptions
+      (not silent)
+      && (List.exists
+            (function Config.Invalid_sync se -> se = e | _ -> false)
+            cfg.Config.interruptions
+         || Faults.Fault_plan.corrupt_sync t.plan ~epoch:e)
     in
     if not silent then submit_sync t ~epoch:e ~at:epoch_end ~corrupt;
     let stats = Processor.stats processor in
@@ -804,9 +1007,22 @@ let run ?sink cfg =
     (float_of_int !epoch *. epoch_dur) +. (10.0 *. cfg.Config.mc_block_interval)
   in
   Eth.advance_to t.eth final_time;
-  (* One recovery pass in case the very last epoch was interrupted. *)
+  (* Recovery passes in case the final epochs were interrupted; bounded
+     retries because the plan may also drop the recovery submissions. *)
   submit_sync t ~epoch:(!epoch - 1) ~at:final_time ~corrupt:false;
   Eth.advance_to t.eth (final_time +. (5.0 *. cfg.Config.mc_block_interval));
+  let recovery_tries = ref 0 in
+  while
+    t.last_summary_epoch >= 0
+    && Token_bank.last_synced_epoch t.bank < t.last_summary_epoch
+    && !recovery_tries < 5
+  do
+    incr recovery_tries;
+    t.sync_retries <- t.sync_retries + 1;
+    Tmetrics.inc t.tele.c_sync_retries;
+    submit_sync t ~epoch:t.last_summary_epoch ~at:(Eth.now t.eth) ~corrupt:false;
+    Eth.advance_to t.eth (Eth.now t.eth +. (5.0 *. cfg.Config.mc_block_interval))
+  done;
   settle_confirmed t;
   (* Custody invariant: bank ERC20 holdings = pool balances + remaining
      (future-epoch) deposits. *)
@@ -850,6 +1066,20 @@ let run ?sink cfg =
   (* Deterministic result ordering: Hashtbl-derived assoc lists are
      sorted by key so reports and tests never depend on iteration order. *)
   let sorted_assoc l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  (* Differential replay oracle: the live TokenBank must match a fresh
+     replica fed the surviving deposit/sync history in order. *)
+  let replay_consistent =
+    match
+      Faults.Replay_oracle.verify ~live:t.bank ~genesis_committee_vk:t.genesis_vk
+        ~flash_fee_pips:cfg.Config.fee_pips t.oracle
+    with
+    | Ok () -> true
+    | Error reason ->
+      Log.error ~scope ~fields:[ ("reason", Json.String reason) ]
+        "differential replay oracle failed";
+      false
+  in
+  let faults_injected = Faults.Fault_plan.injected t.plan in
   let gas_by_label = sorted_assoc (Eth.gas_used_by_label t.eth) in
   let bytes_by_label = sorted_assoc (Eth.bytes_by_label t.eth) in
   let reg = tele.sink.Telemetry.Report.metrics in
@@ -863,6 +1093,10 @@ let run ?sink cfg =
     (float_of_int (List.fold_left (fun acc (_, b) -> acc + b) 0 bytes_by_label));
   final_gauge "epochs.applied" (float_of_int (Token_bank.last_synced_epoch t.bank + 1));
   final_gauge "custody.consistent" (if custody_consistent then 1.0 else 0.0);
+  final_gauge "replay.consistent" (if replay_consistent then 1.0 else 0.0);
+  List.iter
+    (fun (label, n) -> Tmetrics.inc ~by:n (Tmetrics.counter reg ("faults." ^ label)))
+    faults_injected;
   { cfg;
     generated = Traffic.generated t.traffic;
     processed = t.processed_total;
@@ -896,6 +1130,11 @@ let run ?sink cfg =
     epochs_run = !epoch;
     epochs_applied = Token_bank.last_synced_epoch t.bank + 1;
     mass_syncs = t.mass_syncs;
+    sync_retries = t.sync_retries;
+    degraded_signings = t.degraded_signings;
+    rollbacks = t.rollback_count;
+    faults_injected;
+    replay_consistent;
     rejection_reasons =
       sorted_assoc (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.rejections []);
     custody_consistent;

@@ -44,6 +44,16 @@ type result = {
   epochs_run : int;
   epochs_applied : int;        (** epochs whose Sync landed on TokenBank *)
   mass_syncs : int;            (** recovery syncs covering multiple epochs *)
+  sync_retries : int;          (** backoff re-submissions after observed
+                                   sync failures (drop/reject/reorg) *)
+  degraded_signings : int;     (** summaries signed with withheld shares *)
+  rollbacks : int;             (** mainchain forks rolled back (scripted
+                                   interruptions + injected reorgs) *)
+  faults_injected : (string * int) list;
+      (** per-label injection counts from the fault plan, sorted *)
+  replay_consistent : bool;
+      (** differential replay oracle: final TokenBank state equals a fresh
+          replica's after replaying the surviving deposit/sync history *)
   rejection_reasons : (string * int) list;
   custody_consistent : bool;
       (** TokenBank ERC20 custody = pool balances + outstanding deposits *)

@@ -55,6 +55,7 @@ let dkg rng ~n ~threshold =
 let partial_sign share msg =
   { p_index = share.index; p_sig = Group.g1_mul (Group.hash_to_g1 msg) share.value }
 
+let partial_index p = p.p_index
 let verify_partial p = p.p_index >= 1
 
 let lagrange_coefficient_at_zero indices i =

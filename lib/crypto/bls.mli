@@ -41,6 +41,11 @@ val dkg : Rng.t -> n:int -> threshold:int -> public_key * share list
     Any [threshold] shares can sign; fewer reveal nothing usable. *)
 
 val partial_sign : share -> bytes -> partial_signature
+
+val partial_index : partial_signature -> int
+(** The signing share's index (used to identify withheld/duplicate
+    contributions when combining under a degraded quorum). *)
+
 val verify_partial : partial_signature -> bool
 (** Well-formedness of a partial (index in range). *)
 

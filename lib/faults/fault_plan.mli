@@ -1,0 +1,118 @@
+(** Seeded, deterministic fault-plan engine.
+
+    A [spec] declares probabilistic fault rates for every layer of the
+    system — network, consensus, committee, mainchain — and a plan derives
+    every concrete decision from the run's seed alone, via keyed RNG
+    splits. The same seed therefore reproduces the identical fault
+    schedule on every run, at any domain count, which is what lets chaos
+    sweeps diff their output byte-for-byte and lets the differential
+    replay oracle re-check a faulty run after the fact.
+
+    Decision functions are pure in their key (epoch, round, attempt, …):
+    calling one twice with the same arguments returns the same answer and
+    counts the injection once. *)
+
+(** Message-level faults inside one consensus round
+    ({!Consensus.Network} hooks). *)
+type network = {
+  drop_rate : float;        (** per message *)
+  duplicate_rate : float;   (** per message; the copy arrives later *)
+  delay_rate : float;       (** per message: extra delay beyond Δ *)
+  delay_max : float;        (** upper bound on the extra delay, seconds *)
+  partition_rate : float;   (** per round: a temporary two-sided partition *)
+}
+
+(** Per-round replica faults for the message-level PBFT committee. *)
+type consensus = {
+  member_crash_rate : float;     (** per (round, member), capped at f *)
+  byzantine_leader_rate : float; (** per round: the proposer equivocates *)
+}
+
+(** Faults during threshold signing of the epoch summary. *)
+type committee = {
+  withhold_rate : float;  (** per (epoch, member): DKG share withheld,
+                              capped so a degraded quorum still signs *)
+}
+
+(** Mainchain-facing faults. *)
+type mainchain = {
+  silent_leader_rate : float; (** per epoch: the Sync is never submitted *)
+  corrupt_sync_rate : float;  (** per epoch: the Sync inputs are tampered *)
+  sync_drop_rate : float;     (** per submission attempt: the Sync
+                                  transaction is evicted from the mempool *)
+  reorg_rate : float;         (** per epoch: a fork abandons the block
+                                  carrying its sync *)
+  max_reorg_depth : int;      (** reorg depth is drawn in [1, max] *)
+  congestion_rate : float;    (** per epoch: a gas-limit congestion window *)
+  congestion_gas_limit : int; (** block gas limit during congestion; must
+                                  exceed the largest single transaction *)
+}
+
+type spec = {
+  network : network;
+  consensus : consensus;
+  committee : committee;
+  mainchain : mainchain;
+}
+
+val none : spec
+(** All rates zero: a plan over [none] never injects anything. *)
+
+val chaos : ?intensity:float -> unit -> spec
+(** A balanced all-layer preset. [intensity] scales every rate linearly;
+    [0.0] is equivalent to {!none}, [0.1] (the default) gives a run a
+    handful of faults per epoch, and values are clamped so no single rate
+    reaches certainty. *)
+
+val active : spec -> bool
+(** Whether any rate is nonzero. *)
+
+type t
+
+val create : seed:string -> spec -> t
+val spec : t -> spec
+
+(** {1 Decisions}
+
+    All deterministic in [(seed, key arguments)]. *)
+
+val silent_leader : t -> epoch:int -> bool
+val corrupt_sync : t -> epoch:int -> bool
+val sync_dropped : t -> epoch:int -> attempt:int -> bool
+val congested : t -> epoch:int -> bool
+
+val reorg_depth : t -> epoch:int -> int option
+(** [Some d] if this epoch's sync is fated to fall off the chain once the
+    fork is [d] blocks deep. The caller counts the injection with {!note}
+    when the reorg actually fires (the confirmation window may close
+    first). *)
+
+val withheld_shares : t -> epoch:int -> n:int -> max_withheld:int -> int list
+(** Share indices (1-based) withheld during this epoch's threshold
+    signing, at most [max_withheld] of the [n] shares. *)
+
+val crashed_members : t -> epoch:int -> round:int -> members:int -> max_faulty:int -> int list
+(** Committee member ids (0-based) crashed for this consensus round, at
+    most [max_faulty]. *)
+
+val byzantine_proposer : t -> epoch:int -> round:int -> bool
+
+val net_chaos :
+  t -> epoch:int -> round:int -> members:int ->
+  (now:float -> src:int -> dst:int -> Consensus.Network.delivery) option
+(** Per-message delivery chaos for one consensus round, or [None] when
+    every network rate is zero. The closure draws from a round-keyed RNG
+    stream, decides drop / duplicate / delay per message, enforces the
+    round's partition (messages across the cut are dropped), and counts
+    each injection. Call it once per round. *)
+
+(** {1 Injection accounting} *)
+
+val note : t -> string -> int -> unit
+(** Count [n] injections under a label (used by callers for injections
+    the plan only fates, e.g. reorgs that actually fire). *)
+
+val injected : t -> (string * int) list
+(** Injection counts so far, sorted by label. *)
+
+val total_injected : t -> int

@@ -1,0 +1,130 @@
+module U256 = Amm_math.U256
+module Address = Chain.Address
+module Position_id = Chain.Ids.Position_id
+module Erc20 = Mainchain.Erc20
+module Token_bank = Tokenbank.Token_bank
+module Sync_payload = Tokenbank.Sync_payload
+module Bls = Amm_crypto.Bls
+
+type op =
+  | Deposit of { user : Address.t; for_epoch : int; amount0 : U256.t; amount1 : U256.t }
+  | Sync of (Sync_payload.t * Bls.signature) list
+
+type t = { mutable ops : op list (* newest first *); mutable n : int }
+
+let create () = { ops = []; n = 0 }
+
+let push t op =
+  t.ops <- op :: t.ops;
+  t.n <- t.n + 1
+
+let record_deposit t ~user ~for_epoch ~amount0 ~amount1 =
+  push t (Deposit { user; for_epoch; amount0; amount1 })
+
+let record_sync t signed = push t (Sync signed)
+
+let mark t = t.n
+let size t = t.n
+
+let truncate t mark =
+  if mark < t.n then begin
+    (* ops is newest-first: drop the (n - mark) most recent entries. *)
+    let rec drop k l = if k <= 0 then l else drop (k - 1) (List.tl l) in
+    t.ops <- drop (t.n - mark) t.ops;
+    t.n <- mark
+  end
+
+(* Enough to fund any simulated deposit schedule (the system faucet
+   mints 1e30 per side). *)
+let faucet = U256.of_string "1000000000000000000000000000000"
+
+let u256_eq_pair (a0, a1) (b0, b1) = U256.equal a0 b0 && U256.equal a1 b1
+
+let pos_entry_eq (a : Sync_payload.position_entry) (b : Sync_payload.position_entry) =
+  Position_id.equal a.pos_id b.pos_id
+  && Address.equal a.owner b.owner
+  && a.lower_tick = b.lower_tick
+  && a.upper_tick = b.upper_tick
+  && U256.equal a.liquidity b.liquidity
+  && U256.equal a.amount0 b.amount0
+  && U256.equal a.amount1 b.amount1
+  && U256.equal a.fees0 b.fees0
+  && U256.equal a.fees1 b.fees1
+  && a.deleted = b.deleted
+
+let sorted_positions bank =
+  List.sort
+    (fun (a : Sync_payload.position_entry) b -> Position_id.compare a.pos_id b.pos_id)
+    (Token_bank.positions bank)
+
+let verify ~live ~genesis_committee_vk ~flash_fee_pips t =
+  let token0 = Chain.Token.make ~id:0 ~symbol:"TKA" in
+  let token1 = Chain.Token.make ~id:1 ~symbol:"TKB" in
+  let erc0 = Erc20.deploy token0 and erc1 = Erc20.deploy token1 in
+  let replica = Token_bank.deploy ~token0:erc0 ~token1:erc1 ~genesis_committee_vk in
+  let pool_id = Token_bank.create_pool replica ~flash_fee_pips in
+  let funded = Hashtbl.create 64 in
+  let ensure_funded user =
+    if not (Hashtbl.mem funded user) then begin
+      Hashtbl.replace funded user ();
+      Erc20.mint erc0 user faucet;
+      Erc20.mint erc1 user faucet;
+      Erc20.approve erc0 ~owner:user ~spender:(Token_bank.address replica)
+        U256.max_value;
+      Erc20.approve erc1 ~owner:user ~spender:(Token_bank.address replica)
+        U256.max_value
+    end
+  in
+  let replay op =
+    match op with
+    | Deposit { user; for_epoch; amount0; amount1 } ->
+      ensure_funded user;
+      (match Token_bank.deposit replica ~user ~for_epoch ~amount0 ~amount1 with
+      | Ok () -> Ok ()
+      | Error e ->
+        Error (Printf.sprintf "replay: deposit for epoch %d failed: %s" for_epoch e))
+    | Sync signed -> (
+      match Token_bank.sync replica ~signed with
+      | Ok _ -> Ok ()
+      | Error e ->
+        let epochs =
+          String.concat ","
+            (List.map (fun (p, _) -> string_of_int p.Sync_payload.epoch) signed)
+        in
+        Error (Printf.sprintf "replay: sync [%s] failed: %s" epochs e))
+  in
+  let rec replay_all = function
+    | [] -> Ok ()
+    | op :: rest -> ( match replay op with Ok () -> replay_all rest | Error _ as e -> e)
+  in
+  match replay_all (List.rev t.ops) with
+  | Error _ as e -> e
+  | Ok () ->
+    let check name ok = if ok then Ok () else Error ("replay mismatch: " ^ name) in
+    let ( let* ) = Result.bind in
+    let* () =
+      check "last_synced_epoch"
+        (Token_bank.last_synced_epoch live = Token_bank.last_synced_epoch replica)
+    in
+    let* () =
+      check "total_custody"
+        (u256_eq_pair (Token_bank.total_custody live) (Token_bank.total_custody replica))
+    in
+    let* () =
+      match (Token_bank.pool live pool_id, Token_bank.pool replica pool_id) with
+      | Some a, Some b ->
+        check "pool_balances"
+          (u256_eq_pair (a.Token_bank.balance0, a.Token_bank.balance1)
+             (b.Token_bank.balance0, b.Token_bank.balance1))
+      | None, None -> Ok ()
+      | _ -> Error "replay mismatch: pool existence"
+    in
+    let* () =
+      check "committee_vk"
+        (Bytes.equal
+           (Bls.public_key_to_bytes (Token_bank.committee_vk live))
+           (Bls.public_key_to_bytes (Token_bank.committee_vk replica)))
+    in
+    let pa = sorted_positions live and pb = sorted_positions replica in
+    let* () = check "position_count" (List.length pa = List.length pb) in
+    check "positions" (List.for_all2 pos_entry_eq pa pb)

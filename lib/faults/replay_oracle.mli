@@ -1,0 +1,45 @@
+(** Differential replay oracle.
+
+    Records every state-changing TokenBank operation the mainchain
+    actually executed — deposits and accepted Sync summaries, in
+    execution order — and can re-derive the contract state from scratch
+    by replaying them against a fresh replica. A chaos run passes the
+    oracle when the live bank and the replica agree on every observable:
+    last synced epoch, custody, pool balances, the full position table
+    and the recorded committee key.
+
+    Rollbacks are modeled with {!mark}/{!truncate}: a checkpoint taken at
+    sync inclusion pairs the bank snapshot with the op-log length, and
+    restoring the snapshot truncates the log to the same point, keeping
+    the oracle aligned with the chain's surviving history. *)
+
+module U256 = Amm_math.U256
+module Address = Chain.Address
+
+type t
+
+val create : unit -> t
+
+val record_deposit :
+  t -> user:Address.t -> for_epoch:int -> amount0:U256.t -> amount1:U256.t -> unit
+
+val record_sync :
+  t -> (Tokenbank.Sync_payload.t * Amm_crypto.Bls.signature) list -> unit
+
+val mark : t -> int
+(** Current length of the op log; pair it with a state checkpoint. *)
+
+val truncate : t -> int -> unit
+(** Drop every op recorded after [mark] (used when a rollback restores
+    the paired checkpoint). *)
+
+val size : t -> int
+
+val verify :
+  live:Tokenbank.Token_bank.t ->
+  genesis_committee_vk:Amm_crypto.Bls.public_key ->
+  flash_fee_pips:int ->
+  t ->
+  (unit, string) result
+(** Replays the log against a fresh replica deployed with the same
+    genesis key and pool, then compares the replica to [live]. *)

@@ -35,7 +35,7 @@ let block_tx_tags b = List.filter_map (fun t -> t.i_tag) b.b_txs
 
 type t = {
   intervl : float;
-  gas_limit : int;
+  mutable gas_limit : int;
   header_size : int;
   rng : Rng.t;
   mutable pending : pending list; (* kept sorted by ready_at *)
@@ -64,6 +64,14 @@ let create ?(interval = 12.0) ?(gas_limit = 30_000_000) ?(header_size = 508)
     latencies = Hashtbl.create 16; tag_times = []; included_count = 0 }
 
 let interval t = t.intervl
+let gas_limit t = t.gas_limit
+
+(* Congestion windows (fault injection) shrink the limit temporarily;
+   a limit below the largest single transaction would wedge the queue. *)
+let set_gas_limit t limit =
+  if limit <= 0 then invalid_arg "Eth.set_gas_limit: limit must be positive";
+  t.gas_limit <- limit
+
 let now t = t.current_time
 let height t = Chain.Ledger.height t.ledger
 let confirmed_height t = Chain.Ledger.confirmed_height t.ledger

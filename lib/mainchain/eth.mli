@@ -30,6 +30,13 @@ val create :
   rng:Amm_crypto.Rng.t -> unit -> t
 
 val interval : t -> float
+
+val gas_limit : t -> int
+val set_gas_limit : t -> int -> unit
+(** Changes the block gas limit from the next mined block on (models
+    congestion windows). The limit must stay above the largest single
+    pending transaction or that transaction never fits a block. *)
+
 val now : t -> float
 val height : t -> int
 val confirmed_height : t -> int

@@ -19,7 +19,10 @@ let create ~rng ~members ~max_faulty ~delta ~timeout =
     invalid_arg "Committee.create: need members >= 3f+1";
   { rng; members; max_faulty; delta; timeout }
 
-let agree ?(silent = []) ?(invalid_proposer = false) t ~block_digest ~horizon =
+let members t = t.members
+let max_faulty t = t.max_faulty
+
+let agree ?(silent = []) ?(invalid_proposer = false) ?chaos t ~block_digest ~horizon =
   let behaviors = Array.make t.members Pbft.Honest in
   List.iter
     (fun i -> if i >= 0 && i < t.members then behaviors.(i) <- Pbft.Silent)
@@ -30,7 +33,7 @@ let agree ?(silent = []) ?(invalid_proposer = false) t ~block_digest ~horizon =
     { Pbft.n = t.members; f = t.max_faulty; behaviors; delta = t.delta;
       timeout = t.timeout; max_time = horizon }
   in
-  let o = Pbft.run ~rng:t.rng cfg ~value:block_digest in
+  let o = Pbft.run ~rng:t.rng ?chaos cfg ~value:block_digest in
   let decided = Pbft.all_honest_decided cfg o && Pbft.honest_agreement cfg o in
   let latency =
     Array.fold_left

@@ -23,13 +23,18 @@ val create :
 (** A committee of [members] replicas tolerating [max_faulty] faults
     (requires members >= 3·max_faulty + 1). *)
 
+val members : t -> int
+val max_faulty : t -> int
+
 val agree :
   ?silent:int list ->
   ?invalid_proposer:bool ->
+  ?chaos:(now:float -> src:int -> dst:int -> Consensus.Network.delivery) ->
   t ->
   block_digest:bytes ->
   horizon:float ->
   round_outcome
 (** Runs one consensus instance on a block digest. [silent] members never
     respond; [invalid_proposer] makes the current leader propose an
-    invalid block (detected and resolved by view change). *)
+    invalid block (detected and resolved by view change); [chaos] injects
+    per-message drop/duplication/delay into the round's Δ-network. *)

@@ -45,7 +45,7 @@ let pqueue_props =
 
 let test_network_delay_bound () =
   let rng = Amm_crypto.Rng.create "net" in
-  let net = Network.create ~rng ~delta:0.5 in
+  let net = Network.create ~rng ~delta:0.5 () in
   for i = 0 to 99 do
     Network.send net ~at:10.0 ~src:0 ~dst:i "m"
   done;
@@ -60,7 +60,7 @@ let test_network_delay_bound () =
 
 let test_network_schedule_exact () =
   let rng = Amm_crypto.Rng.create "net2" in
-  let net = Network.create ~rng ~delta:0.5 in
+  let net = Network.create ~rng ~delta:0.5 () in
   Network.schedule net ~at:42.0 ~dst:3 "timer";
   match Network.next net with
   | Some (at, dst, msg) ->
@@ -138,6 +138,37 @@ let test_pbft_decision_time_bounded () =
         if at > 1.0 then Alcotest.failf "decision too slow: %.3f" at
       | None -> Alcotest.fail "undecided")
     o.Pbft.decisions
+
+let test_pbft_exponential_backoff () =
+  (* Three silent leaders in a row force three view changes. View-change
+     timers double each view (capped), so views 0/1/2 expire after 1, 2
+     and 4 timeout units: the view-3 leader cannot decide before t = 7.
+     The old linear back-off (view + 1) would have allowed t ≈ 6. *)
+  let b = Array.make 13 Pbft.Honest in
+  b.(0) <- Pbft.Silent;
+  b.(1) <- Pbft.Silent;
+  b.(2) <- Pbft.Silent;
+  let cfg = { (cfg_of b) with Pbft.delta = 0.01; max_time = 60.0 } in
+  let o = Pbft.run ~rng:(Amm_crypto.Rng.create "pbft-backoff") cfg ~value in
+  Alcotest.(check bool) "decided" true (Pbft.all_honest_decided cfg o);
+  Alcotest.(check bool) "three view changes" true (o.Pbft.total_view_changes >= 3);
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Some (_, at) ->
+        if cfg.Pbft.behaviors.(i) = Pbft.Honest then begin
+          if at < 6.9 then
+            Alcotest.failf "replica %d decided at %.3f: back-off is not exponential" i at;
+          if at > 8.0 then Alcotest.failf "replica %d decided too late: %.3f" i at
+        end
+      | None -> if cfg.Pbft.behaviors.(i) = Pbft.Honest then Alcotest.fail "undecided")
+    o.Pbft.decisions
+
+let test_pbft_backoff_cap () =
+  (* The doubling is capped so a long outage cannot push timers past the
+     horizon: 2^backoff_cap is the largest multiplier. *)
+  Alcotest.(check bool) "cap is positive and small" true
+    (Pbft.backoff_cap > 0 && Pbft.backoff_cap <= 10)
 
 let pbft_props =
   [ prop "safety under random single fault" QCheck2.Gen.(pair (int_range 0 6) (int_range 0 1))
@@ -291,7 +322,9 @@ let () =
           Alcotest.test_case "two bad leaders" `Quick test_pbft_two_bad_leaders_in_a_row;
           Alcotest.test_case "larger committee" `Quick test_pbft_larger_committee;
           Alcotest.test_case "quorum size check" `Quick test_pbft_requires_quorum_size;
-          Alcotest.test_case "decision time" `Quick test_pbft_decision_time_bounded ]
+          Alcotest.test_case "decision time" `Quick test_pbft_decision_time_bounded;
+          Alcotest.test_case "exponential backoff" `Quick test_pbft_exponential_backoff;
+          Alcotest.test_case "backoff cap" `Quick test_pbft_backoff_cap ]
         @ pbft_props );
       ( "election",
         [ Alcotest.test_case "verifiable" `Quick test_election_verifiable;

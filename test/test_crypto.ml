@@ -171,6 +171,64 @@ let threshold_subset_prop =
          | Some sigma -> List.length kept >= threshold && Bls.verify vk msg sigma
          | None -> List.length kept < threshold))
 
+let test_threshold_withheld_any_subset () =
+  (* Degraded-quorum signing: when members withhold shares, any [t]
+     *distinct* survivors reconstruct — including non-contiguous index
+     sets — and every such subset yields the identical group signature
+     (Lagrange interpolation is unique in the exponent). *)
+  let n = 10 and threshold = 7 in
+  let vk, shares = Bls.dkg (rng ()) ~n ~threshold in
+  let msg = Bytes.of_string "degraded quorum" in
+  let partials = Array.of_list (List.map (fun s -> Bls.partial_sign s msg) shares) in
+  let pick idxs = List.map (fun i -> partials.(i)) idxs in
+  let subsets = [ [ 0; 1; 2; 3; 4; 5; 6 ]; [ 3; 4; 5; 6; 7; 8; 9 ];
+                  [ 0; 2; 4; 5; 6; 8; 9 ]; [ 9; 7; 5; 3; 1; 0; 2 ] ] in
+  let sigs =
+    List.map
+      (fun idxs ->
+        match Bls.combine ~threshold (pick idxs) with
+        | Some s ->
+          Alcotest.(check bool) "subset verifies" true (Bls.verify vk msg s);
+          s
+        | None -> Alcotest.fail "t distinct shares must combine")
+      subsets
+  in
+  let first = Bls.signature_to_bytes (List.hd sigs) in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "all subsets give the same signature" true
+        (Bytes.equal first (Bls.signature_to_bytes s)))
+    (List.tl sigs)
+
+let test_threshold_withheld_below_quorum () =
+  (* One withholder too many: t - 1 distinct shares fail, and padding the
+     survivor set with duplicated partials must not sneak past the
+     distinctness check. *)
+  let n = 10 and threshold = 7 in
+  let _, shares = Bls.dkg (rng ()) ~n ~threshold in
+  let msg = Bytes.of_string "withheld" in
+  let partials = List.map (fun s -> Bls.partial_sign s msg) shares in
+  let survivors = List.filteri (fun i _ -> i mod 3 <> 0) partials in
+  Alcotest.(check int) "six survivors" 6 (List.length survivors);
+  Alcotest.(check bool) "t-1 distinct rejected" true
+    (Bls.combine ~threshold survivors = None);
+  let padded = List.hd survivors :: List.hd survivors :: survivors in
+  Alcotest.(check bool) "duplicates don't restore quorum" true
+    (Bls.combine ~threshold padded = None)
+
+let test_threshold_share_indices () =
+  let n = 6 and threshold = 4 in
+  let _, shares = Bls.dkg (rng ()) ~n ~threshold in
+  let msg = Bytes.of_string "indices" in
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "partial carries its share's index"
+        (Bls.share_index s)
+        (Bls.partial_index (Bls.partial_sign s msg)))
+    shares;
+  let idxs = List.sort_uniq compare (List.map Bls.share_index shares) in
+  Alcotest.(check int) "indices distinct" n (List.length idxs)
+
 let test_dkg_bad_threshold () =
   Alcotest.check_raises "threshold > n" (Invalid_argument "Bls.dkg: bad threshold")
     (fun () -> ignore (Bls.dkg (rng ()) ~n:3 ~threshold:4))
@@ -298,6 +356,11 @@ let () =
           Alcotest.test_case "threshold duplicates" `Quick test_threshold_duplicates_dont_count;
           Alcotest.test_case "threshold wrong message" `Quick
             test_threshold_wrong_subset_signature_rejected;
+          Alcotest.test_case "threshold withheld any subset" `Quick
+            test_threshold_withheld_any_subset;
+          Alcotest.test_case "threshold withheld below quorum" `Quick
+            test_threshold_withheld_below_quorum;
+          Alcotest.test_case "threshold share indices" `Quick test_threshold_share_indices;
           Alcotest.test_case "dkg bad threshold" `Quick test_dkg_bad_threshold;
           threshold_subset_prop ] );
       ( "vrf",

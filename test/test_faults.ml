@@ -1,0 +1,320 @@
+(* Fault-plan engine: deterministic seeded schedules, idempotent
+   injection accounting, per-layer caps, network chaos closures; the
+   differential replay oracle (agreement, divergence detection and
+   rollback truncation); and the ISSUE acceptance scenario — a seeded
+   all-layer chaos run that recovers every fault, passes the oracle and
+   reproduces the identical schedule from the same seed. *)
+
+module U256 = Amm_math.U256
+module Address = Chain.Address
+module Erc20 = Mainchain.Erc20
+module Bls = Amm_crypto.Bls
+module Network = Consensus.Network
+module Fault_plan = Faults.Fault_plan
+module Replay_oracle = Faults.Replay_oracle
+open Tokenbank
+
+let u = U256.of_string
+let one_e18 = u "1000000000000000000"
+let one_e21 = u "1000000000000000000000"
+
+(* ------------------------------------------------------------------ *)
+(* Fault plan                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixed sweep over decision coordinates, collecting every answer so
+   two plans can be compared wholesale. *)
+let sweep plan =
+  let acc = Buffer.create 256 in
+  for epoch = 0 to 19 do
+    Buffer.add_string acc
+      (Printf.sprintf "e%d:%b%b%b%b" epoch
+         (Fault_plan.silent_leader plan ~epoch)
+         (Fault_plan.corrupt_sync plan ~epoch)
+         (Fault_plan.congested plan ~epoch)
+         (Fault_plan.byzantine_proposer plan ~epoch ~round:0));
+    (match Fault_plan.reorg_depth plan ~epoch with
+    | Some d -> Buffer.add_string acc (Printf.sprintf "r%d" d)
+    | None -> Buffer.add_char acc '-');
+    for attempt = 0 to 2 do
+      Buffer.add_string acc
+        (if Fault_plan.sync_dropped plan ~epoch ~attempt then "D" else ".")
+    done;
+    List.iter
+      (fun i -> Buffer.add_string acc (Printf.sprintf "w%d" i))
+      (Fault_plan.withheld_shares plan ~epoch ~n:13 ~max_withheld:4);
+    List.iter
+      (fun i -> Buffer.add_string acc (Printf.sprintf "c%d" i))
+      (Fault_plan.crashed_members plan ~epoch ~round:1 ~members:13 ~max_faulty:4)
+  done;
+  Buffer.contents acc
+
+let test_none_never_injects () =
+  Alcotest.(check bool) "none inactive" false (Fault_plan.active Fault_plan.none);
+  Alcotest.(check bool) "zero intensity inactive" false
+    (Fault_plan.active (Fault_plan.chaos ~intensity:0.0 ()));
+  Alcotest.(check bool) "default chaos active" true
+    (Fault_plan.active (Fault_plan.chaos ()));
+  let plan = Fault_plan.create ~seed:"quiet" Fault_plan.none in
+  let s = sweep plan in
+  Alcotest.(check bool) "no decisions fire" false
+    (String.exists (function 'D' | 'w' | 'c' | 'r' -> true | _ -> false) s);
+  Alcotest.(check bool) "no net chaos" true
+    (Fault_plan.net_chaos plan ~epoch:0 ~round:0 ~members:7 = None);
+  Alcotest.(check int) "nothing counted" 0 (Fault_plan.total_injected plan);
+  Alcotest.(check (list (pair string int))) "empty ledger" []
+    (Fault_plan.injected plan)
+
+let test_same_seed_same_schedule () =
+  let spec = Fault_plan.chaos ~intensity:0.3 () in
+  let a = Fault_plan.create ~seed:"twin" spec in
+  let b = Fault_plan.create ~seed:"twin" spec in
+  Alcotest.(check string) "identical decision sweep" (sweep a) (sweep b);
+  Alcotest.(check (list (pair string int))) "identical injection ledger"
+    (Fault_plan.injected a) (Fault_plan.injected b);
+  Alcotest.(check bool) "schedule nonempty at this intensity" true
+    (Fault_plan.total_injected a > 0)
+
+let test_different_seed_different_schedule () =
+  let spec = Fault_plan.chaos ~intensity:0.3 () in
+  let a = Fault_plan.create ~seed:"seed-a" spec in
+  let b = Fault_plan.create ~seed:"seed-b" spec in
+  (* 20 epochs × a dozen draws each: a collision would need hundreds of
+     independent coin flips to agree. *)
+  Alcotest.(check bool) "schedules diverge" true (sweep a <> sweep b)
+
+let test_decisions_idempotent () =
+  let plan = Fault_plan.create ~seed:"idem" (Fault_plan.chaos ~intensity:0.5 ()) in
+  let first = sweep plan in
+  let counted = Fault_plan.total_injected plan in
+  Alcotest.(check string) "same answers on re-query" first (sweep plan);
+  Alcotest.(check int) "injections counted once" counted
+    (Fault_plan.total_injected plan)
+
+let test_caps_respected () =
+  let plan = Fault_plan.create ~seed:"caps" (Fault_plan.chaos ~intensity:9.0 ()) in
+  for epoch = 0 to 9 do
+    let w = Fault_plan.withheld_shares plan ~epoch ~n:10 ~max_withheld:3 in
+    Alcotest.(check bool) "withheld within cap" true (List.length w <= 3);
+    Alcotest.(check bool) "withheld indices 1-based distinct" true
+      (List.for_all (fun i -> i >= 1 && i <= 10) w
+      && List.length (List.sort_uniq compare w) = List.length w);
+    let c = Fault_plan.crashed_members plan ~epoch ~round:0 ~members:10 ~max_faulty:3 in
+    Alcotest.(check bool) "crashes within f" true (List.length c <= 3);
+    Alcotest.(check bool) "crash ids 0-based distinct" true
+      (List.for_all (fun i -> i >= 0 && i < 10) c
+      && List.length (List.sort_uniq compare c) = List.length c);
+    match Fault_plan.reorg_depth plan ~epoch with
+    | Some d ->
+      Alcotest.(check bool) "reorg depth in [1, max]" true
+        (d >= 1 && d <= (Fault_plan.spec plan).Fault_plan.mainchain.max_reorg_depth)
+    | None -> ()
+  done
+
+let test_net_chaos_deterministic () =
+  let spec = Fault_plan.chaos ~intensity:0.5 () in
+  let trace seed =
+    let plan = Fault_plan.create ~seed spec in
+    match Fault_plan.net_chaos plan ~epoch:2 ~round:3 ~members:7 with
+    | None -> Alcotest.fail "expected a chaos closure at nonzero rates"
+    | Some f ->
+      let b = Buffer.create 128 in
+      for src = 0 to 6 do
+        for dst = 0 to 6 do
+          if src <> dst then
+            Buffer.add_string b
+              (match f ~now:(float_of_int (src + dst)) ~src ~dst with
+              | Network.Deliver -> "."
+              | Network.Drop -> "x"
+              | Network.Duplicate d -> Printf.sprintf "2(%.6f)" d
+              | Network.Delay d -> Printf.sprintf "+(%.6f)" d)
+        done
+      done;
+      Buffer.contents b
+  in
+  Alcotest.(check string) "same seed, same per-message fates"
+    (trace "net-twin") (trace "net-twin");
+  Alcotest.(check bool) "some messages disturbed" true
+    (String.exists (fun ch -> ch <> '.') (trace "net-twin"))
+
+(* ------------------------------------------------------------------ *)
+(* Replay oracle                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let alice = Address.of_label "alice"
+let bob = Address.of_label "bob"
+
+type env = {
+  bank : Token_bank.t;
+  keys : (Bls.secret_key * Bls.public_key) array;
+  pool_id : int;
+}
+
+let flash_fee_pips = 3000
+
+let make_env () =
+  let rng = Amm_crypto.Rng.create "replay-oracle-tests" in
+  let erc0 = Erc20.deploy (Chain.Token.make ~id:0 ~symbol:"TKA") in
+  let erc1 = Erc20.deploy (Chain.Token.make ~id:1 ~symbol:"TKB") in
+  let keys = Array.init 8 (fun _ -> Bls.keygen rng) in
+  let bank = Token_bank.deploy ~token0:erc0 ~token1:erc1 ~genesis_committee_vk:(snd keys.(0)) in
+  let pool_id = Token_bank.create_pool bank ~flash_fee_pips in
+  List.iter
+    (fun who ->
+      Erc20.mint erc0 who one_e21;
+      Erc20.mint erc1 who one_e21;
+      Erc20.approve erc0 ~owner:who ~spender:(Token_bank.address bank) U256.max_value;
+      Erc20.approve erc1 ~owner:who ~spender:(Token_bank.address bank) U256.max_value)
+    [ alice; bob ];
+  { bank; keys; pool_id }
+
+let deposit env oracle ~user ~for_epoch ~amount0 ~amount1 =
+  (match Token_bank.deposit env.bank ~user ~for_epoch ~amount0 ~amount1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Replay_oracle.record_deposit oracle ~user ~for_epoch ~amount0 ~amount1
+
+let signed_payload ?(users = []) env ~epoch ~balance0 ~balance1 =
+  let p =
+    { Sync_payload.epoch; pool = env.pool_id; pool_balance0 = balance0;
+      pool_balance1 = balance1; users; positions = [];
+      next_committee_vk = snd env.keys.(epoch + 1) }
+  in
+  (p, Bls.sign (fst env.keys.(epoch)) (Sync_payload.signing_bytes p))
+
+let apply_sync env oracle signed =
+  (match Token_bank.sync env.bank ~signed with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("sync rejected: " ^ e));
+  Replay_oracle.record_sync oracle signed
+
+let verify env oracle =
+  Replay_oracle.verify ~live:env.bank
+    ~genesis_committee_vk:(snd env.keys.(0)) ~flash_fee_pips oracle
+
+let test_oracle_agrees_on_faithful_log () =
+  let env = make_env () in
+  let oracle = Replay_oracle.create () in
+  deposit env oracle ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:one_e18;
+  deposit env oracle ~user:bob ~for_epoch:0 ~amount0:one_e18 ~amount1:U256.zero;
+  let users =
+    [ { Sync_payload.user = alice; payin0 = one_e18; payin1 = one_e18;
+        payout0 = U256.zero; payout1 = U256.zero } ]
+  in
+  apply_sync env oracle [ signed_payload ~users env ~epoch:0 ~balance0:one_e18 ~balance1:one_e18 ];
+  Alcotest.(check int) "three ops recorded" 3 (Replay_oracle.size oracle);
+  match verify env oracle with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "oracle should agree: %s" e
+
+let test_oracle_detects_divergence () =
+  let env = make_env () in
+  let oracle = Replay_oracle.create () in
+  deposit env oracle ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:one_e18;
+  (* A phantom op the live chain never executed. *)
+  Replay_oracle.record_deposit oracle ~user:bob ~for_epoch:0 ~amount0:one_e18
+    ~amount1:U256.zero;
+  match verify env oracle with
+  | Ok () -> Alcotest.fail "oracle must flag the phantom deposit"
+  | Error _ -> ()
+
+let test_oracle_truncate_tracks_rollback () =
+  let env = make_env () in
+  let oracle = Replay_oracle.create () in
+  deposit env oracle ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:one_e18;
+  let mark = Replay_oracle.mark oracle in
+  let cp = Token_bank.checkpoint env.bank in
+  (* A fork's worth of history that later falls off the chain. *)
+  deposit env oracle ~user:bob ~for_epoch:0 ~amount0:one_e18 ~amount1:one_e18;
+  let users =
+    [ { Sync_payload.user = alice; payin0 = one_e18; payin1 = one_e18;
+        payout0 = U256.zero; payout1 = U256.zero } ]
+  in
+  apply_sync env oracle [ signed_payload ~users env ~epoch:0 ~balance0:one_e18 ~balance1:one_e18 ];
+  Alcotest.(check int) "fork ops recorded" 3 (Replay_oracle.size oracle);
+  Token_bank.restore env.bank cp;
+  Replay_oracle.truncate oracle mark;
+  Alcotest.(check int) "log truncated to the mark" mark (Replay_oracle.size oracle);
+  (match verify env oracle with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "oracle should agree after rollback: %s" e);
+  (* The surviving history can still be extended and re-checked. *)
+  let users =
+    [ { Sync_payload.user = alice; payin0 = one_e18; payin1 = one_e18;
+        payout0 = U256.zero; payout1 = U256.zero } ]
+  in
+  apply_sync env oracle [ signed_payload ~users env ~epoch:0 ~balance0:one_e18 ~balance1:one_e18 ];
+  match verify env oracle with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "oracle should agree after re-sync: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: seeded all-layer chaos run                              *)
+(* ------------------------------------------------------------------ *)
+
+open Ammboost
+
+let chaos_cfg =
+  { Config.default with
+    epochs = 3;
+    daily_volume = 30_000;
+    users = 10;
+    miners = 40;
+    committee_size = 13;
+    max_faulty = 4;
+    threshold_signing = true;
+    message_level_consensus = true;
+    mc_confirmations = 3;
+    faults = Fault_plan.chaos ~intensity:0.15 ();
+    seed = "chaos-accept" }
+
+let chaos_result = lazy (System.run chaos_cfg)
+
+let test_chaos_run_recovers_everything () =
+  let r = Lazy.force chaos_result in
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 r.System.faults_injected in
+  Alcotest.(check bool) "faults actually injected" true (total > 0);
+  (* Every layer the spec arms shows up in the ledger at this intensity. *)
+  Alcotest.(check bool) "network faults present" true
+    (List.exists (fun (l, _) -> String.length l >= 4 && String.sub l 0 4 = "net.")
+       r.System.faults_injected);
+  Alcotest.(check int) "every epoch applied despite faults"
+    r.System.epochs_run r.System.epochs_applied;
+  Alcotest.(check bool) "recovery machinery exercised" true
+    (r.System.sync_retries + r.System.mass_syncs + r.System.rollbacks
+     + r.System.degraded_signings > 0);
+  Alcotest.(check bool) "custody invariant" true r.System.custody_consistent;
+  Alcotest.(check bool) "differential replay oracle" true r.System.replay_consistent
+
+let test_chaos_run_reproducible () =
+  let a = Lazy.force chaos_result in
+  let b = System.run chaos_cfg in
+  Alcotest.(check (list (pair string int))) "identical fault schedule"
+    a.System.faults_injected b.System.faults_injected;
+  Alcotest.(check int) "identical retries" a.System.sync_retries b.System.sync_retries;
+  Alcotest.(check int) "identical mass-syncs" a.System.mass_syncs b.System.mass_syncs;
+  Alcotest.(check int) "identical rollbacks" a.System.rollbacks b.System.rollbacks;
+  Alcotest.(check int) "identical degraded signings" a.System.degraded_signings
+    b.System.degraded_signings;
+  Alcotest.(check int) "identical traffic" a.System.processed b.System.processed;
+  Alcotest.(check (float 1e-9)) "identical latency" a.System.mean_payout_latency
+    b.System.mean_payout_latency
+
+let () =
+  Alcotest.run "faults"
+    [ ( "fault_plan",
+        [ Alcotest.test_case "none never injects" `Quick test_none_never_injects;
+          Alcotest.test_case "same seed same schedule" `Quick test_same_seed_same_schedule;
+          Alcotest.test_case "different seed diverges" `Quick
+            test_different_seed_different_schedule;
+          Alcotest.test_case "decisions idempotent" `Quick test_decisions_idempotent;
+          Alcotest.test_case "caps respected" `Quick test_caps_respected;
+          Alcotest.test_case "net chaos deterministic" `Quick test_net_chaos_deterministic ] );
+      ( "replay_oracle",
+        [ Alcotest.test_case "faithful log agrees" `Quick test_oracle_agrees_on_faithful_log;
+          Alcotest.test_case "divergence detected" `Quick test_oracle_detects_divergence;
+          Alcotest.test_case "truncate tracks rollback" `Quick
+            test_oracle_truncate_tracks_rollback ] );
+      ( "chaos_acceptance",
+        [ Alcotest.test_case "recovers and replays" `Quick test_chaos_run_recovers_everything;
+          Alcotest.test_case "seed reproduces schedule" `Quick test_chaos_run_reproducible ] ) ]

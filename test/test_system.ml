@@ -32,7 +32,12 @@ let test_nominal_run () =
   Alcotest.(check bool) "payouts settled for every processed tx" true
     (r.System.payouts_settled = r.System.processed);
   Alcotest.(check bool) "custody invariant" true r.System.custody_consistent;
-  Alcotest.(check int) "no mass-syncs needed" 0 r.System.mass_syncs
+  Alcotest.(check int) "no mass-syncs needed" 0 r.System.mass_syncs;
+  Alcotest.(check int) "no retries needed" 0 r.System.sync_retries;
+  Alcotest.(check int) "no rollbacks" 0 r.System.rollbacks;
+  Alcotest.(check (list (pair string int))) "no faults injected" []
+    r.System.faults_injected;
+  Alcotest.(check bool) "replay oracle" true r.System.replay_consistent
 
 let test_latency_sanity () =
   let r = run () in
@@ -109,28 +114,37 @@ let test_signed_traffic_verified () =
 let test_silent_sync_leader_mass_sync () =
   let cfg = { base with interruptions = [ Config.Silent_sync_leader 1 ] } in
   let r = run ~cfg () in
+  (* No failure is observable on chain (nothing was submitted), so
+     recovery comes from the next epoch's mass-sync, not a retry. *)
   Alcotest.(check bool) "mass-sync happened" true (r.System.mass_syncs >= 1);
   Alcotest.(check int) "all epochs eventually applied" r.System.epochs_run
     r.System.epochs_applied;
   Alcotest.(check bool) "payouts all settled" true
     (r.System.payouts_settled = r.System.processed);
-  Alcotest.(check bool) "custody preserved" true r.System.custody_consistent
+  Alcotest.(check bool) "custody preserved" true r.System.custody_consistent;
+  Alcotest.(check bool) "replay oracle" true r.System.replay_consistent
 
 let test_invalid_sync_rejected_then_recovered () =
   let cfg = { base with interruptions = [ Config.Invalid_sync 1 ] } in
   let r = run ~cfg () in
-  (* TokenBank rejected the tampered submission; the next epoch's
-     committee mass-syncs the missing summary. *)
-  Alcotest.(check bool) "recovered via mass-sync" true (r.System.mass_syncs >= 1);
+  (* TokenBank rejected the tampered submission — an observed on-chain
+     failure, so the leader's backoff retry resubmits the genuine
+     summary before the next epoch ends (no mass-sync needed). *)
+  Alcotest.(check bool) "recovered via retry" true (r.System.sync_retries >= 1);
   Alcotest.(check int) "state caught up" r.System.epochs_run r.System.epochs_applied;
-  Alcotest.(check bool) "custody preserved" true r.System.custody_consistent
+  Alcotest.(check bool) "custody preserved" true r.System.custody_consistent;
+  Alcotest.(check bool) "replay oracle" true r.System.replay_consistent
 
 let test_mainchain_rollback_recovered () =
   let cfg = { base with interruptions = [ Config.Mainchain_rollback 1 ] } in
   let r = run ~cfg () in
+  Alcotest.(check bool) "rollback counter fired" true (r.System.rollbacks >= 1);
+  Alcotest.(check bool) "recovered via retry or mass-sync" true
+    (r.System.sync_retries >= 1 || r.System.mass_syncs >= 1);
   Alcotest.(check int) "state caught up after rollback" r.System.epochs_run
     r.System.epochs_applied;
-  Alcotest.(check bool) "custody preserved" true r.System.custody_consistent
+  Alcotest.(check bool) "custody preserved" true r.System.custody_consistent;
+  Alcotest.(check bool) "replay oracle" true r.System.replay_consistent
 
 let test_multiple_interruptions () =
   let cfg =
@@ -153,7 +167,8 @@ let test_censoring_committee_liveness () =
     (r.System.processed >= r.System.generated - r.System.rejected - 5);
   Alcotest.(check bool) "all payouts settle" true
     (r.System.payouts_settled = r.System.processed);
-  Alcotest.(check bool) "custody" true r.System.custody_consistent
+  Alcotest.(check bool) "custody" true r.System.custody_consistent;
+  Alcotest.(check bool) "replay oracle" true r.System.replay_consistent
 
 let test_message_level_consensus_mode () =
   (* Real PBFT per round instead of the latency model; metrics stay sane
