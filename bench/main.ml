@@ -214,6 +214,13 @@ let compute_chaos sink =
       ~title:"Chaos soak: fault-rate sweep (recovery + replay oracle)"
       ~col_header:"Fault intensity" rows
 
+let compute_exit_drill sink =
+  let rows = E.exit_drill ~sink () in
+  fun () ->
+    E.print_perf_table
+      ~title:"Exit drill: stall duration vs exit gas and recovery latency"
+      ~col_header:"Liveness failure" rows
+
 let compute_ablations sink =
   (* The three ablations are independent runs: fan them out too. *)
   let auth, (agg, pruning) =
@@ -237,7 +244,8 @@ let all_experiments =
     ("table5", Sim compute_table5); ("table6", Sim compute_table6);
     ("table7", Sim compute_table7); ("table8", Sim compute_table8);
     ("fig6", Sim compute_fig6); ("ablations", Sim compute_ablations);
-    ("chaos", Sim compute_chaos); ("micro", Micro) ]
+    ("chaos", Sim compute_chaos); ("exit-drill", Sim compute_exit_drill);
+    ("micro", Micro) ]
 
 let metrics_dir = Sys.getenv_opt "AMMBOOST_METRICS_DIR"
 

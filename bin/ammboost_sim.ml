@@ -163,6 +163,20 @@ let report_run (r : System.result) =
     r.System.epochs_applied r.System.mass_syncs;
   List.iter (fun (k, n) -> Printf.printf "rejection    : %-28s %d\n" k n)
     r.System.rejection_reasons;
+  Printf.printf "mode         : %s (%d audits%s)\n" r.System.final_mode
+    r.System.monitor_audits
+    (if r.System.mode_transitions = [] then ""
+     else
+       ", "
+       ^ String.concat " -> "
+           (List.map (fun (ts, m) -> Printf.sprintf "%s@%.0fs" m ts)
+              r.System.mode_transitions));
+  if r.System.exits_served > 0 then
+    Printf.printf "exits        : %d served, conservation %b%s\n" r.System.exits_served
+      r.System.exit_conservation
+      (match r.System.recovery_latency with
+      | Some l -> Printf.sprintf ", recovered in %.0f s" l
+      | None -> "");
   Printf.printf "custody ok   : %b\n" r.System.custody_consistent
 
 let report_baseline (b : Baseline.result) =

@@ -44,7 +44,7 @@ let () =
       positions = []; next_committee_vk = cvk }
   in
   let signature = Amm_crypto.Bls.sign csk (Tokenbank.Sync_payload.signing_bytes payload) in
-  ignore (expect (Token_bank.sync bank ~signed:[ (payload, signature) ]));
+  ignore (Token_bank.sync_exn bank ~signed:[ (payload, signature) ]);
   Printf.printf "Pool funded with %.0f TKA / %.0f TKB via the epoch-0 Sync.\n\n"
     (fmt reserve) (fmt reserve);
 

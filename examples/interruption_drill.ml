@@ -9,11 +9,27 @@
    3. seeded all-layer chaos via the fault-plan engine (lib/faults/):
       probabilistic network, consensus, committee and mainchain faults
       swept by intensity, with the recovery counters and the
-      differential replay oracle verdict printed per run.
+      differential replay oracle verdict printed per run;
+   4. liveness failures past the point of repair: scripted
+      quorum-starvation windows and a permanent committee loss drive the
+      watchdog through Degraded and Halted, parties withdraw through the
+      emergency exit, and a reconciliation restores the survivors.
+
+   The drill is an executable spec: every scene's oracle verdicts
+   (custody, differential replay, exit conservation) are asserted, and
+   the process exits non-zero if any of them fail.
 
      dune exec examples/interruption_drill.exe *)
 
 open Ammboost
+
+let failures = ref 0
+
+let check what ok =
+  if not ok then begin
+    incr failures;
+    Printf.printf "  ** ASSERTION FAILED: %s\n" what
+  end
 
 let run_pbft_scene name behaviors =
   let rng = Amm_crypto.Rng.create ("drill-" ^ name) in
@@ -41,7 +57,10 @@ let run_system_scene name interruptions =
   Printf.printf
     "  %-28s epochs synced=%d/%d mass-syncs=%d payouts settled=%d/%d custody=%b\n" name
     r.System.epochs_applied r.System.epochs_run r.System.mass_syncs
-    r.System.payouts_settled r.System.processed r.System.custody_consistent
+    r.System.payouts_settled r.System.processed r.System.custody_consistent;
+  check (name ^ ": custody") r.System.custody_consistent;
+  check (name ^ ": replay oracle") r.System.replay_consistent;
+  check (name ^ ": all epochs synced") (r.System.epochs_applied = r.System.epochs_run)
 
 let run_chaos_scene intensity =
   let cfg =
@@ -60,7 +79,34 @@ let run_chaos_scene intensity =
     (intensity *. 100.) injected r.System.epochs_applied r.System.epochs_run
     r.System.sync_retries r.System.mass_syncs r.System.degraded_signings
     r.System.rollbacks
+    (if r.System.replay_consistent then "pass" else "FAIL");
+  check (Printf.sprintf "chaos %.2f: replay oracle" intensity) r.System.replay_consistent;
+  check (Printf.sprintf "chaos %.2f: custody" intensity) r.System.custody_consistent
+
+let run_watchdog_scene name scenario ~expect_final ~expect_exits =
+  let cfg =
+    { Config.default with
+      epochs = 8; daily_volume = 50_000; users = 16; miners = 40; committee_size = 13;
+      max_faulty = 4;
+      faults = { Faults.Fault_plan.none with Faults.Fault_plan.scenario };
+      watchdog =
+        { Config.default_watchdog with Config.wd_stall_degraded = 2; wd_stall_halted = 4 };
+      seed = "drill-" ^ name }
+  in
+  let r = System.run cfg in
+  Printf.printf
+    "  %-28s mode=%s exits=%d/%d exit-conservation=%b oracle=%s custody=%b\n" name
+    r.System.final_mode r.System.exits_served cfg.Config.users
+    r.System.exit_conservation
     (if r.System.replay_consistent then "pass" else "FAIL")
+    r.System.custody_consistent;
+  check (name ^ ": final mode " ^ expect_final) (r.System.final_mode = expect_final);
+  check (name ^ ": exit conservation") r.System.exit_conservation;
+  check (name ^ ": replay oracle") r.System.replay_consistent;
+  check (name ^ ": custody") r.System.custody_consistent;
+  if expect_exits then
+    check (name ^ ": every party exited") (r.System.exits_served = cfg.Config.users)
+  else check (name ^ ": no exits") (r.System.exits_served = 0)
 
 let () =
   Printf.printf "=== Interruption drill ===\n\n";
@@ -90,6 +136,20 @@ let () =
 
   Printf.printf "\n[3] Seeded chaos (fault-plan engine, all layers at once):\n";
   List.iter run_chaos_scene [ 0.05; 0.15; 0.3 ];
+
+  Printf.printf
+    "\n[4] Liveness watchdog and emergency exit (Degraded at 2 stalled epochs,\n\
+    \    Halted at 4):\n";
+  run_watchdog_scene "short starvation"
+    { Faults.Fault_plan.quorum_starvation = Some (2, 4); committee_loss = None }
+    ~expect_final:"normal" ~expect_exits:false;
+  run_watchdog_scene "long starvation"
+    { Faults.Fault_plan.quorum_starvation = Some (2, 5); committee_loss = None }
+    ~expect_final:"normal" ~expect_exits:true;
+  run_watchdog_scene "permanent committee loss"
+    { Faults.Fault_plan.quorum_starvation = None; committee_loss = Some 2 }
+    ~expect_final:"halted" ~expect_exits:true;
+
   Printf.printf
     "\nIn every scenario the AMM state catches up (safety) and every processed\n\
      transaction is eventually paid out (liveness) — Theorem 1, mechanically.\n\
@@ -97,4 +157,10 @@ let () =
      withheld DKG shares (degraded-quorum signing), evicted and reorged Syncs\n\
      (backoff retries, checkpoint restore), and lossy committee networks —\n\
      and the replay oracle re-derives the final TokenBank state from the\n\
-     surviving history to prove nothing was lost.\n"
+     surviving history to prove nothing was lost. When liveness cannot be\n\
+     repaired, the watchdog halts the bank and the emergency exit pays every\n\
+     party pro rata from the last confirmed summary — conservation intact.\n";
+  if !failures > 0 then begin
+    Printf.printf "\n%d assertion(s) FAILED\n" !failures;
+    exit 1
+  end

@@ -26,6 +26,25 @@ type interruption =
       (* this epoch's committee omits transactions from the first user
          (Lemma 2's DoS threat); rotation restores liveness next epoch *)
 
+(* Liveness-watchdog thresholds. "Stall" is the number of produced-but-
+   unapplied summary epochs at an epoch boundary; one epoch of lag is the
+   steady-state pipeline depth, so thresholds start at 2. *)
+type watchdog = {
+  wd_stall_degraded : int;     (* stalled epochs before Normal → Degraded *)
+  wd_stall_halted : int;       (* stalled epochs before → Halted *)
+  wd_retry_degraded : int;     (* consecutive sync retries before Degraded *)
+  wd_retry_halted : int;       (* consecutive sync retries before Halted *)
+  wd_signing_streak : int;     (* consecutive degraded-quorum signings
+                                  before Degraded *)
+}
+
+let default_watchdog =
+  { wd_stall_degraded = 3;
+    wd_stall_halted = 6;
+    wd_retry_degraded = 4;
+    wd_retry_halted = 8;
+    wd_signing_streak = 4 }
+
 type t = {
   seed : string;
   epochs : int;                    (* generation epochs (queues drain after) *)
@@ -63,6 +82,10 @@ type t = {
   mc_confirmations : int;          (* blocks burying a tx before it is final;
                                       raise for deeper-reorg chaos runs *)
   max_drain_epochs : int;          (* cap on queue-drain epochs after generation *)
+  watchdog : watchdog;
+  emergency_exit : bool;           (* serve per-party exits when Halted; false
+                                      leaves the bank frozen awaiting
+                                      reconciliation *)
   consensus : Consensus.Latency_model.params;
 }
 
@@ -95,6 +118,8 @@ let default =
     faults = Faults.Fault_plan.none;
     mc_confirmations = 1;
     max_drain_epochs = 200;
+    watchdog = default_watchdog;
+    emergency_exit = true;
     consensus =
       { Consensus.Latency_model.committee_size = 500; mean_delay = 0.011;
         bandwidth_bytes = 125_000_000.0 } }

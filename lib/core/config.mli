@@ -25,6 +25,21 @@ type interruption =
       (** this epoch's committee omits the first user's transactions
           (Lemma 2's DoS threat); committee rotation restores liveness *)
 
+(** Liveness-watchdog thresholds ({!System}'s operating-mode machine).
+    "Stall" counts produced-but-unapplied summary epochs at an epoch
+    boundary; the steady-state pipeline depth is one epoch of lag, so
+    meaningful thresholds start at 2. *)
+type watchdog = {
+  wd_stall_degraded : int;   (** stalled epochs before Normal → Degraded *)
+  wd_stall_halted : int;     (** stalled epochs before → Halted *)
+  wd_retry_degraded : int;   (** consecutive Sync retries before Degraded *)
+  wd_retry_halted : int;     (** consecutive Sync retries before Halted *)
+  wd_signing_streak : int;   (** consecutive degraded-quorum signings before
+                                 Degraded *)
+}
+
+val default_watchdog : watchdog
+
 type t = {
   seed : string;                   (** all randomness derives from this *)
   epochs : int;                    (** traffic-generation epochs *)
@@ -64,6 +79,10 @@ type t = {
   mc_confirmations : int;          (** blocks burying a mainchain tx before it
                                        is final; raise for deeper-reorg chaos *)
   max_drain_epochs : int;          (** cap on queue-drain epochs after generation *)
+  watchdog : watchdog;
+  emergency_exit : bool;           (** serve per-party exits when Halted; false
+                                       leaves the bank frozen awaiting
+                                       reconciliation *)
   consensus : Consensus.Latency_model.params;
 }
 

@@ -145,3 +145,13 @@ val chaos_soak :
     injected, recovery actions (mass-syncs, retries, degraded signings,
     rollbacks) and the replay-oracle verdict — rows are deterministic in
     the seed at any [?domains] value. *)
+
+val exit_drill :
+  ?sink:Telemetry.Report.sink -> ?domains:int -> unit -> perf_row list
+(** Liveness/exit drill: scripted quorum-starvation windows and a
+    permanent committee loss against a tightened watchdog (Degraded at 2
+    stalled epochs, Halted at 4). Sweeps stall duration against exit gas
+    cost and recovery latency; extra rows report the operating-mode
+    trajectory, exits served with their claimed value, the exit
+    conservation and replay-oracle verdicts, and the reconciliation
+    summary. Deterministic at any [?domains] value. *)

@@ -44,6 +44,15 @@ type tele = {
   c_rollbacks : Tmetrics.counter;
   c_sync_retries : Tmetrics.counter;
   c_degraded_signing : Tmetrics.counter;
+  c_mode_transitions : Tmetrics.counter;
+  c_exits : Tmetrics.counter;
+  c_reconcile_applied : Tmetrics.counter;
+  c_reconcile_voided : Tmetrics.counter;
+  g_mode : Tmetrics.gauge;
+  g_exit_value0 : Tmetrics.gauge;
+  g_exit_value1 : Tmetrics.gauge;
+  g_reconcile_voided0 : Tmetrics.gauge;
+  g_reconcile_voided1 : Tmetrics.gauge;
   g_mempool_bytes : Tmetrics.gauge;
   h_recovery : Telemetry.Histogram.t;
   h_tx_latency : Telemetry.Histogram.t;
@@ -70,6 +79,15 @@ let make_tele sink =
     c_rollbacks = Tmetrics.counter reg "interruption.rollbacks";
     c_sync_retries = Tmetrics.counter reg "recovery.sync_retries";
     c_degraded_signing = Tmetrics.counter reg "recovery.degraded_signing";
+    c_mode_transitions = Tmetrics.counter reg "watchdog.transitions";
+    c_exits = Tmetrics.counter reg "exit.served";
+    c_reconcile_applied = Tmetrics.counter reg "reconcile.users.applied";
+    c_reconcile_voided = Tmetrics.counter reg "reconcile.users.voided";
+    g_mode = Tmetrics.gauge reg "watchdog.mode";
+    g_exit_value0 = Tmetrics.gauge reg "exit.claims.value0";
+    g_exit_value1 = Tmetrics.gauge reg "exit.claims.value1";
+    g_reconcile_voided0 = Tmetrics.gauge reg "reconcile.voided.value0";
+    g_reconcile_voided1 = Tmetrics.gauge reg "reconcile.voided.value1";
     g_mempool_bytes = Tmetrics.gauge reg "mempool.bytes";
     h_recovery = Tmetrics.histogram reg "latency.recovery.sync";
     h_tx_latency = Tmetrics.histogram reg "latency.tx.sidechain";
@@ -101,6 +119,22 @@ type committee_record = {
   committee : int list;
   leader : int;
 }
+
+(* The liveness watchdog's operating modes. Normal → Degraded on
+   sustained sync lag, retry pressure or degraded-quorum signing;
+   → Halted when the watchdog gives up on the committee (the bank
+   freezes and parties exit on chain); Halted → Recovering when a
+   reconciliation of the pending certified summaries lands; Recovering
+   → Normal after a clean invariant audit. *)
+type mode = Normal | Degraded | Halted | Recovering
+
+let mode_name = function
+  | Normal -> "normal"
+  | Degraded -> "degraded"
+  | Halted -> "halted"
+  | Recovering -> "recovering"
+
+let mode_rank = function Normal -> 0 | Degraded -> 1 | Halted -> 2 | Recovering -> 3
 
 type result = {
   cfg : Config.t;
@@ -136,6 +170,19 @@ type result = {
   custody_consistent : bool;
   audit_passed : bool option;
       (* Some true/false when cfg.self_audit; every epoch summary replayed *)
+  final_mode : string;
+  mode_transitions : (float * string) list;
+      (* (time, mode entered), oldest first; empty when never left Normal *)
+  monitor_audits : int;
+  monitor_violations : (string * int) list;
+  exits_served : int;
+  exit_claims0 : U256.t;
+  exit_claims1 : U256.t;
+  exit_gas_mean : float;
+  exit_conservation : bool;
+  halted_at : float option;
+  recovery_latency : float option;
+  reconciliation : Token_bank.reconciliation option;
   committees : committee_record list;
   swaps : int;
   mints : int;
@@ -172,7 +219,19 @@ type t = {
   rollbacks_done : (int, unit) Hashtbl.t;
   plan : Faults.Fault_plan.t;
   oracle : Faults.Replay_oracle.t;
+  monitor : Monitor.t;
   genesis_vk : Bls.public_key;
+  mutable mode : mode;
+  mutable mode_transitions : (float * mode) list;  (* newest first *)
+  mutable signing_streak : int;
+      (* consecutive epoch summaries signed with withheld shares *)
+  mutable halted_at : float option;
+  mutable recovered_at : float option;
+  mutable dissolved : bool;
+      (* the sidechain stopped for good: post-halt, or scripted
+         permanent committee loss after the halt *)
+  mutable reconcile_inflight : bool;
+  mutable reconciliation : Token_bank.reconciliation option;
   mutable last_summary_epoch : int;
   mutable retry_attempt : int;
   mutable next_retry_at : float;
@@ -251,7 +310,9 @@ let committee_keys t ~epoch =
    element, so the signature still verifies under the committee vk. *)
 let sign_payload t ~epoch keys msg =
   match keys.signer with
-  | Plain_key sk -> Bls.sign sk msg
+  | Plain_key sk ->
+    t.signing_streak <- 0;
+    Bls.sign sk msg
   | Shared { shares; threshold } ->
     let n = List.length shares in
     let max_withheld = Stdlib.min t.cfg.Config.max_faulty (n - threshold) in
@@ -266,7 +327,9 @@ let sign_payload t ~epoch keys msg =
     let partials = List.map (fun s -> Bls.partial_sign s msg) usable in
     match Bls.combine ~threshold partials with
     | Some signature ->
-      if withheld <> [] then begin
+      if withheld = [] then t.signing_streak <- 0
+      else begin
+        t.signing_streak <- t.signing_streak + 1;
         t.degraded_signings <- t.degraded_signings + 1;
         Tmetrics.inc t.tele.c_degraded_signing;
         Log.warn ~scope
@@ -333,7 +396,19 @@ let create ?sink cfg =
       signed_payloads = Hashtbl.create 16; submissions = [];
       pending_confirm = []; checkpoints = []; deposits_submitted_until = -1;
       rollbacks_done = Hashtbl.create 4;
-      plan; oracle = Faults.Replay_oracle.create (); genesis_vk = keys0.vk;
+      plan; oracle = Faults.Replay_oracle.create ();
+      monitor =
+        Monitor.create
+          ~thresholds:
+            { Monitor.lag_warning =
+                Stdlib.max 1 (cfg.Config.watchdog.Config.wd_stall_degraded - 1);
+              lag_degraded = cfg.Config.watchdog.Config.wd_stall_degraded;
+              signing_streak_degraded = cfg.Config.watchdog.Config.wd_signing_streak }
+          sink;
+      genesis_vk = keys0.vk;
+      mode = Normal; mode_transitions = []; signing_streak = 0;
+      halted_at = None; recovered_at = None; dissolved = false;
+      reconcile_inflight = false; reconciliation = None;
       last_summary_epoch = -1; retry_attempt = 0; next_retry_at = Float.infinity;
       outage_start = None; sync_retries = 0; degraded_signings = 0;
       rollback_count = 0; mass_syncs = 0; max_summary_bytes = 0;
@@ -417,7 +492,16 @@ let submit_epoch_deposits t ~for_epoch ~at =
                   Faults.Replay_oracle.record_deposit t.oracle
                     ~user:u.Party.address ~for_epoch ~amount0:amount
                     ~amount1:amount
-                | Error e -> failwith ("System: deposit failed: " ^ e)) })
+                | Error e ->
+                  (* Deposits in flight when the bank halts revert; any
+                     other failure is a simulator bug. *)
+                  if Token_bank.is_halted t.bank then
+                    Log.warn ~scope ~t:(Eth.now t.eth)
+                      ~fields:
+                        [ ("user", Json.Int u.Party.user_index);
+                          ("for_epoch", Json.Int for_epoch) ]
+                      "deposit reverted: bank halted"
+                  else failwith ("System: deposit failed: " ^ e)) })
     t.users
 
 let maybe_submit_deposits t ~now =
@@ -467,8 +551,10 @@ let submit_sync t ~epoch ~at ~corrupt =
   let applied = Token_bank.last_synced_epoch t.bank in
   let in_flight = epochs_in_flight t in
   let wanted =
+    (* Under permanent committee loss some epochs never produced a
+       summary; only resubmittable (signed) epochs are wanted. *)
     List.filter
-      (fun e -> not (List.mem e in_flight))
+      (fun e -> (not (List.mem e in_flight)) && Hashtbl.mem t.signed_payloads e)
       (List.init (epoch - applied) (fun i -> applied + 1 + i))
   in
   if wanted <> [] then begin
@@ -516,9 +602,14 @@ let submit_sync t ~epoch ~at ~corrupt =
       [ ("epochs", Json.String (String.concat "," (List.map string_of_int wanted)));
         ("bytes", Json.Int size); ("status", Json.String status) ]
     in
-    if Faults.Fault_plan.sync_dropped t.plan ~epoch ~attempt then begin
-      (* Mempool eviction: the transaction never reaches a block. The
-         leader notices the missing receipt and retries with backoff. *)
+    let mc_epoch_at at = int_of_float (at /. Config.epoch_duration t.cfg) in
+    if
+      Faults.Fault_plan.sync_dropped t.plan ~epoch ~attempt
+      || Faults.Fault_plan.sync_starved t.plan ~epoch:(mc_epoch_at at)
+    then begin
+      (* Mempool eviction (random drop, or a scripted quorum-starvation
+         window): the transaction never reaches a block. The leader
+         notices the missing receipt and retries with backoff. *)
       submission.status <- Failed;
       Tmetrics.inc t.tele.c_sync_failed;
       Trace.complete t.tele.tr ~cat:"mainchain" ~tid:2
@@ -565,15 +656,23 @@ let submit_sync t ~epoch ~at ~corrupt =
                   t.pending_confirm <-
                     (receipt.Token_bank.epochs_covered, height, time)
                     :: t.pending_confirm
-                | Error reason ->
+                | Error rejection ->
                   submission.status <- Failed;
                   Tmetrics.inc t.tele.c_sync_failed;
+                  let reg = t.tele.sink.Telemetry.Report.metrics in
+                  Tmetrics.inc
+                    (Tmetrics.counter reg
+                       ("sync.rejected." ^ Token_bank.rejection_class rejection));
                   Trace.complete t.tele.tr ~cat:"mainchain" ~tid:2
                     ~args:(span_args "failed") ~name:span_name ~ts:at
                     ~dur:(time -. at) ();
                   Log.warn ~scope ~t:time
                     ~fields:
-                      [ ("tag", Json.String tag); ("reason", Json.String reason) ]
+                      [ ("tag", Json.String tag);
+                        ("class",
+                         Json.String (Token_bank.rejection_class rejection));
+                        ("reason",
+                         Json.String (Token_bank.rejection_to_string rejection)) ]
                     "sync transaction failed on chain";
                   schedule_retry t ~now:time) }
   end
@@ -584,7 +683,8 @@ let maybe_retry_sync t ~now =
   if t.next_retry_at <= now then begin
     t.next_retry_at <- Float.infinity;
     if
-      t.last_summary_epoch >= 0
+      t.mode <> Halted && (not t.dissolved)
+      && t.last_summary_epoch >= 0
       && Token_bank.last_synced_epoch t.bank < t.last_summary_epoch
     then begin
       t.sync_retries <- t.sync_retries + 1;
@@ -692,7 +792,11 @@ let inject_rollback t ~epoch =
    (raise [mc_confirmations] to widen the vulnerable window). At most
    one reorg fires per round. *)
 let inject_chaos_reorgs t =
-  match
+  (* Past a halt the checkpoints no longer describe the system state
+     (the halt and the exits are not in them), so reorgs stop. *)
+  if t.mode = Halted || t.dissolved then ()
+  else
+    match
     List.find_map
       (fun (epochs, h, _) ->
         let key_epoch = List.fold_left Stdlib.max 0 epochs in
@@ -712,6 +816,218 @@ let inject_chaos_reorgs t =
       ~fields:[ ("epoch", Json.Int epoch); ("depth", Json.Int depth) ]
       "fault: mainchain reorg abandons sync inclusion";
     rollback_to t ~height:h
+
+(* ------------------------------------------------------------------ *)
+(* Liveness watchdog: operating modes, emergency exit, reconciliation  *)
+(* ------------------------------------------------------------------ *)
+
+let set_mode t m ~now ~reason =
+  if m <> t.mode then begin
+    Log.warn ~scope ~t:now
+      ~fields:
+        [ ("from", Json.String (mode_name t.mode));
+          ("to", Json.String (mode_name m));
+          ("reason", Json.String reason) ]
+      "watchdog: operating-mode transition";
+    Trace.instant t.tele.tr ~cat:"watchdog" ~tid:2
+      ~args:[ ("to", Json.String (mode_name m)); ("reason", Json.String reason) ]
+      ~name:"mode-transition" ~ts:now ();
+    Tmetrics.inc t.tele.c_mode_transitions;
+    Tmetrics.set t.tele.g_mode (float_of_int (mode_rank m));
+    t.mode <- m;
+    t.mode_transitions <- (now, m) :: t.mode_transitions
+  end
+
+(* Certified summaries the bank has not applied, oldest first — the
+   monitor audits their certificate chain and a reconciliation replays
+   them wholesale. *)
+let pending_signed t =
+  let applied = Token_bank.last_synced_epoch t.bank in
+  List.filter_map
+    (fun e -> Hashtbl.find_opt t.signed_payloads e)
+    (List.init
+       (Stdlib.max 0 (t.last_summary_epoch - applied))
+       (fun i -> applied + 1 + i))
+
+(* Emergency exit: one on-chain withdrawal per party against the frozen
+   bank state. Gas is estimated with the same EVM-schedule terms the
+   bank meters on execution. *)
+let submit_exit t (u : Party.user) ~at =
+  let npos =
+    List.fold_left
+      (fun n (p : Sync_payload.position_entry) ->
+        if Address.equal p.Sync_payload.owner u.Party.address then n + 1 else n)
+      0 (Token_bank.positions t.bank)
+  in
+  let calldata = Chain.Encoding.selector_size + 32 in
+  let gas =
+    Gas.tx_base + Gas.calldata_cost_of_size calldata + Gas.sstore_word
+    + (npos * ((8 * Gas.sload) + Gas.sstore_update))
+    + (2 * Gas.payout_transfer)
+  in
+  Eth.submit t.eth ~at
+    { Eth.label = "exit"; size_bytes = Chain.Encoding.envelope_size + calldata;
+      gas; flow_txs = 1; tag = None;
+      execute =
+        Some
+          (fun _height ->
+            let time = Eth.now t.eth in
+            match Token_bank.emergency_exit t.bank ~claimant:u.Party.address with
+            | Ok claim ->
+              Faults.Replay_oracle.record_exit t.oracle ~claimant:u.Party.address;
+              Tmetrics.inc t.tele.c_exits;
+              Tmetrics.add_gauge t.tele.g_exit_value0
+                (U256.to_float (U256.add claim.Token_bank.claim0 claim.Token_bank.refund0));
+              Tmetrics.add_gauge t.tele.g_exit_value1
+                (U256.to_float (U256.add claim.Token_bank.claim1 claim.Token_bank.refund1));
+              Log.info ~scope ~t:time
+                ~fields:
+                  [ ("user", Json.Int u.Party.user_index);
+                    ("claim0", Json.String (U256.to_string claim.Token_bank.claim0));
+                    ("claim1", Json.String (U256.to_string claim.Token_bank.claim1));
+                    ("positions_closed",
+                     Json.Int claim.Token_bank.positions_closed);
+                    ("gas", Json.Int (Gas.total claim.Token_bank.exit_gas)) ]
+                "emergency exit served"
+            | Error rejection ->
+              Log.warn ~scope ~t:time
+                ~fields:
+                  [ ("user", Json.Int u.Party.user_index);
+                    ("reason",
+                     Json.String (Token_bank.rejection_to_string rejection)) ]
+                "emergency exit rejected") }
+
+(* Halting: freeze the bank at its synced frontier, dissolve the
+   sidechain (pending traffic is void — parties are made whole on the
+   mainchain instead) and, unless disabled, submit every party's exit. *)
+let enter_halt t ~now ~reason =
+  set_mode t Halted ~now ~reason;
+  t.halted_at <- Some now;
+  t.dissolved <- true;
+  Chain.Mempool.clear t.mempool;
+  t.next_retry_at <- Float.infinity;
+  let frontier = Token_bank.last_synced_epoch t.bank in
+  (match Token_bank.halt t.bank ~epoch:frontier with
+  | Ok () -> Faults.Replay_oracle.record_halt t.oracle ~epoch:frontier
+  | Error rejection ->
+    Log.warn ~scope ~t:now
+      ~fields:
+        [ ("reason", Json.String (Token_bank.rejection_to_string rejection)) ]
+      "halt refused by the bank");
+  if t.cfg.Config.emergency_exit then
+    Array.iter (fun u -> submit_exit t u ~at:now) t.users
+
+(* While Halted, each epoch boundary retries the reconciliation: the
+   pending certified summaries are replayed wholesale against the frozen
+   bank, netting out the parties that already exited. The submission is
+   subject to the same starvation window as the syncs. *)
+let submit_reconcile t ~epoch ~at =
+  let pending = pending_signed t in
+  if pending <> [] && not t.reconcile_inflight then begin
+    if Faults.Fault_plan.sync_starved t.plan ~epoch then
+      Log.warn ~scope ~t:at
+        ~fields:[ ("epoch", Json.Int epoch) ]
+        "reconcile submission starved (quorum-starvation window)"
+    else begin
+      t.reconcile_inflight <- true;
+      let size =
+        List.fold_left (fun acc (p, _) -> acc + Sync_payload.abi_size p) 0 pending
+      in
+      Eth.submit t.eth ~at
+        { Eth.label = "reconcile"; size_bytes = size;
+          gas = estimate_sync_gas (List.map fst pending);
+          flow_txs = 1; tag = None;
+          execute =
+            Some
+              (fun _height ->
+                t.reconcile_inflight <- false;
+                let time = Eth.now t.eth in
+                match Token_bank.reconcile t.bank ~signed:pending with
+                | Ok r ->
+                  t.reconciliation <- Some r;
+                  t.recovered_at <- Some time;
+                  Faults.Replay_oracle.record_reconcile t.oracle pending;
+                  Tmetrics.inc ~by:r.Token_bank.rec_users_applied
+                    t.tele.c_reconcile_applied;
+                  Tmetrics.inc ~by:r.Token_bank.rec_users_voided
+                    t.tele.c_reconcile_voided;
+                  Tmetrics.add_gauge t.tele.g_reconcile_voided0
+                    (U256.to_float r.Token_bank.rec_voided0);
+                  Tmetrics.add_gauge t.tele.g_reconcile_voided1
+                    (U256.to_float r.Token_bank.rec_voided1);
+                  Log.info ~scope ~t:time
+                    ~fields:
+                      [ ("epochs",
+                         Json.String
+                           (String.concat ","
+                              (List.map string_of_int r.Token_bank.rec_epochs)));
+                        ("users_applied", Json.Int r.Token_bank.rec_users_applied);
+                        ("users_voided", Json.Int r.Token_bank.rec_users_voided) ]
+                    "reconciliation applied: bank un-halted";
+                  set_mode t Recovering ~now:time
+                    ~reason:"pending summaries reconciled"
+                | Error rejection ->
+                  Log.warn ~scope ~t:time
+                    ~fields:
+                      [ ("reason",
+                         Json.String (Token_bank.rejection_to_string rejection)) ]
+                    "reconciliation failed on chain") }
+    end
+  end
+
+(* The per-epoch watchdog tick: run the cross-layer audit, then drive
+   the operating-mode machine from its verdicts plus the sync-stall and
+   retry pressure. "Stall" counts summary epochs the bank is behind the
+   wall clock; the steady-state pipeline depth is one epoch. *)
+let watchdog_tick t ~epoch:e ~now ~committee_live =
+  let report =
+    Monitor.audit t.monitor ~epoch:e ~now ~bank:t.bank ~pool:t.pool
+      ~last_summary_epoch:t.last_summary_epoch ~pending:(pending_signed t)
+      ~deposit_horizon:t.deposits_submitted_until
+      ~degraded_signing_streak:t.signing_streak ~committee_live
+  in
+  let w = t.cfg.Config.watchdog in
+  let stall = e - 1 - Token_bank.last_synced_epoch t.bank in
+  let fatal = Monitor.has_fatal report in
+  let degraded_violation =
+    List.exists
+      (fun v -> v.Monitor.v_severity = Monitor.Degraded)
+      report.Monitor.r_violations
+  in
+  match t.mode with
+  | Normal | Degraded ->
+    if fatal then enter_halt t ~now ~reason:"monitor: fatal invariant violation"
+    else if stall >= w.Config.wd_stall_halted then
+      enter_halt t ~now
+        ~reason:(Printf.sprintf "sync stalled for %d epochs" stall)
+    else if t.retry_attempt >= w.Config.wd_retry_halted then
+      enter_halt t ~now
+        ~reason:(Printf.sprintf "sync retries exhausted (%d)" t.retry_attempt)
+    else begin
+      let degrade_reason =
+        if degraded_violation then Some "monitor: degraded violation"
+        else if stall >= w.Config.wd_stall_degraded then
+          Some (Printf.sprintf "sync stalled for %d epochs" stall)
+        else if t.retry_attempt >= w.Config.wd_retry_degraded then
+          Some (Printf.sprintf "%d consecutive sync retries" t.retry_attempt)
+        else if t.signing_streak >= w.Config.wd_signing_streak then
+          Some
+            (Printf.sprintf "%d consecutive degraded-quorum signings"
+               t.signing_streak)
+        else None
+      in
+      match degrade_reason with
+      | Some reason -> set_mode t Degraded ~now ~reason
+      | None ->
+        if
+          t.mode = Degraded && stall <= 1
+          && t.retry_attempt < w.Config.wd_retry_degraded
+        then set_mode t Normal ~now ~reason:"stall cleared; audit clean"
+    end
+  | Halted -> submit_reconcile t ~epoch:e ~at:now
+  | Recovering ->
+    if report.Monitor.r_violations = [] then
+      set_mode t Normal ~now ~reason:"clean audit after reconciliation"
 
 (* ------------------------------------------------------------------ *)
 (* The main loop                                                       *)
@@ -740,15 +1056,18 @@ let run ?sink cfg =
   while !continue do
     let e = !epoch in
     let epoch_start = float_of_int e *. epoch_dur in
-    elect_committee t ~epoch:e;
-    (match t.committees with
-    | { epoch = ce; committee = members; leader } :: _ when ce = e ->
-      Log.debug ~scope ~t:epoch_start
-        ~fields:
-          [ ("epoch", Json.Int e); ("committee", Json.Int (List.length members));
-            ("leader", Json.Int leader) ]
-        "epoch started: committee elected"
-    | _ -> ());
+    let lost = Faults.Fault_plan.committee_lost t.plan ~epoch:e in
+    if not (t.dissolved || lost) then begin
+      elect_committee t ~epoch:e;
+      match t.committees with
+      | { epoch = ce; committee = members; leader } :: _ when ce = e ->
+        Log.debug ~scope ~t:epoch_start
+          ~fields:
+            [ ("epoch", Json.Int e); ("committee", Json.Int (List.length members));
+              ("leader", Json.Int leader) ]
+          "epoch started: committee elected"
+      | _ -> ()
+    end;
     Eth.advance_to t.eth epoch_start;
     (* Gas-limit congestion window: congested epochs mine under a reduced
        limit, restored at the next non-congested epoch start. *)
@@ -765,6 +1084,35 @@ let run ?sink cfg =
     else if Eth.gas_limit t.eth <> cfg.Config.mc_gas_limit then
       Eth.set_gas_limit t.eth cfg.Config.mc_gas_limit;
     settle_confirmed t;
+    watchdog_tick t ~epoch:e ~now:epoch_start
+      ~committee_live:(not (t.dissolved || lost));
+    (* The tick may just have halted and dissolved the sidechain. *)
+    let committee_dead = t.dissolved || lost in
+    if committee_dead then
+      (* Idle epoch: no committee, so no meta/summary blocks. The
+         mainchain keeps producing blocks, and deposits / retries /
+         reconciliation submissions still pump (until dissolution). *)
+      for r = 0 to spr - 1 do
+        let round = (e * spr) + r in
+        let t_round = epoch_start +. (float_of_int r *. b_t) in
+        Eth.advance_to t.eth t_round;
+        inject_chaos_reorgs t;
+        settle_confirmed t;
+        maybe_retry_sync t ~now:t_round;
+        if not t.dissolved then begin
+          maybe_submit_deposits t ~now:t_round;
+          if e < cfg.Config.epochs then begin
+            (* Parties keep issuing: the backlog they accumulate is
+               voided at dissolution and settled by the exits. *)
+            let generated = Traffic.generate_round t.traffic ~round ~time:t_round in
+            List.iter (fun tx -> Chain.Mempool.push t.mempool tx) generated;
+            Tmetrics.inc ~by:(List.length generated) tele.c_generated
+          end
+        end;
+        Tmetrics.set tele.g_mempool_bytes
+          (float_of_int (Chain.Mempool.byte_size t.mempool))
+      done
+    else begin
     let snapshot = Token_bank.snapshot t.bank ~epoch:e in
     let audit_entry =
       if cfg.Config.self_audit then begin
@@ -994,7 +1342,8 @@ let run ?sink cfg =
         [ ("epoch", Json.Int e); ("processed", Json.Int stats.Processor.processed);
           ("rejected", Json.Int stats.Processor.rejected);
           ("summary_bytes", Json.Int s_size) ]
-      "epoch complete";
+      "epoch complete"
+    end;
     (* Stop once generation is done and the queue has drained (the paper
        empties the queues to measure comparable latency). *)
     epoch := e + 1;
@@ -1009,11 +1358,13 @@ let run ?sink cfg =
   Eth.advance_to t.eth final_time;
   (* Recovery passes in case the final epochs were interrupted; bounded
      retries because the plan may also drop the recovery submissions. *)
-  submit_sync t ~epoch:(!epoch - 1) ~at:final_time ~corrupt:false;
+  if t.mode <> Halted then
+    submit_sync t ~epoch:(!epoch - 1) ~at:final_time ~corrupt:false;
   Eth.advance_to t.eth (final_time +. (5.0 *. cfg.Config.mc_block_interval));
   let recovery_tries = ref 0 in
   while
-    t.last_summary_epoch >= 0
+    t.mode <> Halted
+    && t.last_summary_epoch >= 0
     && Token_bank.last_synced_epoch t.bank < t.last_summary_epoch
     && !recovery_tries < 5
   do
@@ -1022,6 +1373,16 @@ let run ?sink cfg =
     Tmetrics.inc t.tele.c_sync_retries;
     submit_sync t ~epoch:t.last_summary_epoch ~at:(Eth.now t.eth) ~corrupt:false;
     Eth.advance_to t.eth (Eth.now t.eth +. (5.0 *. cfg.Config.mc_block_interval))
+  done;
+  (* Still Halted with certified-but-unapplied summaries: keep trying
+     the reconciliation a bounded number of times (the starvation window
+     may cover the whole run, in which case the halt is terminal). *)
+  let reconcile_tries = ref 0 in
+  while t.mode = Halted && pending_signed t <> [] && !reconcile_tries < 5 do
+    incr reconcile_tries;
+    let now = Eth.now t.eth in
+    submit_reconcile t ~epoch:(int_of_float (now /. epoch_dur)) ~at:now;
+    Eth.advance_to t.eth (now +. (5.0 *. cfg.Config.mc_block_interval))
   done;
   settle_confirmed t;
   (* Custody invariant: bank ERC20 holdings = pool balances + remaining
@@ -1094,6 +1455,28 @@ let run ?sink cfg =
   final_gauge "epochs.applied" (float_of_int (Token_bank.last_synced_epoch t.bank + 1));
   final_gauge "custody.consistent" (if custody_consistent then 1.0 else 0.0);
   final_gauge "replay.consistent" (if replay_consistent then 1.0 else 0.0);
+  let exit_list = Token_bank.exits t.bank in
+  let exits_served = List.length exit_list in
+  let exit_claims0, exit_claims1 =
+    List.fold_left
+      (fun (a0, a1) (c : Token_bank.exit_claim) ->
+        ( U256.add a0 (U256.add c.Token_bank.claim0 c.Token_bank.refund0),
+          U256.add a1 (U256.add c.Token_bank.claim1 c.Token_bank.refund1) ))
+      (U256.zero, U256.zero) exit_list
+  in
+  let exit_gas_mean =
+    if exits_served = 0 then 0.0
+    else
+      float_of_int
+        (List.fold_left
+           (fun acc (c : Token_bank.exit_claim) ->
+             acc + Gas.total c.Token_bank.exit_gas)
+           0 exit_list)
+      /. float_of_int exits_served
+  in
+  let exit_conservation = Token_bank.exit_conservation_ok t.bank in
+  final_gauge "watchdog.final_mode" (float_of_int (mode_rank t.mode));
+  final_gauge "exit.conservation" (if exit_conservation then 1.0 else 0.0);
   List.iter
     (fun (label, n) -> Tmetrics.inc ~by:n (Tmetrics.counter reg ("faults." ^ label)))
     faults_injected;
@@ -1139,5 +1522,21 @@ let run ?sink cfg =
       sorted_assoc (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.rejections []);
     custody_consistent;
     audit_passed;
+    final_mode = mode_name t.mode;
+    mode_transitions =
+      List.rev_map (fun (ts, m) -> (ts, mode_name m)) t.mode_transitions;
+    monitor_audits = Monitor.audits_run t.monitor;
+    monitor_violations = Monitor.violation_totals t.monitor;
+    exits_served;
+    exit_claims0;
+    exit_claims1;
+    exit_gas_mean;
+    exit_conservation;
+    halted_at = t.halted_at;
+    recovery_latency =
+      (match (t.halted_at, t.recovered_at) with
+      | Some h, Some r -> Some (r -. h)
+      | _ -> None);
+    reconciliation = t.reconciliation;
     committees = List.rev t.committees;
     swaps = t.swaps; mints = t.mints; burns = t.burns; collects = t.collects }

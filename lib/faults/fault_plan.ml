@@ -36,12 +36,28 @@ type mainchain = {
   congestion_gas_limit : int;
 }
 
+(* Scripted sustained-failure scenarios, as opposed to the probabilistic
+   rates above: these drive the watchdog's Degraded/Halted transitions
+   and the emergency-exit protocol end-to-end. *)
+type scenario = {
+  quorum_starvation : (int * int) option;
+      (* [from, until): every Sync/reconcile submission whose mainchain
+         epoch falls in the window is dropped; [until = max_int] starves
+         forever. *)
+  committee_loss : int option;
+      (* from this epoch on the sidechain committee is gone: no election,
+         no summaries, no signatures — ever. *)
+}
+
 type spec = {
   network : network;
   consensus : consensus;
   committee : committee;
   mainchain : mainchain;
+  scenario : scenario;
 }
+
+let no_scenario = { quorum_starvation = None; committee_loss = None }
 
 let none =
   {
@@ -65,6 +81,7 @@ let none =
         congestion_rate = 0.0;
         congestion_gas_limit = 0;
       };
+    scenario = no_scenario;
   }
 
 let chaos ?(intensity = 0.1) () =
@@ -92,6 +109,7 @@ let chaos ?(intensity = 0.1) () =
         congestion_rate = r 0.1;
         congestion_gas_limit = 2_000_000;
       };
+    scenario = no_scenario;
   }
 
 let active s =
@@ -107,6 +125,8 @@ let active s =
   || s.mainchain.sync_drop_rate > 0.0
   || s.mainchain.reorg_rate > 0.0
   || s.mainchain.congestion_rate > 0.0
+  || s.scenario.quorum_starvation <> None
+  || s.scenario.committee_loss <> None
 
 type t = {
   spec : spec;
@@ -168,6 +188,22 @@ let sync_dropped t ~epoch ~attempt =
   hit t ~rate:t.spec.mainchain.sync_drop_rate
     ~key:(Printf.sprintf "mc.syncdrop/%d/%d" epoch attempt)
     ~label:"mainchain.sync_dropped"
+
+let sync_starved t ~epoch =
+  match t.spec.scenario.quorum_starvation with
+  | Some (from_, until_) when epoch >= from_ && epoch < until_ ->
+    note_once t
+      ~key:(Printf.sprintf "sc.starve/%d" epoch)
+      "scenario.sync_starved" 1;
+    true
+  | _ -> false
+
+let committee_lost t ~epoch =
+  match t.spec.scenario.committee_loss with
+  | Some from_ when epoch >= from_ ->
+    note_once t ~key:"sc.loss" "scenario.committee_lost" 1;
+    true
+  | _ -> false
 
 let congested t ~epoch =
   hit t ~rate:t.spec.mainchain.congestion_rate

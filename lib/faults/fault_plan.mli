@@ -48,12 +48,28 @@ type mainchain = {
                                   exceed the largest single transaction *)
 }
 
+(** Scripted sustained-failure scenarios — deterministic windows rather
+    than probabilistic rates. They drive the liveness watchdog through
+    Degraded/Halted and exercise the emergency-exit protocol. *)
+type scenario = {
+  quorum_starvation : (int * int) option;
+      (** [Some (from, until)]: every Sync/reconcile submission whose
+          mainchain epoch falls in [\[from, until)] is dropped;
+          [until = max_int] starves forever. *)
+  committee_loss : int option;
+      (** [Some e]: from epoch [e] on, the sidechain committee is
+          permanently lost — no election, no summaries, no signatures. *)
+}
+
 type spec = {
   network : network;
   consensus : consensus;
   committee : committee;
   mainchain : mainchain;
+  scenario : scenario;
 }
+
+val no_scenario : scenario
 
 val none : spec
 (** All rates zero: a plan over [none] never injects anything. *)
@@ -65,7 +81,7 @@ val chaos : ?intensity:float -> unit -> spec
     reaches certainty. *)
 
 val active : spec -> bool
-(** Whether any rate is nonzero. *)
+(** Whether any rate is nonzero or a scenario is scripted. *)
 
 type t
 
@@ -80,6 +96,14 @@ val silent_leader : t -> epoch:int -> bool
 val corrupt_sync : t -> epoch:int -> bool
 val sync_dropped : t -> epoch:int -> attempt:int -> bool
 val congested : t -> epoch:int -> bool
+
+val sync_starved : t -> epoch:int -> bool
+(** Whether a Sync/reconcile submitted during mainchain epoch [epoch]
+    falls inside the quorum-starvation window (counted once per epoch). *)
+
+val committee_lost : t -> epoch:int -> bool
+(** Whether the committee is permanently gone as of [epoch] (counted
+    once, at the first query that answers [true]). *)
 
 val reorg_depth : t -> epoch:int -> int option
 (** [Some d] if this epoch's sync is fated to fall off the chain once the

@@ -9,6 +9,9 @@ module Bls = Amm_crypto.Bls
 type op =
   | Deposit of { user : Address.t; for_epoch : int; amount0 : U256.t; amount1 : U256.t }
   | Sync of (Sync_payload.t * Bls.signature) list
+  | Halt of { epoch : int }
+  | Exit of { claimant : Address.t }
+  | Reconcile of (Sync_payload.t * Bls.signature) list
 
 type t = { mutable ops : op list (* newest first *); mutable n : int }
 
@@ -22,6 +25,9 @@ let record_deposit t ~user ~for_epoch ~amount0 ~amount1 =
   push t (Deposit { user; for_epoch; amount0; amount1 })
 
 let record_sync t signed = push t (Sync signed)
+let record_halt t ~epoch = push t (Halt { epoch })
+let record_exit t ~claimant = push t (Exit { claimant })
+let record_reconcile t signed = push t (Reconcile signed)
 
 let mark t = t.n
 let size t = t.n
@@ -86,12 +92,35 @@ let verify ~live ~genesis_committee_vk ~flash_fee_pips t =
     | Sync signed -> (
       match Token_bank.sync replica ~signed with
       | Ok _ -> Ok ()
-      | Error e ->
+      | Error rejection ->
         let epochs =
           String.concat ","
             (List.map (fun (p, _) -> string_of_int p.Sync_payload.epoch) signed)
         in
-        Error (Printf.sprintf "replay: sync [%s] failed: %s" epochs e))
+        Error
+          (Printf.sprintf "replay: sync [%s] failed: %s" epochs
+             (Token_bank.rejection_to_string rejection)))
+    | Halt { epoch } -> (
+      match Token_bank.halt replica ~epoch with
+      | Ok () -> Ok ()
+      | Error rejection ->
+        Error
+          (Printf.sprintf "replay: halt at epoch %d failed: %s" epoch
+             (Token_bank.rejection_to_string rejection)))
+    | Exit { claimant } -> (
+      match Token_bank.emergency_exit replica ~claimant with
+      | Ok _ -> Ok ()
+      | Error rejection ->
+        Error
+          (Printf.sprintf "replay: exit for %s failed: %s" (Address.to_hex claimant)
+             (Token_bank.rejection_to_string rejection)))
+    | Reconcile signed -> (
+      match Token_bank.reconcile replica ~signed with
+      | Ok _ -> Ok ()
+      | Error rejection ->
+        Error
+          (Printf.sprintf "replay: reconcile failed: %s"
+             (Token_bank.rejection_to_string rejection)))
   in
   let rec replay_all = function
     | [] -> Ok ()
@@ -127,4 +156,21 @@ let verify ~live ~genesis_committee_vk ~flash_fee_pips t =
     in
     let pa = sorted_positions live and pb = sorted_positions replica in
     let* () = check "position_count" (List.length pa = List.length pb) in
-    check "positions" (List.for_all2 pos_entry_eq pa pb)
+    let* () = check "positions" (List.for_all2 pos_entry_eq pa pb) in
+    (* Emergency-exit observables: both sides must agree on whether the
+       bank is halted and on every claim that was served. *)
+    let* () = check "halted" (Token_bank.is_halted live = Token_bank.is_halted replica) in
+    let sorted_exits bank =
+      List.sort
+        (fun (a : Token_bank.exit_claim) b -> Address.compare a.claimant b.claimant)
+        (Token_bank.exits bank)
+    in
+    let ea = sorted_exits live and eb = sorted_exits replica in
+    let* () = check "exit_count" (List.length ea = List.length eb) in
+    let exit_eq (a : Token_bank.exit_claim) (b : Token_bank.exit_claim) =
+      Address.equal a.claimant b.claimant
+      && u256_eq_pair (a.claim0, a.claim1) (b.claim0, b.claim1)
+      && u256_eq_pair (a.refund0, a.refund1) (b.refund0, b.refund1)
+      && a.positions_closed = b.positions_closed
+    in
+    check "exit_claims" (List.for_all2 exit_eq ea eb)

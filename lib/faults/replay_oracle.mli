@@ -26,6 +26,18 @@ val record_deposit :
 val record_sync :
   t -> (Tokenbank.Sync_payload.t * Amm_crypto.Bls.signature) list -> unit
 
+val record_halt : t -> epoch:int -> unit
+(** The bank entered emergency-exit mode. *)
+
+val record_exit : t -> claimant:Address.t -> unit
+(** An emergency-exit claim was served (the claim amounts are re-derived
+    on replay and compared by {!verify}). *)
+
+val record_reconcile :
+  t -> (Tokenbank.Sync_payload.t * Amm_crypto.Bls.signature) list -> unit
+(** The recovered committee's pending summaries were reconciled and the
+    halt lifted. *)
+
 val mark : t -> int
 (** Current length of the op log; pair it with a state checkpoint. *)
 

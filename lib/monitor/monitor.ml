@@ -1,0 +1,288 @@
+(* Cross-layer runtime invariant auditor (see monitor.mli).
+
+   Each audit re-derives, from first principles, the invariants the
+   simulator's safety argument rests on, against the live state of every
+   layer at an epoch boundary. Checks are pure reads: the monitor never
+   mutates the state it audits. *)
+
+module U256 = Amm_math.U256
+module Token_bank = Tokenbank.Token_bank
+module Sync_payload = Tokenbank.Sync_payload
+module Pool = Uniswap.Pool
+module Bls = Amm_crypto.Bls
+module Tmetrics = Telemetry.Metrics
+module Log = Telemetry.Log
+module Json = Telemetry.Json
+
+let scope = "monitor"
+
+type severity = Warning | Degraded | Fatal
+type layer = Amm | Tokenbank | Sidechain | Mainchain | Consensus
+
+type violation = {
+  v_check : string;
+  v_layer : layer;
+  v_severity : severity;
+  v_detail : string;
+}
+
+type report = {
+  r_epoch : int;
+  r_checks : int;
+  r_violations : violation list;
+}
+
+let severity_to_string = function
+  | Warning -> "warning"
+  | Degraded -> "degraded"
+  | Fatal -> "fatal"
+
+let layer_to_string = function
+  | Amm -> "amm"
+  | Tokenbank -> "tokenbank"
+  | Sidechain -> "sidechain"
+  | Mainchain -> "mainchain"
+  | Consensus -> "consensus"
+
+let severity_rank = function Warning -> 0 | Degraded -> 1 | Fatal -> 2
+
+let worst r =
+  List.fold_left
+    (fun acc v ->
+      match acc with
+      | None -> Some v.v_severity
+      | Some s ->
+        if severity_rank v.v_severity > severity_rank s then Some v.v_severity
+        else acc)
+    None r.r_violations
+
+let has_fatal r = List.exists (fun v -> v.v_severity = Fatal) r.r_violations
+
+type thresholds = {
+  lag_warning : int;
+  lag_degraded : int;
+  signing_streak_degraded : int;
+}
+
+let default_thresholds =
+  { lag_warning = 2; lag_degraded = 3; signing_streak_degraded = 4 }
+
+type t = {
+  thresholds : thresholds;
+  c_audits : Tmetrics.counter;
+  c_warning : Tmetrics.counter;
+  c_degraded : Tmetrics.counter;
+  c_fatal : Tmetrics.counter;
+  mutable audits : int;
+  mutable total_warning : int;
+  mutable total_degraded : int;
+  mutable total_fatal : int;
+}
+
+let create ?(thresholds = default_thresholds) (sink : Telemetry.Report.sink) =
+  let reg = sink.Telemetry.Report.metrics in
+  { thresholds;
+    c_audits = Tmetrics.counter reg "monitor.audits";
+    c_warning = Tmetrics.counter reg "monitor.violations.warning";
+    c_degraded = Tmetrics.counter reg "monitor.violations.degraded";
+    c_fatal = Tmetrics.counter reg "monitor.violations.fatal";
+    audits = 0; total_warning = 0; total_degraded = 0; total_fatal = 0 }
+
+let audits_run t = t.audits
+
+let violation_totals t =
+  List.filter
+    (fun (_, n) -> n > 0)
+    [ ("degraded", t.total_degraded); ("fatal", t.total_fatal);
+      ("warning", t.total_warning) ]
+
+(* ------------------------------------------------------------------ *)
+(* Individual checks. Each returns a violation list (usually empty).   *)
+(* ------------------------------------------------------------------ *)
+
+let pair_str (a, b) = Printf.sprintf "(%s, %s)" (U256.to_string a) (U256.to_string b)
+
+(* Token conservation across the ledger, the bank and the pools: the
+   ERC20 balances the bank custodies must equal its pool reserves plus
+   every deposit that can still be outstanding. *)
+let check_custody ~bank ~deposit_horizon =
+  let pool_sum0, pool_sum1 =
+    List.fold_left
+      (fun (a0, a1) pid ->
+        match Token_bank.pool bank pid with
+        | Some p -> (U256.add a0 p.Token_bank.balance0, U256.add a1 p.Token_bank.balance1)
+        | None -> (a0, a1))
+      (U256.zero, U256.zero)
+      (List.init 4 Fun.id)
+  in
+  let dep0 = ref U256.zero and dep1 = ref U256.zero in
+  for e = 0 to deposit_horizon do
+    List.iter
+      (fun (_, (d0, d1)) ->
+        dep0 := U256.add !dep0 d0;
+        dep1 := U256.add !dep1 d1)
+      (Token_bank.deposits_for_epoch bank ~epoch:e)
+  done;
+  let expect0 = U256.add pool_sum0 !dep0 and expect1 = U256.add pool_sum1 !dep1 in
+  let c0, c1 = Token_bank.total_custody bank in
+  if U256.equal c0 expect0 && U256.equal c1 expect1 then []
+  else
+    [ { v_check = "custody-conservation"; v_layer = Tokenbank; v_severity = Fatal;
+        v_detail =
+          Printf.sprintf "custody %s <> pools+deposits %s"
+            (pair_str (c0, c1)) (pair_str (expect0, expect1)) } ]
+
+(* Bank-side pool solvency: the value the last applied summary attributes
+   to open positions (principal + fees) must be covered by the recorded
+   pool reserves, per token. *)
+let check_bank_solvency ~bank =
+  let pool_sum0, pool_sum1 =
+    List.fold_left
+      (fun (a0, a1) pid ->
+        match Token_bank.pool bank pid with
+        | Some p -> (U256.add a0 p.Token_bank.balance0, U256.add a1 p.Token_bank.balance1)
+        | None -> (a0, a1))
+      (U256.zero, U256.zero)
+      (List.init 4 Fun.id)
+  in
+  let v0, v1 =
+    List.fold_left
+      (fun (a0, a1) (p : Sync_payload.position_entry) ->
+        ( U256.add a0 (U256.add p.Sync_payload.amount0 p.Sync_payload.fees0),
+          U256.add a1 (U256.add p.Sync_payload.amount1 p.Sync_payload.fees1) ))
+      (U256.zero, U256.zero) (Token_bank.positions bank)
+  in
+  if U256.ge pool_sum0 v0 && U256.ge pool_sum1 v1 then []
+  else
+    [ { v_check = "pool-solvency"; v_layer = Tokenbank; v_severity = Fatal;
+        v_detail =
+          Printf.sprintf "position value %s exceeds pool reserves %s"
+            (pair_str (v0, v1)) (pair_str (pool_sum0, pool_sum1)) } ]
+
+(* Live AMM structural invariants, via Pool's own helpers. *)
+let check_amm ~pool =
+  let a =
+    if Pool.check_liquidity_consistency pool then []
+    else
+      [ { v_check = "amm-liquidity"; v_layer = Amm; v_severity = Fatal;
+          v_detail = "tick-table liquidity_net does not match in-range liquidity" } ]
+  in
+  let b =
+    if Pool.check_owed_solvency pool then []
+    else
+      [ { v_check = "amm-owed-solvency"; v_layer = Amm; v_severity = Fatal;
+          v_detail = "reserves do not cover tokens_owed + protocol fees" } ]
+  in
+  a @ b
+
+(* Liveness of the summary pipeline. Steady state at an epoch-e boundary:
+   the summary for e-1 exists (produced lag 0) and the bank has applied
+   through e-2 (applied lag 1). *)
+let check_liveness t ~epoch ~bank ~last_summary_epoch =
+  let th = t.thresholds in
+  let lag_violation ~check ~layer ~lag ~what =
+    if lag >= th.lag_degraded then
+      [ { v_check = check; v_layer = layer; v_severity = Degraded;
+          v_detail = Printf.sprintf "%s lag %d epochs" what lag } ]
+    else if lag >= th.lag_warning then
+      [ { v_check = check; v_layer = layer; v_severity = Warning;
+          v_detail = Printf.sprintf "%s lag %d epochs" what lag } ]
+    else []
+  in
+  let produced_lag = (epoch - 1) - last_summary_epoch in
+  let applied_lag = last_summary_epoch - Token_bank.last_synced_epoch bank in
+  lag_violation ~check:"summary-liveness" ~layer:Sidechain ~lag:produced_lag
+    ~what:"summary production"
+  (* one epoch of applied lag is the pipeline depth, so shift by one *)
+  @ lag_violation ~check:"sync-liveness" ~layer:Mainchain ~lag:(applied_lag - 1)
+      ~what:"sync application"
+
+(* Pending quorum certificates: epochs must chain contiguously from the
+   bank's synced frontier and every signature must verify under the key
+   chain starting at the bank's recorded committee vk. *)
+let check_certificates ~bank ~pending =
+  let rec go vk expected = function
+    | [] -> []
+    | (p, signature) :: rest ->
+      if p.Sync_payload.epoch <> expected then
+        [ { v_check = "epoch-contiguity"; v_layer = Mainchain; v_severity = Fatal;
+            v_detail =
+              Printf.sprintf "pending summary chain expected epoch %d, got %d"
+                expected p.Sync_payload.epoch } ]
+      else if not (Bls.verify vk (Sync_payload.signing_bytes p) signature) then
+        [ { v_check = "quorum-certificate"; v_layer = Sidechain; v_severity = Fatal;
+            v_detail =
+              Printf.sprintf "invalid quorum certificate for epoch %d"
+                p.Sync_payload.epoch } ]
+      else go p.Sync_payload.next_committee_vk (expected + 1) rest
+  in
+  go (Token_bank.committee_vk bank) (Token_bank.last_synced_epoch bank + 1) pending
+
+let check_signing t ~degraded_signing_streak =
+  if degraded_signing_streak >= t.thresholds.signing_streak_degraded then
+    [ { v_check = "degraded-signing"; v_layer = Consensus; v_severity = Degraded;
+        v_detail =
+          Printf.sprintf "%d consecutive degraded-quorum signings"
+            degraded_signing_streak } ]
+  else if degraded_signing_streak >= 1 then
+    [ { v_check = "degraded-signing"; v_layer = Consensus; v_severity = Warning;
+        v_detail =
+          Printf.sprintf "%d consecutive degraded-quorum signings"
+            degraded_signing_streak } ]
+  else []
+
+(* ------------------------------------------------------------------ *)
+(* The audit                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let count t v =
+  match v.v_severity with
+  | Warning ->
+    t.total_warning <- t.total_warning + 1;
+    Tmetrics.inc t.c_warning
+  | Degraded ->
+    t.total_degraded <- t.total_degraded + 1;
+    Tmetrics.inc t.c_degraded
+  | Fatal ->
+    t.total_fatal <- t.total_fatal + 1;
+    Tmetrics.inc t.c_fatal
+
+let emit ~now ~epoch v =
+  let fields =
+    [ ("severity", Json.String (severity_to_string v.v_severity));
+      ("layer", Json.String (layer_to_string v.v_layer));
+      ("check", Json.String v.v_check);
+      ("epoch", Json.Int epoch);
+      ("detail", Json.String v.v_detail) ]
+  in
+  match v.v_severity with
+  | Fatal -> Log.error ~scope ~t:now ~fields "monitor.violation"
+  | Degraded | Warning -> Log.warn ~scope ~t:now ~fields "monitor.violation"
+
+let audit t ~epoch ~now ~bank ~pool ~last_summary_epoch ~pending ~deposit_horizon
+    ~degraded_signing_streak ~committee_live =
+  t.audits <- t.audits + 1;
+  Tmetrics.inc t.c_audits;
+  let liveness =
+    (* A committee that was deliberately dissolved (post-halt) or is
+       scripted as permanently lost makes the liveness lags meaningless:
+       only the safety checks still apply. *)
+    if committee_live then
+      check_liveness t ~epoch ~bank ~last_summary_epoch
+      @ check_signing t ~degraded_signing_streak
+    else []
+  in
+  let violations =
+    check_custody ~bank ~deposit_horizon
+    @ check_bank_solvency ~bank
+    @ check_amm ~pool
+    @ liveness
+    @ check_certificates ~bank ~pending
+  in
+  List.iter
+    (fun v ->
+      count t v;
+      emit ~now ~epoch v)
+    violations;
+  { r_epoch = epoch; r_checks = (if committee_live then 7 else 5);
+    r_violations = violations }

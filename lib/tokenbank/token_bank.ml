@@ -19,6 +19,16 @@ type pool_info = {
 
 module Epoch_map = Map.Make (Int)
 
+type exit_claim = {
+  claimant : Address.t;
+  claim0 : U256.t;
+  claim1 : U256.t;
+  refund0 : U256.t;
+  refund1 : U256.t;
+  positions_closed : int;
+  exit_gas : Gas.meter;
+}
+
 type t = {
   bank_address : Address.t;
   erc0 : Erc20.t;
@@ -29,6 +39,19 @@ type t = {
   position_table : (Position_id.t, Sync_payload.position_entry) Hashtbl.t;
   mutable vk : Bls.public_key;
   mutable synced_epoch : int;
+  (* Emergency-exit state. While [halted] no Sync or deposit is accepted;
+     parties withdraw pro-rata against the reserves frozen at the halt. *)
+  mutable halted : bool;
+  mutable ever_halted : bool;
+  mutable halt_epoch : int;
+  mutable frozen_pools : pool_info list;
+  mutable frozen_value0 : U256.t;  (* Σ position (amount + fees), token0 *)
+  mutable frozen_value1 : U256.t;
+  mutable custody_at_halt : U256.t * U256.t;
+  mutable paid_out0 : U256.t;      (* custody dispensed since the halt *)
+  mutable paid_out1 : U256.t;
+  exit_table : (Address.t, exit_claim) Hashtbl.t;
+  mutable exit_order : Address.t list;  (* newest first *)
 }
 
 let deploy ~token0 ~token1 ~genesis_committee_vk =
@@ -38,7 +61,12 @@ let deploy ~token0 ~token1 ~genesis_committee_vk =
     user_deposits = Epoch_map.empty;
     position_table = Hashtbl.create 64;
     vk = genesis_committee_vk;
-    synced_epoch = -1 }
+    synced_epoch = -1;
+    halted = false; ever_halted = false; halt_epoch = -1;
+    frozen_pools = []; frozen_value0 = U256.zero; frozen_value1 = U256.zero;
+    custody_at_halt = (U256.zero, U256.zero);
+    paid_out0 = U256.zero; paid_out1 = U256.zero;
+    exit_table = Hashtbl.create 16; exit_order = [] }
 
 let address t = t.bank_address
 
@@ -59,6 +87,48 @@ let set_pool_balances t id balance0 balance1 =
 
 let committee_vk t = t.vk
 let last_synced_epoch t = t.synced_epoch
+let is_halted t = t.halted
+let halt_epoch t = if t.ever_halted then Some t.halt_epoch else None
+
+(* ------------------------------------------------------------------ *)
+(* Rejections                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type rejection =
+  | Empty_submission
+  | Bank_halted
+  | Not_halted
+  | Already_exited of Address.t
+  | Bad_signature of { epoch : int }
+  | Stale_epoch of { expected : int; got : int }
+  | Contiguity_gap of { expected : int; got : int }
+  | Conservation_violation of { epoch : int }
+
+let rejection_class = function
+  | Empty_submission -> "empty_submission"
+  | Bank_halted -> "bank_halted"
+  | Not_halted -> "not_halted"
+  | Already_exited _ -> "already_exited"
+  | Bad_signature _ -> "bad_signature"
+  | Stale_epoch _ -> "stale_epoch"
+  | Contiguity_gap _ -> "contiguity_gap"
+  | Conservation_violation _ -> "conservation_violation"
+
+let rejection_to_string = function
+  | Empty_submission -> "TokenBank.sync: empty payload list"
+  | Bank_halted -> "TokenBank: bank is halted (emergency-exit mode)"
+  | Not_halted -> "TokenBank: bank is not halted"
+  | Already_exited a ->
+    Printf.sprintf "TokenBank.emergency_exit: %s already exited" (Address.to_hex a)
+  | Bad_signature { epoch } ->
+    Printf.sprintf "TokenBank.sync: bad committee signature for epoch %d" epoch
+  | Stale_epoch { expected; got } ->
+    Printf.sprintf "TokenBank.sync: stale epoch %d (expected %d)" got expected
+  | Contiguity_gap { expected; got } ->
+    Printf.sprintf "TokenBank.sync: contiguity gap, expected epoch %d, got %d"
+      expected got
+  | Conservation_violation { epoch } ->
+    Printf.sprintf "TokenBank.sync: token conservation violated in epoch %d" epoch
 
 (* ------------------------------------------------------------------ *)
 (* Deposits                                                            *)
@@ -79,6 +149,8 @@ let charge meter label amount =
 let ( let* ) = Result.bind
 
 let deposit ?meter t ~user ~for_epoch ~amount0 ~amount1 =
+  if t.halted then Error (rejection_to_string Bank_halted)
+  else begin
   charge meter "base" Gas.tx_base;
   charge meter "calldata" (Gas.calldata_cost_of_size (Chain.Encoding.selector_size + 64));
   let* () =
@@ -106,6 +178,7 @@ let deposit ?meter t ~user ~for_epoch ~amount0 ~amount1 =
         ("amount1", Telemetry.Json.String (U256.to_string amount1)) ]
     "deposit recorded";
   Ok ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Sync                                                                *)
@@ -168,17 +241,23 @@ let apply_payload t (m : Gas.meter) payload =
       let pay1 = U256.sub (U256.max u.payout1 short1) short1 in
       (* Payout plus residual refund leave the bank in one transfer per
          token. *)
-      let send erc amount =
+      let send erc amount ~token0 =
         if not (U256.is_zero amount) then begin
           match
             Erc20.transfer erc ~source:t.bank_address ~dest:u.user amount
           with
-          | Ok () -> incr payouts_dispensed
+          | Ok () ->
+            incr payouts_dispensed;
+            (* After a halt-and-reconcile cycle, every dispensed token still
+               counts against the custody frozen at the halt. *)
+            if t.ever_halted then
+              if token0 then t.paid_out0 <- U256.add t.paid_out0 amount
+              else t.paid_out1 <- U256.add t.paid_out1 amount
           | Error e -> failwith ("TokenBank.sync: custody underflow: " ^ e)
         end
       in
-      send t.erc0 (U256.add pay0 residual0);
-      send t.erc1 (U256.add pay1 residual1);
+      send t.erc0 (U256.add pay0 residual0) ~token0:true;
+      send t.erc1 (U256.add pay1 residual1) ~token0:false;
       t.user_deposits <-
         Epoch_map.add payload.epoch
           (Address.Map.remove u.user (epoch_deposits t payload.epoch))
@@ -189,9 +268,51 @@ let apply_payload t (m : Gas.meter) payload =
   t.synced_epoch <- payload.epoch;
   (!written, !deleted, !payouts_dispensed)
 
+(* Dry-run verification pass — nothing is applied unless every payload
+   checks out. The committee key chain advances payload by payload: epoch
+   e's signature verifies under the vk recorded by e−1. Shared between
+   [sync] and [reconcile] (which verifies against the frozen balances). *)
+let rec verify_all m ~vk ~expected_epoch ~balance0 ~balance1 = function
+  | [] -> Ok ()
+  | (p, signature) :: rest ->
+    (* The epoch-ordering check comes first: it is a couple of sloads,
+       so the contract rejects stale or gapped chains before paying for
+       the pairing. *)
+    if p.Sync_payload.epoch <> expected_epoch then begin
+      if p.Sync_payload.epoch < expected_epoch then
+        Error (Stale_epoch { expected = expected_epoch; got = p.Sync_payload.epoch })
+      else
+        Error (Contiguity_gap { expected = expected_epoch; got = p.Sync_payload.epoch })
+    end
+    else begin
+      Gas.charge m "auth.hash_to_point"
+        (Gas.keccak_cost (Sync_payload.abi_size p) + Gas.ec_mul);
+      Gas.charge m "auth.pairing" Gas.pairing_check;
+      if not (Bls.verify vk (Sync_payload.signing_bytes p) signature) then
+        Error (Bad_signature { epoch = p.Sync_payload.epoch })
+      else if not (conservation_ok ~balance0 ~balance1 p) then
+        Error (Conservation_violation { epoch = p.Sync_payload.epoch })
+      else
+        verify_all m ~vk:p.Sync_payload.next_committee_vk
+          ~expected_epoch:(expected_epoch + 1)
+          ~balance0:p.Sync_payload.pool_balance0
+          ~balance1:p.Sync_payload.pool_balance1 rest
+    end
+
+let log_rejected t ~payloads rejection =
+  Log.warn ~scope
+    ~fields:
+      [ ("reason", Telemetry.Json.String (rejection_to_string rejection));
+        ("class", Telemetry.Json.String (rejection_class rejection));
+        ("payloads", Telemetry.Json.Int (List.length payloads));
+        ("synced_epoch", Telemetry.Json.Int t.synced_epoch) ]
+    "sync rejected: state unchanged";
+  Error rejection
+
 let sync t ~signed =
   match signed with
-  | [] -> Error "TokenBank.sync: empty payload list"
+  | [] -> Error Empty_submission
+  | _ when t.halted -> log_rejected t ~payloads:(List.map fst signed) Bank_halted
   | _ ->
     let payloads = List.map fst signed in
     let m = Gas.meter () in
@@ -200,33 +321,6 @@ let sync t ~signed =
       List.fold_left (fun acc p -> acc + Sync_payload.abi_size p) 0 payloads
     in
     Gas.charge m "calldata" (Gas.calldata_cost_of_size calldata_bytes);
-    (* Dry-run verification pass — nothing is applied unless every payload
-       checks out. The committee key chain advances payload by payload:
-       epoch e's signature verifies under the vk recorded by e−1. *)
-    let rec verify_all ~vk ~expected_epoch ~balance0 ~balance1 = function
-      | [] -> Ok ()
-      | (p, signature) :: rest ->
-        Gas.charge m "auth.hash_to_point"
-          (Gas.keccak_cost (Sync_payload.abi_size p) + Gas.ec_mul);
-        Gas.charge m "auth.pairing" Gas.pairing_check;
-        if not (Bls.verify vk (Sync_payload.signing_bytes p) signature) then
-          Error
-            (Printf.sprintf "TokenBank.sync: bad committee signature for epoch %d"
-               p.Sync_payload.epoch)
-        else if p.Sync_payload.epoch <> expected_epoch then
-          Error
-            (Printf.sprintf "TokenBank.sync: expected epoch %d, got %d" expected_epoch
-               p.Sync_payload.epoch)
-        else if not (conservation_ok ~balance0 ~balance1 p) then
-          Error
-            (Printf.sprintf "TokenBank.sync: token conservation violated in epoch %d"
-               p.Sync_payload.epoch)
-        else
-          verify_all ~vk:p.Sync_payload.next_committee_vk
-            ~expected_epoch:(expected_epoch + 1)
-            ~balance0:p.Sync_payload.pool_balance0
-            ~balance1:p.Sync_payload.pool_balance1 rest
-    in
     let balance0, balance1 =
       match payloads with
       | p :: _ ->
@@ -237,18 +331,11 @@ let sync t ~signed =
     in
     let* () =
       match
-        verify_all ~vk:t.vk ~expected_epoch:(t.synced_epoch + 1) ~balance0 ~balance1
+        verify_all m ~vk:t.vk ~expected_epoch:(t.synced_epoch + 1) ~balance0 ~balance1
           signed
       with
       | Ok () -> Ok ()
-      | Error reason ->
-        Log.warn ~scope
-          ~fields:
-            [ ("reason", Telemetry.Json.String reason);
-              ("payloads", Telemetry.Json.Int (List.length payloads));
-              ("synced_epoch", Telemetry.Json.Int t.synced_epoch) ]
-          "sync rejected: state unchanged";
-        Error reason
+      | Error rejection -> log_rejected t ~payloads rejection
     in
     let written = ref 0 and deleted = ref 0 and paid = ref 0 in
     List.iter
@@ -274,6 +361,11 @@ let sync t ~signed =
         positions_written = !written; positions_deleted = !deleted;
         epochs_covered }
 
+let sync_exn t ~signed =
+  match sync t ~signed with
+  | Ok receipt -> receipt
+  | Error rejection -> failwith (rejection_to_string rejection)
+
 let positions t = Hashtbl.fold (fun _ p acc -> p :: acc) t.position_table []
 let find_position t pid = Hashtbl.find_opt t.position_table pid
 
@@ -282,6 +374,8 @@ let find_position t pid = Hashtbl.find_opt t.position_table pid
 (* ------------------------------------------------------------------ *)
 
 let flash ?meter t ~pool:pool_id ~borrower ~amount0 ~amount1 ~callback =
+  if t.halted then Error (rejection_to_string Bank_halted)
+  else
   match pool t pool_id with
   | None -> Error "TokenBank.flash: unknown pool"
   | Some p ->
@@ -331,6 +425,311 @@ let flash ?meter t ~pool:pool_id ~borrower ~amount0 ~amount1 ~callback =
     end
 
 (* ------------------------------------------------------------------ *)
+(* Emergency exit: halt / exit / reconcile                             *)
+(* ------------------------------------------------------------------ *)
+
+let total_custody t =
+  (Erc20.balance_of t.erc0 t.bank_address, Erc20.balance_of t.erc1 t.bank_address)
+
+(* Aggregate value the last confirmed summary attributes to open
+   positions: principal plus uncollected fees, per token. The pro-rata
+   denominator for exit claims. *)
+let position_value t =
+  Hashtbl.fold
+    (fun _ (p : Sync_payload.position_entry) (v0, v1) ->
+      ( U256.add v0 (U256.add p.Sync_payload.amount0 p.Sync_payload.fees0),
+        U256.add v1 (U256.add p.Sync_payload.amount1 p.Sync_payload.fees1) ))
+    t.position_table (U256.zero, U256.zero)
+
+let halt t ~epoch =
+  if t.halted then Error Bank_halted
+  else begin
+    let v0, v1 = position_value t in
+    t.halted <- true;
+    t.ever_halted <- true;
+    t.halt_epoch <- epoch;
+    t.frozen_pools <- t.pools;
+    t.frozen_value0 <- v0;
+    t.frozen_value1 <- v1;
+    t.custody_at_halt <- total_custody t;
+    t.paid_out0 <- U256.zero;
+    t.paid_out1 <- U256.zero;
+    Log.error ~scope
+      ~fields:
+        [ ("epoch", Telemetry.Json.Int epoch);
+          ("position_value0", Telemetry.Json.String (U256.to_string v0));
+          ("position_value1", Telemetry.Json.String (U256.to_string v1)) ]
+      "bank halted: emergency-exit mode engaged";
+    Ok ()
+  end
+
+let track_paid t ~token0 amount =
+  if token0 then t.paid_out0 <- U256.add t.paid_out0 amount
+  else t.paid_out1 <- U256.add t.paid_out1 amount
+
+(* One outgoing transfer per token; an error here means the conservation
+   invariant is already broken, which the dry-run verification rules out. *)
+let pay_out t m ~dest ~label amount ~token0 =
+  if not (U256.is_zero amount) then begin
+    let erc = if token0 then t.erc0 else t.erc1 in
+    match Erc20.transfer erc ~source:t.bank_address ~dest amount with
+    | Ok () ->
+      Gas.charge m label Gas.payout_transfer;
+      track_paid t ~token0 amount
+    | Error e -> failwith ("TokenBank: custody underflow: " ^ e)
+  end
+
+let emergency_exit t ~claimant =
+  if not t.halted then Error Not_halted
+  else if Hashtbl.mem t.exit_table claimant then Error (Already_exited claimant)
+  else begin
+    let m = Gas.meter () in
+    Gas.charge m "base" Gas.tx_base;
+    Gas.charge m "calldata"
+      (Gas.calldata_cost_of_size (Chain.Encoding.selector_size + 32));
+    (* The claimant's open positions, in id order, valued exactly as the
+       last confirmed summary recorded them. *)
+    let mine =
+      Hashtbl.fold
+        (fun pid (p : Sync_payload.position_entry) acc ->
+          if Address.equal p.Sync_payload.owner claimant then (pid, p) :: acc
+          else acc)
+        t.position_table []
+      |> List.sort (fun (a, _) (b, _) -> Position_id.compare a b)
+    in
+    Gas.charge m "exit.positions" (List.length mine * 8 * Gas.sload);
+    let mine0, mine1 =
+      List.fold_left
+        (fun (v0, v1) (_, (p : Sync_payload.position_entry)) ->
+          ( U256.add v0 (U256.add p.Sync_payload.amount0 p.Sync_payload.fees0),
+            U256.add v1 (U256.add p.Sync_payload.amount1 p.Sync_payload.fees1) ))
+        (U256.zero, U256.zero) mine
+    in
+    (* Pro-rata claim against the reserves frozen at the halt, floored so
+       the sum over all claimants can never exceed those reserves. *)
+    let frozen0, frozen1 =
+      List.fold_left
+        (fun (b0, b1) p -> (U256.add b0 p.balance0, U256.add b1 p.balance1))
+        (U256.zero, U256.zero) t.frozen_pools
+    in
+    let share frozen mine total =
+      if U256.is_zero total then U256.zero else U256.mul_div frozen mine total
+    in
+    let claim0 = share frozen0 mine0 t.frozen_value0 in
+    let claim1 = share frozen1 mine1 t.frozen_value1 in
+    (* Residual epoch deposits — never consumed by a sync — come back in
+       full, regardless of which epoch they were scoped to. *)
+    let refund0 = ref U256.zero and refund1 = ref U256.zero in
+    t.user_deposits <-
+      Epoch_map.map
+        (fun map ->
+          match Address.Map.find_opt claimant map with
+          | None -> map
+          | Some (d0, d1) ->
+            refund0 := U256.add !refund0 d0;
+            refund1 := U256.add !refund1 d1;
+            Address.Map.remove claimant map)
+        t.user_deposits;
+    (* Drain the claim from the live pool balances, pool by pool. *)
+    let rem0 = ref claim0 and rem1 = ref claim1 in
+    t.pools <-
+      List.map
+        (fun p ->
+          let take rem bal =
+            let x = U256.min !rem bal in
+            rem := U256.sub !rem x;
+            U256.sub bal x
+          in
+          { p with balance0 = take rem0 p.balance0; balance1 = take rem1 p.balance1 })
+        t.pools;
+    List.iter (fun (pid, _) -> Hashtbl.remove t.position_table pid) mine;
+    Gas.charge m "exit.bookkeeping"
+      ((List.length mine * Gas.sstore_update) + Gas.sstore_word);
+    pay_out t m ~dest:claimant ~label:"exit.payout" (U256.add claim0 !refund0)
+      ~token0:true;
+    pay_out t m ~dest:claimant ~label:"exit.payout" (U256.add claim1 !refund1)
+      ~token0:false;
+    let claim =
+      { claimant; claim0; claim1; refund0 = !refund0; refund1 = !refund1;
+        positions_closed = List.length mine; exit_gas = m }
+    in
+    Hashtbl.replace t.exit_table claimant claim;
+    t.exit_order <- claimant :: t.exit_order;
+    Log.warn ~scope
+      ~fields:
+        [ ("claimant", Telemetry.Json.String (Address.to_hex claimant));
+          ("claim0", Telemetry.Json.String (U256.to_string claim0));
+          ("claim1", Telemetry.Json.String (U256.to_string claim1));
+          ("refund0", Telemetry.Json.String (U256.to_string !refund0));
+          ("refund1", Telemetry.Json.String (U256.to_string !refund1));
+          ("positions_closed", Telemetry.Json.Int claim.positions_closed);
+          ("gas", Telemetry.Json.Int (Gas.total m)) ]
+      "emergency exit served";
+    Ok claim
+  end
+
+let has_exited t user = Hashtbl.mem t.exit_table user
+let exit_of t user = Hashtbl.find_opt t.exit_table user
+let exits t = List.rev_map (fun a -> Hashtbl.find t.exit_table a) t.exit_order
+let exits_served t = Hashtbl.length t.exit_table
+
+type reconciliation = {
+  rec_epochs : int list;
+  rec_users_applied : int;
+  rec_users_voided : int;
+  rec_positions_voided : int;
+  rec_voided0 : U256.t;
+  rec_voided1 : U256.t;
+  rec_paid0 : U256.t;
+  rec_paid1 : U256.t;
+  rec_gas : Gas.meter;
+}
+
+let reconcile t ~signed =
+  match signed with
+  | [] -> Error Empty_submission
+  | _ when not t.halted -> Error Not_halted
+  | _ ->
+    let payloads = List.map fst signed in
+    let m = Gas.meter () in
+    Gas.charge m "base" Gas.tx_base;
+    let calldata_bytes =
+      List.fold_left (fun acc p -> acc + Sync_payload.abi_size p) 0 payloads
+    in
+    Gas.charge m "calldata" (Gas.calldata_cost_of_size calldata_bytes);
+    (* The recovered committee's summaries were built against the pre-halt
+       state, so the chain verifies against the balances frozen at the
+       halt — not the live ones the exits have since drained. *)
+    let frozen_of pool_id =
+      match List.find_opt (fun p -> p.pool_id = pool_id) t.frozen_pools with
+      | Some info -> (info.balance0, info.balance1)
+      | None -> (U256.zero, U256.zero)
+    in
+    let balance0, balance1 =
+      match payloads with
+      | p :: _ -> frozen_of p.Sync_payload.pool
+      | [] -> (U256.zero, U256.zero)
+    in
+    let* () =
+      match
+        verify_all m ~vk:t.vk ~expected_epoch:(t.synced_epoch + 1) ~balance0
+          ~balance1 signed
+      with
+      | Ok () -> Ok ()
+      | Error rejection -> log_rejected t ~payloads rejection
+    in
+    let users_applied = ref 0 and users_voided = ref 0 in
+    let positions_voided = ref 0 in
+    let voided0 = ref U256.zero and voided1 = ref U256.zero in
+    let paid0 = ref U256.zero and paid1 = ref U256.zero in
+    (* Live per-pool balances, mutated as flows are applied. *)
+    let live = Hashtbl.create 4 in
+    List.iter (fun p -> Hashtbl.replace live p.pool_id (p.balance0, p.balance1)) t.pools;
+    List.iter
+      (fun (p : Sync_payload.t) ->
+        let open Sync_payload in
+        List.iter
+          (fun pe ->
+            if Hashtbl.mem t.exit_table pe.owner then begin
+              (* The owner already withdrew this position's value on-chain:
+                 the summary's view of it is void. *)
+              Hashtbl.remove t.position_table pe.pos_id;
+              incr positions_voided
+            end
+            else if pe.deleted then Hashtbl.remove t.position_table pe.pos_id
+            else Hashtbl.replace t.position_table pe.pos_id pe)
+          p.positions;
+        Gas.charge m "storage" (storage_words p * Gas.sstore_word);
+        let b0, b1 =
+          Option.value ~default:(U256.zero, U256.zero) (Hashtbl.find_opt live p.pool)
+        in
+        let b0 = ref b0 and b1 = ref b1 in
+        List.iter
+          (fun u ->
+            if Hashtbl.mem t.exit_table u.user then begin
+              incr users_voided;
+              voided0 := U256.add !voided0 u.payout0;
+              voided1 := U256.add !voided1 u.payout1
+            end
+            else begin
+              incr users_applied;
+              let d0, d1 = deposit_of t ~epoch:p.epoch u.user in
+              let short0 =
+                if U256.ge d0 u.payin0 then U256.zero else U256.sub u.payin0 d0
+              in
+              let short1 =
+                if U256.ge d1 u.payin1 then U256.zero else U256.sub u.payin1 d1
+              in
+              let residual0 =
+                if U256.ge d0 u.payin0 then U256.sub d0 u.payin0 else U256.zero
+              in
+              let residual1 =
+                if U256.ge d1 u.payin1 then U256.sub d1 u.payin1 else U256.zero
+              in
+              (* Credit the payin first, then cap the payout at what the
+                 live (post-exit) reserves can actually cover. *)
+              b0 := U256.add !b0 u.payin0;
+              b1 := U256.add !b1 u.payin1;
+              let want0 = U256.sub (U256.max u.payout0 short0) short0 in
+              let want1 = U256.sub (U256.max u.payout1 short1) short1 in
+              let pay0 = U256.min want0 !b0 and pay1 = U256.min want1 !b1 in
+              if U256.lt pay0 want0 || U256.lt pay1 want1 then
+                Log.warn ~scope
+                  ~fields:
+                    [ ("user", Telemetry.Json.String (Address.to_hex u.user));
+                      ("epoch", Telemetry.Json.Int p.epoch) ]
+                  "reconcile: payout capped by post-exit reserves";
+              b0 := U256.sub !b0 pay0;
+              b1 := U256.sub !b1 pay1;
+              paid0 := U256.add !paid0 (U256.add pay0 residual0);
+              paid1 := U256.add !paid1 (U256.add pay1 residual1);
+              pay_out t m ~dest:u.user ~label:"reconcile.payout"
+                (U256.add pay0 residual0) ~token0:true;
+              pay_out t m ~dest:u.user ~label:"reconcile.payout"
+                (U256.add pay1 residual1) ~token0:false;
+              t.user_deposits <-
+                Epoch_map.add p.epoch
+                  (Address.Map.remove u.user (epoch_deposits t p.epoch))
+                  t.user_deposits
+            end)
+          p.users;
+        Hashtbl.replace live p.pool (!b0, !b1);
+        t.vk <- p.next_committee_vk;
+        t.synced_epoch <- p.epoch)
+      payloads;
+    Hashtbl.iter (fun pool_id (b0, b1) -> set_pool_balances t pool_id b0 b1) live;
+    t.halted <- false;
+    let rec_epochs = List.map (fun p -> p.Sync_payload.epoch) payloads in
+    let r =
+      { rec_epochs; rec_users_applied = !users_applied;
+        rec_users_voided = !users_voided; rec_positions_voided = !positions_voided;
+        rec_voided0 = !voided0; rec_voided1 = !voided1;
+        rec_paid0 = !paid0; rec_paid1 = !paid1; rec_gas = m }
+    in
+    Log.info ~scope
+      ~fields:
+        [ ("epochs",
+           Telemetry.Json.String
+             (String.concat "," (List.map string_of_int rec_epochs)));
+          ("users_applied", Telemetry.Json.Int r.rec_users_applied);
+          ("users_voided", Telemetry.Json.Int r.rec_users_voided);
+          ("positions_voided", Telemetry.Json.Int r.rec_positions_voided);
+          ("voided0", Telemetry.Json.String (U256.to_string r.rec_voided0));
+          ("voided1", Telemetry.Json.String (U256.to_string r.rec_voided1));
+          ("gas", Telemetry.Json.Int (Gas.total m)) ]
+      "bank reconciled: halt lifted, committee key re-chained";
+    Ok r
+
+let exit_conservation_ok t =
+  if not t.ever_halted then true
+  else begin
+    let c0h, c1h = t.custody_at_halt in
+    let c0, c1 = total_custody t in
+    U256.equal c0h (U256.add c0 t.paid_out0)
+    && U256.equal c1h (U256.add c1 t.paid_out1)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Snapshot                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -356,13 +755,29 @@ type checkpoint = {
   ck_synced_epoch : int;
   ck_erc0 : Erc20.checkpoint;
   ck_erc1 : Erc20.checkpoint;
+  ck_halted : bool;
+  ck_ever_halted : bool;
+  ck_halt_epoch : int;
+  ck_frozen_pools : pool_info list;
+  ck_frozen_value : U256.t * U256.t;
+  ck_custody_at_halt : U256.t * U256.t;
+  ck_paid_out : U256.t * U256.t;
+  ck_exits : (Address.t * exit_claim) list;
+  ck_exit_order : Address.t list;
 }
 
 let checkpoint t =
   { ck_pools = t.pools; ck_next_pool_id = t.next_pool_id; ck_deposits = t.user_deposits;
     ck_positions = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.position_table [];
     ck_vk = t.vk; ck_synced_epoch = t.synced_epoch;
-    ck_erc0 = Erc20.checkpoint t.erc0; ck_erc1 = Erc20.checkpoint t.erc1 }
+    ck_erc0 = Erc20.checkpoint t.erc0; ck_erc1 = Erc20.checkpoint t.erc1;
+    ck_halted = t.halted; ck_ever_halted = t.ever_halted;
+    ck_halt_epoch = t.halt_epoch; ck_frozen_pools = t.frozen_pools;
+    ck_frozen_value = (t.frozen_value0, t.frozen_value1);
+    ck_custody_at_halt = t.custody_at_halt;
+    ck_paid_out = (t.paid_out0, t.paid_out1);
+    ck_exits = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.exit_table [];
+    ck_exit_order = t.exit_order }
 
 let restore t ck =
   Log.warn ~scope
@@ -378,7 +793,18 @@ let restore t ck =
   t.vk <- ck.ck_vk;
   t.synced_epoch <- ck.ck_synced_epoch;
   Erc20.restore t.erc0 ck.ck_erc0;
-  Erc20.restore t.erc1 ck.ck_erc1
-
-let total_custody t =
-  (Erc20.balance_of t.erc0 t.bank_address, Erc20.balance_of t.erc1 t.bank_address)
+  Erc20.restore t.erc1 ck.ck_erc1;
+  t.halted <- ck.ck_halted;
+  t.ever_halted <- ck.ck_ever_halted;
+  t.halt_epoch <- ck.ck_halt_epoch;
+  t.frozen_pools <- ck.ck_frozen_pools;
+  (let v0, v1 = ck.ck_frozen_value in
+   t.frozen_value0 <- v0;
+   t.frozen_value1 <- v1);
+  t.custody_at_halt <- ck.ck_custody_at_halt;
+  (let p0, p1 = ck.ck_paid_out in
+   t.paid_out0 <- p0;
+   t.paid_out1 <- p1);
+  Hashtbl.reset t.exit_table;
+  List.iter (fun (k, v) -> Hashtbl.replace t.exit_table k v) ck.ck_exits;
+  t.exit_order <- ck.ck_exit_order

@@ -37,6 +37,35 @@ val committee_vk : t -> Amm_crypto.Bls.public_key
 val last_synced_epoch : t -> int
 (** -1 before the first sync. *)
 
+val is_halted : t -> bool
+val halt_epoch : t -> int option
+(** The epoch recorded when the bank was (last) halted; [None] if the
+    bank has never been halted. *)
+
+(** {1 Rejections}
+
+    Typed failure classes for the authenticated entry points, so the
+    watchdog and the tests can react to a rejection without matching on
+    message strings. *)
+
+type rejection =
+  | Empty_submission
+  | Bank_halted              (** sync/deposit refused while halted *)
+  | Not_halted               (** exit/reconcile outside a halt *)
+  | Already_exited of Address.t
+  | Bad_signature of { epoch : int }
+  | Stale_epoch of { expected : int; got : int }
+      (** first payload is older than the synced frontier *)
+  | Contiguity_gap of { expected : int; got : int }
+      (** payload chain skips an epoch *)
+  | Conservation_violation of { epoch : int }
+      (** new balance ≠ old + payins − payouts *)
+
+val rejection_class : rejection -> string
+(** Short stable tag (e.g. ["stale_epoch"]) for metrics labels. *)
+
+val rejection_to_string : rejection -> string
+
 (** {1 Deposits} *)
 
 val deposit :
@@ -66,7 +95,7 @@ type sync_receipt = {
 val sync :
   t ->
   signed:(Sync_payload.t * Amm_crypto.Bls.signature) list ->
-  (sync_receipt, string) result
+  (sync_receipt, rejection) result
 (** Applies one or more epoch summaries, each carrying its own epoch
     committee's threshold signature (a list longer than one is a
     mass-sync after an interruption — recorded keys advance payload by
@@ -77,8 +106,81 @@ val sync :
     out of the payout, §4.2), refunds residual deposits, and records each
     next committee's key. Nothing is applied when any step fails. *)
 
+val sync_exn :
+  t ->
+  signed:(Sync_payload.t * Amm_crypto.Bls.signature) list ->
+  sync_receipt
+(** Thin raising wrapper over {!sync} for callers that treat any
+    rejection as fatal; raises [Failure] with the rendered rejection. *)
+
 val positions : t -> Sync_payload.position_entry list
 val find_position : t -> Position_id.t -> Sync_payload.position_entry option
+
+(** {1 Emergency exit (halt / exit / reconcile)}
+
+    The liveness escape hatch: when the sidechain committee is lost (or
+    stalls past the watchdog's patience), the bank is halted and every
+    party can withdraw directly on the mainchain against the last
+    confirmed summary — no committee signature required. *)
+
+val halt : t -> epoch:int -> (unit, rejection) result
+(** Freezes the bank at the last confirmed summary: no further deposits,
+    syncs or flashes are accepted, pool reserves and the aggregate
+    position value are snapshotted as the pro-rata base for exit claims.
+    [epoch] is the mainchain's view of the stalled sidechain epoch (for
+    the record; claims derive from [last_synced_epoch]'s state). *)
+
+type exit_claim = {
+  claimant : Address.t;
+  claim0 : U256.t;   (** pro-rata share of the frozen pool reserves *)
+  claim1 : U256.t;
+  refund0 : U256.t;  (** residual epoch deposits returned in full *)
+  refund1 : U256.t;
+  positions_closed : int;
+  exit_gas : Mainchain.Gas.meter;
+}
+
+val emergency_exit : t -> claimant:Address.t -> (exit_claim, rejection) result
+(** One-shot withdrawal while halted: closes the claimant's synced
+    positions, pays [frozen_reserves × value(claimant) / value(all)]
+    per token (floored, so total claims never exceed the reserves) plus
+    every residual deposit, and marks the claimant exited. *)
+
+val has_exited : t -> Address.t -> bool
+val exit_of : t -> Address.t -> exit_claim option
+val exits : t -> exit_claim list
+(** Claims served so far, oldest first. *)
+
+val exits_served : t -> int
+
+type reconciliation = {
+  rec_epochs : int list;
+  rec_users_applied : int;
+  rec_users_voided : int;       (** summary entries superseded by exits *)
+  rec_positions_voided : int;
+  rec_voided0 : U256.t;         (** payout value netted against exits *)
+  rec_voided1 : U256.t;
+  rec_paid0 : U256.t;           (** residual payouts actually dispensed *)
+  rec_paid1 : U256.t;
+  rec_gas : Mainchain.Gas.meter;
+}
+
+val reconcile :
+  t ->
+  signed:(Sync_payload.t * Amm_crypto.Bls.signature) list ->
+  (reconciliation, rejection) result
+(** Committee-recovery path out of a halt: verifies the pending summary
+    chain against the balances frozen at the halt (signatures, epoch
+    contiguity, conservation), then applies it with exit netting — any
+    entry belonging to a party that already exited is void (their value
+    left on-chain at exit), everyone else's flows apply normally, capped
+    by the post-exit reserves. Lifts the halt and re-chains the committee
+    key. *)
+
+val exit_conservation_ok : t -> bool
+(** After a halt: custody frozen at the halt = live custody + everything
+    dispensed since (exit claims, refunds, reconciled payouts). Trivially
+    true if the bank was never halted. *)
 
 (** {1 Flash loans (mainchain-resident, §4.2 "Flashes")} *)
 

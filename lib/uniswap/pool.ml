@@ -415,3 +415,16 @@ let check_liquidity_consistency t =
         if tick <= t.tick then Signed.add acc info.Tick.liquidity_net else acc)
   in
   (not (Signed.is_negative net)) && U256.equal (Signed.magnitude net) t.liquidity
+
+let check_owed_solvency t =
+  (* Everything the pool owes on demand — position [tokens_owed] (burned
+     principal plus accrued fees) and uncollected protocol fees — must be
+     covered by the reserves it actually holds. *)
+  let owed0, owed1 =
+    Hashtbl.fold
+      (fun _ (p : Position.t) (o0, o1) ->
+        (U256.add o0 p.Position.tokens_owed0, U256.add o1 p.Position.tokens_owed1))
+      t.position_table
+      (t.protocol_fees0, t.protocol_fees1)
+  in
+  U256.ge t.balance0 owed0 && U256.ge t.balance1 owed1

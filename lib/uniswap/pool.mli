@@ -146,3 +146,7 @@ val flash :
 
 val check_liquidity_consistency : t -> bool
 (** Recomputes in-range liquidity from the tick table and compares. *)
+
+val check_owed_solvency : t -> bool
+(** Reserves cover every on-demand obligation: the sum of position
+    [tokens_owed] plus uncollected protocol fees, per token. *)

@@ -185,7 +185,8 @@ let signed_payload ?(users = []) env ~epoch ~balance0 ~balance1 =
 let apply_sync env oracle signed =
   (match Token_bank.sync env.bank ~signed with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail ("sync rejected: " ^ e));
+  | Error e ->
+    Alcotest.fail ("sync rejected: " ^ Token_bank.rejection_to_string e));
   Replay_oracle.record_sync oracle signed
 
 let verify env oracle =
@@ -300,6 +301,79 @@ let test_chaos_run_reproducible () =
   Alcotest.(check (float 1e-9)) "identical latency" a.System.mean_payout_latency
     b.System.mean_payout_latency
 
+(* ------------------------------------------------------------------ *)
+(* Scripted scenarios                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_spec scenario =
+  { Fault_plan.none with Fault_plan.scenario }
+
+let test_scenario_activates_plan () =
+  Alcotest.(check bool) "none inactive" false (Fault_plan.active Fault_plan.none);
+  Alcotest.(check bool) "starvation active" true
+    (Fault_plan.active
+       (scenario_spec
+          { Fault_plan.quorum_starvation = Some (0, 1); committee_loss = None }));
+  Alcotest.(check bool) "loss active" true
+    (Fault_plan.active
+       (scenario_spec
+          { Fault_plan.quorum_starvation = None; committee_loss = Some 3 }))
+
+let test_starvation_window_half_open () =
+  let plan =
+    Fault_plan.create ~seed:"w"
+      (scenario_spec
+         { Fault_plan.quorum_starvation = Some (2, 5); committee_loss = None })
+  in
+  List.iter
+    (fun (epoch, want) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "starved at %d" epoch)
+        want
+        (Fault_plan.sync_starved plan ~epoch))
+    [ (0, false); (1, false); (2, true); (3, true); (4, true); (5, false); (9, false) ]
+
+let test_starvation_forever () =
+  let plan =
+    Fault_plan.create ~seed:"w"
+      (scenario_spec
+         { Fault_plan.quorum_starvation = Some (1, max_int); committee_loss = None })
+  in
+  Alcotest.(check bool) "before" false (Fault_plan.sync_starved plan ~epoch:0);
+  Alcotest.(check bool) "far future" true (Fault_plan.sync_starved plan ~epoch:1_000_000)
+
+let test_committee_loss_permanent () =
+  let plan =
+    Fault_plan.create ~seed:"w"
+      (scenario_spec
+         { Fault_plan.quorum_starvation = None; committee_loss = Some 4 })
+  in
+  List.iter
+    (fun (epoch, want) ->
+      Alcotest.(check bool) (Printf.sprintf "lost at %d" epoch) want
+        (Fault_plan.committee_lost plan ~epoch))
+    [ (0, false); (3, false); (4, true); (5, true); (100, true) ]
+
+let test_scenario_is_seed_independent () =
+  (* Scenarios are scripted windows, not probabilistic draws: any two
+     seeds agree on every decision. *)
+  let spec =
+    scenario_spec
+      { Fault_plan.quorum_starvation = Some (2, 5); committee_loss = Some 6 }
+  in
+  let a = Fault_plan.create ~seed:"seed-a" spec in
+  let b = Fault_plan.create ~seed:"seed-b" spec in
+  for epoch = 0 to 10 do
+    Alcotest.(check bool)
+      (Printf.sprintf "starved agree at %d" epoch)
+      (Fault_plan.sync_starved a ~epoch)
+      (Fault_plan.sync_starved b ~epoch);
+    Alcotest.(check bool)
+      (Printf.sprintf "lost agree at %d" epoch)
+      (Fault_plan.committee_lost a ~epoch)
+      (Fault_plan.committee_lost b ~epoch)
+  done
+
 let () =
   Alcotest.run "faults"
     [ ( "fault_plan",
@@ -310,6 +384,15 @@ let () =
           Alcotest.test_case "decisions idempotent" `Quick test_decisions_idempotent;
           Alcotest.test_case "caps respected" `Quick test_caps_respected;
           Alcotest.test_case "net chaos deterministic" `Quick test_net_chaos_deterministic ] );
+      ( "scenarios",
+        [ Alcotest.test_case "activate the plan" `Quick test_scenario_activates_plan;
+          Alcotest.test_case "starvation window half-open" `Quick
+            test_starvation_window_half_open;
+          Alcotest.test_case "starvation forever" `Quick test_starvation_forever;
+          Alcotest.test_case "committee loss permanent" `Quick
+            test_committee_loss_permanent;
+          Alcotest.test_case "seed independent" `Quick
+            test_scenario_is_seed_independent ] );
       ( "replay_oracle",
         [ Alcotest.test_case "faithful log agrees" `Quick test_oracle_agrees_on_faithful_log;
           Alcotest.test_case "divergence detected" `Quick test_oracle_detects_divergence;

@@ -467,7 +467,8 @@ let sidechain_to_tokenbank_roundtrip_prop =
            Amm_crypto.Bls.sign csk (Tokenbank.Sync_payload.signing_bytes payload)
          in
          match TB.sync bank ~signed:[ (payload, signature) ] with
-         | Error e -> QCheck2.Test.fail_reportf "sync rejected: %s" e
+         | Error e ->
+           QCheck2.Test.fail_reportf "sync rejected: %s" (TB.rejection_to_string e)
          | Ok _ ->
            let c0, c1 = TB.total_custody bank in
            (match TB.pool bank pool_id with
@@ -527,6 +528,76 @@ let test_eth_rollback_drops_tags () =
   Alcotest.(check bool) "no longer included" false
     (Mainchain.Eth.is_tag_included eth "sync-0")
 
+(* ------------------------------------------------------------------ *)
+(* Liveness watchdog and emergency exit                                *)
+(* ------------------------------------------------------------------ *)
+
+let watchdog_cfg scenario =
+  { base with
+    epochs = 8;
+    faults = { Faults.Fault_plan.none with Faults.Fault_plan.scenario };
+    watchdog =
+      { Config.default_watchdog with Config.wd_stall_degraded = 2; wd_stall_halted = 4 };
+    seed = "system-watchdog" }
+
+let test_nominal_stays_normal () =
+  let r = run () in
+  Alcotest.(check string) "final mode" "normal" r.System.final_mode;
+  Alcotest.(check bool) "no transitions" true (r.System.mode_transitions = []);
+  Alcotest.(check int) "no exits" 0 r.System.exits_served;
+  Alcotest.(check bool) "audited every epoch" true
+    (r.System.monitor_audits >= r.System.epochs_run)
+
+let test_permanent_loss_halts_and_exits () =
+  let cfg =
+    watchdog_cfg
+      { Faults.Fault_plan.quorum_starvation = None; committee_loss = Some 2 }
+  in
+  let r = System.run cfg in
+  Alcotest.(check string) "terminal mode" "halted" r.System.final_mode;
+  Alcotest.(check (list string)) "trajectory" [ "degraded"; "halted" ]
+    (List.map snd r.System.mode_transitions);
+  Alcotest.(check bool) "halt timestamped" true (r.System.halted_at <> None);
+  Alcotest.(check int) "every party exited" cfg.Config.users r.System.exits_served;
+  Alcotest.(check bool) "exits carry value" true
+    (Amm_math.U256.gt r.System.exit_claims0 Amm_math.U256.zero);
+  Alcotest.(check bool) "exit conservation" true r.System.exit_conservation;
+  Alcotest.(check bool) "replay oracle covers halt + exits" true
+    r.System.replay_consistent;
+  Alcotest.(check bool) "custody invariant" true r.System.custody_consistent;
+  Alcotest.(check bool) "never reconciled" true (r.System.reconciliation = None)
+
+let test_starvation_halts_then_recovers () =
+  let cfg =
+    watchdog_cfg
+      { Faults.Fault_plan.quorum_starvation = Some (2, 5); committee_loss = None }
+  in
+  let r = System.run cfg in
+  Alcotest.(check string) "recovered" "normal" r.System.final_mode;
+  Alcotest.(check (list string)) "full cycle"
+    [ "degraded"; "halted"; "recovering"; "normal" ]
+    (List.map snd r.System.mode_transitions);
+  Alcotest.(check int) "every party exited" cfg.Config.users r.System.exits_served;
+  Alcotest.(check bool) "reconciliation applied" true (r.System.reconciliation <> None);
+  Alcotest.(check bool) "recovery latency measured" true
+    (match r.System.recovery_latency with Some l -> l > 0.0 | None -> false);
+  Alcotest.(check bool) "exit conservation" true r.System.exit_conservation;
+  Alcotest.(check bool) "replay oracle covers reconcile" true r.System.replay_consistent;
+  Alcotest.(check bool) "custody invariant" true r.System.custody_consistent
+
+let test_watchdog_run_deterministic () =
+  let cfg =
+    watchdog_cfg
+      { Faults.Fault_plan.quorum_starvation = Some (2, 5); committee_loss = None }
+  in
+  let a = System.run cfg and b = System.run cfg in
+  Alcotest.(check (list (pair (float 1e-9) string))) "identical transitions"
+    a.System.mode_transitions b.System.mode_transitions;
+  Alcotest.(check int) "identical exits" a.System.exits_served b.System.exits_served;
+  Alcotest.(check string) "identical claims"
+    (Amm_math.U256.to_string a.System.exit_claims0)
+    (Amm_math.U256.to_string b.System.exit_claims0)
+
 let () =
   Alcotest.run "system"
     [ ( "nominal",
@@ -556,6 +627,13 @@ let () =
       ( "traffic",
         [ Alcotest.test_case "distribution" `Quick test_traffic_distribution;
           Alcotest.test_case "arrival rate" `Quick test_arrival_rate_formula ] );
+      ( "watchdog",
+        [ Alcotest.test_case "nominal stays normal" `Slow test_nominal_stays_normal;
+          Alcotest.test_case "permanent loss halts and exits" `Slow
+            test_permanent_loss_halts_and_exits;
+          Alcotest.test_case "starvation halts then recovers" `Slow
+            test_starvation_halts_then_recovers;
+          Alcotest.test_case "deterministic" `Slow test_watchdog_run_deterministic ] );
       ("roundtrip", [ sidechain_to_tokenbank_roundtrip_prop ]);
       ( "baseline",
         [ Alcotest.test_case "runs" `Slow test_baseline_runs;

@@ -48,6 +48,8 @@ let payload ?(users = []) ?(positions = []) env ~epoch ~balance0 ~balance1 =
 
 let sign env ~epoch p = Bls.sign (fst env.keys.(epoch)) (Sync_payload.signing_bytes p)
 
+let fail_rejection r = Alcotest.fail (Token_bank.rejection_to_string r)
+
 let user_entry ?(payin0 = U256.zero) ?(payin1 = U256.zero) ?(payout0 = U256.zero)
     ?(payout1 = U256.zero) who =
   { Sync_payload.user = who; payin0; payin1; payout0; payout1 }
@@ -112,7 +114,7 @@ let test_sync_happy_path () =
   | Ok receipt ->
     Alcotest.(check (list int)) "epoch covered" [ 0 ] receipt.Token_bank.epochs_covered;
     Alcotest.(check int) "synced" 0 (Token_bank.last_synced_epoch env.bank)
-  | Error e -> Alcotest.fail e);
+  | Error e -> fail_rejection e);
   match Token_bank.pool env.bank env.pool_id with
   | Some pi -> Alcotest.check check_u256 "pool credited" one_e18 pi.Token_bank.balance0
   | None -> Alcotest.fail "pool missing"
@@ -123,7 +125,9 @@ let test_sync_bad_signature_rejected () =
   (* Signed by the wrong committee's key. *)
   let bad = Bls.sign (fst env.keys.(3)) (Sync_payload.signing_bytes p) in
   match Token_bank.sync env.bank ~signed:[ (p, bad) ] with
-  | Error _ -> Alcotest.(check int) "state untouched" (-1) (Token_bank.last_synced_epoch env.bank)
+  | Error e ->
+    Alcotest.(check string) "typed class" "bad_signature" (Token_bank.rejection_class e);
+    Alcotest.(check int) "state untouched" (-1) (Token_bank.last_synced_epoch env.bank)
   | Ok _ -> Alcotest.fail "forged sync accepted"
 
 let test_sync_tampered_payload_rejected () =
@@ -148,15 +152,17 @@ let test_sync_conservation_violation_rejected () =
   in
   match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
   | Error e ->
-    Alcotest.(check bool) "conservation error" true
-      (String.length e > 0 && Token_bank.last_synced_epoch env.bank = -1)
+    Alcotest.(check string) "typed class" "conservation_violation"
+      (Token_bank.rejection_class e);
+    Alcotest.(check int) "state untouched" (-1) (Token_bank.last_synced_epoch env.bank)
   | Ok _ -> Alcotest.fail "uncovered payout accepted"
 
 let test_sync_wrong_epoch_rejected () =
   let env = make_env () in
   let p = payload env ~epoch:2 ~balance0:U256.zero ~balance1:U256.zero in
   match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:2 p) ] with
-  | Error _ -> ()
+  | Error (Token_bank.Contiguity_gap { expected = 0; got = 2 }) -> ()
+  | Error e -> Alcotest.failf "wrong rejection: %s" (Token_bank.rejection_to_string e)
   | Ok _ -> Alcotest.fail "epoch gap accepted"
 
 let test_sync_payout_and_refund () =
@@ -176,7 +182,7 @@ let test_sync_payout_and_refund () =
   in
   (match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> fail_rejection e);
   (* Alice got her payout in token1 and the unspent 0.6e18 token0 refund. *)
   Alcotest.check check_u256 "token1 payout" (U256.add balance_before1 got)
     (Erc20.balance_of env.erc1 alice);
@@ -209,7 +215,7 @@ let test_sync_payin_exceeding_deposit_clipped_from_payout () =
   in
   (match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> fail_rejection e);
   Alcotest.check check_u256 "payout clipped by shortfall"
     (U256.add before0 (U256.sub payout short))
     (Erc20.balance_of env.erc0 alice)
@@ -234,7 +240,7 @@ let test_mass_sync_key_chain () =
   | Ok receipt ->
     Alcotest.(check (list int)) "covered" [ 0; 1; 2 ] receipt.Token_bank.epochs_covered;
     Alcotest.(check int) "synced to 2" 2 (Token_bank.last_synced_epoch env.bank)
-  | Error e -> Alcotest.fail e);
+  | Error e -> fail_rejection e);
   (* A payload signed by the wrong link of the chain is rejected. *)
   let env2 = make_env () in
   let q0 = payload env2 ~epoch:0 ~balance0:U256.zero ~balance1:U256.zero in
@@ -254,7 +260,7 @@ let test_sync_gas_itemization () =
       ~users:[ user_entry alice ~payin0:one_e18 ]
   in
   match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_rejection e
   | Ok receipt ->
     let items = Gas.breakdown receipt.Token_bank.gas in
     List.iter
@@ -291,7 +297,7 @@ let test_position_lifecycle_through_sync () =
   in
   (match Token_bank.sync env.bank ~signed:[ (p1, sign env ~epoch:1 p1) ] with
   | Ok receipt -> Alcotest.(check int) "one delete" 1 receipt.Token_bank.positions_deleted
-  | Error e -> Alcotest.fail e);
+  | Error e -> fail_rejection e);
   Alcotest.(check bool) "position gone" true (Token_bank.find_position env.bank pid = None)
 
 let test_sync_empty_epoch () =
@@ -302,7 +308,7 @@ let test_sync_empty_epoch () =
   | Ok receipt ->
     Alcotest.(check int) "no payouts" 0 receipt.Token_bank.payouts_dispensed;
     Alcotest.(check int) "epoch advanced" 0 (Token_bank.last_synced_epoch env.bank)
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_rejection e
 
 let test_sync_replay_rejected () =
   (* A confirmed Sync resubmitted verbatim must be rejected (stale
@@ -312,9 +318,10 @@ let test_sync_replay_rejected () =
   let signed = [ (p, sign env ~epoch:0 p) ] in
   (match Token_bank.sync env.bank ~signed with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> fail_rejection e);
   match Token_bank.sync env.bank ~signed with
-  | Error _ -> ()
+  | Error (Token_bank.Stale_epoch _) -> ()
+  | Error e -> Alcotest.failf "wrong rejection: %s" (Token_bank.rejection_to_string e)
   | Ok _ -> Alcotest.fail "replayed sync accepted"
 
 let test_multi_pool_sync () =
@@ -329,7 +336,7 @@ let test_multi_pool_sync () =
   in
   (match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> fail_rejection e);
   (match Token_bank.pool env.bank pool2 with
   | Some pi -> Alcotest.check check_u256 "pool2 funded" one_e18 pi.Token_bank.balance0
   | None -> Alcotest.fail "pool2 missing");
@@ -348,9 +355,7 @@ let flash_env () =
     payload env ~epoch:0 ~balance0:one_e18 ~balance1:one_e18
       ~users:[ user_entry alice ~payin0:one_e18 ~payin1:one_e18 ]
   in
-  (match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
-  | Ok _ -> ()
-  | Error e -> failwith e);
+  ignore (Token_bank.sync_exn env.bank ~signed:[ (p, sign env ~epoch:0 p) ]);
   env
 
 let test_flash_repaid () =
@@ -429,7 +434,157 @@ let test_checkpoint_restore () =
   (* The same signed payload re-applies after the rollback (mass-sync). *)
   match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:0 p) ] with
   | Ok _ -> Alcotest.(check int) "re-applied" 0 (Token_bank.last_synced_epoch env.bank)
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_rejection e
+
+(* ------------------------------------------------------------------ *)
+(* Halt / emergency exit / reconciliation                              *)
+(* ------------------------------------------------------------------ *)
+
+let two_e18 = U256.mul one_e18 U256.two
+
+(* Alice and bob each funded the pool 1e18/1e18 in epoch 0; alice holds
+   the only position (all the token0 principal). *)
+let halt_env () =
+  let env = make_env () in
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:one_e18);
+  ignore (Token_bank.deposit env.bank ~user:bob ~for_epoch:0 ~amount0:one_e18 ~amount1:one_e18);
+  let pid = Chain.Ids.Position_id.of_hash (Amm_crypto.Sha256.digest_string "pos-a") in
+  let pos =
+    { Sync_payload.pos_id = pid; owner = alice; lower_tick = -60; upper_tick = 60;
+      liquidity = one_e18; amount0 = one_e18; amount1 = U256.zero;
+      fees0 = U256.zero; fees1 = U256.zero; deleted = false }
+  in
+  let p =
+    payload env ~epoch:0 ~balance0:two_e18 ~balance1:two_e18
+      ~users:
+        [ user_entry alice ~payin0:one_e18 ~payin1:one_e18;
+          user_entry bob ~payin0:one_e18 ~payin1:one_e18 ]
+      ~positions:[ pos ]
+  in
+  ignore (Token_bank.sync_exn env.bank ~signed:[ (p, sign env ~epoch:0 p) ]);
+  env
+
+let test_halt_freezes_bank () =
+  let env = halt_env () in
+  (match Token_bank.emergency_exit env.bank ~claimant:alice with
+  | Error Token_bank.Not_halted -> ()
+  | _ -> Alcotest.fail "exit served while live");
+  (match Token_bank.halt env.bank ~epoch:0 with
+  | Ok () -> ()
+  | Error e -> fail_rejection e);
+  Alcotest.(check bool) "halted" true (Token_bank.is_halted env.bank);
+  (match
+     Token_bank.deposit env.bank ~user:alice ~for_epoch:2 ~amount0:one_e18
+       ~amount1:U256.zero
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "deposit accepted while halted");
+  let p = payload env ~epoch:1 ~balance0:two_e18 ~balance1:two_e18 in
+  (match Token_bank.sync env.bank ~signed:[ (p, sign env ~epoch:1 p) ] with
+  | Error Token_bank.Bank_halted -> ()
+  | Error e -> Alcotest.failf "wrong rejection: %s" (Token_bank.rejection_to_string e)
+  | Ok _ -> Alcotest.fail "sync accepted while halted");
+  match
+    Token_bank.flash env.bank ~pool:env.pool_id ~borrower:bob ~amount0:U256.one
+      ~amount1:U256.zero ~callback:(fun ~fee0:_ ~fee1:_ -> Ok ())
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "flash accepted while halted"
+
+let test_exit_pro_rata_and_conservation () =
+  let env = halt_env () in
+  let custody0, _ = Token_bank.total_custody env.bank in
+  (match Token_bank.halt env.bank ~epoch:0 with
+  | Ok () -> ()
+  | Error e -> fail_rejection e);
+  let claim =
+    match Token_bank.emergency_exit env.bank ~claimant:alice with
+    | Ok c -> c
+    | Error e -> fail_rejection e
+  in
+  (* Alice holds the only position, so her claim covers the full frozen
+     token0 reserve; nothing of token1 is position value. *)
+  Alcotest.check check_u256 "claim0 = frozen reserves" two_e18 claim.Token_bank.claim0;
+  Alcotest.check check_u256 "claim1 zero" U256.zero claim.Token_bank.claim1;
+  Alcotest.(check int) "one position closed" 1 claim.Token_bank.positions_closed;
+  Alcotest.(check bool) "exit gas metered" true
+    (Gas.total claim.Token_bank.exit_gas > 21_000);
+  (match Token_bank.emergency_exit env.bank ~claimant:alice with
+  | Error (Token_bank.Already_exited _) -> ()
+  | _ -> Alcotest.fail "double exit accepted");
+  (* Bob holds no position and his deposits were consumed: zero claim. *)
+  (match Token_bank.emergency_exit env.bank ~claimant:bob with
+  | Ok c -> Alcotest.check check_u256 "bob claim zero" U256.zero c.Token_bank.claim0
+  | Error e -> fail_rejection e);
+  Alcotest.(check int) "exits served" 2 (Token_bank.exits_served env.bank);
+  Alcotest.(check bool) "exit conservation" true
+    (Token_bank.exit_conservation_ok env.bank);
+  let c0', _ = Token_bank.total_custody env.bank in
+  Alcotest.check check_u256 "custody drained by exactly the claims"
+    (U256.sub custody0 two_e18) c0'
+
+let test_reconcile_after_exits () =
+  let env = halt_env () in
+  (* Epoch 1 is certified but never applied: bob pays in another 1e18 of
+     token0 and is owed half a token1. *)
+  ignore (Token_bank.deposit env.bank ~user:bob ~for_epoch:1 ~amount0:one_e18 ~amount1:U256.zero);
+  let half = u "500000000000000000" in
+  let p1 =
+    payload env ~epoch:1 ~balance0:(U256.add two_e18 one_e18)
+      ~balance1:(U256.sub two_e18 half)
+      ~users:[ user_entry bob ~payin0:one_e18 ~payout1:half ]
+  in
+  let signed = [ (p1, sign env ~epoch:1 p1) ] in
+  (match Token_bank.reconcile env.bank ~signed with
+  | Error Token_bank.Not_halted -> ()
+  | _ -> Alcotest.fail "reconcile accepted while live");
+  (match Token_bank.halt env.bank ~epoch:1 with
+  | Ok () -> ()
+  | Error e -> fail_rejection e);
+  (* Alice exits during the halt; bob waits for the reconciliation. *)
+  (match Token_bank.emergency_exit env.bank ~claimant:alice with
+  | Ok _ -> ()
+  | Error e -> fail_rejection e);
+  let bob1_before = Erc20.balance_of env.erc1 bob in
+  match Token_bank.reconcile env.bank ~signed with
+  | Error e -> fail_rejection e
+  | Ok r ->
+    Alcotest.(check (list int)) "epochs reconciled" [ 1 ] r.Token_bank.rec_epochs;
+    Alcotest.(check bool) "bank un-halted" false (Token_bank.is_halted env.bank);
+    Alcotest.(check int) "synced advanced" 1 (Token_bank.last_synced_epoch env.bank);
+    Alcotest.(check int) "bob applied" 1 r.Token_bank.rec_users_applied;
+    Alcotest.(check int) "nobody voided" 0 r.Token_bank.rec_users_voided;
+    Alcotest.check check_u256 "bob's payout dispensed"
+      (U256.add bob1_before half) (Erc20.balance_of env.erc1 bob);
+    Alcotest.(check bool) "exit conservation still holds" true
+      (Token_bank.exit_conservation_ok env.bank)
+
+let test_reconcile_voids_exited_users () =
+  let env = halt_env () in
+  (* Epoch 1 owes alice a payout; she exits instead, so the
+     reconciliation must void her entry rather than pay twice. *)
+  let half = u "500000000000000000" in
+  let p1 =
+    payload env ~epoch:1 ~balance0:(U256.sub two_e18 half) ~balance1:two_e18
+      ~users:[ user_entry alice ~payout0:half ]
+  in
+  let signed = [ (p1, sign env ~epoch:1 p1) ] in
+  (match Token_bank.halt env.bank ~epoch:1 with
+  | Ok () -> ()
+  | Error e -> fail_rejection e);
+  (match Token_bank.emergency_exit env.bank ~claimant:alice with
+  | Ok _ -> ()
+  | Error e -> fail_rejection e);
+  let alice0_after_exit = Erc20.balance_of env.erc0 alice in
+  match Token_bank.reconcile env.bank ~signed with
+  | Error e -> fail_rejection e
+  | Ok r ->
+    Alcotest.(check int) "alice voided" 1 r.Token_bank.rec_users_voided;
+    Alcotest.check check_u256 "voided value netted" half r.Token_bank.rec_voided0;
+    Alcotest.check check_u256 "alice not paid twice" alice0_after_exit
+      (Erc20.balance_of env.erc0 alice);
+    Alcotest.(check bool) "exit conservation still holds" true
+      (Token_bank.exit_conservation_ok env.bank)
 
 (* ------------------------------------------------------------------ *)
 (* ABI payload encoding                                                *)
@@ -520,6 +675,13 @@ let () =
             test_flash_pool_balances_unchanged_for_sidechain ] );
       ( "checkpoint",
         [ Alcotest.test_case "restore + resync" `Quick test_checkpoint_restore ] );
+      ( "emergency-exit",
+        [ Alcotest.test_case "halt freezes bank" `Quick test_halt_freezes_bank;
+          Alcotest.test_case "pro-rata exit + conservation" `Quick
+            test_exit_pro_rata_and_conservation;
+          Alcotest.test_case "reconcile after exits" `Quick test_reconcile_after_exits;
+          Alcotest.test_case "reconcile voids exited users" `Quick
+            test_reconcile_voids_exited_users ] );
       ( "encoding/substrate",
         [ Alcotest.test_case "abi sizes" `Quick test_abi_sizes;
           Alcotest.test_case "erc20" `Quick test_erc20_semantics;
