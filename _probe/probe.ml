@@ -1,0 +1,18 @@
+open Ammboost
+let () =
+  let cfg =
+    { Config.default with
+      epochs = 20; daily_volume = 50_000; users = 16; miners = 40; committee_size = 13;
+      max_faulty = 4;
+      faults = { Faults.Fault_plan.none with
+                 Faults.Fault_plan.scenario =
+                   { Faults.Fault_plan.quorum_starvation = Some (2, 5); committee_loss = None } };
+      watchdog = { Config.default_watchdog with Config.wd_stall_degraded = 2; wd_stall_halted = 4 };
+      seed = "probe" }
+  in
+  let r = System.run cfg in
+  Printf.printf "final_mode=%s transitions=%s exits=%d conservation=%b recovery_latency=%s\n"
+    r.System.final_mode
+    (String.concat "->" (List.map snd r.System.mode_transitions))
+    r.System.exits_served r.System.exit_conservation
+    (match r.System.recovery_latency with Some l -> Printf.sprintf "%.1f" l | None -> "none")
