@@ -36,9 +36,11 @@ let micro_names =
   |> List.map (fun n -> "ammboost/" ^ n)
 
 (* ns/run measured on the pre-optimisation tree (same machine class, same
-   Bechamel settings), kept for before/after comparison in the results
-   JSON. *)
-let baseline_micro_ns =
+   Bechamel settings). Fallback only: when a previous results file exists
+   at the results path, its [micro_ns] becomes the baseline instead (see
+   [load_baseline]), so successive runs compare against the checked-in
+   numbers without this table going stale. *)
+let builtin_baseline_micro_ns =
   [ ("ammboost/u256 mul_div", 1349.9); ("ammboost/u256 sqrt", 6469.2);
     ("ammboost/tick->sqrt ratio", 4546.7); ("ammboost/sqrt ratio->tick", 130382.8);
     ("ammboost/keccak256 (1KiB)", 140086.3); ("ammboost/sha256 (1KiB)", 22705.3);
@@ -85,7 +87,7 @@ let micro_tests () =
     Test.make ~name:"bls verify"
       (Staged.stage (fun () -> Amm_crypto.Bls.verify pk msg sigma))
   in
-  let _vk, shares = Amm_crypto.Bls.dkg rng ~n:16 ~threshold:11 in
+  let _vk, _, shares = Amm_crypto.Bls.dkg rng ~n:16 ~threshold:11 in
   let t_threshold =
     Test.make ~name:"threshold sign 11-of-16"
       (Staged.stage (fun () ->
@@ -124,9 +126,23 @@ let micro_tests () =
     [ t_muldiv; t_sqrt; t_tick; t_tick_inv; t_keccak; t_sha; t_sign; t_verify;
       t_threshold; t_swap ]
 
+(* AMMBOOST_MICRO_QUOTA=<seconds> shrinks the per-test sampling budget —
+   CI's perf-guard runs at a reduced quota so the job stays fast. *)
+let micro_quota () =
+  match Sys.getenv_opt "AMMBOOST_MICRO_QUOTA" with
+  | Some s ->
+    (match float_of_string_opt s with
+    | Some q when q > 0.0 -> q
+    | _ ->
+      Printf.eprintf "ignoring invalid AMMBOOST_MICRO_QUOTA=%S\n%!" s;
+      0.5)
+  | None -> 0.5
+
 let run_micro () =
   let open Bechamel in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second (micro_quota ())) ~kde:None ()
+  in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let raw = Benchmark.all cfg instances (micro_tests ()) in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |] in
@@ -342,7 +358,40 @@ let results_path () =
   | Some p when p <> "" -> p
   | _ -> "BENCH_results.json"
 
-let write_results ~jobs outcomes =
+(* The micro baseline: the previous results file at the results path when
+   it parses, else the built-in table. Must run before the file is
+   truncated for writing. *)
+let load_baseline () =
+  let path = results_path () in
+  let from_file =
+    if not (Sys.file_exists path) then None
+    else
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error _ -> None
+      | text ->
+        (match Json.parse text with
+        | Error _ -> None
+        | Ok doc ->
+          (match Json.member "micro_ns" doc with
+          | Some (Json.Jobject fields) ->
+            let rows =
+              List.filter_map
+                (fun (k, v) ->
+                  match v with Json.Jnumber f -> Some (k, f) | _ -> None)
+                fields
+            in
+            if rows = [] then None else Some rows
+          | _ -> None))
+  in
+  match from_file with
+  | Some rows ->
+    Printf.eprintf "  [micro baseline: previous %s]\n%!" path;
+    rows
+  | None ->
+    Printf.eprintf "  [micro baseline: built-in table]\n%!";
+    builtin_baseline_micro_ns
+
+let write_results ~jobs ~baseline outcomes =
   let micro_rows = List.concat_map (fun o -> o.o_micro) outcomes in
   let ns_obj rows =
     Json.obj
@@ -367,7 +416,7 @@ let write_results ~jobs outcomes =
         ("experiments", experiments);
         ("micro_ns", ns_obj micro_rows);
         ("baseline_micro_ns",
-         ns_obj (List.map (fun (n, v) -> (n, Some v)) baseline_micro_ns)) ]
+         ns_obj (List.map (fun (n, v) -> (n, Some v)) baseline)) ]
   in
   let path = results_path () in
   let oc = open_out path in
@@ -429,5 +478,6 @@ let () =
   Printf.printf "ammBoost benchmark harness (volumes = paper volumes / %.0f)\n" E.scale;
   Printf.eprintf "  [running %d experiment(s) with %d job(s)]\n%!"
     (List.length targets) jobs;
+  let baseline = load_baseline () in
   let outcomes = run_targets targets in
-  write_results ~jobs outcomes
+  write_results ~jobs ~baseline outcomes

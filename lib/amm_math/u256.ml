@@ -380,6 +380,89 @@ let pow x n =
   go one x n
 
 (* ------------------------------------------------------------------ *)
+(* Fixed-modulus Montgomery arithmetic                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Modular multiplication against a modulus fixed once per context: the
+   generic [mul_mod] pays a full 512-bit schoolbook product plus a Knuth
+   division on every call, while Montgomery's method replaces the
+   division with shifts against a precomputed -N^-1 mod 2^16. The CIOS
+   (coarsely integrated operand scanning) loop below interleaves the
+   product and the reduction, so every intermediate stays within two
+   spare limbs and all digit products fit in a native int. *)
+module Mont = struct
+  (* The [one] accessor below shadows the module-level constant. *)
+  let u256_one = one
+
+  type ctx = {
+    m : int array; (* modulus digits, little-endian, length 16 *)
+    m0' : int; (* -m^-1 mod 2^16 *)
+    one_m : t; (* R mod m: the Montgomery form of 1 *)
+    r2 : t; (* R^2 mod m, for conversions into Montgomery form *)
+  }
+
+  let modulus ctx = copy ctx.m
+  let one ctx = copy ctx.one_m
+
+  (* CIOS Montgomery product: a*b*R^-1 mod m with R = 2^256. Inputs must
+     be < m; the result is < m and freshly allocated. *)
+  let mul ctx a b =
+    let m = ctx.m and m0' = ctx.m0' in
+    (* t holds ndigits+2 limbs: the running (a*b + q*m)/2^(16i). *)
+    let t = Array.make (ndigits + 2) 0 in
+    for i = 0 to ndigits - 1 do
+      let ai = Array.unsafe_get a i in
+      (* t <- t + ai * b *)
+      let carry = ref 0 in
+      for j = 0 to ndigits - 1 do
+        let v = Array.unsafe_get t j + (ai * Array.unsafe_get b j) + !carry in
+        Array.unsafe_set t j (v land mask);
+        carry := v lsr digit_bits
+      done;
+      let v = t.(ndigits) + !carry in
+      t.(ndigits) <- v land mask;
+      t.(ndigits + 1) <- t.(ndigits + 1) + (v lsr digit_bits);
+      (* q kills the low limb: (t + q*m) mod 2^16 = 0. *)
+      let q = (t.(0) * m0') land mask in
+      let v0 = t.(0) + (q * Array.unsafe_get m 0) in
+      let carry = ref (v0 lsr digit_bits) in
+      (* t <- (t + q*m) / 2^16, fused with the shift. *)
+      for j = 1 to ndigits - 1 do
+        let v = Array.unsafe_get t j + (q * Array.unsafe_get m j) + !carry in
+        Array.unsafe_set t (j - 1) (v land mask);
+        carry := v lsr digit_bits
+      done;
+      let v = t.(ndigits) + !carry in
+      t.(ndigits - 1) <- v land mask;
+      t.(ndigits) <- t.(ndigits + 1) + (v lsr digit_bits);
+      t.(ndigits + 1) <- 0
+    done;
+    (* Result in t[0..16], < 2m: one conditional subtract normalizes. *)
+    let r = Array.sub t 0 ndigits in
+    if t.(ndigits) <> 0 || ge r m then sub_into ~dst:r r m;
+    r
+
+  let create ~modulus =
+    if is_zero modulus || modulus.(0) land 1 = 0 then
+      invalid_arg "U256.Mont.create: modulus must be odd";
+    (* m0' = -m^-1 mod 2^16 by Newton–Hensel lifting: for odd m0 the seed
+       m0 is its own inverse mod 8, and each step doubles the bits. *)
+    let m0 = modulus.(0) in
+    let x = ref m0 in
+    for _ = 1 to 4 do
+      x := !x * (2 - (m0 * !x)) land mask
+    done;
+    let m0' = (base - !x) land mask in
+    (* R mod m computed without a 257-bit value: (2^256 - 1) mod m, +1. *)
+    let one_m = rem (add (rem max_value modulus) u256_one) modulus in
+    let r2 = mul_mod one_m one_m modulus in
+    { m = copy modulus; m0'; one_m; r2 }
+
+  let to_mont ctx x = mul ctx x ctx.r2
+  let of_mont ctx x = mul ctx x u256_one
+end
+
+(* ------------------------------------------------------------------ *)
 (* Bitwise                                                             *)
 (* ------------------------------------------------------------------ *)
 

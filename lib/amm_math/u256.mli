@@ -141,6 +141,39 @@ val mul_into : dst:t -> t -> t -> unit
 val sqrt : t -> t
 (** Integer square root (floor). *)
 
+(** {1 Fixed-modulus Montgomery arithmetic}
+
+    When many multiplications share one odd modulus (prime-field
+    arithmetic, most notably), a precomputed context replaces the
+    512-bit product + Knuth division of {!mul_mod} with a CIOS
+    Montgomery reduction: no division at all, just shifts against
+    [-m⁻¹ mod 2^16]. Values live in Montgomery form [x·R mod m]
+    (R = 2^256) between {!Mont.to_mont} and {!Mont.of_mont}; {!Mont.mul}
+    is closed over that form. *)
+
+module Mont : sig
+  type ctx
+
+  val create : modulus:t -> ctx
+  (** Precompute for a fixed modulus. Raises [Invalid_argument] if the
+      modulus is even or zero. *)
+
+  val modulus : ctx -> t
+
+  val one : ctx -> t
+  (** [R mod m] — the Montgomery form of 1. *)
+
+  val to_mont : ctx -> t -> t
+  (** [to_mont ctx x = x·R mod m]. [x] must already be reduced ([< m]). *)
+
+  val of_mont : ctx -> t -> t
+  (** [of_mont ctx x = x·R⁻¹ mod m]; inverse of {!to_mont}. *)
+
+  val mul : ctx -> t -> t -> t
+  (** Montgomery product [a·b·R⁻¹ mod m] of reduced inputs; on values in
+      Montgomery form this is the modular product in Montgomery form. *)
+end
+
 (** {1 Bitwise} *)
 
 val logand : t -> t -> t

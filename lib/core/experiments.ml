@@ -509,6 +509,7 @@ let chaos_soak ?sink ?domains () =
                ("Mass-syncs", string_of_int r.System.mass_syncs);
                ("Sync retries", string_of_int r.System.sync_retries);
                ("Degraded signings", string_of_int r.System.degraded_signings);
+               ("Corrupted partials", string_of_int r.System.corrupted_partials);
                ("Rollbacks", string_of_int r.System.rollbacks);
                ("Replay oracle",
                 if r.System.replay_consistent then "pass" else "FAIL") ])

@@ -44,6 +44,7 @@ type tele = {
   c_rollbacks : Tmetrics.counter;
   c_sync_retries : Tmetrics.counter;
   c_degraded_signing : Tmetrics.counter;
+  c_corrupted_partial : Tmetrics.counter;
   c_mode_transitions : Tmetrics.counter;
   c_exits : Tmetrics.counter;
   c_reconcile_applied : Tmetrics.counter;
@@ -79,6 +80,7 @@ let make_tele sink =
     c_rollbacks = Tmetrics.counter reg "interruption.rollbacks";
     c_sync_retries = Tmetrics.counter reg "recovery.sync_retries";
     c_degraded_signing = Tmetrics.counter reg "recovery.degraded_signing";
+    c_corrupted_partial = Tmetrics.counter reg "recovery.corrupted_partial";
     c_mode_transitions = Tmetrics.counter reg "watchdog.transitions";
     c_exits = Tmetrics.counter reg "exit.served";
     c_reconcile_applied = Tmetrics.counter reg "reconcile.users.applied";
@@ -112,7 +114,11 @@ type signer =
   | Plain_key of Bls.secret_key
   | Shared of { shares : Bls.share list; threshold : int }
 
-type epoch_keys = { vk : Bls.public_key; signer : signer }
+type epoch_keys = {
+  vk : Bls.public_key;
+  commitments : Bls.commitments; (* [||] for Plain_key signing *)
+  signer : signer;
+}
 
 type committee_record = {
   epoch : int;
@@ -163,6 +169,7 @@ type result = {
   mass_syncs : int;
   sync_retries : int;
   degraded_signings : int;
+  corrupted_partials : int;
   rollbacks : int;
   faults_injected : (string * int) list;
   replay_consistent : bool;
@@ -238,6 +245,7 @@ type t = {
   mutable outage_start : float option;
   mutable sync_retries : int;
   mutable degraded_signings : int;
+  mutable corrupted_partials : int;
   mutable rollback_count : int;
   mutable mass_syncs : int;
   mutable max_summary_bytes : int;
@@ -287,13 +295,13 @@ let make_committee_keys ~cfg ~rng_keys ~epoch =
   if cfg.Config.threshold_signing then begin
     let n = cfg.Config.committee_size in
     let threshold = Stdlib.min n ((2 * cfg.Config.max_faulty) + 2) in
-    let vk, shares = Bls.dkg rng ~n ~threshold in
-    { vk; signer = Shared { shares; threshold } }
+    let vk, commitments, shares = Bls.dkg rng ~n ~threshold in
+    { vk; commitments; signer = Shared { shares; threshold } }
   end
   else begin
     (* The paper's PoC signs Sync with a pre-generated key. *)
     let sk, vk = Bls.keygen rng in
-    { vk; signer = Plain_key sk }
+    { vk; commitments = [||]; signer = Plain_key sk }
   end
 
 let committee_keys t ~epoch =
@@ -305,9 +313,12 @@ let committee_keys t ~epoch =
     keys
 
 (* Threshold-sign the epoch summary. The fault plan may withhold up to
-   min(f, n − threshold) shares — the degraded-quorum path: any
-   [threshold] distinct shares Lagrange-combine to the same group
-   element, so the signature still verifies under the committee vk. *)
+   min(f, n − threshold) shares and corrupt up to the surplus beyond the
+   quorum among the remainder — the degraded-quorum path: corrupted
+   partials fail [Bls.verify_partial] against the DKG commitments and
+   are discarded, and any [threshold] distinct honest shares
+   Lagrange-combine to the same group element, so the signature still
+   verifies under the committee vk. *)
 let sign_payload t ~epoch keys msg =
   match keys.signer with
   | Plain_key sk ->
@@ -324,10 +335,33 @@ let sign_payload t ~epoch keys msg =
       else
         List.filter (fun s -> not (List.mem (Bls.share_index s) withheld)) shares
     in
-    let partials = List.map (fun s -> Bls.partial_sign s msg) usable in
-    match Bls.combine ~threshold partials with
+    (* Byzantine members tamper their partials; cap keeps the honest
+       remainder at or above the quorum. *)
+    let max_corrupted =
+      Stdlib.min t.cfg.Config.max_faulty (List.length usable - threshold)
+    in
+    let corrupted =
+      Faults.Fault_plan.corrupted_shares t.plan ~epoch ~n ~max_corrupted
+    in
+    let partials =
+      List.map
+        (fun s ->
+          let p = Bls.partial_sign s msg in
+          if List.mem (Bls.share_index s) corrupted then Bls.tamper_partial p
+          else p)
+        usable
+    in
+    let verified =
+      List.filter (Bls.verify_partial ~commitments:keys.commitments msg) partials
+    in
+    let caught = List.length partials - List.length verified in
+    if caught > 0 then begin
+      t.corrupted_partials <- t.corrupted_partials + caught;
+      Tmetrics.inc ~by:caught t.tele.c_corrupted_partial
+    end;
+    match Bls.combine ~threshold verified with
     | Some signature ->
-      if withheld = [] then t.signing_streak <- 0
+      if withheld = [] && caught = 0 then t.signing_streak <- 0
       else begin
         t.signing_streak <- t.signing_streak + 1;
         t.degraded_signings <- t.degraded_signings + 1;
@@ -336,8 +370,9 @@ let sign_payload t ~epoch keys msg =
           ~fields:
             [ ("epoch", Json.Int epoch);
               ("withheld", Json.Int (List.length withheld));
-              ("quorum", Json.Int (List.length usable)) ]
-          "degraded-quorum signing: shares withheld"
+              ("corrupted", Json.Int caught);
+              ("quorum", Json.Int (List.length verified)) ]
+          "degraded-quorum signing: shares withheld or corrupted"
       end;
       signature
     | None -> failwith "System: threshold combine failed"
@@ -411,6 +446,7 @@ let create ?sink cfg =
       reconcile_inflight = false; reconciliation = None;
       last_summary_epoch = -1; retry_attempt = 0; next_retry_at = Float.infinity;
       outage_start = None; sync_retries = 0; degraded_signings = 0;
+      corrupted_partials = 0;
       rollback_count = 0; mass_syncs = 0; max_summary_bytes = 0;
       max_sc_stored = 0;
       processed_total = 0; processed_in_window = 0; rejected_total = 0; swaps = 0; mints = 0; burns = 0;
@@ -1515,6 +1551,7 @@ let run ?sink cfg =
     mass_syncs = t.mass_syncs;
     sync_retries = t.sync_retries;
     degraded_signings = t.degraded_signings;
+    corrupted_partials = t.corrupted_partials;
     rollbacks = t.rollback_count;
     faults_injected;
     replay_consistent;

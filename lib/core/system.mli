@@ -59,7 +59,10 @@ type result = {
   mass_syncs : int;            (** recovery syncs covering multiple epochs *)
   sync_retries : int;          (** backoff re-submissions after observed
                                    sync failures (drop/reject/reorg) *)
-  degraded_signings : int;     (** summaries signed with withheld shares *)
+  degraded_signings : int;     (** summaries signed with withheld or
+                                   corrupted shares *)
+  corrupted_partials : int;    (** tampered partial signatures caught by
+                                   [Bls.verify_partial] and discarded *)
   rollbacks : int;             (** mainchain forks rolled back (scripted
                                    interruptions + injected reorgs) *)
   faults_injected : (string * int) list;

@@ -31,6 +31,7 @@ let public_key_to_bytes = Group.g2_to_bytes
 
 type share = { index : int; value : Field.t }
 type partial_signature = { p_index : int; p_sig : Group.g1 }
+type commitments = Group.g2 array
 
 let share_index s = s.index
 
@@ -42,21 +43,40 @@ let dkg rng ~n ~threshold =
   if threshold < 1 || threshold > n then invalid_arg "Bls.dkg: bad threshold";
   (* Equivalent outcome of a Pedersen-style DKG: a uniformly random degree
      (threshold-1) polynomial nobody fully knows; here the simulation draws
-     it directly from the deterministic rng. *)
+     it directly from the deterministic rng. The Feldman commitments
+     g2^{a_k} are what a real DKG broadcasts — they let anyone check a
+     partial signature against the share it should have been made with. *)
   let coeffs = Array.init threshold (fun _ -> Rng.field rng) in
   let secret = coeffs.(0) in
+  let commitments = Array.map (Group.g2_mul Group.g2_generator) coeffs in
   let shares =
     List.init n (fun i ->
         let index = i + 1 in
         { index; value = eval_poly coeffs (Field.of_int index) })
   in
-  (Group.g2_mul Group.g2_generator secret, shares)
+  (Group.g2_mul Group.g2_generator secret, commitments, shares)
+
+let member_key commitments i =
+  (* g2^{poly(i)} by Horner in the exponent over the commitments. *)
+  let x = Field.of_int i in
+  Array.fold_right
+    (fun c acc -> Group.g2_add c (Group.g2_mul acc x))
+    commitments Group.g2_zero
 
 let partial_sign share msg =
   { p_index = share.index; p_sig = Group.g1_mul (Group.hash_to_g1 msg) share.value }
 
 let partial_index p = p.p_index
-let verify_partial p = p.p_index >= 1
+
+let verify_partial ~commitments msg p =
+  (* e(p_sig, g2) = e(H(m), g2^{poly(i)}): the partial really is H(m)
+     raised to the share the DKG committed to for this member. *)
+  p.p_index >= 1
+  && Group.gt_equal
+       (Group.pairing p.p_sig Group.g2_generator)
+       (Group.pairing (Group.hash_to_g1 msg) (member_key commitments p.p_index))
+
+let tamper_partial p = { p with p_sig = Group.g1_add p.p_sig Group.g1_generator }
 
 let lagrange_coefficient_at_zero indices i =
   (* λ_i = Π_{j ≠ i} x_j / (x_j − x_i) over the field. *)
@@ -68,28 +88,86 @@ let lagrange_coefficient_at_zero indices i =
         Field.mul acc (Field.div xj (Field.sub xj xi)))
     Field.one indices
 
-let combine ~threshold partials =
+let lagrange_coefficients_uncached indices =
+  (* All λ_i at once: numerators Π_{j≠i} x_j come from prefix/suffix
+     product arrays; the t denominators Π_{j≠i} (x_j − x_i) are inverted
+     together with Montgomery's trick — one field inversion total,
+     versus t·(t−1) divisions for the one-at-a-time formula. *)
+  let xs = Array.of_list (List.map Field.of_int indices) in
+  let t = Array.length xs in
+  let prefix = Array.make (t + 1) Field.one in
+  for i = 0 to t - 1 do
+    prefix.(i + 1) <- Field.mul prefix.(i) xs.(i)
+  done;
+  let suffix = Array.make (t + 1) Field.one in
+  for i = t - 1 downto 0 do
+    suffix.(i) <- Field.mul suffix.(i + 1) xs.(i)
+  done;
+  let dens =
+    Array.init t (fun i ->
+        let d = ref Field.one in
+        for j = 0 to t - 1 do
+          if j <> i then d := Field.mul !d (Field.sub xs.(j) xs.(i))
+        done;
+        !d)
+  in
+  let inv_dens = Field.batch_inv dens in
+  Array.init t (fun i ->
+      Field.mul (Field.mul prefix.(i) suffix.(i + 1)) inv_dens.(i))
+
+(* The signer set barely changes between epochs (the same quorum answers
+   every Sync until membership or faults shift it), so the coefficient
+   vector for a given index set is cached per domain. Keyed by the sorted
+   index list; bounded so a pathological churn of signer sets cannot grow
+   the table without limit. Domain-local state keeps parallel experiment
+   runs deterministic: a hit and a miss return identical values. *)
+let lambda_cache_cap = 1 lsl 12
+
+let lambda_cache : (int list, Field.t array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let lagrange_coefficients indices =
+  let tbl = Domain.DLS.get lambda_cache in
+  match Hashtbl.find_opt tbl indices with
+  | Some lambdas -> lambdas
+  | None ->
+    let lambdas = lagrange_coefficients_uncached indices in
+    if Hashtbl.length tbl >= lambda_cache_cap then Hashtbl.reset tbl;
+    Hashtbl.add tbl indices lambdas;
+    lambdas
+
+let select_quorum ~threshold partials =
   (* Deduplicate by index; any [threshold] distinct shares reconstruct. *)
   let distinct =
     List.sort_uniq (fun a b -> Stdlib.compare a.p_index b.p_index) partials
   in
   if List.length distinct < threshold then None
-  else begin
-    let used = ref [] in
-    let rec take n = function
-      | _ when n = 0 -> ()
-      | [] -> ()
-      | p :: rest -> used := p :: !used; take (n - 1) rest
-    in
-    take threshold distinct;
-    let indices = List.map (fun p -> p.p_index) !used in
+  else Some (List.filteri (fun i _ -> i < threshold) distinct)
+
+let combine ~threshold partials =
+  match select_quorum ~threshold partials with
+  | None -> None
+  | Some used ->
+    let indices = List.map (fun p -> p.p_index) used in
+    let lambdas = lagrange_coefficients indices in
+    let sigma = ref Group.g1_zero in
+    List.iteri
+      (fun k p -> sigma := Group.g1_add !sigma (Group.g1_mul p.p_sig lambdas.(k)))
+      used;
+    Some !sigma
+
+let combine_reference ~threshold partials =
+  (* The pre-optimisation path — per-partial λ_i with a field division per
+     factor — kept as the oracle [combine] is tested against. *)
+  match select_quorum ~threshold partials with
+  | None -> None
+  | Some used ->
+    let indices = List.map (fun p -> p.p_index) used in
     let sigma =
       List.fold_left
         (fun acc p ->
           let lambda = lagrange_coefficient_at_zero indices p.p_index in
           Group.g1_add acc (Group.g1_mul p.p_sig lambda))
-        (Group.g1_mul Group.g1_generator Field.zero)
-        !used
+        Group.g1_zero used
     in
     Some sigma
-  end

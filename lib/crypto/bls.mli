@@ -33,12 +33,22 @@ type share
 
 type partial_signature
 
+type commitments = Group.g2 array
+(** Feldman commitments [g2^{a_k}] to the DKG polynomial's coefficients.
+    Public alongside [vk_c]; they determine every member's public share
+    key [g2^{poly(i)}], which is what partial signatures verify against. *)
+
 val share_index : share -> int
 
-val dkg : Rng.t -> n:int -> threshold:int -> public_key * share list
+val dkg : Rng.t -> n:int -> threshold:int -> public_key * commitments * share list
 (** Distributed key generation for an [n]-member committee: returns the
-    committee verification key and one share per member (indices 1..n).
-    Any [threshold] shares can sign; fewer reveal nothing usable. *)
+    committee verification key, the coefficient commitments, and one
+    share per member (indices 1..n). Any [threshold] shares can sign;
+    fewer reveal nothing usable. *)
+
+val member_key : commitments -> int -> Group.g2
+(** [g2^{poly(i)}], member [i]'s public share key, evaluated in the
+    exponent from the commitments. *)
 
 val partial_sign : share -> bytes -> partial_signature
 
@@ -46,9 +56,23 @@ val partial_index : partial_signature -> int
 (** The signing share's index (used to identify withheld/duplicate
     contributions when combining under a degraded quorum). *)
 
-val verify_partial : partial_signature -> bool
-(** Well-formedness of a partial (index in range). *)
+val verify_partial : commitments:commitments -> bytes -> partial_signature -> bool
+(** Cryptographic check of a partial against the DKG commitments:
+    [e(p_sig, g2) = e(H(m), g2^{poly(i)})]. Rejects corrupted or
+    mis-attributed partials, not just malformed indices. *)
+
+val tamper_partial : partial_signature -> partial_signature
+(** The same index with a corrupted signature value — what a Byzantine
+    member submits. [verify_partial] rejects the result; used by the
+    fault-injection layer. *)
 
 val combine : threshold:int -> partial_signature list -> signature option
 (** Lagrange-combines at least [threshold] distinct partials into a full
-    signature; [None] if there are too few distinct indices. *)
+    signature; [None] if there are too few distinct indices. The
+    coefficient vector for a signer set costs one field inversion (batch
+    inverted) and is cached per domain, keyed by the index set. *)
+
+val combine_reference : threshold:int -> partial_signature list -> signature option
+(** The pre-optimisation combine (per-partial coefficient, one field
+    division per factor, no cache). Always agrees with {!combine};
+    kept as the oracle for tests and benchmarks. *)

@@ -1,6 +1,14 @@
 (** Prime-field arithmetic modulo the BN254 group order, used by the
     simulated BN256 group, Shamir secret sharing and Lagrange
-    interpolation. *)
+    interpolation.
+
+    The modulus is fixed, so elements are held in Montgomery form and
+    multiplied through a precomputed {!Amm_math.U256.Mont} context (no
+    per-operation division); inversion is a binary extended GCD. The
+    [_naive] functions preserve the original generic-modulus code path
+    (schoolbook multiply + Knuth division, Fermat inversion) as
+    reference implementations — the fast path must agree with them
+    exactly on every input. *)
 
 type t
 (** A field element; always reduced modulo the order. *)
@@ -23,10 +31,28 @@ val add : t -> t -> t
 val sub : t -> t -> t
 val neg : t -> t
 val mul : t -> t -> t
+
 val inv : t -> t
-(** Multiplicative inverse by Fermat's little theorem. Raises
+(** Multiplicative inverse by binary extended GCD. Raises
     [Division_by_zero] on zero. *)
 
 val div : t -> t -> t
 val pow : t -> Amm_math.U256.t -> t
+
+val batch_inv : t array -> t array
+(** Montgomery's trick: the inverses of all entries for the cost of one
+    inversion plus [3(n-1)] multiplications. Raises [Division_by_zero]
+    if any entry is zero. *)
+
+(** {1 Naive reference implementations}
+
+    The pre-optimisation operations, kept verbatim for differential
+    testing; equal to the fast path on every input. *)
+
+val mul_naive : t -> t -> t
+val pow_naive : t -> Amm_math.U256.t -> t
+
+val inv_naive : t -> t
+(** Fermat inversion ([a^(order-2)]). Raises [Division_by_zero] on zero. *)
+
 val pp : Format.formatter -> t -> unit

@@ -18,6 +18,11 @@ type gt
 val g1_generator : g1
 val g2_generator : g2
 
+val g1_zero : g1
+val g2_zero : g2
+(** The group identities — the right accumulator seeds for sums, instead
+    of burning a scalar multiplication on [mul generator Field.zero]. *)
+
 val g1_mul : g1 -> Field.t -> g1
 val g2_mul : g2 -> Field.t -> g2
 val g1_add : g1 -> g1 -> g1
@@ -28,7 +33,12 @@ val gt_equal : gt -> gt -> bool
 
 val hash_to_g1 : bytes -> g1
 (** Hash-to-point: Keccak-256 of the message mapped into G1, mirroring the
-    paper's hash-to-point (Keccak256 then scalar multiplication). *)
+    paper's hash-to-point (Keccak256 then scalar multiplication). Results
+    are memoised per domain (bounded), since the signing path hashes the
+    same epoch summary once per committee member. *)
+
+val hash_to_g1_uncached : bytes -> g1
+(** The memo-free computation; [hash_to_g1] always agrees with it. *)
 
 val pairing : g1 -> g2 -> gt
 (** The bilinear map. *)

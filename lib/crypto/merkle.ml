@@ -1,8 +1,28 @@
 (* Odd nodes are promoted unpaired (Bitcoin-style duplication is avoided to
    keep proofs unambiguous). Leaf and node hashes are domain-separated. *)
 
-let leaf_hash payload = Sha256.concat [ Bytes.of_string "\x00"; payload ]
-let node_hash l r = Sha256.concat [ Bytes.of_string "\x01"; l; r ]
+let leaf_tag = Bytes.of_string "\x00"
+let node_tag = Bytes.of_string "\x01"
+
+(* The tree build is the hot path (one hash per node per epoch); thread an
+   explicit streaming context through it so the whole build shares one
+   message schedule. The one-shot wrappers below keep the prove/verify
+   paths unchanged. *)
+let leaf_hash_into ctx payload =
+  Sha256.reset ctx;
+  Sha256.feed ctx leaf_tag;
+  Sha256.feed ctx payload;
+  Sha256.finalize ctx
+
+let node_hash_into ctx l r =
+  Sha256.reset ctx;
+  Sha256.feed ctx node_tag;
+  Sha256.feed ctx l;
+  Sha256.feed ctx r;
+  Sha256.finalize ctx
+
+let leaf_hash payload = Sha256.concat [ leaf_tag; payload ]
+let node_hash l r = Sha256.concat [ node_tag; l; r ]
 
 type tree = { levels : bytes array array }
 (* levels.(0) = leaf hashes; last level has length 1 (the root). *)
@@ -13,14 +33,16 @@ let of_leaves payloads =
   match payloads with
   | [] -> { levels = [| [| empty_root |] |] }
   | _ ->
-    let leaves = Array.of_list (List.map leaf_hash payloads) in
+    let ctx = Sha256.init () in
+    let leaves = Array.of_list (List.map (leaf_hash_into ctx) payloads) in
     let rec build acc level =
       if Array.length level <= 1 then List.rev (level :: acc)
       else begin
         let n = Array.length level in
         let parents =
           Array.init ((n + 1) / 2) (fun i ->
-              if (2 * i) + 1 < n then node_hash level.(2 * i) level.((2 * i) + 1)
+              if (2 * i) + 1 < n then
+                node_hash_into ctx level.(2 * i) level.((2 * i) + 1)
               else level.(2 * i))
         in
         build (level :: acc) parents

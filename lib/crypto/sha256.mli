@@ -1,11 +1,27 @@
 (** SHA-256 (FIPS 180-4), implemented from scratch. *)
 
 val digest : bytes -> bytes
-(** 32-byte digest of the input. *)
+(** 32-byte digest of the input. Runs on a reusable domain-local context:
+    no per-call message-schedule allocation and no padded input copy. *)
 
 val digest_string : string -> bytes
 val hex : string -> string
 (** Hex digest of a string input, convenient for tests. *)
 
 val concat : bytes list -> bytes
-(** Digest of the concatenation of the inputs. *)
+(** Digest of the concatenation of the inputs, streamed — the parts are
+    never copied into one buffer. *)
+
+(** {1 Streaming interface}
+
+    Feed a message in arbitrary chunks; equals the one-shot digest of
+    the concatenation. A context is reusable: {!finalize} leaves it
+    ready for the next message (as does {!reset}). *)
+
+type ctx
+
+val init : unit -> ctx
+val reset : ctx -> unit
+val feed : ctx -> bytes -> unit
+val feed_string : ctx -> string -> unit
+val finalize : ctx -> bytes

@@ -24,7 +24,7 @@ type consensus = {
   byzantine_leader_rate : float;
 }
 
-type committee = { withhold_rate : float }
+type committee = { withhold_rate : float; corrupt_rate : float }
 
 type mainchain = {
   silent_leader_rate : float;
@@ -70,7 +70,7 @@ let none =
         partition_rate = 0.0;
       };
     consensus = { member_crash_rate = 0.0; byzantine_leader_rate = 0.0 };
-    committee = { withhold_rate = 0.0 };
+    committee = { withhold_rate = 0.0; corrupt_rate = 0.0 };
     mainchain =
       {
         silent_leader_rate = 0.0;
@@ -98,7 +98,7 @@ let chaos ?(intensity = 0.1) () =
         partition_rate = r 0.02;
       };
     consensus = { member_crash_rate = r 0.02; byzantine_leader_rate = r 0.03 };
-    committee = { withhold_rate = r 0.2 };
+    committee = { withhold_rate = r 0.2; corrupt_rate = r 0.1 };
     mainchain =
       {
         silent_leader_rate = r 0.05;
@@ -120,6 +120,7 @@ let active s =
   || s.consensus.member_crash_rate > 0.0
   || s.consensus.byzantine_leader_rate > 0.0
   || s.committee.withhold_rate > 0.0
+  || s.committee.corrupt_rate > 0.0
   || s.mainchain.silent_leader_rate > 0.0
   || s.mainchain.corrupt_sync_rate > 0.0
   || s.mainchain.sync_drop_rate > 0.0
@@ -245,6 +246,11 @@ let withheld_shares t ~epoch ~n ~max_withheld =
   let key = Printf.sprintf "cm.withhold/%d" epoch in
   pick_members t ~rate:t.spec.committee.withhold_rate ~cap:max_withheld ~n
     ~base:1 ~key_prefix:key ~label:"committee.share_withheld" ~count_key:key
+
+let corrupted_shares t ~epoch ~n ~max_corrupted =
+  let key = Printf.sprintf "cm.corrupt/%d" epoch in
+  pick_members t ~rate:t.spec.committee.corrupt_rate ~cap:max_corrupted ~n
+    ~base:1 ~key_prefix:key ~label:"committee.share_corrupted" ~count_key:key
 
 let crashed_members t ~epoch ~round ~members ~max_faulty =
   let key = Printf.sprintf "cs.crash/%d/%d" epoch round in

@@ -32,6 +32,9 @@ type consensus = {
 type committee = {
   withhold_rate : float;  (** per (epoch, member): DKG share withheld,
                               capped so a degraded quorum still signs *)
+  corrupt_rate : float;   (** per (epoch, member): the member submits a
+                              tampered partial signature, capped so the
+                              honest remainder still reaches quorum *)
 }
 
 (** Mainchain-facing faults. *)
@@ -114,6 +117,11 @@ val reorg_depth : t -> epoch:int -> int option
 val withheld_shares : t -> epoch:int -> n:int -> max_withheld:int -> int list
 (** Share indices (1-based) withheld during this epoch's threshold
     signing, at most [max_withheld] of the [n] shares. *)
+
+val corrupted_shares : t -> epoch:int -> n:int -> max_corrupted:int -> int list
+(** Share indices (1-based) whose holders submit tampered partial
+    signatures this epoch, at most [max_corrupted] of the [n] shares.
+    {!Bls.verify_partial} catches these at the crypto layer. *)
 
 val crashed_members : t -> epoch:int -> round:int -> members:int -> max_faulty:int -> int list
 (** Committee member ids (0-based) crashed for this consensus round, at

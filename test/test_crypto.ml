@@ -60,6 +60,42 @@ let hash_props =
         let m' = Bytes.cat m (Bytes.of_string "x") in
         not (Bytes.equal (Sha256.digest m) (Sha256.digest m'))) ]
 
+(* Streaming digests must equal the one-shot digest of the concatenation,
+   at any chunk boundary — including mid-block and block-aligned splits. *)
+let gen_long_msg =
+  QCheck2.Gen.(map Bytes.of_string (string_size (int_range 0 400)))
+
+let streaming_props =
+  let split_prop name init feed finalize digest =
+    prop name
+      QCheck2.Gen.(pair gen_long_msg (int_range 0 400))
+      (fun (m, cut) ->
+        let cut = Stdlib.min cut (Bytes.length m) in
+        let ctx = init () in
+        feed ctx (Bytes.sub m 0 cut);
+        feed ctx (Bytes.sub m cut (Bytes.length m - cut));
+        Bytes.equal (finalize ctx) (digest m))
+  in
+  [ split_prop "sha256 streaming = one-shot" Sha256.init Sha256.feed
+      Sha256.finalize Sha256.digest;
+    split_prop "keccak streaming = one-shot" Keccak256.init Keccak256.feed
+      Keccak256.finalize Keccak256.digest;
+    prop "sha256 concat = digest of concatenation"
+      QCheck2.Gen.(list_size (int_range 0 5) gen_msg)
+      (fun parts ->
+        Bytes.equal (Sha256.concat parts)
+          (Sha256.digest (Bytes.concat Bytes.empty parts)));
+    prop "streaming context reusable across messages"
+      (QCheck2.Gen.pair gen_long_msg gen_long_msg)
+      (fun (m1, m2) ->
+        let ctx = Keccak256.init () in
+        Keccak256.feed ctx m1;
+        let d1 = Keccak256.finalize ctx in
+        Keccak256.feed ctx m2;
+        let d2 = Keccak256.finalize ctx in
+        Bytes.equal d1 (Keccak256.digest m1)
+        && Bytes.equal d2 (Keccak256.digest m2)) ]
+
 (* ------------------------------------------------------------------ *)
 (* Field                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -81,6 +117,38 @@ let test_field_pow () =
   let a = Field.of_int 7 in
   Alcotest.(check bool) "a^(p-1) = 1 (Fermat)" true
     (Field.equal Field.one (Field.pow a (U256.sub Field.order U256.one)))
+
+(* The Montgomery/extended-GCD fast paths against their naive reference
+   implementations (generic-division multiply, Fermat inversion). *)
+let gen_exp = QCheck2.Gen.map U256.of_int (QCheck2.Gen.int_range 0 max_int)
+
+let fast_vs_naive_props =
+  [ prop "mul = mul_naive" (QCheck2.Gen.pair gen_field gen_field) (fun (a, b) ->
+        Field.equal (Field.mul a b) (Field.mul_naive a b));
+    prop "inv = inv_naive" gen_field (fun a ->
+        Field.is_zero a || Field.equal (Field.inv a) (Field.inv_naive a));
+    prop "inv is a multiplicative inverse" gen_field (fun a ->
+        Field.is_zero a || Field.equal Field.one (Field.mul a (Field.inv a)));
+    prop "pow = pow_naive" (QCheck2.Gen.pair gen_field gen_exp) (fun (a, e) ->
+        Field.equal (Field.pow a e) (Field.pow_naive a e));
+    prop "batch_inv = map inv"
+      QCheck2.Gen.(array_size (int_range 1 12) gen_field)
+      (fun xs ->
+        let xs = Array.map (fun a -> if Field.is_zero a then Field.one else a) xs in
+        let batched = Field.batch_inv xs in
+        Array.for_all2 Field.equal batched (Array.map Field.inv xs)) ]
+
+let test_field_inv_edges () =
+  let pm1 = Field.of_u256 (U256.sub Field.order U256.one) in
+  Alcotest.(check bool) "inv one" true (Field.equal Field.one (Field.inv Field.one));
+  (* −1 is its own inverse. *)
+  Alcotest.(check bool) "inv (order-1)" true (Field.equal pm1 (Field.inv pm1));
+  Alcotest.(check bool) "inv matches naive at order-1" true
+    (Field.equal (Field.inv pm1) (Field.inv_naive pm1));
+  Alcotest.check_raises "inv zero raises" Division_by_zero (fun () ->
+      ignore (Field.inv Field.zero));
+  Alcotest.check_raises "batch_inv with zero raises" Division_by_zero (fun () ->
+      ignore (Field.batch_inv [| Field.one; Field.zero |]))
 
 (* ------------------------------------------------------------------ *)
 (* BLS and threshold signatures                                        *)
@@ -113,15 +181,12 @@ let test_bls_aggregate () =
   (* Aggregate verifies under the aggregated public key in the ideal
      group: sum of keys = key of summed secrets. *)
   let agg_pk =
-    List.fold_left
-      (fun acc (_, pk) -> Group.g2_add acc pk)
-      (Group.g2_mul Group.g2_generator Field.zero)
-      keys
+    List.fold_left (fun acc (_, pk) -> Group.g2_add acc pk) Group.g2_zero keys
   in
   Alcotest.(check bool) "aggregate verifies" true (Bls.verify agg_pk msg agg_sig)
 
 let test_threshold_basic () =
-  let vk, shares = Bls.dkg (rng ()) ~n:10 ~threshold:7 in
+  let vk, _, shares = Bls.dkg (rng ()) ~n:10 ~threshold:7 in
   let msg = Bytes.of_string "sync payload" in
   let partials = List.map (fun s -> Bls.partial_sign s msg) shares in
   (match Bls.combine ~threshold:7 partials with
@@ -134,20 +199,20 @@ let test_threshold_basic () =
   | None -> Alcotest.fail "subset combine failed")
 
 let test_threshold_too_few () =
-  let _, shares = Bls.dkg (rng ()) ~n:10 ~threshold:7 in
+  let _, _, shares = Bls.dkg (rng ()) ~n:10 ~threshold:7 in
   let msg = Bytes.of_string "m" in
   let partials = List.filteri (fun i _ -> i < 6) (List.map (fun s -> Bls.partial_sign s msg) shares) in
   Alcotest.(check bool) "6 < 7 rejected" true (Bls.combine ~threshold:7 partials = None)
 
 let test_threshold_duplicates_dont_count () =
-  let _, shares = Bls.dkg (rng ()) ~n:10 ~threshold:4 in
+  let _, _, shares = Bls.dkg (rng ()) ~n:10 ~threshold:4 in
   let msg = Bytes.of_string "m" in
   let p = Bls.partial_sign (List.hd shares) msg in
   Alcotest.(check bool) "duplicates rejected" true
     (Bls.combine ~threshold:4 [ p; p; p; p ] = None)
 
 let test_threshold_wrong_subset_signature_rejected () =
-  let vk, shares = Bls.dkg (rng ()) ~n:7 ~threshold:5 in
+  let vk, _, shares = Bls.dkg (rng ()) ~n:7 ~threshold:5 in
   let msg = Bytes.of_string "m" in
   let other = Bytes.of_string "forged" in
   let partials = List.map (fun s -> Bls.partial_sign s other) shares in
@@ -162,7 +227,7 @@ let threshold_subset_prop =
        (fun (salt, drop) ->
          let r = Rng.create (Printf.sprintf "subset-%d" salt) in
          let n = 9 and threshold = 5 in
-         let vk, shares = Bls.dkg r ~n ~threshold in
+         let vk, _, shares = Bls.dkg r ~n ~threshold in
          let msg = Bytes.of_string (string_of_int salt) in
          let partials = List.map (fun s -> Bls.partial_sign s msg) shares in
          (* Remove up to [drop] distinct shares. *)
@@ -177,7 +242,7 @@ let test_threshold_withheld_any_subset () =
      sets — and every such subset yields the identical group signature
      (Lagrange interpolation is unique in the exponent). *)
   let n = 10 and threshold = 7 in
-  let vk, shares = Bls.dkg (rng ()) ~n ~threshold in
+  let vk, _, shares = Bls.dkg (rng ()) ~n ~threshold in
   let msg = Bytes.of_string "degraded quorum" in
   let partials = Array.of_list (List.map (fun s -> Bls.partial_sign s msg) shares) in
   let pick idxs = List.map (fun i -> partials.(i)) idxs in
@@ -205,7 +270,7 @@ let test_threshold_withheld_below_quorum () =
      survivor set with duplicated partials must not sneak past the
      distinctness check. *)
   let n = 10 and threshold = 7 in
-  let _, shares = Bls.dkg (rng ()) ~n ~threshold in
+  let _, _, shares = Bls.dkg (rng ()) ~n ~threshold in
   let msg = Bytes.of_string "withheld" in
   let partials = List.map (fun s -> Bls.partial_sign s msg) shares in
   let survivors = List.filteri (fun i _ -> i mod 3 <> 0) partials in
@@ -218,7 +283,7 @@ let test_threshold_withheld_below_quorum () =
 
 let test_threshold_share_indices () =
   let n = 6 and threshold = 4 in
-  let _, shares = Bls.dkg (rng ()) ~n ~threshold in
+  let _, _, shares = Bls.dkg (rng ()) ~n ~threshold in
   let msg = Bytes.of_string "indices" in
   List.iter
     (fun s ->
@@ -232,6 +297,85 @@ let test_threshold_share_indices () =
 let test_dkg_bad_threshold () =
   Alcotest.check_raises "threshold > n" (Invalid_argument "Bls.dkg: bad threshold")
     (fun () -> ignore (Bls.dkg (rng ()) ~n:3 ~threshold:4))
+
+(* Cached/batch-inverted combine against the pre-optimisation reference,
+   across random signer subsets and thresholds. Running the same subset
+   twice also exercises the λ-cache hit path. *)
+let combine_vs_reference_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"combine = combine_reference"
+       QCheck2.Gen.(triple (int_range 0 1000) (int_range 1 8) (int_range 0 9))
+       (fun (salt, threshold, drop) ->
+         let r = Rng.create (Printf.sprintf "combine-ref-%d" salt) in
+         let n = 9 in
+         let threshold = Stdlib.min threshold n in
+         let _, _, shares = Bls.dkg r ~n ~threshold in
+         let msg = Bytes.of_string (Printf.sprintf "ref-%d" salt) in
+         let partials = List.map (fun s -> Bls.partial_sign s msg) shares in
+         let kept = List.filteri (fun i _ -> i >= drop) partials in
+         let fast = Bls.combine ~threshold kept in
+         let fast2 = Bls.combine ~threshold kept in
+         let slow = Bls.combine_reference ~threshold kept in
+         match (fast, fast2, slow) with
+         | Some a, Some a', Some b ->
+           Bytes.equal (Bls.signature_to_bytes a) (Bls.signature_to_bytes b)
+           && Bytes.equal (Bls.signature_to_bytes a) (Bls.signature_to_bytes a')
+         | None, None, None -> List.length kept < threshold
+         | _ -> false))
+
+let test_verify_partial () =
+  let n = 10 and threshold = 7 in
+  let _, commitments, shares = Bls.dkg (rng ()) ~n ~threshold in
+  let msg = Bytes.of_string "partial check" in
+  let partials = List.map (fun s -> Bls.partial_sign s msg) shares in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "honest partial accepted" true
+        (Bls.verify_partial ~commitments msg p))
+    partials;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "tampered partial rejected" false
+        (Bls.verify_partial ~commitments msg (Bls.tamper_partial p)))
+    partials;
+  (* A partial on a different message fails against this message. *)
+  let other = Bls.partial_sign (List.hd shares) (Bytes.of_string "other") in
+  Alcotest.(check bool) "wrong-message partial rejected" false
+    (Bls.verify_partial ~commitments msg other)
+
+let test_combine_rejects_tampered () =
+  (* End-to-end: filter partials through verify_partial, then combine the
+     survivors — the tampered share neither blocks nor corrupts signing. *)
+  let n = 10 and threshold = 7 in
+  let vk, commitments, shares = Bls.dkg (rng ()) ~n ~threshold in
+  let msg = Bytes.of_string "filter then combine" in
+  let partials =
+    List.mapi
+      (fun i s ->
+        let p = Bls.partial_sign s msg in
+        if i < 2 then Bls.tamper_partial p else p)
+      shares
+  in
+  let honest = List.filter (Bls.verify_partial ~commitments msg) partials in
+  Alcotest.(check int) "two tampered partials caught" (n - 2) (List.length honest);
+  match Bls.combine ~threshold honest with
+  | Some s -> Alcotest.(check bool) "survivors sign" true (Bls.verify vk msg s)
+  | None -> Alcotest.fail "honest quorum must combine"
+
+let test_member_key_vk () =
+  (* The commitments' constant term is the committee verification key:
+     member_key at x = 0 recovers vk. *)
+  let vk, commitments, _ = Bls.dkg (rng ()) ~n:6 ~threshold:4 in
+  Alcotest.(check bool) "member_key 0 = vk" true
+    (Group.g2_equal (Bls.member_key commitments 0) vk)
+
+let hash_to_g1_cache_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"hash_to_g1 = uncached" gen_msg
+       (fun m ->
+         Group.g1_equal (Group.hash_to_g1 m) (Group.hash_to_g1_uncached m)
+         (* hit path: the second call reads the memo *)
+         && Group.g1_equal (Group.hash_to_g1 m) (Group.hash_to_g1_uncached m)))
 
 (* ------------------------------------------------------------------ *)
 (* VRF                                                                 *)
@@ -345,8 +489,11 @@ let () =
       ( "keccak256",
         [ Alcotest.test_case "vectors" `Quick test_keccak_vectors;
           Alcotest.test_case "rate boundaries" `Quick test_keccak_rate_boundaries ]
-        @ hash_props );
-      ("field", Alcotest.test_case "fermat" `Quick test_field_pow :: field_props);
+        @ hash_props @ streaming_props );
+      ( "field",
+        [ Alcotest.test_case "fermat" `Quick test_field_pow;
+          Alcotest.test_case "inversion edges" `Quick test_field_inv_edges ]
+        @ field_props @ fast_vs_naive_props );
       ( "bls",
         [ Alcotest.test_case "sign/verify" `Quick test_bls_sign_verify;
           Alcotest.test_case "sizes" `Quick test_bls_sizes;
@@ -362,7 +509,12 @@ let () =
             test_threshold_withheld_below_quorum;
           Alcotest.test_case "threshold share indices" `Quick test_threshold_share_indices;
           Alcotest.test_case "dkg bad threshold" `Quick test_dkg_bad_threshold;
-          threshold_subset_prop ] );
+          Alcotest.test_case "verify partial" `Quick test_verify_partial;
+          Alcotest.test_case "combine rejects tampered" `Quick
+            test_combine_rejects_tampered;
+          Alcotest.test_case "member key at zero" `Quick test_member_key_vk;
+          threshold_subset_prop; combine_vs_reference_prop;
+          hash_to_g1_cache_prop ] );
       ( "vrf",
         [ Alcotest.test_case "roundtrip" `Quick test_vrf_roundtrip;
           Alcotest.test_case "deterministic" `Quick test_vrf_deterministic;

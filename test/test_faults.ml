@@ -44,6 +44,9 @@ let sweep plan =
       (fun i -> Buffer.add_string acc (Printf.sprintf "w%d" i))
       (Fault_plan.withheld_shares plan ~epoch ~n:13 ~max_withheld:4);
     List.iter
+      (fun i -> Buffer.add_string acc (Printf.sprintf "x%d" i))
+      (Fault_plan.corrupted_shares plan ~epoch ~n:13 ~max_corrupted:4);
+    List.iter
       (fun i -> Buffer.add_string acc (Printf.sprintf "c%d" i))
       (Fault_plan.crashed_members plan ~epoch ~round:1 ~members:13 ~max_faulty:4)
   done;
@@ -58,7 +61,7 @@ let test_none_never_injects () =
   let plan = Fault_plan.create ~seed:"quiet" Fault_plan.none in
   let s = sweep plan in
   Alcotest.(check bool) "no decisions fire" false
-    (String.exists (function 'D' | 'w' | 'c' | 'r' -> true | _ -> false) s);
+    (String.exists (function 'D' | 'w' | 'x' | 'c' | 'r' -> true | _ -> false) s);
   Alcotest.(check bool) "no net chaos" true
     (Fault_plan.net_chaos plan ~epoch:0 ~round:0 ~members:7 = None);
   Alcotest.(check int) "nothing counted" 0 (Fault_plan.total_injected plan);
@@ -99,6 +102,11 @@ let test_caps_respected () =
     Alcotest.(check bool) "withheld indices 1-based distinct" true
       (List.for_all (fun i -> i >= 1 && i <= 10) w
       && List.length (List.sort_uniq compare w) = List.length w);
+    let x = Fault_plan.corrupted_shares plan ~epoch ~n:10 ~max_corrupted:2 in
+    Alcotest.(check bool) "corrupted within cap" true (List.length x <= 2);
+    Alcotest.(check bool) "corrupted indices 1-based distinct" true
+      (List.for_all (fun i -> i >= 1 && i <= 10) x
+      && List.length (List.sort_uniq compare x) = List.length x);
     let c = Fault_plan.crashed_members plan ~epoch ~round:0 ~members:10 ~max_faulty:3 in
     Alcotest.(check bool) "crashes within f" true (List.length c <= 3);
     Alcotest.(check bool) "crash ids 0-based distinct" true
@@ -271,6 +279,31 @@ let chaos_cfg =
 
 let chaos_result = lazy (System.run chaos_cfg)
 
+let test_corrupted_shares_caught_at_crypto_layer () =
+  (* Only share corruption enabled: every injected corruption must be
+     caught by the pairing check on partials, signing must still land
+     every epoch, and the replay oracle must stay clean. *)
+  let faults =
+    { Fault_plan.none with
+      committee = { withhold_rate = 0.0; corrupt_rate = 0.6 } }
+  in
+  let r =
+    System.run
+      { chaos_cfg with faults; seed = "corrupt-only"; epochs = 3 }
+  in
+  let injected =
+    Option.value ~default:0
+      (List.assoc_opt "committee.share_corrupted" r.System.faults_injected)
+  in
+  Alcotest.(check bool) "corruptions injected" true (injected > 0);
+  Alcotest.(check int) "every corruption caught by verify_partial" injected
+    r.System.corrupted_partials;
+  Alcotest.(check int) "degraded but signed: all epochs applied"
+    r.System.epochs_run r.System.epochs_applied;
+  Alcotest.(check bool) "degraded signings recorded" true
+    (r.System.degraded_signings > 0);
+  Alcotest.(check bool) "replay oracle clean" true r.System.replay_consistent
+
 let test_chaos_run_recovers_everything () =
   let r = Lazy.force chaos_result in
   let total = List.fold_left (fun a (_, n) -> a + n) 0 r.System.faults_injected in
@@ -297,6 +330,8 @@ let test_chaos_run_reproducible () =
   Alcotest.(check int) "identical rollbacks" a.System.rollbacks b.System.rollbacks;
   Alcotest.(check int) "identical degraded signings" a.System.degraded_signings
     b.System.degraded_signings;
+  Alcotest.(check int) "identical corrupted partials" a.System.corrupted_partials
+    b.System.corrupted_partials;
   Alcotest.(check int) "identical traffic" a.System.processed b.System.processed;
   Alcotest.(check (float 1e-9)) "identical latency" a.System.mean_payout_latency
     b.System.mean_payout_latency
@@ -399,5 +434,7 @@ let () =
           Alcotest.test_case "truncate tracks rollback" `Quick
             test_oracle_truncate_tracks_rollback ] );
       ( "chaos_acceptance",
-        [ Alcotest.test_case "recovers and replays" `Quick test_chaos_run_recovers_everything;
+        [ Alcotest.test_case "corrupted shares caught" `Quick
+            test_corrupted_shares_caught_at_crypto_layer;
+          Alcotest.test_case "recovers and replays" `Quick test_chaos_run_recovers_everything;
           Alcotest.test_case "seed reproduces schedule" `Quick test_chaos_run_reproducible ] ) ]

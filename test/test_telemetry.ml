@@ -342,6 +342,78 @@ let test_system_metrics_deterministic () =
   | _ -> Alcotest.fail "metrics not an object");
   ignore (parse_json (String.trim t1))
 
+(* ------------------------------------------------------------------ *)
+(* The library JSON parser (Telemetry.Json.parse)                      *)
+(* ------------------------------------------------------------------ *)
+
+module J = Telemetry.Json
+
+let test_json_parse_roundtrip () =
+  (* Everything the emitters produce must parse back structurally. *)
+  let doc =
+    J.obj
+      [ ("schema", J.string "t/1"); ("count", J.value (J.Int 42));
+        ("rate", J.value (J.Float 1.5)); ("ok", J.value (J.Bool true));
+        ("tags", J.array [ J.string "a"; J.string "b" ]);
+        ("nested", J.obj [ ("x", J.value (J.Int (-7))) ]) ]
+  in
+  match J.parse doc with
+  | Error e -> Alcotest.failf "emitted JSON must parse: %s" e
+  | Ok v ->
+    Alcotest.(check bool) "schema" true (J.member "schema" v = Some (J.Jstring "t/1"));
+    Alcotest.(check bool) "count" true (J.member "count" v = Some (J.Jnumber 42.0));
+    Alcotest.(check bool) "rate" true (J.member "rate" v = Some (J.Jnumber 1.5));
+    Alcotest.(check bool) "ok" true (J.member "ok" v = Some (J.Jbool true));
+    Alcotest.(check bool) "tags" true
+      (J.member "tags" v = Some (J.Jarray [ J.Jstring "a"; J.Jstring "b" ]));
+    (match J.member "nested" v with
+    | Some nested ->
+      Alcotest.(check bool) "nested x" true
+        (J.member "x" nested = Some (J.Jnumber (-7.0)))
+    | None -> Alcotest.fail "nested object missing")
+
+let test_json_parse_escapes () =
+  let s = "line1\nline2\ttab \"quoted\" back\\slash" in
+  match J.parse (J.string s) with
+  | Ok (J.Jstring s') -> Alcotest.(check string) "escape roundtrip" s s'
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_parse_literals () =
+  List.iter
+    (fun (src, expect) ->
+      match J.parse src with
+      | Ok v -> Alcotest.(check bool) src true (v = expect)
+      | Error e -> Alcotest.failf "%s: %s" src e)
+    [ ("null", J.Jnull); ("true", J.Jbool true); ("false", J.Jbool false);
+      ("[]", J.Jarray []); ("{}", J.Jobject []); ("-12.5e2", J.Jnumber (-1250.0));
+      ("  [1, 2]  ", J.Jarray [ J.Jnumber 1.0; J.Jnumber 2.0 ]) ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun src ->
+      match J.parse src with
+      | Ok _ -> Alcotest.failf "%S should not parse" src
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "\"unterminated"; "tru"; "1 2"; "{\"a\" 1}" ]
+
+let test_json_parse_bench_results () =
+  (* The real benchmark results format: baseline lookup end to end. *)
+  let doc =
+    J.obj
+      [ ("schema", J.string "ammboost-bench/1");
+        ("micro_ns",
+         J.obj [ ("ammboost/u256 mul_div", J.value (J.Float 1349.9)) ]) ]
+  in
+  match J.parse doc with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok v ->
+    (match J.member "micro_ns" v with
+    | Some (J.Jobject [ (name, J.Jnumber ns) ]) ->
+      Alcotest.(check string) "name" "ammboost/u256 mul_div" name;
+      Alcotest.(check (float 1e-6)) "ns" 1349.9 ns
+    | _ -> Alcotest.fail "micro_ns shape")
+
 let () =
   Alcotest.run "telemetry"
     [ ("histogram",
@@ -356,6 +428,13 @@ let () =
          Alcotest.test_case "disabled tracer" `Quick test_disabled_tracer_records_nothing;
          Alcotest.test_case "chrome export well-formed" `Quick
            test_chrome_export_well_formed ]);
+      ("json",
+       [ Alcotest.test_case "roundtrip" `Quick test_json_parse_roundtrip;
+         Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
+         Alcotest.test_case "literals" `Quick test_json_parse_literals;
+         Alcotest.test_case "errors rejected" `Quick test_json_parse_errors;
+         Alcotest.test_case "bench results shape" `Quick
+           test_json_parse_bench_results ]);
       ("system",
        [ Alcotest.test_case "instrumented run deterministic" `Quick
            test_system_metrics_deterministic ]) ]

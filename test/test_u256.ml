@@ -337,6 +337,70 @@ let signed_gen =
   QCheck2.Gen.(
     map2 (fun v neg -> if neg then Signed.neg_of_u256 v else Signed.of_u256 v) gen_u256 bool)
 
+(* ------------------------------------------------------------------ *)
+(* Montgomery contexts                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The BN254 scalar-field order, the modulus the crypto layer specialises
+   for — plus random odd moduli to show the context isn't order-specific. *)
+let bn254_order =
+  u "21888242871839275222246405745257275088548364400416034343698204186575808495617"
+
+let gen_odd_modulus =
+  QCheck2.Gen.map
+    (fun x -> U256.logor (U256.add x U256.two) U256.one)
+    gen_u256
+
+let mont_props =
+  let mul_agrees ctx m (a, b) =
+    let a = U256.rem a m and b = U256.rem b m in
+    let expect = U256.mul_mod a b m in
+    let got =
+      U256.Mont.of_mont ctx
+        (U256.Mont.mul ctx (U256.Mont.to_mont ctx a) (U256.Mont.to_mont ctx b))
+    in
+    U256.equal got expect
+  in
+  let bn_ctx = U256.Mont.create ~modulus:bn254_order in
+  [ prop "mont roundtrip (bn254)" gen_u256 (fun x ->
+        let x = U256.rem x bn254_order in
+        U256.equal x (U256.Mont.of_mont bn_ctx (U256.Mont.to_mont bn_ctx x)));
+    prop "mont mul = mul_mod (bn254)" pair (mul_agrees bn_ctx bn254_order);
+    prop "mont mul = mul_mod (random odd modulus)"
+      (QCheck2.Gen.triple gen_odd_modulus gen_u256 gen_u256)
+      (fun (m, a, b) ->
+        let ctx = U256.Mont.create ~modulus:m in
+        mul_agrees ctx m (a, b));
+    prop "mont one is the identity" gen_u256 (fun x ->
+        let xm = U256.Mont.to_mont bn_ctx (U256.rem x bn254_order) in
+        U256.equal xm (U256.Mont.mul bn_ctx xm (U256.Mont.one bn_ctx))) ]
+
+let test_mont_edges () =
+  let m = bn254_order in
+  let ctx = U256.Mont.create ~modulus:m in
+  let check a b =
+    let expect = U256.mul_mod a b m in
+    let got =
+      U256.Mont.of_mont ctx
+        (U256.Mont.mul ctx (U256.Mont.to_mont ctx a) (U256.Mont.to_mont ctx b))
+    in
+    Alcotest.check check_u256
+      (Printf.sprintf "%s * %s" (U256.to_string a) (U256.to_string b))
+      expect got
+  in
+  let pm1 = U256.sub m U256.one in
+  List.iter
+    (fun (a, b) -> check a b)
+    [ (U256.zero, U256.zero); (U256.zero, pm1); (U256.one, U256.one);
+      (U256.one, pm1); (pm1, pm1); (U256.two, pm1) ];
+  Alcotest.check check_u256 "modulus accessor" m (U256.Mont.modulus ctx);
+  Alcotest.check_raises "even modulus rejected"
+    (Invalid_argument "U256.Mont.create: modulus must be odd") (fun () ->
+      ignore (U256.Mont.create ~modulus:(U256.of_int 10)));
+  Alcotest.check_raises "zero modulus rejected"
+    (Invalid_argument "U256.Mont.create: modulus must be odd") (fun () ->
+      ignore (U256.Mont.create ~modulus:U256.zero))
+
 let signed_props =
   [ prop "signed add commutative" (QCheck2.Gen.pair signed_gen signed_gen) (fun (a, b) ->
         Signed.equal (Signed.add a b) (Signed.add b a));
@@ -367,6 +431,8 @@ let () =
           Alcotest.test_case "aliasing" `Quick test_into_aliasing;
           Alcotest.test_case "mul_div fast paths" `Quick test_mul_div_fast_paths ]
         @ into_props );
+      ( "mont",
+        Alcotest.test_case "edge values" `Quick test_mont_edges :: mont_props );
       ( "signed",
         [ Alcotest.test_case "basics" `Quick test_signed_basics;
           Alcotest.test_case "apply" `Quick test_signed_apply ]
