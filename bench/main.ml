@@ -17,7 +17,12 @@
    AMMBOOST_METRICS_DIR=<dir> writes one telemetry metrics snapshot per
    experiment to <dir>/<name>.metrics.json;
    AMMBOOST_BENCH_RESULTS=<path> sets where the machine-readable results
-   JSON lands (default ./BENCH_results.json). *)
+   JSON lands (default ./BENCH_results.json);
+   AMMBOOST_OBSERVE_OUT=<path> makes the "observe" experiment write its
+   growth-ledger series JSON there (the CI growth guard diffs that file
+   against the checked-in OBSERVE_baseline.json — the observe run uses a
+   fixed configuration, so the output ignores AMMBOOST_BENCH_SCALE);
+   AMMBOOST_REPORT_OUT=<path> makes it write the markdown run-report. *)
 
 module E = Ammboost.Experiments
 module Json = Telemetry.Json
@@ -252,6 +257,28 @@ let compute_ablations sink =
     E.print_ablation ~title:"summary aggregation vs per-tx posting" agg;
     E.print_ablation ~title:"meta-block pruning" pruning
 
+let observe_out = Sys.getenv_opt "AMMBOOST_OBSERVE_OUT"
+let report_out = Sys.getenv_opt "AMMBOOST_REPORT_OUT"
+
+let write_file path text =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let compute_observe sink =
+  let o = E.observe ~sink () in
+  fun () ->
+    E.print_observe o;
+    (match observe_out with
+    | Some path when path <> "" ->
+      write_file path o.E.obs_series_json;
+      Printf.eprintf "  [growth series written to %s]\n%!" path
+    | _ -> ());
+    (match report_out with
+    | Some path when path <> "" ->
+      write_file path o.E.obs_report;
+      Printf.eprintf "  [run report written to %s]\n%!" path
+    | _ -> ())
+
 type experiment = Sim of (Telemetry.Report.sink -> unit -> unit) | Micro
 
 let all_experiments =
@@ -261,7 +288,7 @@ let all_experiments =
     ("table7", Sim compute_table7); ("table8", Sim compute_table8);
     ("fig6", Sim compute_fig6); ("ablations", Sim compute_ablations);
     ("chaos", Sim compute_chaos); ("exit-drill", Sim compute_exit_drill);
-    ("micro", Micro) ]
+    ("observe", Sim compute_observe); ("micro", Micro) ]
 
 let metrics_dir = Sys.getenv_opt "AMMBOOST_METRICS_DIR"
 

@@ -116,6 +116,13 @@ let log_level =
            ~doc:"Emit structured JSON-line logs on stderr at LEVEL \
                  (error|warn|info|debug). Overrides AMMBOOST_LOG; off by default.")
 
+let report_out =
+  Arg.(value & opt (some string) None
+       & info [ "report-out" ] ~docv:"FILE"
+           ~doc:"Write a self-contained markdown run-report (growth curves with \
+                 sparklines and the Baseline counterfactual, per-class lifecycle \
+                 latency and bytes-amplification tables, event timeline) to $(docv).")
+
 let telemetry_term =
   let make trace_out metrics_out log_level = (trace_out, metrics_out, log_level) in
   Term.(const make $ trace_out $ metrics_out $ log_level)
@@ -141,6 +148,14 @@ let with_telemetry (trace_out, metrics_out, log_level) f =
   | Some path -> write (fun () -> Telemetry.Report.write_trace sink ~path)
   | None -> ());
   result
+
+let write_text path text =
+  try
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+  with Sys_error e ->
+    Printf.eprintf "ammboost-sim: cannot write report: %s\n" e;
+    exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
@@ -198,10 +213,18 @@ let report_baseline (b : Baseline.result) =
 
 let run_cmd =
   let doc = "Run the ammBoost system simulation and report its metrics." in
-  let run cfg tele =
-    with_telemetry tele (fun sink -> report_run (System.run ~sink cfg))
+  let run cfg tele report_out =
+    with_telemetry tele (fun sink ->
+        let r = System.run ~sink cfg in
+        report_run r;
+        match report_out with
+        | Some path ->
+          write_text path
+            (Experiments.observe_report ~metrics:sink.Telemetry.Report.metrics r)
+        | None -> ())
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ config_term $ telemetry_term)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ config_term $ telemetry_term $ report_out)
 
 let baseline_cmd =
   let doc = "Run the baseline (Uniswap directly on the mainchain)." in
@@ -212,9 +235,24 @@ let baseline_cmd =
 
 let compare_cmd =
   let doc = "Run both systems on the same traffic and print the reductions (Fig. 6)." in
-  let compare cfg tele =
-    let r = with_telemetry tele (fun sink -> System.run ~sink cfg) in
-    let b = Baseline.run cfg in
+  let compare cfg tele report_out =
+    let r, b =
+      with_telemetry tele (fun sink ->
+          let r = System.run ~sink cfg in
+          let b = Baseline.run cfg in
+          (match report_out with
+          | Some path ->
+            (* The report plots the measured Baseline series instead of the
+               ledger's analytic counterfactual — both runs saw the same
+               traffic, so the comparison is apples to apples. *)
+            write_text path
+              (Experiments.observe_report ~metrics:sink.Telemetry.Report.metrics
+                 ~counterfactual:
+                   ("baseline.measured.bytes", b.Baseline.growth_epochs)
+                 r)
+          | None -> ());
+          (r, b))
+    in
     report_run r;
     print_newline ();
     report_baseline b;
@@ -229,7 +267,8 @@ let compare_cmd =
       (reduction r.System.mc_tx_bytes b.Baseline.mc_tx_bytes)
       (reduction r.System.mc_tx_bytes b.Baseline.mc_tx_bytes_ethereum)
   in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const compare $ config_term $ telemetry_term)
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const compare $ config_term $ telemetry_term $ report_out)
 
 let () =
   let doc = "ammBoost: state growth control for AMMs (simulation)" in

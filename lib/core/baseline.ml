@@ -25,6 +25,10 @@ type result = {
   mints : int;
   burns : int;
   collects : int;
+  growth_epochs : (int * float) list;
+      (* (epoch, cumulative mainchain tx bytes) at each epoch start plus a
+         closing entry after the drain — the real counterfactual series the
+         run-report plots against the ammBoost growth ledger *)
 }
 
 let op_of_tx tx = Tx.op_of_payload tx.Tx.payload
@@ -71,11 +75,19 @@ let run cfg =
   in
   let executed = ref 0 and rejected = ref 0 in
   let ethereum_bytes = ref 0 in
+  let growth_epochs = ref [] in
+  let chain_bytes () =
+    float_of_int
+      (List.fold_left (fun acc (_, b) -> acc + b) 0 (Eth.bytes_by_label eth))
+  in
   let b_t = cfg.Config.sc_round_duration in
-  let rounds = cfg.Config.epochs * cfg.Config.sc_rounds_per_epoch in
+  let spr = cfg.Config.sc_rounds_per_epoch in
+  let rounds = cfg.Config.epochs * spr in
   for round = 0 to rounds - 1 do
     let t_round = float_of_int round *. b_t in
     Eth.advance_to eth t_round;
+    if round mod spr = 0 then
+      growth_epochs := (round / spr, chain_bytes ()) :: !growth_epochs;
     let txs = Traffic.generate_round traffic ~round ~time:t_round in
     List.iter
       (fun tx ->
@@ -103,6 +115,7 @@ let run cfg =
     horizon := !horizon +. (10.0 *. cfg.Config.mc_block_interval);
     Eth.advance_to eth !horizon
   done;
+  growth_epochs := (cfg.Config.epochs, chain_bytes ()) :: !growth_epochs;
   let stats = Sidechain.Processor.stats processor in
   let gas_by_op = Eth.gas_used_by_label eth in
   let latency_by_op =
@@ -125,4 +138,5 @@ let run cfg =
     swaps = stats.Sidechain.Processor.swaps;
     mints = stats.Sidechain.Processor.mints;
     burns = stats.Sidechain.Processor.burns;
-    collects = stats.Sidechain.Processor.collects }
+    collects = stats.Sidechain.Processor.collects;
+    growth_epochs = List.rev !growth_epochs }

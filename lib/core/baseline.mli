@@ -19,6 +19,10 @@ type result = {
   mints : int;
   burns : int;
   collects : int;
+  growth_epochs : (int * float) list;
+      (** (epoch, cumulative mainchain tx bytes) at each epoch start plus
+          a closing entry after the drain — the measured counterfactual
+          series the run-report plots against the growth ledger *)
 }
 
 val run : Config.t -> result

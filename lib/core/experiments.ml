@@ -609,3 +609,97 @@ let exit_drill ?sink ?domains () =
                  Config.wd_stall_degraded = 2; wd_stall_halted = 4 };
              seed = base.seed ^ "-exit-drill" })
        exit_drill_scenarios)
+
+(* ------------------------------------------------------------------ *)
+(* State-growth observatory: the run feeding the CI growth guard       *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliberately NOT [scaled]: the checked-in guard baseline
+   (OBSERVE_baseline.json) compares against this exact configuration, so
+   it must not move with AMMBOOST_BENCH_SCALE. *)
+let observe_cfg =
+  { base with
+    Config.daily_volume = 100_000;
+    epochs = 6;
+    users = 24;
+    seed = base.Config.seed ^ "-observe" }
+
+type observe_run = {
+  obs_ledger : Observe.Growth_ledger.t;
+  obs_series_json : string; (* the ledger in guard-baseline form *)
+  obs_report : string;      (* the markdown run-report *)
+  obs_sampled : int;
+  obs_seen : int;
+  obs_result : System.result;
+}
+
+let observe_report ?metrics ?counterfactual (r : System.result) =
+  let cfg = r.System.cfg in
+  Observe.Run_report.render ~title:"ammBoost run report"
+    ~params:
+      [ ("seed", cfg.Config.seed);
+        ("daily volume", string_of_int cfg.Config.daily_volume);
+        ("epochs", string_of_int cfg.Config.epochs);
+        ("users", string_of_int cfg.Config.users);
+        ("rounds/epoch", string_of_int cfg.Config.sc_rounds_per_epoch);
+        ("round duration (s)", Printf.sprintf "%.1f" cfg.Config.sc_round_duration) ]
+    ~summary:
+      [ ("generated", string_of_int r.System.generated);
+        ("processed", string_of_int r.System.processed);
+        ("rejected", string_of_int r.System.rejected);
+        ("throughput (tx/s)", Printf.sprintf "%.2f" r.System.throughput);
+        ("epochs applied",
+         Printf.sprintf "%d/%d" r.System.epochs_applied r.System.epochs_run);
+        ("lifecycle sampled ops",
+         Printf.sprintf "%d/%d" r.System.lifecycle_sampled r.System.lifecycle_seen);
+        ("final mode", r.System.final_mode) ]
+    ~ledger:r.System.growth ?counterfactual ?metrics
+    ~events:
+      (List.map
+         (fun (ts, m) ->
+           { Observe.Run_report.ev_t = ts; ev_kind = "mode"; ev_detail = m })
+         r.System.mode_transitions
+      @ List.map
+          (fun (label, n) ->
+            { Observe.Run_report.ev_t = Float.infinity; ev_kind = "fault";
+              ev_detail = Printf.sprintf "%s x%d (whole run)" label n })
+          r.System.faults_injected)
+    ()
+
+let observe ?sink () =
+  let private_sink = Telemetry.Report.sink () in
+  let r = System.run ~sink:private_sink observe_cfg in
+  (match sink with
+  | Some s -> Telemetry.Report.merge_into ~into:s private_sink
+  | None -> ());
+  { obs_ledger = r.System.growth;
+    obs_series_json = Observe.Growth_ledger.to_json r.System.growth;
+    obs_report =
+      observe_report ~metrics:private_sink.Telemetry.Report.metrics r;
+    obs_sampled = r.System.lifecycle_sampled;
+    obs_seen = r.System.lifecycle_seen;
+    obs_result = r }
+
+let print_observe o =
+  Printf.printf "\n=== State-growth observatory (seed %s) ===\n"
+    o.obs_result.System.cfg.Config.seed;
+  let headline =
+    [ "mc.bytes.total"; "mc.gas.total"; "sc.cumulative_bytes"; "sc.stored_bytes";
+      "bank.storage_words"; "baseline.bytes.sepolia" ]
+  in
+  Printf.printf "%-6s" "epoch";
+  List.iter (fun k -> Printf.printf "%24s" k) headline;
+  print_newline ();
+  List.iter
+    (fun (row : Observe.Growth_ledger.row) ->
+      Printf.printf "%-6d" row.Observe.Growth_ledger.ge_epoch;
+      List.iter
+        (fun k ->
+          match Observe.Growth_ledger.field row k with
+          | Some v -> Printf.printf "%24.0f" v
+          | None -> Printf.printf "%24s" "-")
+        headline;
+      print_newline ())
+    (Observe.Growth_ledger.rows o.obs_ledger);
+  Printf.printf "lifecycle: %d of %d included ops sampled (1 in 8)\n" o.obs_sampled
+    o.obs_seen

@@ -155,3 +155,41 @@ val exit_drill :
     trajectory, exits served with their claimed value, the exit
     conservation and replay-oracle verdicts, and the reconciliation
     summary. Deterministic at any [?domains] value. *)
+
+(** {1 State-growth observatory} *)
+
+val observe_cfg : Config.t
+(** The fixed configuration behind the CI growth guard — deliberately
+    not scaled by [AMMBOOST_BENCH_SCALE], so the checked-in baseline
+    series ([OBSERVE_baseline.json]) stays valid at any bench scale. *)
+
+type observe_run = {
+  obs_ledger : Observe.Growth_ledger.t;
+  obs_series_json : string;  (** the ledger in guard-baseline JSON form *)
+  obs_report : string;       (** the markdown run-report *)
+  obs_sampled : int;         (** lifecycle ops kept by the 1-in-8 sampler *)
+  obs_seen : int;            (** all included ops the tracer counted *)
+  obs_result : System.result;
+}
+
+val observe_report :
+  ?metrics:Telemetry.Metrics.t ->
+  ?counterfactual:string * (int * float) list ->
+  System.result ->
+  string
+(** Render the markdown run-report for any completed run: parameter and
+    summary tables, growth sparklines and per-epoch table, lifecycle
+    latency and amplification tables when [metrics] is given, and the
+    mode/fault event timeline. The growth comparison uses
+    [counterfactual] (a labelled per-epoch byte series, e.g. a measured
+    {!Baseline.result.growth_epochs}) when given, else the ledger's own
+    recorded analytic Sepolia counterfactual. *)
+
+val observe : ?sink:Telemetry.Report.sink -> unit -> observe_run
+(** Run {!observe_cfg} with the usual private-sink discipline and return
+    the growth ledger, its guard JSON, and the rendered report.
+    Deterministic in the seed: the JSON is byte-identical across runs
+    and domain counts. *)
+
+val print_observe : observe_run -> unit
+(** Deterministic stdout table of the headline ledger series. *)

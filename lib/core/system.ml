@@ -24,6 +24,8 @@ module Tmetrics = Telemetry.Metrics
 module Trace = Telemetry.Trace
 module Log = Telemetry.Log
 module Json = Telemetry.Json
+module Growth_ledger = Observe.Growth_ledger
+module Lifecycle = Observe.Lifecycle
 
 let scope = "system"
 
@@ -195,6 +197,11 @@ type result = {
   mints : int;
   burns : int;
   collects : int;
+  growth : Growth_ledger.t;
+      (* per-epoch state-growth ledger (also mirrored into the sink as
+         "growth.*" series) *)
+  lifecycle_sampled : int;
+  lifecycle_seen : int;
 }
 
 type t = {
@@ -257,6 +264,11 @@ type t = {
   mutable mints : int;
   mutable burns : int;
   mutable collects : int;
+  growth : Growth_ledger.t;
+  lifecycle : Lifecycle.t;
+  mutable counterfactual_bytes : int;
+      (* cumulative Sepolia-encoded bytes the included ops would have
+         cost on the mainchain (the per-epoch analytic counterfactual) *)
   tele : tele;
   rejections : (string, int) Hashtbl.t;
   mutable sync_receipts : Token_bank.sync_receipt list;
@@ -450,6 +462,11 @@ let create ?sink cfg =
       rollback_count = 0; mass_syncs = 0; max_summary_bytes = 0;
       max_sc_stored = 0;
       processed_total = 0; processed_in_window = 0; rejected_total = 0; swaps = 0; mints = 0; burns = 0;
+      growth = Growth_ledger.create ~metrics:sink.Telemetry.Report.metrics ();
+      lifecycle =
+        Lifecycle.create ~metrics:sink.Telemetry.Report.metrics
+          ~seed:cfg.Config.seed ();
+      counterfactual_bytes = 0;
       collects = 0; tele = make_tele sink; rejections = Hashtbl.create 8;
       sync_receipts = []; audit_trail = [] }
   in
@@ -677,6 +694,12 @@ let submit_sync t ~epoch ~at ~corrupt =
                   t.sync_receipts <- receipt :: t.sync_receipts;
                   Faults.Replay_oracle.record_sync t.oracle signed;
                   Tmetrics.inc t.tele.c_sync_applied;
+                  List.iter
+                    (fun (p, _) ->
+                      Lifecycle.on_submitted t.lifecycle
+                        ~epoch:p.Sync_payload.epoch ~at:time
+                        ~l1_bytes:(Sync_payload.abi_size p))
+                    signed;
                   Telemetry.Histogram.observe t.tele.h_sync_inclusion (time -. at);
                   (* An applied sync ends any submission outage. *)
                   t.retry_attempt <- 0;
@@ -734,6 +757,29 @@ let maybe_retry_sync t ~now =
     end
   end
 
+(* One growth-ledger row: every layer's state footprint at an epoch
+   boundary. Key names are the stable registry documented in DESIGN.md
+   §4f; the checked-in guard baseline depends on them. *)
+let sample_growth t ~epoch ~now =
+  let mc_bytes = Eth.bytes_snapshot t.eth in
+  let mc_gas = Eth.gas_snapshot t.eth in
+  let sum l = List.fold_left (fun acc (_, v) -> acc + v) 0 l in
+  let fields =
+    [ ("mc.bytes.total", float_of_int (sum mc_bytes));
+      ("mc.gas.total", float_of_int (sum mc_gas));
+      ("sc.cumulative_bytes", float_of_int (Blocks.cumulative_bytes t.sc_chain));
+      ("sc.stored_bytes", float_of_int (Blocks.stored_bytes t.sc_chain));
+      ("sc.meta_stored", float_of_int (Blocks.meta_count_stored t.sc_chain));
+      ("summary.max_bytes", float_of_int t.max_summary_bytes);
+      ("bank.storage_words", float_of_int (Token_bank.storage_words t.bank));
+      ("bank.synced_epoch", float_of_int (Token_bank.last_synced_epoch t.bank));
+      ("mempool.bytes", float_of_int (Chain.Mempool.byte_size t.mempool));
+      ("baseline.bytes.sepolia", float_of_int t.counterfactual_bytes) ]
+    @ List.map (fun (l, v) -> ("mc.bytes." ^ l, float_of_int v)) mc_bytes
+    @ List.map (fun (l, v) -> ("mc.gas." ^ l, float_of_int v)) mc_gas
+  in
+  Growth_ledger.sample t.growth ~epoch ~t:now fields
+
 (* Inclusion time isn't passed to the execute callback, so resolve it from
    the tag when settling. *)
 let settle_confirmed t =
@@ -757,7 +803,10 @@ let settle_confirmed t =
             Telemetry.Histogram.observe t.tele.h_payout (inclusion_time -. mean_issued)
           | None -> ());
           Metrics.settle_epoch t.payouts ~epoch:e ~sync_time:inclusion_time;
+          Lifecycle.on_stage t.lifecycle ~epoch:e ~stage:Lifecycle.Confirmed
+            ~at:now;
           let reclaimed = Blocks.prune_epoch t.sc_chain ~epoch:e in
+          Lifecycle.on_stage t.lifecycle ~epoch:e ~stage:Lifecycle.Pruned ~at:now;
           Tmetrics.inc t.tele.c_pruned_epochs;
           Trace.complete t.tele.tr ~cat:"mainchain" ~tid:2
             ~args:[ ("epoch", Json.Int e); ("reclaimed_bytes", Json.Int reclaimed) ]
@@ -1120,6 +1169,7 @@ let run ?sink cfg =
     else if Eth.gas_limit t.eth <> cfg.Config.mc_gas_limit then
       Eth.set_gas_limit t.eth cfg.Config.mc_gas_limit;
     settle_confirmed t;
+    sample_growth t ~epoch:e ~now:epoch_start;
     watchdog_tick t ~epoch:e ~now:epoch_start
       ~committee_live:(not (t.dissolved || lost));
     (* The tick may just have halted and dissolved the sidechain. *)
@@ -1298,7 +1348,15 @@ let run ?sink cfg =
           let latency = t_round -. tx.Tx.issued_at +. consensus_latency in
           Metrics.observe t.tx_latency latency;
           Telemetry.Histogram.observe tele.h_tx_latency latency;
-          Metrics.note_processed t.payouts ~epoch:e ~issued_at:tx.Tx.issued_at)
+          Metrics.note_processed t.payouts ~epoch:e ~issued_at:tx.Tx.issued_at;
+          t.counterfactual_bytes <-
+            t.counterfactual_bytes
+            + Chain.Encoding.sepolia_op_size (Tx.op_of_payload tx.Tx.payload);
+          Lifecycle.on_included t.lifecycle
+            ~id:(Chain.Ids.Tx_id.to_bytes tx.Tx.id)
+            ~cls:(Tx.type_name tx.Tx.payload) ~issued_at:tx.Tx.issued_at
+            ~wire:tx.Tx.wire_size ~epoch:e
+            ~at:(t_round +. consensus_latency))
         included;
       if Blocks.stored_bytes t.sc_chain > t.max_sc_stored then
         t.max_sc_stored <- Blocks.stored_bytes t.sc_chain
@@ -1330,6 +1388,8 @@ let run ?sink cfg =
       ~name:"sign"
       ~ts:(t_summary +. (0.5 *. b_t))
       ~dur:(0.5 *. b_t) ();
+    Lifecycle.on_stage t.lifecycle ~epoch:e ~stage:Lifecycle.Summarized
+      ~at:t_summary;
     let summary_block =
       { Blocks.s_epoch = e; s_payload = payload; s_size;
         s_rounds_covered = (e * spr, ((e + 1) * spr) - 1) }
@@ -1421,6 +1481,8 @@ let run ?sink cfg =
     Eth.advance_to t.eth (now +. (5.0 *. cfg.Config.mc_block_interval))
   done;
   settle_confirmed t;
+  (* Closing ledger row after the drain: the final state footprint. *)
+  sample_growth t ~epoch:!epoch ~now:(Eth.now t.eth);
   (* Custody invariant: bank ERC20 holdings = pool balances + remaining
      (future-epoch) deposits. *)
   let custody_consistent =
@@ -1576,4 +1638,7 @@ let run ?sink cfg =
       | _ -> None);
     reconciliation = t.reconciliation;
     committees = List.rev t.committees;
-    swaps = t.swaps; mints = t.mints; burns = t.burns; collects = t.collects }
+    swaps = t.swaps; mints = t.mints; burns = t.burns; collects = t.collects;
+    growth = t.growth;
+    lifecycle_sampled = Lifecycle.sampled_count t.lifecycle;
+    lifecycle_seen = Lifecycle.seen_count t.lifecycle }

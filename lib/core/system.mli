@@ -97,6 +97,14 @@ type result = {
   mints : int;
   burns : int;
   collects : int;
+  growth : Observe.Growth_ledger.t;
+      (** per-epoch state-growth ledger: one row sampled at each epoch
+          boundary (plus a closing row after the drain) with
+          bytes/gas/storage-word fields per layer; mirrored into the
+          metrics sink as ["growth.*"] time series *)
+  lifecycle_sampled : int;
+      (** ops the deterministic 1-in-8 lifecycle sampler kept *)
+  lifecycle_seen : int;  (** all included ops the tracer counted *)
 }
 
 val run : ?sink:Telemetry.Report.sink -> Config.t -> result

@@ -178,6 +178,14 @@ let assoc_of_tbl tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
 let gas_used_by_label t = assoc_of_tbl t.gas_by_label
 let bytes_by_label t = assoc_of_tbl t.bytes_by_label
 
+(* Snapshot accessors with a guaranteed order, for consumers that fold
+   the per-label tables into deterministic output (the growth ledger). *)
+let sorted_assoc_of_tbl tbl =
+  List.sort (fun (a, _) (b, _) -> compare a b) (assoc_of_tbl tbl)
+
+let gas_snapshot t = sorted_assoc_of_tbl t.gas_by_label
+let bytes_snapshot t = sorted_assoc_of_tbl t.bytes_by_label
+
 let latencies_by_label t =
   Hashtbl.fold (fun k v acc -> (k, List.rev !v) :: acc) t.latencies []
 

@@ -63,6 +63,14 @@ val cumulative_bytes : t -> int
 val gas_used_total : t -> int
 val gas_used_by_label : t -> (string * int) list
 val bytes_by_label : t -> (string * int) list
+
+val gas_snapshot : t -> (string * int) list
+(** Like {!gas_used_by_label} but sorted by label — safe to fold into
+    deterministic output. *)
+
+val bytes_snapshot : t -> (string * int) list
+(** Like {!bytes_by_label} but sorted by label. *)
+
 val latencies_by_label : t -> (string * float list) list
 (** Completion latency (flow start to inclusion) per label. *)
 

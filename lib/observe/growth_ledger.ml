@@ -1,0 +1,119 @@
+(* Per-epoch state-growth ledger: one row per epoch boundary, each row a
+   sorted (key -> bytes/words/gas) record sampled across the layers
+   (mainchain labels, sidechain cumulative vs stored, summary sizes,
+   TokenBank storage words). Rows also mirror into the metrics sink as
+   [Metrics.time_series] points, so the existing sink-merge determinism
+   machinery covers the ledger: identical runs produce byte-identical
+   series at any domain count. *)
+
+module Metrics = Telemetry.Metrics
+module Json = Telemetry.Json
+
+type row = {
+  ge_epoch : int;
+  ge_t : float; (* simulated seconds at the sample *)
+  ge_fields : (string * float) list; (* sorted by key *)
+}
+
+type t = {
+  metrics : Metrics.t option;
+  mutable rows_rev : row list;
+}
+
+let series_prefix = "growth."
+
+let create ?metrics () = { metrics; rows_rev = [] }
+
+let sample t ~epoch ~t:time fields =
+  let fields = List.sort (fun (a, _) (b, _) -> compare a b) fields in
+  t.rows_rev <- { ge_epoch = epoch; ge_t = time; ge_fields = fields } :: t.rows_rev;
+  match t.metrics with
+  | None -> ()
+  | Some reg ->
+    List.iter
+      (fun (key, v) ->
+        Metrics.push (Metrics.time_series reg (series_prefix ^ key))
+          ~t:(float_of_int epoch) v)
+      fields
+
+let rows t = List.rev t.rows_rev
+let epochs_sampled t = List.length t.rows_rev
+
+(* Every key that appears in any row, sorted; rows may differ (labels
+   like "exit" only show up after a halt). *)
+let keys t =
+  List.sort_uniq compare
+    (List.concat_map (fun r -> List.map fst r.ge_fields) t.rows_rev)
+
+let field row key = List.assoc_opt key row.ge_fields
+
+(* One series per key, oldest epoch first; epochs missing the key are
+   skipped rather than zero-filled. *)
+let series t key =
+  List.filter_map
+    (fun r -> Option.map (fun v -> (r.ge_epoch, v)) (field r key))
+    (rows t)
+
+let schema = "ammboost-observe/1"
+
+let to_json t =
+  let row_json r =
+    Json.obj
+      (("epoch", string_of_int r.ge_epoch)
+      :: ("t", Json.float r.ge_t)
+      :: List.map (fun (k, v) -> (k, Json.float v)) r.ge_fields)
+  in
+  Json.obj
+    [ ("schema", Json.string schema);
+      ("epochs", Json.array (List.map row_json (rows t))) ]
+  ^ "\n"
+
+(* Reads a ledger back from its [to_json] form (the checked-in guard
+   baseline). Numbers land as floats, which is exact for the byte/gas
+   ranges sampled. *)
+let of_json text =
+  match Json.parse text with
+  | Error e -> Error ("growth ledger: " ^ e)
+  | Ok doc ->
+    (match Json.member "schema" doc with
+    | Some (Json.Jstring s) when s = schema -> (
+      match Json.member "epochs" doc with
+      | Some (Json.Jarray rows) ->
+        let parse_row = function
+          | Json.Jobject fields ->
+            let epoch =
+              match List.assoc_opt "epoch" fields with
+              | Some (Json.Jnumber f) -> int_of_float f
+              | _ -> -1
+            in
+            let time =
+              match List.assoc_opt "t" fields with
+              | Some (Json.Jnumber f) -> f
+              | _ -> 0.0
+            in
+            let data =
+              List.filter_map
+                (fun (k, v) ->
+                  match v with
+                  | Json.Jnumber f when k <> "epoch" && k <> "t" -> Some (k, f)
+                  | _ -> None)
+                fields
+            in
+            if epoch < 0 then Error "growth ledger: row missing epoch"
+            else Ok { ge_epoch = epoch; ge_t = time; ge_fields = data }
+          | _ -> Error "growth ledger: row is not an object"
+        in
+        let rec all acc = function
+          | [] ->
+            let t = create () in
+            t.rows_rev <- acc;
+            Ok t
+          | r :: rest -> (
+            match parse_row r with
+            | Ok row -> all (row :: acc) rest
+            | Error _ as e -> e)
+        in
+        all [] rows
+      | _ -> Error "growth ledger: missing epochs array")
+    | Some (Json.Jstring s) -> Error ("growth ledger: unknown schema " ^ s)
+    | _ -> Error "growth ledger: missing schema")

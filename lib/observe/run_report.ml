@@ -1,0 +1,222 @@
+(* Run-report generator: a self-contained markdown dashboard for one
+   simulator run — growth trajectories (with ASCII sparklines) beside
+   the Baseline counterfactual, per-class stage-latency tables pulled
+   from the lifecycle histograms, and the watchdog/fault event timeline.
+   Pure function of its inputs, so reports are deterministic. *)
+
+module Metrics = Telemetry.Metrics
+module Histogram = Telemetry.Histogram
+module Lifecycle = Lifecycle
+
+type event = {
+  ev_t : float;
+  ev_kind : string; (* "mode" | "fault" | "violation" | ... *)
+  ev_detail : string;
+}
+
+let spark_chars = [| " "; "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let lo = List.fold_left Float.min Float.infinity values in
+    let hi = List.fold_left Float.max Float.neg_infinity values in
+    let span = hi -. lo in
+    String.concat ""
+      (List.map
+         (fun v ->
+           let i =
+             if span <= 0.0 then 4
+             else int_of_float ((v -. lo) /. span *. 8.0)
+           in
+           spark_chars.(Stdlib.max 0 (Stdlib.min 8 i)))
+         values)
+
+let human_bytes v =
+  if Float.abs v >= 1e9 then Printf.sprintf "%.2f GB" (v /. 1e9)
+  else if Float.abs v >= 1e6 then Printf.sprintf "%.2f MB" (v /. 1e6)
+  else if Float.abs v >= 1e3 then Printf.sprintf "%.1f kB" (v /. 1e3)
+  else Printf.sprintf "%.0f B" v
+
+let md_row cells = "| " ^ String.concat " | " cells ^ " |\n"
+
+let md_table ~header rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (md_row header);
+  Buffer.add_string buf (md_row (List.map (fun _ -> "---") header));
+  List.iter (fun r -> Buffer.add_string buf (md_row r)) rows;
+  Buffer.contents buf
+
+(* The growth-curve section: one line per ledger key with its sparkline
+   and final value, then the per-epoch table of the headline keys. *)
+let growth_section ~ledger ~counterfactual buf =
+  Buffer.add_string buf "## State growth by epoch\n\n";
+  let keys = Growth_ledger.keys ledger in
+  (* The comparison falls back to the analytic counterfactual the ledger
+     itself records; an explicitly passed series (a real Baseline run)
+     wins. The extra sparkline row only appears when the series is not
+     already a ledger key. *)
+  let counterfactual =
+    match counterfactual with
+    | Some _ -> counterfactual
+    | None -> (
+      match Growth_ledger.series ledger "baseline.bytes.sepolia" with
+      | [] -> None
+      | s -> Some ("baseline.bytes.sepolia", s))
+  in
+  let extra_row =
+    match counterfactual with
+    | Some (label, _) when not (List.mem label keys) -> counterfactual
+    | Some _ | None -> None
+  in
+  if keys = [] then Buffer.add_string buf "_no epochs sampled_\n\n"
+  else begin
+    Buffer.add_string buf "```\n";
+    let width =
+      List.fold_left (fun acc k -> Stdlib.max acc (String.length k)) 0 keys
+    in
+    List.iter
+      (fun key ->
+        let values = List.map snd (Growth_ledger.series ledger key) in
+        let last = match List.rev values with v :: _ -> v | [] -> 0.0 in
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s  %s  %s\n" width key (sparkline values)
+             (human_bytes last)))
+      keys;
+    (match extra_row with
+    | Some (label, series) when series <> [] ->
+      let values = List.map snd series in
+      let last = match List.rev values with v :: _ -> v | [] -> 0.0 in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s  %s  %s\n" width label (sparkline values)
+           (human_bytes last))
+    | Some _ | None -> ());
+    Buffer.add_string buf "```\n\n";
+    let headline =
+      List.filter
+        (fun k -> List.mem k keys)
+        [ "mc.bytes.total"; "mc.gas.total"; "sc.cumulative_bytes";
+          "sc.stored_bytes"; "summary.max_bytes"; "bank.storage_words" ]
+    in
+    let headline = if headline = [] then keys else headline in
+    let rows =
+      List.map
+        (fun (r : Growth_ledger.row) ->
+          string_of_int r.Growth_ledger.ge_epoch
+          :: List.map
+               (fun k ->
+                 match Growth_ledger.field r k with
+                 | Some v -> Printf.sprintf "%.0f" v
+                 | None -> "-")
+               headline)
+        (Growth_ledger.rows ledger)
+    in
+    Buffer.add_string buf (md_table ~header:("epoch" :: headline) rows);
+    Buffer.add_string buf "\n"
+  end;
+  match counterfactual with
+  | Some (label, series) when series <> [] ->
+    let growth_last key =
+      match List.rev (Growth_ledger.series ledger key) with
+      | (_, v) :: _ -> Some v
+      | [] -> None
+    in
+    (match (growth_last "mc.bytes.total", List.rev series) with
+    | Some ours, (_, theirs) :: _ when theirs > 0.0 ->
+      Buffer.add_string buf
+        (Printf.sprintf "Final mainchain growth **%s** vs %s **%s** — %.2f%% reduction.\n\n"
+           (human_bytes ours) label (human_bytes theirs)
+           (100.0 *. (1.0 -. (ours /. theirs))))
+    | _ -> ())
+  | Some _ | None -> ()
+
+(* Per-class stage latency, read back from the lifecycle histograms. *)
+let lifecycle_section ~metrics ~classes buf =
+  let stages = [ "included"; "summarized"; "submitted"; "confirmed"; "pruned" ] in
+  let rows =
+    List.concat_map
+      (fun cls ->
+        List.filter_map
+          (fun stage ->
+            match
+              Metrics.find_histogram metrics
+                (Printf.sprintf "lifecycle.%s.%s" cls stage)
+            with
+            | Some h when Histogram.count h > 0 ->
+              Some
+                [ cls; stage; string_of_int (Histogram.count h);
+                  Printf.sprintf "%.2f" (Histogram.quantile h 0.50);
+                  Printf.sprintf "%.2f" (Histogram.quantile h 0.90);
+                  Printf.sprintf "%.2f" (Histogram.quantile h 0.99) ]
+            | _ -> None)
+          stages)
+      classes
+  in
+  if rows <> [] then begin
+    Buffer.add_string buf "## Transaction lifecycle (sampled ops, latency s)\n\n";
+    Buffer.add_string buf
+      (md_table ~header:[ "class"; "stage"; "n"; "p50"; "p90"; "p99" ] rows);
+    Buffer.add_string buf "\n"
+  end;
+  let amp_rows =
+    List.filter_map
+      (fun cls ->
+        match
+          Metrics.find_histogram metrics
+            (Printf.sprintf "lifecycle.%s.amplification" cls)
+        with
+        | Some h when Histogram.count h > 0 ->
+          Some
+            [ cls; string_of_int (Histogram.count h);
+              Printf.sprintf "%.3f" (Histogram.quantile h 0.50);
+              Printf.sprintf "%.3f" (Histogram.quantile h 0.90);
+              Printf.sprintf "%.3f" (Histogram.mean h) ]
+        | _ -> None)
+      classes
+  in
+  if amp_rows <> [] then begin
+    Buffer.add_string buf
+      "## Bytes amplification (L1 bytes per op / sidechain wire size)\n\n";
+    Buffer.add_string buf
+      (md_table ~header:[ "class"; "n"; "p50"; "p90"; "mean" ] amp_rows);
+    Buffer.add_string buf "\n"
+  end
+
+let timeline_section ~events buf =
+  if events <> [] then begin
+    Buffer.add_string buf "## Event timeline\n\n";
+    let sorted =
+      List.stable_sort (fun a b -> Float.compare a.ev_t b.ev_t) events
+    in
+    Buffer.add_string buf
+      (md_table ~header:[ "t (s)"; "kind"; "detail" ]
+         (List.map
+            (fun e -> [ Printf.sprintf "%.0f" e.ev_t; e.ev_kind; e.ev_detail ])
+            sorted));
+    Buffer.add_string buf "\n"
+  end
+
+let render ~title ~params ~summary ~ledger ?counterfactual ?metrics
+    ?(classes = [ "swap"; "mint"; "burn"; "collect" ]) ?(events = []) () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n\n" title);
+  if params <> [] then begin
+    Buffer.add_string buf
+      (md_table ~header:[ "parameter"; "value" ]
+         (List.map (fun (k, v) -> [ k; v ]) params));
+    Buffer.add_string buf "\n"
+  end;
+  if summary <> [] then begin
+    Buffer.add_string buf "## Run summary\n\n";
+    Buffer.add_string buf
+      (md_table ~header:[ "metric"; "value" ]
+         (List.map (fun (k, v) -> [ k; v ]) summary));
+    Buffer.add_string buf "\n"
+  end;
+  growth_section ~ledger ~counterfactual buf;
+  (match metrics with
+  | Some m -> lifecycle_section ~metrics:m ~classes buf
+  | None -> ());
+  timeline_section ~events buf;
+  Buffer.contents buf

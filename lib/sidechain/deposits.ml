@@ -98,3 +98,20 @@ let payin t user =
   (U256.sub a.initial0 a.main0, U256.sub a.initial1 a.main1)
 
 let payout t user = side_balance t user
+
+(* Aggregate balances across every account. Summed exactly in U256 —
+   addition is associative, so Hashtbl iteration order cannot leak into
+   the totals (the growth ledger folds them into deterministic output). *)
+let totals t =
+  let m0 = ref U256.zero and m1 = ref U256.zero in
+  let s0 = ref U256.zero and s1 = ref U256.zero in
+  Hashtbl.iter
+    (fun _ a ->
+      m0 := U256.add !m0 a.main0;
+      m1 := U256.add !m1 a.main1;
+      s0 := U256.add !s0 a.side0;
+      s1 := U256.add !s1 a.side1)
+    t;
+  ((!m0, !m1), (!s0, !s1))
+
+let accounts t = Hashtbl.length t

@@ -43,3 +43,10 @@ val payin : t -> Address.t -> U256.t * U256.t
 
 val payout : t -> Address.t -> U256.t * U256.t
 (** Current sidechain deposit — what the user receives at sync. *)
+
+val totals : t -> (U256.t * U256.t) * (U256.t * U256.t)
+(** [((main0, main1), (side0, side1))] summed over every account —
+    exact U256 sums, independent of iteration order. *)
+
+val accounts : t -> int
+(** Number of tracked accounts this epoch. *)

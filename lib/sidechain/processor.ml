@@ -29,6 +29,7 @@ type t = {
   mutable mints : int;
   mutable burns : int;
   mutable collects : int;
+  wire_bytes : (string, int) Hashtbl.t; (* per class, processed txs only *)
   rejections : (string, int) Hashtbl.t;
   mutable rejected_total : int;
 }
@@ -41,6 +42,7 @@ type stats = {
   mints : int;
   burns : int;
   collects : int;
+  wire_bytes_by_class : (string * int) list; (* sorted by class *)
 }
 
 let begin_epoch ~pool ~snapshot ~verify_signatures =
@@ -53,6 +55,7 @@ let begin_epoch ~pool ~snapshot ~verify_signatures =
     deposits = Deposits.create ~snapshot:snapshot.Tokenbank.Token_bank.snap_deposits;
     verify_signatures; snapshot_positions; deleted = [];
     processed = 0; swaps = 0; mints = 0; burns = 0; collects = 0;
+    wire_bytes = Hashtbl.create 4;
     rejections = Hashtbl.create 8; rejected_total = 0 }
 
 let pool t = t.pool
@@ -235,13 +238,19 @@ let process t ~current_round (tx : Tx.t) =
     | Tx.Mint _ -> t.mints <- t.mints + 1
     | Tx.Burn _ -> t.burns <- t.burns + 1
     | Tx.Collect _ -> t.collects <- t.collects + 1);
+    let cls = Tx.type_name tx.Tx.payload in
+    Hashtbl.replace t.wire_bytes cls
+      (tx.Tx.wire_size
+      + Option.value ~default:0 (Hashtbl.find_opt t.wire_bytes cls));
     Ok ()
   | Error reason -> reject t ~tx reason
 
 let stats (t : t) =
   { processed = t.processed; rejected = t.rejected_total;
     rejection_reasons = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.rejections [];
-    swaps = t.swaps; mints = t.mints; burns = t.burns; collects = t.collects }
+    swaps = t.swaps; mints = t.mints; burns = t.burns; collects = t.collects;
+    wire_bytes_by_class =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.wire_bytes []) }
 
 (* ------------------------------------------------------------------ *)
 (* Summary construction (Fig. 5)                                       *)

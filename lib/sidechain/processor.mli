@@ -22,6 +22,9 @@ type stats = {
   mints : int;
   burns : int;
   collects : int;
+  wire_bytes_by_class : (string * int) list;
+      (** Cumulative wire bytes of processed transactions per class
+          ("swap", "mint", ...), sorted by class name. *)
 }
 
 val begin_epoch :

@@ -54,13 +54,23 @@ let merge_into ~into src =
       Hashtbl.replace into.counts i
         (n + Option.value ~default:0 (Hashtbl.find_opt into.counts i)))
     src.counts;
+  let into_was_empty = into.count = 0 in
   into.zero <- into.zero + src.zero;
   into.count <- into.count + src.count;
   into.sum <- into.sum +. src.sum;
-  if src.count > 0 then begin
-    if src.min_v < into.min_v then into.min_v <- src.min_v;
-    if src.max_v > into.max_v then into.max_v <- src.max_v
-  end
+  if src.count > 0 then
+    if into_was_empty then begin
+      (* Adopt [src]'s extrema outright: an empty [into] carries the
+         ±infinity sentinels, and copying (rather than comparing against
+         them) keeps the invariant that min/max are always observed
+         values once count > 0. *)
+      into.min_v <- src.min_v;
+      into.max_v <- src.max_v
+    end
+    else begin
+      if src.min_v < into.min_v then into.min_v <- src.min_v;
+      if src.max_v > into.max_v then into.max_v <- src.max_v
+    end
 let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
 let min_value t = if t.count = 0 then 0.0 else t.min_v
 let max_value t = if t.count = 0 then 0.0 else t.max_v

@@ -230,3 +230,19 @@ let parse (s : string) : (value, string) result =
 let member key = function
   | Jobject fields -> List.assoc_opt key fields
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Printing parsed values                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Prints a [value] back with the same conventions as the emitters above
+   (field order preserved, floats via [float]), so a parse/print pair
+   roundtrips: [parse (to_string v) = Ok v] for any [v] whose numbers
+   survive the float format (see the fixpoint note in the tests). *)
+let rec to_string = function
+  | Jnull -> "null"
+  | Jbool b -> if b then "true" else "false"
+  | Jnumber f -> float f
+  | Jstring s -> string s
+  | Jarray items -> array (List.map to_string items)
+  | Jobject fields -> obj (List.map (fun (k, v) -> (k, to_string v)) fields)

@@ -6,10 +6,18 @@
 type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : float }
 
+(* Append-only (t, value) points, newest first internally. Merging
+   appends [src]'s points after [into]'s, so sinks merged in submission
+   order reproduce a sequential run's series exactly — the growth
+   ledger's per-epoch samples ride on this for the -j determinism
+   guarantee. *)
+type timeseries = { ts_name : string; mutable ts_rev_points : (float * float) list }
+
 type series =
   | Counter of counter
   | Gauge of gauge
   | Histogram of Histogram.t
+  | Series of timeseries
 
 type t = { table : (string, series) Hashtbl.t }
 
@@ -28,25 +36,42 @@ let kind_error name = failwith ("Metrics: series kind mismatch for " ^ name)
 let counter t name =
   match find_or_add t name (fun () -> Counter { c_name = name; c_value = 0 }) with
   | Counter c -> c
-  | Gauge _ | Histogram _ -> kind_error name
+  | Gauge _ | Histogram _ | Series _ -> kind_error name
 
 let gauge t name =
   match find_or_add t name (fun () -> Gauge { g_name = name; g_value = 0.0 }) with
   | Gauge g -> g
-  | Counter _ | Histogram _ -> kind_error name
+  | Counter _ | Histogram _ | Series _ -> kind_error name
 
 let histogram ?buckets_per_decade t name =
   match
     find_or_add t name (fun () -> Histogram (Histogram.create ?buckets_per_decade ()))
   with
   | Histogram h -> h
-  | Counter _ | Gauge _ -> kind_error name
+  | Counter _ | Gauge _ | Series _ -> kind_error name
+
+let time_series t name =
+  match
+    find_or_add t name (fun () -> Series { ts_name = name; ts_rev_points = [] })
+  with
+  | Series s -> s
+  | Counter _ | Gauge _ | Histogram _ -> kind_error name
 
 let inc ?(by = 1) c = c.c_value <- c.c_value + by
 let counter_value c = c.c_value
 let set g v = g.g_value <- v
 let add_gauge g v = g.g_value <- g.g_value +. v
 let gauge_value g = g.g_value
+let push ts ~t v = ts.ts_rev_points <- (t, v) :: ts.ts_rev_points
+let series_points ts = List.rev ts.ts_rev_points
+
+(* Histograms looked up without creating — report renderers walk the
+   registry read-only. *)
+let find_histogram t name =
+  match Hashtbl.find_opt t.table name with Some (Histogram h) -> Some h | _ -> None
+
+let find_series t name =
+  match Hashtbl.find_opt t.table name with Some (Series s) -> Some s | _ -> None
 
 (* Convenience: record into a histogram looked up by name. *)
 let observe t name v = Histogram.observe (histogram t name) v
@@ -72,7 +97,10 @@ let merge_into ~into src =
           ~into:
             (histogram ~buckets_per_decade:(Histogram.buckets_per_decade h) into
                name)
-          h)
+          h
+      | Series s ->
+        let dst = time_series into name in
+        dst.ts_rev_points <- s.ts_rev_points @ dst.ts_rev_points)
     sorted
 
 let sorted_series t =
@@ -91,6 +119,14 @@ let to_json_string t =
         Json.obj
           (("type", Json.string "histogram")
           :: List.map (fun (k, v) -> (k, Json.value v)) (Histogram.snapshot_fields h))
+      | Series ts ->
+        Json.obj
+          [ ("type", Json.string "series");
+            ("points",
+             Json.array
+               (List.map
+                  (fun (t, v) -> Json.array [ Json.float t; Json.float v ])
+                  (series_points ts))) ]
     in
     Json.string name ^ ": " ^ body
   in
@@ -122,6 +158,14 @@ let to_prometheus t =
           [ 0.5; 0.9; 0.99 ];
         Buffer.add_string buf
           (Printf.sprintf "%s_sum %s\n%s_count %d\n" n
-             (Json.float (Histogram.sum h)) n (Histogram.count h)))
+             (Json.float (Histogram.sum h)) n (Histogram.count h))
+      | Series ts ->
+        (* Prometheus has no native series type; expose the last sample
+           as a gauge (scrapes see the current value). *)
+        let last =
+          match ts.ts_rev_points with (_, v) :: _ -> v | [] -> 0.0
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (Json.float last)))
     (sorted_series t);
   Buffer.contents buf

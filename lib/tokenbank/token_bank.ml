@@ -369,6 +369,22 @@ let sync_exn t ~signed =
 let positions t = Hashtbl.fold (fun _ p acc -> p :: acc) t.position_table []
 let find_position t pid = Hashtbl.find_opt t.position_table pid
 
+(* Live contract storage footprint in 32-byte words: the quantity the
+   paper's state-growth argument is about. 6 words per open position
+   (owner, bounds, liquidity, amounts, fees packed as in
+   [Sync_payload.storage_words]), 2 per pool (reserves), 4 for the
+   committee vk, 3 per pending epoch-deposit entry (key + two amounts)
+   and 6 per exit claim. *)
+let storage_words t =
+  let deposit_entries =
+    Epoch_map.fold (fun _ m acc -> acc + Address.Map.cardinal m) t.user_deposits 0
+  in
+  (6 * Hashtbl.length t.position_table)
+  + (2 * List.length t.pools)
+  + 4
+  + (3 * deposit_entries)
+  + (6 * Hashtbl.length t.exit_table)
+
 (* ------------------------------------------------------------------ *)
 (* Flash loans                                                         *)
 (* ------------------------------------------------------------------ *)

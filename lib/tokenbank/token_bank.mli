@@ -116,6 +116,11 @@ val sync_exn :
 val positions : t -> Sync_payload.position_entry list
 val find_position : t -> Position_id.t -> Sync_payload.position_entry option
 
+val storage_words : t -> int
+(** Live contract storage in 32-byte words across positions, pools, the
+    committee vk, pending epoch deposits and exit claims — the on-chain
+    state footprint the growth ledger samples each epoch. *)
+
 (** {1 Emergency exit (halt / exit / reconcile)}
 
     The liveness escape hatch: when the sidechain committee is lost (or

@@ -414,12 +414,190 @@ let test_json_parse_bench_results () =
       Alcotest.(check (float 1e-6)) "ns" 1349.9 ns
     | _ -> Alcotest.fail "micro_ns shape")
 
+(* ------------------------------------------------------------------ *)
+(* Property tests: printer/parser roundtrip and quantile accuracy       *)
+(* ------------------------------------------------------------------ *)
+
+let prop ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+(* [Json.float] prints integers exactly and everything else via %.12g,
+   so roundtripping can only hold for floats that are fixpoints of the
+   printer; one print/parse pass puts any generated number on that
+   lattice (and clamps NaN/infinities to finite values, as the emitter
+   does). *)
+let norm_float f = float_of_string (J.float f)
+
+let gen_json_value =
+  let open QCheck2.Gen in
+  (* Full char range: exercises the escape table, \u control escapes and
+     raw high bytes. *)
+  let gen_key = string_size (int_range 0 12) in
+  let scalar =
+    oneof
+      [ return J.Jnull;
+        map (fun b -> J.Jbool b) bool;
+        map (fun f -> J.Jnumber (norm_float f)) float;
+        map
+          (fun i -> J.Jnumber (float_of_int i))
+          (int_range (-1_000_000_000) 1_000_000_000);
+        map (fun s -> J.Jstring s) gen_key ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [ (3, scalar);
+               ( 1,
+                 map
+                   (fun l -> J.Jarray l)
+                   (list_size (int_range 0 4) (self (n / 4))) );
+               ( 1,
+                 map
+                   (fun l -> J.Jobject l)
+                   (list_size (int_range 0 4) (pair gen_key (self (n / 4)))) ) ])
+
+let json_roundtrip_prop v =
+  match J.parse (J.to_string v) with Ok v' -> v' = v | Error _ -> false
+
+let gen_samples = QCheck2.Gen.(list_size (int_range 1 300) (float_range 0.001 1.0e6))
+
+(* The log-bucketed quantile must stay within one bucket (midpoint vs
+   extreme at 20/decade is < 6%) of the exact order-statistic; 13% leaves
+   margin for boundary ranks. *)
+let quantile_vs_exact_prop samples =
+  let h = H.create () in
+  List.iter (H.observe h) samples;
+  let sorted = Array.of_list (List.sort compare samples) in
+  let n = Array.length sorted in
+  List.for_all
+    (fun q ->
+      let target = q *. float_of_int n in
+      let idx =
+        Stdlib.max 0 (Stdlib.min (n - 1) (int_of_float (Float.ceil target) - 1))
+      in
+      let exact = sorted.(idx) in
+      Float.abs (H.quantile h q -. exact) <= 0.13 *. exact)
+    [ 0.5; 0.9; 0.99 ]
+
+(* Bucket counts add exactly, so a merged histogram answers quantiles
+   identically to one that saw all observations directly. *)
+let merged_quantile_prop (xs, ys) =
+  let whole = H.create () in
+  List.iter (H.observe whole) (xs @ ys);
+  let a = H.create () and b = H.create () in
+  List.iter (H.observe a) xs;
+  List.iter (H.observe b) ys;
+  H.merge_into ~into:a b;
+  H.count a = H.count whole
+  && H.min_value a = H.min_value whole
+  && H.max_value a = H.max_value whole
+  && List.for_all (fun q -> H.quantile a q = H.quantile whole q) [ 0.5; 0.9; 0.99 ]
+
+let test_quantile_single_observation () =
+  let h = H.create () in
+  H.observe h 7.3;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "q=%.2f clamps to the single value" q)
+        7.3 (H.quantile h q))
+    [ 0.01; 0.5; 0.99 ]
+
+(* ------------------------------------------------------------------ *)
+(* Histogram merge guards                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_into_empty_guard () =
+  (* Merging into an empty histogram must adopt the source extrema, not
+     compare against the fresh ±infinity sentinels — a zero-bucket-only
+     source is the sharp case, since all its values are <= 0. *)
+  let a = H.create () in
+  let b = H.create () in
+  for _ = 1 to 5 do
+    H.observe b (-2.0)
+  done;
+  H.merge_into ~into:a b;
+  Alcotest.(check int) "count" 5 (H.count a);
+  Alcotest.(check (float 1e-9)) "min adopted" (-2.0) (H.min_value a);
+  Alcotest.(check (float 1e-9)) "max adopted" (-2.0) (H.max_value a);
+  Alcotest.(check (float 1e-9)) "p99 clamps into the zero bucket" (-2.0)
+    (H.quantile a 0.99);
+  (* Merging an empty histogram is the identity. *)
+  let p50 = H.quantile a 0.5 in
+  H.merge_into ~into:a (H.create ());
+  Alcotest.(check int) "empty merge keeps count" 5 (H.count a);
+  Alcotest.(check (float 1e-9)) "empty merge keeps min" (-2.0) (H.min_value a);
+  Alcotest.(check (float 1e-9)) "empty merge keeps quantiles" p50 (H.quantile a 0.5);
+  Alcotest.check_raises "bucket layout mismatch rejected"
+    (Invalid_argument "Histogram.merge_into: bucket layouts differ") (fun () ->
+      H.merge_into ~into:(H.create ~buckets_per_decade:10 ()) (H.create ()))
+
+(* ------------------------------------------------------------------ *)
+(* Time-series metric kind                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_points_and_json () =
+  let reg = M.create () in
+  let s = M.time_series reg "growth.mc.bytes.total" in
+  M.push s ~t:0.0 10.0;
+  M.push s ~t:1.0 20.0;
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "points come back in push order"
+    [ (0.0, 10.0); (1.0, 20.0) ]
+    (M.series_points s);
+  Alcotest.(check bool) "find_series sees it" true
+    (M.find_series reg "growth.mc.bytes.total" <> None);
+  Alcotest.(check bool) "find_histogram does not" true
+    (M.find_histogram reg "growth.mc.bytes.total" = None);
+  match parse_json (String.trim (M.to_json_string reg)) with
+  | Obj [ (name, Obj fields) ] ->
+    Alcotest.(check string) "name" "growth.mc.bytes.total" name;
+    Alcotest.(check bool) "type series" true
+      (List.assoc "type" fields = Str "series");
+    (match List.assoc "points" fields with
+    | Arr [ Arr [ Num 0.0; Num 10.0 ]; Arr [ Num 1.0; Num 20.0 ] ] -> ()
+    | _ -> Alcotest.fail "points shape")
+  | _ -> Alcotest.fail "snapshot shape"
+
+let test_series_merge_matches_sequential () =
+  (* Private sinks merged in submission order must reproduce a
+     sequential run's series byte-for-byte — the growth ledger's -j
+     determinism rides on this. *)
+  let points = [ (0.0, 1.0); (1.0, 2.0); (2.0, 3.0); (3.0, 4.0) ] in
+  let seq = M.create () in
+  List.iter (fun (t, v) -> M.push (M.time_series seq "g") ~t v) points;
+  let a = M.create () and b = M.create () in
+  List.iter (fun (t, v) -> M.push (M.time_series a "g") ~t v)
+    [ List.nth points 0; List.nth points 1 ];
+  List.iter (fun (t, v) -> M.push (M.time_series b "g") ~t v)
+    [ List.nth points 2; List.nth points 3 ];
+  let merged = M.create () in
+  M.merge_into ~into:merged a;
+  M.merge_into ~into:merged b;
+  Alcotest.(check string) "merged snapshot = sequential snapshot"
+    (M.to_json_string seq) (M.to_json_string merged)
+
 let () =
   Alcotest.run "telemetry"
     [ ("histogram",
        [ Alcotest.test_case "uniform quantiles" `Quick test_histogram_uniform;
          Alcotest.test_case "bimodal quantiles" `Quick test_histogram_lognormal_like;
-         Alcotest.test_case "edge cases" `Quick test_histogram_edge_cases ]);
+         Alcotest.test_case "edge cases" `Quick test_histogram_edge_cases;
+         Alcotest.test_case "single observation" `Quick
+           test_quantile_single_observation;
+         Alcotest.test_case "merge guards" `Quick test_merge_into_empty_guard;
+         prop "quantile tracks exact order statistic" gen_samples
+           quantile_vs_exact_prop;
+         prop "merged histogram = combined histogram"
+           QCheck2.Gen.(pair gen_samples gen_samples)
+           merged_quantile_prop ]);
+      ("series",
+       [ Alcotest.test_case "points and JSON shape" `Quick
+           test_series_points_and_json;
+         Alcotest.test_case "submission-order merge is sequential" `Quick
+           test_series_merge_matches_sequential ]);
       ("metrics",
        [ Alcotest.test_case "snapshot shape" `Quick test_registry_snapshot;
          Alcotest.test_case "deterministic output" `Quick test_registry_deterministic ]);
@@ -430,6 +608,8 @@ let () =
            test_chrome_export_well_formed ]);
       ("json",
        [ Alcotest.test_case "roundtrip" `Quick test_json_parse_roundtrip;
+         prop ~count:500 "print/parse roundtrip (property)" gen_json_value
+           json_roundtrip_prop;
          Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
          Alcotest.test_case "literals" `Quick test_json_parse_literals;
          Alcotest.test_case "errors rejected" `Quick test_json_parse_errors;
