@@ -279,8 +279,26 @@ let compute_observe sink =
       Printf.eprintf "  [run report written to %s]\n%!" path
     | _ -> ())
 
-type experiment = Sim of (Telemetry.Report.sink -> unit -> unit) | Micro
+let sweep_out = Sys.getenv_opt "AMMBOOST_SWEEP_OUT"
 
+let compute_scale_sweep sink =
+  let rows = E.scale_sweep ~sink () in
+  fun () ->
+    E.print_scale_sweep rows;
+    (match sweep_out with
+    | Some path when path <> "" ->
+      write_file path (E.sweep_json rows ^ "\n");
+      Printf.eprintf "  [sweep table written to %s]\n%!" path
+    | _ -> ())
+
+type experiment =
+  | Sim of (Telemetry.Report.sink -> unit -> unit)
+  | Micro
+  | Sweep  (** serial like [Micro]: its RSS measurement is process-wide *)
+
+(* The default target list. "scale-sweep" is opt-in only (see
+   [extra_experiments]): its 10k-user cell is far heavier than any
+   table and its measurements want an otherwise quiet process. *)
 let all_experiments =
   [ ("table1", Sim compute_table1); ("table2", Sim compute_table2);
     ("table3", Sim compute_table3); ("table4", Sim compute_table4);
@@ -289,6 +307,8 @@ let all_experiments =
     ("fig6", Sim compute_fig6); ("ablations", Sim compute_ablations);
     ("chaos", Sim compute_chaos); ("exit-drill", Sim compute_exit_drill);
     ("observe", Sim compute_observe); ("micro", Micro) ]
+
+let extra_experiments = [ ("scale-sweep", Sweep) ]
 
 let metrics_dir = Sys.getenv_opt "AMMBOOST_METRICS_DIR"
 
@@ -309,39 +329,60 @@ type outcome = {
   o_sink : Telemetry.Report.sink;
   o_wall : float;
   o_cpu : float;
+  o_rss_kb : int;          (* process peak RSS when the experiment ended *)
+  o_major_words : float;   (* GC major words allocated, driving domain *)
+  o_promoted_words : float;
   o_micro : (string * float option) list;  (* non-empty only for micro *)
 }
+
+(* GC counters are per-domain: for parallel-batched experiments they cover
+   the driving domain only (workers allocate in their own heaps), which
+   still tracks the serial experiments exactly and trends for the rest.
+   Peak RSS is process-wide and monotone. *)
+let run_measured name compute =
+  let sink = Telemetry.Report.sink () in
+  let sw = Telemetry.Clock.stopwatch () in
+  let g0 = Gc.quick_stat () in
+  let print, micro = compute sink in
+  let g1 = Gc.quick_stat () in
+  { o_name = name; o_print = print; o_sink = sink;
+    o_wall = Telemetry.Clock.elapsed_wall sw;
+    o_cpu = Telemetry.Clock.elapsed_cpu sw;
+    o_rss_kb = E.peak_rss_kb ();
+    o_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    o_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    o_micro = micro }
 
 let run_sim name compute =
   (* One metrics registry per experiment: the snapshot aggregates every
      simulator run behind that table. The sink is private to this
      experiment, so concurrent experiments never share one. *)
-  let sink = Telemetry.Report.sink () in
-  let sw = Telemetry.Clock.stopwatch () in
-  let print = compute sink in
-  { o_name = name; o_print = print; o_sink = sink;
-    o_wall = Telemetry.Clock.elapsed_wall sw;
-    o_cpu = Telemetry.Clock.elapsed_cpu sw; o_micro = [] }
+  run_measured name (fun sink -> (compute sink, []))
 
 let run_micro_outcome () =
   (* Even idle pool domains degrade minor-GC pauses; join them so the
      micro numbers measure the primitive, not the pool. The pool restarts
      lazily if more simulator experiments follow. *)
   Parallel.shutdown ();
-  let sink = Telemetry.Report.sink () in
-  let sw = Telemetry.Clock.stopwatch () in
-  let rows = run_micro () in
-  { o_name = "micro"; o_print = (fun () -> print_micro rows); o_sink = sink;
-    o_wall = Telemetry.Clock.elapsed_wall sw;
-    o_cpu = Telemetry.Clock.elapsed_cpu sw; o_micro = rows }
+  run_measured "micro" (fun _sink ->
+      let rows = run_micro () in
+      ((fun () -> print_micro rows), rows))
+
+let run_sweep_outcome () =
+  (* Like micro: serial, with the domain pool quiesced, so the sweep's
+     peak-RSS and GC numbers describe the sweep alone. *)
+  Parallel.shutdown ();
+  run_measured "scale-sweep" (fun sink -> (compute_scale_sweep sink, []))
 
 let finish outcome =
   outcome.o_print ();
   flush stdout;
   (* Timing depends on load and job count: stderr, so stdout stays
      byte-identical across -j values. *)
-  Printf.eprintf "  [%s done in %.1fs wall, %.1fs cpu]\n%!" outcome.o_name
-    outcome.o_wall outcome.o_cpu;
+  Printf.eprintf
+    "  [%s done in %.1fs wall, %.1fs cpu; rss peak %dKB, %.0f major words, %.0f promoted]\n%!"
+    outcome.o_name outcome.o_wall outcome.o_cpu outcome.o_rss_kb
+    outcome.o_major_words outcome.o_promoted_words;
   match metrics_dir with
   | Some dir ->
     mkdir_p dir;
@@ -369,6 +410,10 @@ let run_targets targets =
       let outcomes = Parallel.map_list (fun (name, f) -> run_sim name f) sims in
       List.iter finish outcomes;
       go (List.rev_append outcomes acc) rest
+    | (_, Sweep) :: rest ->
+      let o = run_sweep_outcome () in
+      finish o;
+      go (o :: acc) rest
     | (name, Micro) :: rest ->
       (* unreachable: only "micro" carries Micro *)
       ignore name;
@@ -432,7 +477,9 @@ let write_results ~jobs ~baseline outcomes =
          (fun o ->
            Json.obj_of_fields
              [ ("name", Json.String o.o_name); ("wall_s", Json.Float o.o_wall);
-               ("cpu_s", Json.Float o.o_cpu) ])
+               ("cpu_s", Json.Float o.o_cpu); ("rss_peak_kb", Json.Int o.o_rss_kb);
+               ("gc_major_words", Json.Float o.o_major_words);
+               ("gc_promoted_words", Json.Float o.o_promoted_words) ])
          outcomes)
   in
   let doc =
@@ -458,7 +505,7 @@ let write_results ~jobs ~baseline outcomes =
 let usage () =
   Printf.eprintf
     "usage: main.exe [-j N | --jobs N] [experiment ...]\navailable experiments: %s\n"
-    (String.concat ", " (List.map fst all_experiments));
+    (String.concat ", " (List.map fst (all_experiments @ extra_experiments)));
   exit 2
 
 let parse_jobs s =
@@ -491,14 +538,15 @@ let () =
   (match jobs_flag with Some n -> Parallel.set_default_domains n | None -> ());
   let jobs = Parallel.default_domains () in
   let names = if names = [] then List.map fst all_experiments else names in
+  let known = all_experiments @ extra_experiments in
   let targets =
     List.filter_map
       (fun name ->
-        match List.assoc_opt name all_experiments with
+        match List.assoc_opt name known with
         | Some kind -> Some (name, kind)
         | None ->
           Printf.eprintf "unknown experiment %S; available: %s\n" name
-            (String.concat ", " (List.map fst all_experiments));
+            (String.concat ", " (List.map fst known));
           None)
       names
   in

@@ -71,7 +71,7 @@ let run cfg =
   in
   let processor =
     Sidechain.Processor.begin_epoch ~pool ~snapshot
-      ~verify_signatures:cfg.Config.verify_signatures
+      ~verify_signatures:cfg.Config.verify_signatures ()
   in
   let executed = ref 0 and rejected = ref 0 in
   let ethereum_bytes = ref 0 in
@@ -88,9 +88,8 @@ let run cfg =
     Eth.advance_to eth t_round;
     if round mod spr = 0 then
       growth_epochs := (round / spr, chain_bytes ()) :: !growth_epochs;
-    let txs = Traffic.generate_round traffic ~round ~time:t_round in
-    List.iter
-      (fun tx ->
+    ignore
+      (Traffic.iter_round traffic ~round ~time:t_round (fun tx ->
         let op = op_of_tx tx in
         ethereum_bytes := !ethereum_bytes + Encoding.ethereum_op_size op;
         Eth.submit eth ~at:t_round
@@ -106,8 +105,7 @@ let run cfg =
                     Sidechain.Processor.process processor ~current_round:round tx
                   with
                   | Ok () -> incr executed
-                  | Error _ -> incr rejected) })
-      txs
+                  | Error _ -> incr rejected) }))
   done;
   (* Drain the pending pool (gas-limit congestion can leave a backlog). *)
   let horizon = ref (float_of_int rounds *. b_t) in

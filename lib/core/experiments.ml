@@ -703,3 +703,148 @@ let print_observe o =
     (Observe.Growth_ledger.rows o.obs_ledger);
   Printf.printf "lifecycle: %d of %d included ops sampled (1 in 8)\n" o.obs_sampled
     o.obs_seen
+
+(* ------------------------------------------------------------------ *)
+(* Scale sweep: users vs wall-seconds vs peak RSS                      *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_users_default = [ 100; 1_000; 10_000 ]
+
+let sweep_users () =
+  match Sys.getenv_opt "AMMBOOST_SWEEP_USERS" with
+  | None | Some "" -> sweep_users_default
+  | Some s ->
+    let ns =
+      String.split_on_char ',' s
+      |> List.filter_map (fun p -> int_of_string_opt (String.trim p))
+      |> List.filter (fun n -> n > 0)
+    in
+    if ns = [] then sweep_users_default else List.sort_uniq compare ns
+
+let sweep_epochs () =
+  match Option.bind (Sys.getenv_opt "AMMBOOST_SWEEP_EPOCHS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 3
+
+(* Each cell is seeded by its own user count, so a cell's output does not
+   depend on which other cells run: trimming the sweep via
+   AMMBOOST_SWEEP_USERS never changes the remaining rows. *)
+let sweep_cfg ~users =
+  let daily_volume = users * 500 in
+  let arrivals =
+    int_of_float
+      (Float.ceil
+         (float_of_int daily_volume *. base.Config.sc_round_duration /. 86_400.0))
+  in
+  { base with
+    Config.users;
+    epochs = sweep_epochs ();
+    daily_volume;
+    (* One deposit per user per epoch floods the mainchain queue, and the
+       epoch sync carrying every user's entry must fit a single block
+       (head-of-line): scale the gas limit and the meta-block capacity
+       with the population so large cells cannot wedge. *)
+    mc_gas_limit = Stdlib.max base.Config.mc_gas_limit (users * 100_000);
+    meta_block_bytes = Stdlib.max base.Config.meta_block_bytes (arrivals * 1024);
+    seed = Printf.sprintf "%s-sweep-%d" base.Config.seed users }
+
+type sweep_cell = {
+  sw_users : int;
+  sw_generated : int;
+  sw_processed : int;
+  sw_throughput : float;
+  sw_epochs_applied : int;
+  sw_epochs_run : int;
+  sw_storage_words : float;
+  sw_wall_s : float;
+  sw_rss_kb : int;
+  sw_major_words : float;
+  sw_promoted_words : float;
+}
+
+let peak_rss_kb () =
+  (* VmHWM from /proc/self/status (Linux); 0 where unavailable. Process-
+     wide and monotone, hence the ascending sequential cell order. *)
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | exception Sys_error _ -> 0
+  | text ->
+    String.split_on_char '\n' text
+    |> List.fold_left
+         (fun acc line ->
+           if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+             let digits =
+               String.to_seq line
+               |> Seq.filter (fun c -> c >= '0' && c <= '9')
+               |> String.of_seq
+             in
+             match int_of_string_opt digits with Some v -> v | None -> acc
+           else acc)
+         0
+
+let scale_sweep ?sink () =
+  (* Sequential by design — never fanned across domains: peak RSS is a
+     process-wide high-water mark, so cells run one at a time in
+     ascending user order for the measurement to be attributable. *)
+  List.map
+    (fun users ->
+      let cfg = sweep_cfg ~users in
+      let private_sink = Telemetry.Report.sink () in
+      let sw = Telemetry.Clock.stopwatch () in
+      let g0 = Gc.quick_stat () in
+      let r = System.run ~sink:private_sink cfg in
+      let g1 = Gc.quick_stat () in
+      let wall = Telemetry.Clock.elapsed_wall sw in
+      (match sink with
+      | Some s -> Telemetry.Report.merge_into ~into:s private_sink
+      | None -> ());
+      let storage_words =
+        match List.rev (Observe.Growth_ledger.rows r.System.growth) with
+        | last :: _ ->
+          Option.value ~default:0.0
+            (Observe.Growth_ledger.field last "bank.storage_words")
+        | [] -> 0.0
+      in
+      let row =
+        { sw_users = users; sw_generated = r.System.generated;
+          sw_processed = r.System.processed; sw_throughput = r.System.throughput;
+          sw_epochs_applied = r.System.epochs_applied;
+          sw_epochs_run = r.System.epochs_run; sw_storage_words = storage_words;
+          sw_wall_s = wall; sw_rss_kb = peak_rss_kb ();
+          sw_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+          sw_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words }
+      in
+      (* Wall/RSS vary run to run: stderr only, stdout stays identical. *)
+      Printf.eprintf
+        "  [sweep users=%d: %.1fs wall, rss peak %dKB, %.0f major words]\n%!"
+        users wall row.sw_rss_kb row.sw_major_words;
+      row)
+    (sweep_users ())
+
+let print_scale_sweep rows =
+  Printf.printf "\n=== Scale sweep (epochs=%d) ===\n" (sweep_epochs ());
+  Printf.printf "%-10s%14s%14s%18s%10s%16s\n" "users" "generated" "processed"
+    "throughput tx/s" "epochs" "storage words";
+  List.iter
+    (fun c ->
+      Printf.printf "%-10d%14d%14d%18.2f%7d/%-2d%16.0f\n" c.sw_users c.sw_generated
+        c.sw_processed c.sw_throughput c.sw_epochs_applied c.sw_epochs_run
+        c.sw_storage_words)
+    rows
+
+let sweep_json rows =
+  let cell c =
+    Telemetry.Json.obj_of_fields
+      [ ("users", Telemetry.Json.Int c.sw_users);
+        ("generated", Telemetry.Json.Int c.sw_generated);
+        ("processed", Telemetry.Json.Int c.sw_processed);
+        ("epochs_applied", Telemetry.Json.Int c.sw_epochs_applied);
+        ("storage_words", Telemetry.Json.Float c.sw_storage_words);
+        ("wall_s", Telemetry.Json.Float c.sw_wall_s);
+        ("rss_peak_kb", Telemetry.Json.Int c.sw_rss_kb);
+        ("gc_major_words", Telemetry.Json.Float c.sw_major_words);
+        ("gc_promoted_words", Telemetry.Json.Float c.sw_promoted_words) ]
+  in
+  Telemetry.Json.obj
+    [ ("schema", Telemetry.Json.string "ammboost-sweep/1");
+      ("epochs", string_of_int (sweep_epochs ()));
+      ("cells", Telemetry.Json.array (List.map cell rows)) ]

@@ -193,3 +193,54 @@ val observe : ?sink:Telemetry.Report.sink -> unit -> observe_run
 
 val print_observe : observe_run -> unit
 (** Deterministic stdout table of the headline ledger series. *)
+
+(** {1 Scale sweep} *)
+
+val sweep_users : unit -> int list
+(** User populations to sweep, ascending: [AMMBOOST_SWEEP_USERS] (a
+    comma-separated list) when set and parseable, else
+    [100, 1000, 10000]. *)
+
+val sweep_epochs : unit -> int
+(** Generation epochs per sweep cell: [AMMBOOST_SWEEP_EPOCHS] when set,
+    else 3. *)
+
+val sweep_cfg : users:int -> Config.t
+(** The cell configuration for one population: traffic volume, mainchain
+    gas limit and meta-block capacity all scale with [users] (a sync
+    carrying every user's entry must fit one block), and the seed
+    embeds [users] so each cell is independent of which others run. *)
+
+type sweep_cell = {
+  sw_users : int;
+  sw_generated : int;
+  sw_processed : int;
+  sw_throughput : float;
+  sw_epochs_applied : int;
+  sw_epochs_run : int;
+  sw_storage_words : float;  (** final bank footprint (growth ledger) *)
+  sw_wall_s : float;         (** wall seconds for the cell's [System.run] *)
+  sw_rss_kb : int;           (** process peak RSS after the cell (VmHWM) *)
+  sw_major_words : float;    (** GC major words allocated by the cell *)
+  sw_promoted_words : float;
+}
+
+val peak_rss_kb : unit -> int
+(** The process high-water RSS in KiB (Linux [/proc/self/status] VmHWM;
+    0 where unavailable). Monotone over the process lifetime. *)
+
+val scale_sweep :
+  ?sink:Telemetry.Report.sink -> unit -> sweep_cell list
+(** Run the sweep cells sequentially in ascending user order (never
+    across domains: peak RSS is process-wide, so parallel cells would
+    pollute each other's measurement). Simulation outputs are
+    deterministic; wall/RSS/GC fields are measurements and go to stderr
+    and the results JSON only. *)
+
+val print_scale_sweep : sweep_cell list -> unit
+(** Deterministic stdout table (measurement fields omitted). *)
+
+val sweep_json : sweep_cell list -> string
+(** The sweep in [ammboost-sweep/1] JSON form (measurements included) —
+    what the CI perf gate compares against the checked-in
+    [SWEEP_baseline.json]. *)

@@ -817,7 +817,19 @@ let settle_confirmed t =
             "epoch confirmed: meta-blocks pruned")
         epochs)
     confirmed;
-  t.pending_confirm <- still
+  t.pending_confirm <- still;
+  (* Checkpoints at or below the confirmed frontier can never be restored
+     (forks only abandon unconfirmed blocks): release the newest of them
+     so the bank's undo journal stays bounded by the unconfirmed window. *)
+  let frontier = Eth.confirmed_height t.eth in
+  let dead, live = List.partition (fun (h, _, _) -> h <= frontier) t.checkpoints in
+  match dead with
+  | (_, ck, _) :: _ ->
+    (* Newest-first list: the head of [dead] is the youngest retired
+       checkpoint; releasing it drops the journal history below it. *)
+    Token_bank.release_checkpoint t.bank ck;
+    t.checkpoints <- live
+  | [] -> ()
 
 (* Fork switch abandoning every block from [height] to the tip: restore
    TokenBank (and the oracle's op log) to the paired pre-sync checkpoint,
@@ -1190,9 +1202,11 @@ let run ?sink cfg =
           if e < cfg.Config.epochs then begin
             (* Parties keep issuing: the backlog they accumulate is
                voided at dissolution and settled by the exits. *)
-            let generated = Traffic.generate_round t.traffic ~round ~time:t_round in
-            List.iter (fun tx -> Chain.Mempool.push t.mempool tx) generated;
-            Tmetrics.inc ~by:(List.length generated) tele.c_generated
+            let generated =
+              Traffic.iter_round t.traffic ~round ~time:t_round
+                (Chain.Mempool.push t.mempool)
+            in
+            Tmetrics.inc ~by:generated tele.c_generated
           end
         end;
         Tmetrics.set tele.g_mempool_bytes
@@ -1209,8 +1223,19 @@ let run ?sink cfg =
       else None
     in
     let processor =
-      Processor.begin_epoch ~pool:t.pool ~snapshot
-        ~verify_signatures:cfg.Config.verify_signatures
+      (* Positions in still-unapplied summaries stay "changed" relative
+         to the bank snapshot even if this epoch never touches them: feed
+         them to the incremental summary builder as carry. *)
+      let carry =
+        List.concat_map
+          (fun ((p : Sync_payload.t), _) ->
+            List.map
+              (fun (e : Sync_payload.position_entry) -> e.Sync_payload.pos_id)
+              p.Sync_payload.positions)
+          (pending_signed t)
+      in
+      Processor.begin_epoch ~pool:t.pool ~snapshot ~carry
+        ~verify_signatures:cfg.Config.verify_signatures ()
     in
     for r = 0 to spr - 1 do
       let round = (e * spr) + r in
@@ -1233,13 +1258,14 @@ let run ?sink cfg =
       maybe_retry_sync t ~now:t_round;
       maybe_submit_deposits t ~now:t_round;
       if e < cfg.Config.epochs then begin
-        let generated = Traffic.generate_round t.traffic ~round ~time:t_round in
-        List.iter (fun tx -> Chain.Mempool.push t.mempool tx) generated;
-        Tmetrics.inc ~by:(List.length generated) tele.c_generated;
+        let generated =
+          Traffic.iter_round t.traffic ~round ~time:t_round
+            (Chain.Mempool.push t.mempool)
+        in
+        Tmetrics.inc ~by:generated tele.c_generated;
         Trace.complete tele.tr
           ~args:
-            [ ("generated", Json.Int (List.length generated));
-              ("round", Json.Int round) ]
+            [ ("generated", Json.Int generated); ("round", Json.Int round) ]
           ~name:"traffic" ~ts:t_round ~dur:(0.35 *. b_t) ()
       end;
       Tmetrics.set tele.g_mempool_bytes

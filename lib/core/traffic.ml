@@ -155,9 +155,17 @@ let generate_one t ~round ~time =
     gen_burn t (lp ()) ~round ~time
   else gen_collect t (lp ()) ~round ~time
 
-let generate_round t ~round ~time =
+let iter_round t ~round ~time f =
   let n = Config.arrivals_per_round t.cfg in
-  List.init n (fun _ -> generate_one t ~round ~time)
+  for _ = 1 to n do
+    f (generate_one t ~round ~time)
+  done;
+  n
+
+let generate_round t ~round ~time =
+  let acc = ref [] in
+  ignore (iter_round t ~round ~time (fun tx -> acc := tx :: !acc));
+  List.rev !acc
 
 type type_stats = {
   ts_name : string;

@@ -13,8 +13,15 @@ type t
 
 val create : rng:Amm_crypto.Rng.t -> cfg:Config.t -> users:Party.user array -> t
 
+val iter_round : t -> round:int -> time:float -> (Chain.Tx.t -> unit) -> int
+(** Streams the round's arrivals (ρ transactions) to the callback in
+    generation order without materializing the round; returns the count.
+    At million-user arrival rates this keeps traffic generation O(1) in
+    live memory where {!generate_round} allocates the whole round. *)
+
 val generate_round : t -> round:int -> time:float -> Chain.Tx.t list
-(** The round's arrivals (ρ transactions). *)
+(** The round's arrivals (ρ transactions) as a list (thin wrapper over
+    {!iter_round}; same RNG draw order). *)
 
 val generated : t -> int
 

@@ -16,6 +16,7 @@ type pending = {
   spec : tx_spec;
   submitted_at : float;
   ready_at : float;
+  seq : int;  (* submission order; breaks ready_at ties *)
 }
 
 type included = { i_label : string; i_tag : string option; i_size : int; i_gas : int;
@@ -38,7 +39,9 @@ type t = {
   mutable gas_limit : int;
   header_size : int;
   rng : Rng.t;
-  mutable pending : pending list; (* kept sorted by ready_at *)
+  mutable heap : pending array; (* binary min-heap by (ready_at, seq) *)
+  mutable heap_len : int;
+  mutable seq_counter : int;
   ledger : block Chain.Ledger.t;
   mutable next_block_time : float;
   mutable current_time : float;
@@ -57,7 +60,7 @@ let create ?(interval = 12.0) ?(gas_limit = 30_000_000) ?(header_size = 508)
     ?(k_depth = 1) ~rng () =
   let genesis = { b_height = 0; b_time = 0.0; b_txs = []; b_gas_used = 0; b_size = header_size } in
   { intervl = interval; gas_limit; header_size; rng;
-    pending = [];
+    heap = [||]; heap_len = 0; seq_counter = 0;
     ledger = Chain.Ledger.create ~genesis ~size:(fun b -> b.b_size) ~k_depth;
     next_block_time = interval; current_time = 0.0;
     gas_by_label = Hashtbl.create 16; bytes_by_label = Hashtbl.create 16;
@@ -78,6 +81,57 @@ let confirmed_height t = Chain.Ledger.confirmed_height t.ledger
 
 let leg_time t = (propagation_fraction +. Rng.float t.rng) *. t.intervl
 
+(* The pending pool is a binary min-heap in (ready_at, submission seq)
+   order — exactly the order the old sorted list maintained, but O(log n)
+   per submission instead of O(n), which matters when a single epoch
+   floods the queue with tens of thousands of deposits. *)
+let heap_less a b =
+  a.ready_at < b.ready_at || (a.ready_at = b.ready_at && a.seq < b.seq)
+
+let heap_push t p =
+  if t.heap_len = Array.length t.heap then begin
+    let h = Array.make (Stdlib.max 16 (2 * Array.length t.heap)) p in
+    Array.blit t.heap 0 h 0 t.heap_len;
+    t.heap <- h
+  end;
+  t.heap.(t.heap_len) <- p;
+  let i = ref t.heap_len in
+  t.heap_len <- t.heap_len + 1;
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    heap_less t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(parent) in
+    t.heap.(parent) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let heap_peek t = if t.heap_len = 0 then None else Some t.heap.(0)
+
+let heap_pop t =
+  let root = t.heap.(0) in
+  t.heap_len <- t.heap_len - 1;
+  t.heap.(0) <- t.heap.(t.heap_len);
+  let i = ref 0 and sifting = ref (t.heap_len > 1) in
+  while !sifting do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.heap_len && heap_less t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.heap_len && heap_less t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest = !i then sifting := false
+    else begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+  done;
+  root
+
 let submit t ~at spec =
   (* Prerequisite flow legs run sequentially; the final leg's propagation
      offset is added here, its block wait comes from mining below. *)
@@ -86,14 +140,9 @@ let submit t ~at spec =
   for _ = 1 to prereq do
     ready := !ready +. leg_time t
   done;
-  let p = { spec; submitted_at = at; ready_at = !ready } in
-  (* Insertion keeping the list sorted by readiness (stable for ties). *)
-  let rec insert = function
-    | [] -> [ p ]
-    | q :: rest when q.ready_at <= p.ready_at -> q :: insert rest
-    | rest -> p :: rest
-  in
-  t.pending <- insert t.pending
+  let p = { spec; submitted_at = at; ready_at = !ready; seq = t.seq_counter } in
+  t.seq_counter <- t.seq_counter + 1;
+  heap_push t p
 
 let bump tbl key v =
   Hashtbl.replace tbl key (v + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -109,8 +158,13 @@ let mine_block t =
   if time > t.current_time then t.current_time <- time;
   let gas_used = ref 0 in
   let included = ref [] in
-  let rec take = function
-    | p :: rest when p.ready_at <= time && !gas_used + p.spec.gas <= t.gas_limit ->
+  (* Drain in readiness order, stopping at the first transaction that is
+     not ready or does not fit — head-of-line semantics, as before. *)
+  let taking = ref true in
+  while !taking do
+    match heap_peek t with
+    | Some p when p.ready_at <= time && !gas_used + p.spec.gas <= t.gas_limit ->
+      ignore (heap_pop t);
       gas_used := !gas_used + p.spec.gas;
       let height = Chain.Ledger.height t.ledger + 1 in
       (match p.spec.execute with Some f -> f height | None -> ());
@@ -125,11 +179,9 @@ let mine_block t =
       included :=
         { i_label = p.spec.label; i_tag = p.spec.tag; i_size = p.spec.size_bytes;
           i_gas = p.spec.gas; i_latency = latency }
-        :: !included;
-      take rest
-    | rest -> rest
-  in
-  t.pending <- take t.pending;
+        :: !included
+    | Some _ | None -> taking := false
+  done;
   let txs = List.rev !included in
   let size = t.header_size + List.fold_left (fun acc i -> acc + i.i_size) 0 txs in
   let height = Chain.Ledger.height t.ledger + 1 in
@@ -198,4 +250,4 @@ let mean_latency t label =
     else Some (List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values))
 
 let included_count t = t.included_count
-let pending_count t = List.length t.pending
+let pending_count t = t.heap_len

@@ -3,7 +3,7 @@ let replay_epoch ~pool_at_start ~snapshot ~metas ~epoch ~next_committee_vk =
   let processor =
     (* Auditors re-check signatures the committee already validated only
        when transactions carry them. *)
-    Processor.begin_epoch ~pool ~snapshot ~verify_signatures:false
+    Processor.begin_epoch ~pool ~snapshot ~verify_signatures:false ()
   in
   List.iter
     (fun (meta : Blocks.meta) ->
@@ -19,7 +19,10 @@ let replay_epoch ~pool_at_start ~snapshot ~metas ~epoch ~next_committee_vk =
                  meta.Blocks.m_round e))
         meta.Blocks.m_txs)
     metas;
-  Processor.build_payload processor ~epoch ~next_committee_vk
+  (* The audit derives the summary by the full O(positions) scan, not the
+     committee's incremental builder: an independent path that also
+     cross-checks the incremental change tracking in production. *)
+  Processor.build_payload_reference processor ~epoch ~next_committee_vk
 
 let verify_summary ~pool_at_start ~snapshot ~metas ~summary =
   let claimed = summary.Blocks.s_payload in

@@ -1,16 +1,34 @@
 module U256 = Amm_math.U256
 module Address = Chain.Address
 
-type account = {
-  initial0 : U256.t;
-  initial1 : U256.t;
-  mutable main0 : U256.t;
-  mutable main1 : U256.t;
-  mutable side0 : U256.t;
-  mutable side1 : U256.t;
-}
+(* Accounts live in a flat slab, one row per user, six 32-byte slots:
+   initial and remaining mainchain deposit plus the sidechain-accrued
+   balance, per token. The user registry assigns rows in first-seen
+   order, so the snapshot (already sorted — it comes from
+   [Address.Map.bindings]) occupies a sorted prefix and only the few
+   accounts auto-created mid-epoch land after it. *)
 
-type t = (Address.t, account) Hashtbl.t
+module Reg = Flatstore.Registry.Make (struct
+  type t = Address.t
+
+  let equal = Address.equal
+  let hash a = Hashtbl.hash (Address.to_bytes a)
+end)
+
+module Slab = Flatstore.Slab
+
+let s_initial0 = 0
+let s_initial1 = 1
+let s_main0 = 2
+let s_main1 = 3
+let s_side0 = 4
+let s_side1 = 5
+
+type t = {
+  reg : Reg.t;
+  slab : Slab.t;
+  snapshot_rows : int;  (* rows [0, snapshot_rows) hold sorted snapshot users *)
+}
 
 type consumption = {
   from_main0 : U256.t;
@@ -19,41 +37,62 @@ type consumption = {
   from_side1 : U256.t;
 }
 
+let rec is_sorted = function
+  | (a, _) :: ((b, _) :: _ as rest) -> Address.compare a b < 0 && is_sorted rest
+  | _ -> true
+
 let create ~snapshot =
-  let table = Hashtbl.create 64 in
+  let n = List.length snapshot in
+  let reg = Reg.create ~capacity:(Stdlib.max 64 (2 * n)) () in
+  let slab = Slab.create ~slots:6 ~capacity:(Stdlib.max 16 n) () in
   List.iter
     (fun (user, (d0, d1)) ->
-      Hashtbl.replace table user
-        { initial0 = d0; initial1 = d1; main0 = d0; main1 = d1;
-          side0 = U256.zero; side1 = U256.zero })
+      let row = Reg.intern reg user in
+      let row' = Slab.alloc slab in
+      assert (row = row');
+      Slab.set_u256 slab ~row ~slot:s_initial0 d0;
+      Slab.set_u256 slab ~row ~slot:s_initial1 d1;
+      Slab.set_u256 slab ~row ~slot:s_main0 d0;
+      Slab.set_u256 slab ~row ~slot:s_main1 d1)
     snapshot;
-  table
+  (* SnapshotBank hands us [Address.Map.bindings], which is sorted; if a
+     caller ever passes an unsorted list, treat every row as an "extra"
+     so [users_sorted] falls back to a full sort. *)
+  { reg; slab; snapshot_rows = (if is_sorted snapshot then Reg.count reg else 0) }
 
-let empty_account () =
-  { initial0 = U256.zero; initial1 = U256.zero; main0 = U256.zero; main1 = U256.zero;
-    side0 = U256.zero; side1 = U256.zero }
+let row_of t user =
+  let row = Reg.intern t.reg user in
+  if row >= Slab.rows t.slab then ignore (Slab.alloc t.slab);
+  row
 
-let account t user =
-  match Hashtbl.find_opt t user with
-  | Some a -> a
-  | None ->
-    let a = empty_account () in
-    Hashtbl.replace t user a;
-    a
+let get t row slot = Slab.get_u256 t.slab ~row ~slot
+let set t row slot v = Slab.set_u256 t.slab ~row ~slot v
 
-let known_users t = Hashtbl.fold (fun u _ acc -> u :: acc) t []
+let known_users t = Reg.fold t.reg ~init:[] ~f:(fun acc _ u -> u :: acc)
+
+(* Ascending by address without a global sort: the snapshot prefix is
+   already sorted, so only the (rare) accounts created after epoch start
+   pay an O(k log k) sort before a linear merge. *)
+let users_sorted t =
+  let extras = ref [] in
+  Reg.iteri t.reg (fun i u -> if i >= t.snapshot_rows then extras := u :: !extras);
+  let extras = List.sort Address.compare !extras in
+  let prefix = ref [] in
+  Reg.iteri t.reg (fun i u -> if i < t.snapshot_rows then prefix := u :: !prefix);
+  List.merge Address.compare (List.rev !prefix) extras
 
 let available t user =
-  let a = account t user in
-  (U256.add a.main0 a.side0, U256.add a.main1 a.side1)
+  let row = row_of t user in
+  ( U256.add (get t row s_main0) (get t row s_side0),
+    U256.add (get t row s_main1) (get t row s_side1) )
 
 let main_remaining t user =
-  let a = account t user in
-  (a.main0, a.main1)
+  let row = row_of t user in
+  (get t row s_main0, get t row s_main1)
 
 let side_balance t user =
-  let a = account t user in
-  (a.side0, a.side1)
+  let row = row_of t user in
+  (get t row s_side0, get t row s_side1)
 
 let insufficient user reason =
   Telemetry.Log.debug ~scope:"deposits"
@@ -62,56 +101,58 @@ let insufficient user reason =
   Error reason
 
 let consume t user ~amount0 ~amount1 =
-  let a = account t user in
-  if U256.lt (U256.add a.main0 a.side0) amount0 then
+  let row = row_of t user in
+  let main0 = get t row s_main0 and main1 = get t row s_main1 in
+  let side0 = get t row s_side0 and side1 = get t row s_side1 in
+  if U256.lt (U256.add main0 side0) amount0 then
     insufficient user "deposit: token0 not covered"
-  else if U256.lt (U256.add a.main1 a.side1) amount1 then
+  else if U256.lt (U256.add main1 side1) amount1 then
     insufficient user "deposit: token1 not covered"
   else begin
     let split main amount =
       if U256.ge main amount then (amount, U256.zero)
       else (main, U256.sub amount main)
     in
-    let from_main0, from_side0 = split a.main0 amount0 in
-    let from_main1, from_side1 = split a.main1 amount1 in
-    a.main0 <- U256.sub a.main0 from_main0;
-    a.side0 <- U256.sub a.side0 from_side0;
-    a.main1 <- U256.sub a.main1 from_main1;
-    a.side1 <- U256.sub a.side1 from_side1;
+    let from_main0, from_side0 = split main0 amount0 in
+    let from_main1, from_side1 = split main1 amount1 in
+    set t row s_main0 (U256.sub main0 from_main0);
+    set t row s_side0 (U256.sub side0 from_side0);
+    set t row s_main1 (U256.sub main1 from_main1);
+    set t row s_side1 (U256.sub side1 from_side1);
     Ok { from_main0; from_side0; from_main1; from_side1 }
   end
 
 let refund t user c =
-  let a = account t user in
-  a.main0 <- U256.add a.main0 c.from_main0;
-  a.side0 <- U256.add a.side0 c.from_side0;
-  a.main1 <- U256.add a.main1 c.from_main1;
-  a.side1 <- U256.add a.side1 c.from_side1
+  let row = row_of t user in
+  set t row s_main0 (U256.add (get t row s_main0) c.from_main0);
+  set t row s_side0 (U256.add (get t row s_side0) c.from_side0);
+  set t row s_main1 (U256.add (get t row s_main1) c.from_main1);
+  set t row s_side1 (U256.add (get t row s_side1) c.from_side1)
 
 let credit_side t user ~amount0 ~amount1 =
-  let a = account t user in
-  a.side0 <- U256.add a.side0 amount0;
-  a.side1 <- U256.add a.side1 amount1
+  let row = row_of t user in
+  set t row s_side0 (U256.add (get t row s_side0) amount0);
+  set t row s_side1 (U256.add (get t row s_side1) amount1)
 
 let payin t user =
-  let a = account t user in
-  (U256.sub a.initial0 a.main0, U256.sub a.initial1 a.main1)
+  let row = row_of t user in
+  ( U256.sub (get t row s_initial0) (get t row s_main0),
+    U256.sub (get t row s_initial1) (get t row s_main1) )
 
 let payout t user = side_balance t user
 
 (* Aggregate balances across every account. Summed exactly in U256 —
-   addition is associative, so Hashtbl iteration order cannot leak into
-   the totals (the growth ledger folds them into deterministic output). *)
+   addition is associative, so row order cannot leak into the totals
+   (the growth ledger folds them into deterministic output). *)
 let totals t =
   let m0 = ref U256.zero and m1 = ref U256.zero in
   let s0 = ref U256.zero and s1 = ref U256.zero in
-  Hashtbl.iter
-    (fun _ a ->
-      m0 := U256.add !m0 a.main0;
-      m1 := U256.add !m1 a.main1;
-      s0 := U256.add !s0 a.side0;
-      s1 := U256.add !s1 a.side1)
-    t;
+  for row = 0 to Slab.rows t.slab - 1 do
+    m0 := U256.add !m0 (get t row s_main0);
+    m1 := U256.add !m1 (get t row s_main1);
+    s0 := U256.add !s0 (get t row s_side0);
+    s1 := U256.add !s1 (get t row s_side1)
+  done;
   ((!m0, !m1), (!s0, !s1))
 
-let accounts t = Hashtbl.length t
+let accounts t = Reg.count t.reg

@@ -22,6 +22,13 @@ val create : snapshot:(Address.t * (U256.t * U256.t)) list -> t
 (** Loads the epoch-start mainchain deposits (SnapshotBank). *)
 
 val known_users : t -> Address.t list
+
+val users_sorted : t -> Address.t list
+(** Every tracked user in ascending address order. The epoch-start
+    snapshot occupies a sorted prefix of the flat store, so this merges
+    it with the few mid-epoch accounts instead of sorting everything. *)
+
+
 val available : t -> Address.t -> U256.t * U256.t
 (** Total spendable (main + side) per token. *)
 

@@ -23,6 +23,12 @@ type t = {
   deposits : Deposits.t;
   verify_signatures : bool;
   snapshot_positions : (Position_id.t, Sync_payload.position_entry) Hashtbl.t;
+  carry : Position_id.t list;
+      (* Positions reported by still-unapplied summaries of earlier
+         epochs. The snapshot diffs against the bank's last *synced*
+         state, so while syncs lag those positions stay "changed" even if
+         this epoch never touches them — the pool's inclusion-time marks
+         alone would miss them. *)
   mutable deleted : deleted_position list;
   mutable processed : int;
   mutable swaps : int;
@@ -45,15 +51,18 @@ type stats = {
   wire_bytes_by_class : (string * int) list; (* sorted by class *)
 }
 
-let begin_epoch ~pool ~snapshot ~verify_signatures =
+let begin_epoch ~pool ~snapshot ?(carry = []) ~verify_signatures () =
   let snapshot_positions = Hashtbl.create 64 in
   List.iter
     (fun (p : Sync_payload.position_entry) ->
       Hashtbl.replace snapshot_positions p.pos_id p)
     snapshot.Tokenbank.Token_bank.snap_positions;
+  (* The epoch's change set starts empty: from here on the pool marks
+     every position this epoch touches. *)
+  Pool.epoch_reset pool;
   { pool;
     deposits = Deposits.create ~snapshot:snapshot.Tokenbank.Token_bank.snap_deposits;
-    verify_signatures; snapshot_positions; deleted = [];
+    verify_signatures; snapshot_positions; carry; deleted = [];
     processed = 0; swaps = 0; mints = 0; burns = 0; collects = 0;
     wire_bytes = Hashtbl.create 4;
     rejections = Hashtbl.create 8; rejected_total = 0 }
@@ -277,28 +286,12 @@ let entry_changed (a : Sync_payload.position_entry) (b : Sync_payload.position_e
     && U256.equal a.amount0 b.amount0
     && U256.equal a.amount1 b.amount1)
 
-let build_payload t ~epoch ~next_committee_vk =
-  let users =
-    Deposits.known_users t.deposits
-    |> List.map (fun user ->
-           let payin0, payin1 = Deposits.payin t.deposits user in
-           let payout0, payout1 = Deposits.payout t.deposits user in
-           { Sync_payload.user; payin0; payin1; payout0; payout1 })
-    |> List.sort (fun a b -> Address.compare a.Sync_payload.user b.Sync_payload.user)
-  in
-  (* Refresh fee accounting, then report every position that is new or
-     changed since the snapshot, plus deletions. *)
-  let touched =
-    Pool.positions t.pool
-    |> List.filter_map (fun p ->
-           (match Pool.touch_position t.pool p.Position.id with
-           | Ok () -> ()
-           | Error _ -> ());
-           let entry = position_entry_of t p in
-           match Hashtbl.find_opt t.snapshot_positions p.Position.id with
-           | Some old when not (entry_changed old entry) -> None
-           | Some _ | None -> Some entry)
-  in
+let user_entry t user =
+  let payin0, payin1 = Deposits.payin t.deposits user in
+  let payout0, payout1 = Deposits.payout t.deposits user in
+  { Sync_payload.user; payin0; payin1; payout0; payout1 }
+
+let finish_payload t ~epoch ~next_committee_vk ~users ~touched =
   let deletions =
     t.deleted
     |> List.filter (fun d -> Pool.find_position t.pool d.del_id = None)
@@ -325,3 +318,53 @@ let build_payload t ~epoch ~next_committee_vk =
   { Sync_payload.epoch; pool = Pool.pool_id t.pool;
     pool_balance0 = Pool.balance0 t.pool; pool_balance1 = Pool.balance1 t.pool;
     users; positions; next_committee_vk }
+
+let build_payload_reference t ~epoch ~next_committee_vk =
+  let users =
+    Deposits.known_users t.deposits
+    |> List.map (user_entry t)
+    |> List.sort (fun a b -> Address.compare a.Sync_payload.user b.Sync_payload.user)
+  in
+  (* Refresh fee accounting, then report every position that is new or
+     changed since the snapshot, plus deletions. *)
+  let touched =
+    Pool.positions t.pool
+    |> List.filter_map (fun p ->
+           (match Pool.touch_position t.pool p.Position.id with
+           | Ok () -> ()
+           | Error _ -> ());
+           let entry = position_entry_of t p in
+           match Hashtbl.find_opt t.snapshot_positions p.Position.id with
+           | Some old when not (entry_changed old entry) -> None
+           | Some _ | None -> Some entry)
+  in
+  finish_payload t ~epoch ~next_committee_vk ~users ~touched
+
+let build_payload t ~epoch ~next_committee_vk =
+  let users = Deposits.users_sorted t.deposits |> List.map (user_entry t) in
+  (* Only positions the pool marked this epoch — plus the carry from
+     unapplied earlier summaries — can differ from the snapshot; touch
+     and diff those instead of scanning the whole table. *)
+  let seen = Hashtbl.create 256 in
+  let consider acc pid =
+    if Hashtbl.mem seen pid then acc
+    else begin
+      Hashtbl.replace seen pid ();
+      match Pool.find_position t.pool pid with
+      | None -> acc
+      | Some p ->
+        (match Pool.touch_position t.pool pid with
+        | Ok () -> ()
+        | Error _ -> ());
+        let entry = position_entry_of t p in
+        (match Hashtbl.find_opt t.snapshot_positions pid with
+        | Some old when not (entry_changed old entry) -> acc
+        | Some _ | None -> entry :: acc)
+    end
+  in
+  let touched =
+    List.fold_left consider
+      (List.fold_left consider [] (Pool.epoch_candidates t.pool))
+      t.carry
+  in
+  finish_payload t ~epoch ~next_committee_vk ~users ~touched

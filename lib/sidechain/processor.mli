@@ -30,11 +30,19 @@ type stats = {
 val begin_epoch :
   pool:Uniswap.Pool.t ->
   snapshot:Tokenbank.Token_bank.snapshot ->
+  ?carry:Position_id.t list ->
   verify_signatures:bool ->
+  unit ->
   t
 (** Starts an epoch from the TokenBank snapshot (deposit balances; the
     committee's pool object carries the full tick/position state, which
-    the permanent summary-blocks let anyone audit). *)
+    the permanent summary-blocks let anyone audit). Resets the pool's
+    epoch change-tracking set.
+
+    [carry] lists the positions reported by summaries the bank has not
+    yet applied (sync lag): the snapshot reflects the last {e synced}
+    state, so those positions must be re-diffed even when this epoch
+    never touches them. *)
 
 val pool : t -> Uniswap.Pool.t
 val deposits : t -> Deposits.t
@@ -50,4 +58,14 @@ val build_payload :
   Tokenbank.Sync_payload.t
 (** The epoch summary: one entry per depositor (payin = consumed
     mainchain deposit, payout = accrued sidechain deposit), the updated
-    or deleted positions, and the updated pool balances. *)
+    or deleted positions, and the updated pool balances.
+
+    O(Δ): drains the pool's inclusion-time change marks (plus the
+    [carry]) instead of rescanning every open position — byte-identical
+    to {!build_payload_reference} (property-tested). *)
+
+val build_payload_reference :
+  t -> epoch:int -> next_committee_vk:Amm_crypto.Bls.public_key ->
+  Tokenbank.Sync_payload.t
+(** The O(positions) full-scan summary builder the incremental
+    {!build_payload} must agree with — kept as the test oracle. *)

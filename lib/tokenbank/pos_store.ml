@@ -1,0 +1,182 @@
+module U256 = Amm_math.U256
+module Address = Chain.Address
+module Position_id = Chain.Ids.Position_id
+module Slab = Flatstore.Slab
+
+module Reg = Flatstore.Registry.Make (struct
+  type t = Position_id.t
+
+  let equal = Position_id.equal
+  let hash id = Hashtbl.hash (Position_id.to_bytes id)
+end)
+
+(* Row layout, 8 slots of 32 bytes. *)
+let s_owner = 0 (* 20-byte address *)
+let s_ticks = 1 (* int2: lower, upper *)
+let s_live = 2 (* int: 1 = live, 0 = deleted/never written *)
+let s_liquidity = 3
+let s_amount0 = 4
+let s_amount1 = 5
+let s_fees0 = 6
+let s_fees1 = 7
+let n_slots = 8
+
+type jentry =
+  | Mutate of { row : int; prev : bytes }
+  | Fresh of { row : int }  (* allocated since the mark: undo zeroes it *)
+
+type t = {
+  reg : Reg.t;
+  slab : Slab.t;
+  mutable live_count : int;
+  mutable jdata : jentry array;
+  mutable jlen : int;
+  mutable jbase : int;  (* absolute index of jdata.(0) *)
+  mutable jbytes : int;
+}
+
+let create () =
+  { reg = Reg.create ();
+    slab = Slab.create ~slots:n_slots ();
+    live_count = 0;
+    jdata = [||]; jlen = 0; jbase = 0; jbytes = 0 }
+
+let length t = t.live_count
+let row_bytes t = Slab.row_bytes t.slab
+let journal_bytes t = t.jbytes
+
+let jpush t e =
+  if t.jlen = Array.length t.jdata then begin
+    let grown = Array.make (Stdlib.max 16 (2 * t.jlen)) e in
+    Array.blit t.jdata 0 grown 0 t.jlen;
+    t.jdata <- grown
+  end;
+  t.jdata.(t.jlen) <- e;
+  t.jlen <- t.jlen + 1;
+  t.jbytes <-
+    t.jbytes + (match e with Mutate { prev; _ } -> Bytes.length prev | Fresh _ -> 8)
+
+let is_live t row = Slab.get_int t.slab ~row ~slot:s_live = 1
+
+let entry_of_row t row : Sync_payload.position_entry =
+  let lower_tick, upper_tick = Slab.get_int2 t.slab ~row ~slot:s_ticks in
+  { pos_id = Reg.key t.reg row;
+    owner = Address.of_bytes (Slab.get_bytes t.slab ~row ~slot:s_owner ~len:20);
+    lower_tick; upper_tick;
+    liquidity = Slab.get_u256 t.slab ~row ~slot:s_liquidity;
+    amount0 = Slab.get_u256 t.slab ~row ~slot:s_amount0;
+    amount1 = Slab.get_u256 t.slab ~row ~slot:s_amount1;
+    fees0 = Slab.get_u256 t.slab ~row ~slot:s_fees0;
+    fees1 = Slab.get_u256 t.slab ~row ~slot:s_fees1;
+    deleted = false }
+
+let find t id =
+  match Reg.find t.reg id with
+  | Some row when is_live t row -> Some (entry_of_row t row)
+  | _ -> None
+
+let write_row t row (p : Sync_payload.position_entry) =
+  Slab.set_bytes t.slab ~row ~slot:s_owner (Address.to_bytes p.owner);
+  Slab.set_int2 t.slab ~row ~slot:s_ticks p.lower_tick p.upper_tick;
+  Slab.set_int t.slab ~row ~slot:s_live 1;
+  Slab.set_u256 t.slab ~row ~slot:s_liquidity p.liquidity;
+  Slab.set_u256 t.slab ~row ~slot:s_amount0 p.amount0;
+  Slab.set_u256 t.slab ~row ~slot:s_amount1 p.amount1;
+  Slab.set_u256 t.slab ~row ~slot:s_fees0 p.fees0;
+  Slab.set_u256 t.slab ~row ~slot:s_fees1 p.fees1
+
+let set t (p : Sync_payload.position_entry) =
+  match Reg.find t.reg p.pos_id with
+  | Some row ->
+    jpush t (Mutate { row; prev = Slab.copy_row t.slab row });
+    if not (is_live t row) then t.live_count <- t.live_count + 1;
+    write_row t row p
+  | None ->
+    let row = Reg.intern t.reg p.pos_id in
+    let row' = Slab.alloc t.slab in
+    assert (row = row');
+    jpush t (Fresh { row });
+    t.live_count <- t.live_count + 1;
+    write_row t row p
+
+let remove t id =
+  match Reg.find t.reg id with
+  | Some row when is_live t row ->
+    jpush t (Mutate { row; prev = Slab.copy_row t.slab row });
+    Slab.set_int t.slab ~row ~slot:s_live 0;
+    t.live_count <- t.live_count - 1
+  | _ -> ()
+
+let iter t f =
+  for row = 0 to Slab.rows t.slab - 1 do
+    if is_live t row then f (entry_of_row t row)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun p -> acc := f !acc p);
+  !acc
+
+let mark t = t.jbase + t.jlen
+
+let undo_to t mark =
+  if mark > t.jbase + t.jlen then invalid_arg "Pos_store.undo_to: future mark";
+  if mark < t.jbase then invalid_arg "Pos_store.undo_to: released mark";
+  while t.jbase + t.jlen > mark do
+    t.jlen <- t.jlen - 1;
+    (match t.jdata.(t.jlen) with
+    | Mutate { row; prev } ->
+      let was_live = is_live t row in
+      Slab.blit_row t.slab row prev;
+      let now_live = is_live t row in
+      if was_live && not now_live then t.live_count <- t.live_count - 1
+      else if (not was_live) && now_live then t.live_count <- t.live_count + 1
+    | Fresh { row } ->
+      if is_live t row then t.live_count <- t.live_count - 1;
+      Slab.blit_row t.slab row (Bytes.make (Slab.row_bytes t.slab) '\000'))
+  done
+
+let release_below t mark =
+  let mark = Stdlib.min mark (t.jbase + t.jlen) in
+  if mark > t.jbase then begin
+    let drop = mark - t.jbase in
+    let keep = t.jlen - drop in
+    Array.blit t.jdata drop t.jdata 0 keep;
+    t.jlen <- keep;
+    t.jbase <- mark
+  end
+
+let to_bytes t =
+  let rb = Slab.row_bytes t.slab in
+  let out = Buffer.create (4 + (t.live_count * (32 + rb))) in
+  Buffer.add_int32_be out (Int32.of_int t.live_count);
+  for row = 0 to Slab.rows t.slab - 1 do
+    if is_live t row then begin
+      Buffer.add_bytes out (Position_id.to_bytes (Reg.key t.reg row));
+      Buffer.add_bytes out (Slab.copy_row t.slab row)
+    end
+  done;
+  Buffer.to_bytes out
+
+let of_bytes b =
+  if Bytes.length b < 4 then invalid_arg "Pos_store.of_bytes: truncated";
+  let n = Int32.to_int (Bytes.get_int32_be b 0) in
+  let t = create () in
+  let rb = Slab.row_bytes t.slab in
+  if n < 0 || Bytes.length b <> 4 + (n * (32 + rb)) then
+    invalid_arg "Pos_store.of_bytes: length mismatch";
+  for i = 0 to n - 1 do
+    let off = 4 + (i * (32 + rb)) in
+    let id = Position_id.of_hash (Bytes.sub b off 32) in
+    let row = Reg.intern t.reg id in
+    let row' = Slab.alloc t.slab in
+    assert (row = row');
+    Slab.blit_row t.slab row (Bytes.sub b (off + 32) rb);
+    if is_live t row then t.live_count <- t.live_count + 1
+  done;
+  (* A decoded store starts with a clean history. *)
+  t.jdata <- [||];
+  t.jlen <- 0;
+  t.jbase <- 0;
+  t.jbytes <- 0;
+  t

@@ -29,14 +29,18 @@ type exit_claim = {
   exit_gas : Gas.meter;
 }
 
+(* Journal record for the (tiny) exit-claim table: the claim previously
+   bound to the address, [None] when it was absent. *)
+type exit_jentry = Address.t * exit_claim option
+
 type t = {
   bank_address : Address.t;
   erc0 : Erc20.t;
   erc1 : Erc20.t;
-  mutable pools : pool_info list;
+  mutable pools : pool_info array;  (* indexed by pool_id *)
   mutable next_pool_id : int;
   mutable user_deposits : (U256.t * U256.t) Address.Map.t Epoch_map.t;
-  position_table : (Position_id.t, Sync_payload.position_entry) Hashtbl.t;
+  positions_store : Pos_store.t;
   mutable vk : Bls.public_key;
   mutable synced_epoch : int;
   (* Emergency-exit state. While [halted] no Sync or deposit is accepted;
@@ -52,38 +56,54 @@ type t = {
   mutable paid_out1 : U256.t;
   exit_table : (Address.t, exit_claim) Hashtbl.t;
   mutable exit_order : Address.t list;  (* newest first *)
+  mutable exit_journal : exit_jentry list;
+  mutable exit_journal_len : int;
 }
 
 let deploy ~token0 ~token1 ~genesis_committee_vk =
   { bank_address = Address.of_label "TokenBank";
     erc0 = token0; erc1 = token1;
-    pools = []; next_pool_id = 0;
+    pools = [||]; next_pool_id = 0;
     user_deposits = Epoch_map.empty;
-    position_table = Hashtbl.create 64;
+    positions_store = Pos_store.create ();
     vk = genesis_committee_vk;
     synced_epoch = -1;
     halted = false; ever_halted = false; halt_epoch = -1;
     frozen_pools = []; frozen_value0 = U256.zero; frozen_value1 = U256.zero;
     custody_at_halt = (U256.zero, U256.zero);
     paid_out0 = U256.zero; paid_out1 = U256.zero;
-    exit_table = Hashtbl.create 16; exit_order = [] }
+    exit_table = Hashtbl.create 16; exit_order = [];
+    exit_journal = []; exit_journal_len = 0 }
 
 let address t = t.bank_address
 
 let create_pool t ~flash_fee_pips =
   let pool_id = t.next_pool_id in
   t.next_pool_id <- pool_id + 1;
-  t.pools <-
+  let info =
     { pool_id; token0 = Erc20.token t.erc0; token1 = Erc20.token t.erc1;
       balance0 = U256.zero; balance1 = U256.zero; flash_fee_pips }
-    :: t.pools;
+  in
+  let pools = Array.make (pool_id + 1) info in
+  Array.blit t.pools 0 pools 0 pool_id;
+  t.pools <- pools;
   pool_id
 
-let pool t id = List.find_opt (fun p -> p.pool_id = id) t.pools
+let pool t id =
+  if id >= 0 && id < t.next_pool_id then Some t.pools.(id) else None
 
 let set_pool_balances t id balance0 balance1 =
-  t.pools <-
-    List.map (fun p -> if p.pool_id = id then { p with balance0; balance1 } else p) t.pools
+  if id >= 0 && id < t.next_pool_id then
+    t.pools.(id) <- { (t.pools.(id)) with balance0; balance1 }
+
+(* Newest-created first — the order the old cons-list exposed, which the
+   emergency-exit drain and snapshots depend on. *)
+let pools_newest_first t =
+  let acc = ref [] in
+  for id = 0 to t.next_pool_id - 1 do
+    acc := t.pools.(id) :: !acc
+  done;
+  !acc
 
 let committee_vk t = t.vk
 let last_synced_epoch t = t.synced_epoch
@@ -217,11 +237,11 @@ let apply_payload t (m : Gas.meter) payload =
   List.iter
     (fun p ->
       if p.deleted then begin
-        Hashtbl.remove t.position_table p.pos_id;
+        Pos_store.remove t.positions_store p.pos_id;
         incr deleted
       end
       else begin
-        Hashtbl.replace t.position_table p.pos_id p;
+        Pos_store.set t.positions_store p;
         incr written
       end)
     payload.positions;
@@ -366,8 +386,8 @@ let sync_exn t ~signed =
   | Ok receipt -> receipt
   | Error rejection -> failwith (rejection_to_string rejection)
 
-let positions t = Hashtbl.fold (fun _ p acc -> p :: acc) t.position_table []
-let find_position t pid = Hashtbl.find_opt t.position_table pid
+let positions t = Pos_store.fold t.positions_store ~init:[] ~f:(fun acc p -> p :: acc)
+let find_position t pid = Pos_store.find t.positions_store pid
 
 (* Live contract storage footprint in 32-byte words: the quantity the
    paper's state-growth argument is about. 6 words per open position
@@ -379,8 +399,8 @@ let storage_words t =
   let deposit_entries =
     Epoch_map.fold (fun _ m acc -> acc + Address.Map.cardinal m) t.user_deposits 0
   in
-  (6 * Hashtbl.length t.position_table)
-  + (2 * List.length t.pools)
+  (6 * Pos_store.length t.positions_store)
+  + (2 * t.next_pool_id)
   + 4
   + (3 * deposit_entries)
   + (6 * Hashtbl.length t.exit_table)
@@ -451,11 +471,10 @@ let total_custody t =
    positions: principal plus uncollected fees, per token. The pro-rata
    denominator for exit claims. *)
 let position_value t =
-  Hashtbl.fold
-    (fun _ (p : Sync_payload.position_entry) (v0, v1) ->
+  Pos_store.fold t.positions_store ~init:(U256.zero, U256.zero)
+    ~f:(fun (v0, v1) (p : Sync_payload.position_entry) ->
       ( U256.add v0 (U256.add p.Sync_payload.amount0 p.Sync_payload.fees0),
         U256.add v1 (U256.add p.Sync_payload.amount1 p.Sync_payload.fees1) ))
-    t.position_table (U256.zero, U256.zero)
 
 let halt t ~epoch =
   if t.halted then Error Bank_halted
@@ -464,7 +483,7 @@ let halt t ~epoch =
     t.halted <- true;
     t.ever_halted <- true;
     t.halt_epoch <- epoch;
-    t.frozen_pools <- t.pools;
+    t.frozen_pools <- pools_newest_first t;
     t.frozen_value0 <- v0;
     t.frozen_value1 <- v1;
     t.custody_at_halt <- total_custody t;
@@ -506,11 +525,11 @@ let emergency_exit t ~claimant =
     (* The claimant's open positions, in id order, valued exactly as the
        last confirmed summary recorded them. *)
     let mine =
-      Hashtbl.fold
-        (fun pid (p : Sync_payload.position_entry) acc ->
-          if Address.equal p.Sync_payload.owner claimant then (pid, p) :: acc
+      Pos_store.fold t.positions_store ~init:[]
+        ~f:(fun acc (p : Sync_payload.position_entry) ->
+          if Address.equal p.Sync_payload.owner claimant then
+            (p.Sync_payload.pos_id, p) :: acc
           else acc)
-        t.position_table []
       |> List.sort (fun (a, _) (b, _) -> Position_id.compare a b)
     in
     Gas.charge m "exit.positions" (List.length mine * 8 * Gas.sload);
@@ -546,19 +565,20 @@ let emergency_exit t ~claimant =
             refund1 := U256.add !refund1 d1;
             Address.Map.remove claimant map)
         t.user_deposits;
-    (* Drain the claim from the live pool balances, pool by pool. *)
+    (* Drain the claim from the live pool balances, pool by pool,
+       newest-created first (the historical list order). *)
     let rem0 = ref claim0 and rem1 = ref claim1 in
-    t.pools <-
-      List.map
-        (fun p ->
-          let take rem bal =
-            let x = U256.min !rem bal in
-            rem := U256.sub !rem x;
-            U256.sub bal x
-          in
-          { p with balance0 = take rem0 p.balance0; balance1 = take rem1 p.balance1 })
-        t.pools;
-    List.iter (fun (pid, _) -> Hashtbl.remove t.position_table pid) mine;
+    for id = t.next_pool_id - 1 downto 0 do
+      let p = t.pools.(id) in
+      let take rem bal =
+        let x = U256.min !rem bal in
+        rem := U256.sub !rem x;
+        U256.sub bal x
+      in
+      t.pools.(id) <-
+        { p with balance0 = take rem0 p.balance0; balance1 = take rem1 p.balance1 }
+    done;
+    List.iter (fun (pid, _) -> Pos_store.remove t.positions_store pid) mine;
     Gas.charge m "exit.bookkeeping"
       ((List.length mine * Gas.sstore_update) + Gas.sstore_word);
     pay_out t m ~dest:claimant ~label:"exit.payout" (U256.add claim0 !refund0)
@@ -569,6 +589,8 @@ let emergency_exit t ~claimant =
       { claimant; claim0; claim1; refund0 = !refund0; refund1 = !refund1;
         positions_closed = List.length mine; exit_gas = m }
     in
+    t.exit_journal <- (claimant, Hashtbl.find_opt t.exit_table claimant) :: t.exit_journal;
+    t.exit_journal_len <- t.exit_journal_len + 1;
     Hashtbl.replace t.exit_table claimant claim;
     t.exit_order <- claimant :: t.exit_order;
     Log.warn ~scope
@@ -640,7 +662,7 @@ let reconcile t ~signed =
     let paid0 = ref U256.zero and paid1 = ref U256.zero in
     (* Live per-pool balances, mutated as flows are applied. *)
     let live = Hashtbl.create 4 in
-    List.iter (fun p -> Hashtbl.replace live p.pool_id (p.balance0, p.balance1)) t.pools;
+    Array.iter (fun p -> Hashtbl.replace live p.pool_id (p.balance0, p.balance1)) t.pools;
     List.iter
       (fun (p : Sync_payload.t) ->
         let open Sync_payload in
@@ -649,11 +671,11 @@ let reconcile t ~signed =
             if Hashtbl.mem t.exit_table pe.owner then begin
               (* The owner already withdrew this position's value on-chain:
                  the summary's view of it is void. *)
-              Hashtbl.remove t.position_table pe.pos_id;
+              Pos_store.remove t.positions_store pe.pos_id;
               incr positions_voided
             end
-            else if pe.deleted then Hashtbl.remove t.position_table pe.pos_id
-            else Hashtbl.replace t.position_table pe.pos_id pe)
+            else if pe.deleted then Pos_store.remove t.positions_store pe.pos_id
+            else Pos_store.set t.positions_store pe)
           p.positions;
         Gas.charge m "storage" (storage_words p * Gas.sstore_word);
         let b0, b1 =
@@ -759,14 +781,22 @@ type snapshot = {
 let snapshot t ~epoch =
   { snap_epoch = epoch;
     snap_deposits = deposits_for_epoch t ~epoch;
-    snap_pool_balances = List.map (fun p -> (p.pool_id, (p.balance0, p.balance1))) t.pools;
+    snap_pool_balances =
+      List.map (fun p -> (p.pool_id, (p.balance0, p.balance1))) (pools_newest_first t);
     snap_positions = positions t }
 
+(* A checkpoint is O(dirty): the only copied state is the (tiny) pool
+   array; everything else is either a persistent-map pointer (ERC-20
+   balances, epoch deposits, exit order) or a journal mark. [restore]
+   rewinds the position-store and exit-claim journals to those marks, so
+   its cost is proportional to the mutations made since the checkpoint,
+   not to the total number of positions. *)
 type checkpoint = {
-  ck_pools : pool_info list;
+  ck_pools : pool_info array;
   ck_next_pool_id : int;
   ck_deposits : (U256.t * U256.t) Address.Map.t Epoch_map.t;
-  ck_positions : (Position_id.t * Sync_payload.position_entry) list;
+  ck_pos_mark : int;
+  ck_exit_mark : int;
   ck_vk : Bls.public_key;
   ck_synced_epoch : int;
   ck_erc0 : Erc20.checkpoint;
@@ -778,13 +808,14 @@ type checkpoint = {
   ck_frozen_value : U256.t * U256.t;
   ck_custody_at_halt : U256.t * U256.t;
   ck_paid_out : U256.t * U256.t;
-  ck_exits : (Address.t * exit_claim) list;
   ck_exit_order : Address.t list;
 }
 
 let checkpoint t =
-  { ck_pools = t.pools; ck_next_pool_id = t.next_pool_id; ck_deposits = t.user_deposits;
-    ck_positions = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.position_table [];
+  { ck_pools = Array.copy t.pools; ck_next_pool_id = t.next_pool_id;
+    ck_deposits = t.user_deposits;
+    ck_pos_mark = Pos_store.mark t.positions_store;
+    ck_exit_mark = t.exit_journal_len;
     ck_vk = t.vk; ck_synced_epoch = t.synced_epoch;
     ck_erc0 = Erc20.checkpoint t.erc0; ck_erc1 = Erc20.checkpoint t.erc1;
     ck_halted = t.halted; ck_ever_halted = t.ever_halted;
@@ -792,7 +823,6 @@ let checkpoint t =
     ck_frozen_value = (t.frozen_value0, t.frozen_value1);
     ck_custody_at_halt = t.custody_at_halt;
     ck_paid_out = (t.paid_out0, t.paid_out1);
-    ck_exits = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.exit_table [];
     ck_exit_order = t.exit_order }
 
 let restore t ck =
@@ -801,11 +831,10 @@ let restore t ck =
       [ ("from_epoch", Telemetry.Json.Int t.synced_epoch);
         ("to_epoch", Telemetry.Json.Int ck.ck_synced_epoch) ]
     "state restored to pre-sync checkpoint";
-  t.pools <- ck.ck_pools;
+  t.pools <- Array.copy ck.ck_pools;
   t.next_pool_id <- ck.ck_next_pool_id;
   t.user_deposits <- ck.ck_deposits;
-  Hashtbl.reset t.position_table;
-  List.iter (fun (k, v) -> Hashtbl.replace t.position_table k v) ck.ck_positions;
+  Pos_store.undo_to t.positions_store ck.ck_pos_mark;
   t.vk <- ck.ck_vk;
   t.synced_epoch <- ck.ck_synced_epoch;
   Erc20.restore t.erc0 ck.ck_erc0;
@@ -821,6 +850,25 @@ let restore t ck =
   (let p0, p1 = ck.ck_paid_out in
    t.paid_out0 <- p0;
    t.paid_out1 <- p1);
-  Hashtbl.reset t.exit_table;
-  List.iter (fun (k, v) -> Hashtbl.replace t.exit_table k v) ck.ck_exits;
+  (* Rewind the exit-claim journal to the checkpoint's mark. *)
+  if ck.ck_exit_mark > t.exit_journal_len then
+    invalid_arg "Token_bank.restore: future exit-journal mark";
+  while t.exit_journal_len > ck.ck_exit_mark do
+    (match t.exit_journal with
+    | (claimant, prev) :: rest ->
+      (match prev with
+      | None -> Hashtbl.remove t.exit_table claimant
+      | Some c -> Hashtbl.replace t.exit_table claimant c);
+      t.exit_journal <- rest
+    | [] -> invalid_arg "Token_bank.restore: exit journal underflow");
+    t.exit_journal_len <- t.exit_journal_len - 1
+  done;
   t.exit_order <- ck.ck_exit_order
+
+let release_checkpoint t ck =
+  Pos_store.release_below t.positions_store ck.ck_pos_mark
+
+let checkpoint_journal_bytes t = Pos_store.journal_bytes t.positions_store
+
+let positions_bytes t = Pos_store.to_bytes t.positions_store
+let positions_store t = t.positions_store

@@ -218,10 +218,30 @@ val snapshot : t -> epoch:int -> snapshot
 type checkpoint
 
 val checkpoint : t -> checkpoint
-(** Full-state snapshot (contract fields plus both ERC20s), used to model
-    mainchain rollbacks abandoning executed Sync calls. *)
+(** O(dirty) state capture (contract fields plus both ERC20s), used to
+    model mainchain rollbacks abandoning executed Sync calls. The cost is
+    a handful of pointer copies plus journal marks on the flat position
+    store — nothing proportional to the number of open positions. *)
 
 val restore : t -> checkpoint -> unit
+(** Rewinds to the checkpoint by undoing the journal entries recorded
+    since it was taken — O(mutations since the checkpoint). *)
+
+val release_checkpoint : t -> checkpoint -> unit
+(** Declares that no checkpoint older than this one will ever be
+    restored, letting the undo journal drop the history below its mark.
+    The checkpoint itself (and any newer one) stays restorable. *)
+
+val checkpoint_journal_bytes : t -> int
+(** Cumulative bytes copied into the position-store undo journal —
+    monotone; the delta across an operation bounds its checkpoint cost
+    (asserted by the O(dirty) test). *)
+
+val positions_bytes : t -> bytes
+(** Compact binary snapshot of the live position table (flat rows, live
+    entries only); decode with {!Pos_store.of_bytes}. *)
+
+val positions_store : t -> Pos_store.t
 
 val total_custody : t -> U256.t * U256.t
 (** ERC20 balances held by the contract — must equal deposits + pool

@@ -25,6 +25,20 @@ type t = {
   mutable protocol_fee_denominator : int option;
   mutable protocol_fees0 : U256.t;
   mutable protocol_fees1 : U256.t;
+  (* Inclusion-time change tracking for O(Δ) epoch summaries. [dirty]
+     over-approximates the positions whose summary entry may differ from
+     the epoch-start snapshot: every minted/burned/collected position,
+     plus every position that was in range during a fee event (swap or
+     flash) since the last [epoch_reset]. [in_range] is the standing set
+     of positions whose range contains the current tick, maintained at
+     mint/collect and at tick crossings via [bounds_index]
+     (tick -> positions bound there). [fee_marked] records that the
+     current in-range set has already been bulk-marked this epoch, so
+     later fee events only pay for new entrants. *)
+  dirty : (Position_id.t, unit) Hashtbl.t;
+  in_range : (Position_id.t, unit) Hashtbl.t;
+  bounds_index : (int, Position_id.t list ref) Hashtbl.t;
+  mutable fee_marked : bool;
 }
 
 let create ~pool_id ~token0 ~token1 ~fee_pips ~tick_spacing ~sqrt_price =
@@ -39,16 +53,73 @@ let create ~pool_id ~token0 ~token1 ~fee_pips ~tick_spacing ~sqrt_price =
     fee_growth_global0 = U256.zero; fee_growth_global1 = U256.zero;
     balance0 = U256.zero; balance1 = U256.zero;
     protocol_fee_denominator = None;
-    protocol_fees0 = U256.zero; protocol_fees1 = U256.zero }
+    protocol_fees0 = U256.zero; protocol_fees1 = U256.zero;
+    dirty = Hashtbl.create 64; in_range = Hashtbl.create 64;
+    bounds_index = Hashtbl.create 64; fee_marked = false }
 
 let clone t =
+  let copy_tbl src =
+    let dst = Hashtbl.create (Stdlib.max 16 (Hashtbl.length src)) in
+    Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src;
+    dst
+  in
   let position_table = Hashtbl.create (Hashtbl.length t.position_table) in
   Hashtbl.iter
     (fun k (p : Position.t) ->
       Hashtbl.replace position_table k
         { p with Position.liquidity = p.Position.liquidity })
     t.position_table;
-  { t with ticks = Tick.clone t.ticks; position_table }
+  let bounds_index = Hashtbl.create (Stdlib.max 16 (Hashtbl.length t.bounds_index)) in
+  Hashtbl.iter (fun k l -> Hashtbl.replace bounds_index k (ref !l)) t.bounds_index;
+  { t with ticks = Tick.clone t.ticks; position_table;
+    dirty = copy_tbl t.dirty; in_range = copy_tbl t.in_range; bounds_index }
+
+(* ------------------------------------------------------------------ *)
+(* Change tracking                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mark_dirty t pid = Hashtbl.replace t.dirty pid ()
+
+(* Fees are about to accrue to in-range liquidity: make sure every
+   position currently in range is a summary candidate. Amortized — the
+   bulk pass runs once per epoch, later fee events only mark entrants. *)
+let mark_fee_bearing t =
+  if not t.fee_marked then begin
+    Hashtbl.iter (fun pid () -> mark_dirty t pid) t.in_range;
+    t.fee_marked <- true
+  end
+
+let bounds_add t tick pid =
+  match Hashtbl.find_opt t.bounds_index tick with
+  | Some l -> l := pid :: !l
+  | None -> Hashtbl.add t.bounds_index tick (ref [ pid ])
+
+let bounds_remove t tick pid =
+  match Hashtbl.find_opt t.bounds_index tick with
+  | Some l ->
+    l := List.filter (fun q -> not (Position_id.equal q pid)) !l;
+    if !l = [] then Hashtbl.remove t.bounds_index tick
+  | None -> ()
+
+(* Re-derive whether [pid]'s range contains the current tick. Entering
+   range marks the position: any subsequent fee event reaches it. *)
+let refresh_range_membership t pid =
+  match Hashtbl.find_opt t.position_table pid with
+  | None -> Hashtbl.remove t.in_range pid
+  | Some p ->
+    if p.Position.lower_tick <= t.tick && t.tick < p.Position.upper_tick then begin
+      if not (Hashtbl.mem t.in_range pid) then begin
+        Hashtbl.replace t.in_range pid ();
+        mark_dirty t pid
+      end
+    end
+    else Hashtbl.remove t.in_range pid
+
+let epoch_candidates t = Hashtbl.fold (fun pid () acc -> pid :: acc) t.dirty []
+
+let epoch_reset t =
+  Hashtbl.reset t.dirty;
+  t.fee_marked <- false
 
 let pool_id t = t.pool_id
 let token0 t = t.token0
@@ -140,6 +211,9 @@ let swap t ~zero_for_one ~amount ~sqrt_price_limit =
   if not valid_limit then Error "pool: invalid price limit"
   else if not specified_positive then Error "pool: zero amount"
   else begin
+    (* Every position in range anywhere along the swap path may accrue
+       fees: mark the current set now, entrants as ticks are crossed. *)
+    mark_fee_bearing t;
     let remaining = ref amount in
     let total_in = ref U256.zero and total_out = ref U256.zero in
     let total_fee = ref U256.zero in
@@ -220,7 +294,12 @@ let swap t ~zero_for_one ~amount ~sqrt_price_limit =
               let net = if zero_for_one then Signed.neg net else net in
               t.liquidity <- Signed.apply t.liquidity net
             end;
-            t.tick <- (if zero_for_one then tick_next - 1 else tick_next)
+            t.tick <- (if zero_for_one then tick_next - 1 else tick_next);
+            (* Crossing flips range membership for positions bound at
+               this tick; entrants get marked for the epoch summary. *)
+            (match Hashtbl.find_opt t.bounds_index tick_next with
+            | Some l -> List.iter (refresh_range_membership t) !l
+            | None -> ())
           end
           else t.tick <- Tick_math.get_tick_at_sqrt_ratio t.sqrt_price
         end
@@ -294,6 +373,8 @@ let mint t ~position_id ~owner ~lower_tick ~upper_tick ~liquidity =
         | None ->
           let p = Position.create ~id:position_id ~owner ~lower_tick ~upper_tick in
           Hashtbl.add t.position_table position_id p;
+          bounds_add t lower_tick position_id;
+          bounds_add t upper_tick position_id;
           p
       in
       if not (Address.equal position.Position.owner owner) then
@@ -303,6 +384,8 @@ let mint t ~position_id ~owner ~lower_tick ~upper_tick ~liquidity =
         Error "pool: position range mismatch"
       else begin
         update_position_liquidity t position ~liquidity_delta:(Liquidity_math.Add liquidity);
+        mark_dirty t position_id;
+        refresh_range_membership t position_id;
         let amount0, amount1 =
           Liquidity_math.get_amounts_for_liquidity_rounding_up ~sqrt_price:t.sqrt_price
             ~sqrt_a:(Tick_math.get_sqrt_ratio_at_tick lower_tick)
@@ -325,6 +408,7 @@ let burn t ~position_id ~liquidity =
     else begin
       update_position_liquidity t position
         ~liquidity_delta:(Liquidity_math.Remove liquidity);
+      mark_dirty t position_id;
       let amount0, amount1 =
         Liquidity_math.get_amounts_for_liquidity ~sqrt_price:t.sqrt_price
           ~sqrt_a:(Tick_math.get_sqrt_ratio_at_tick position.Position.lower_tick)
@@ -359,7 +443,13 @@ let collect t ~position_id ~amount0_requested ~amount1_requested =
     position.Position.tokens_owed1 <- U256.sub position.Position.tokens_owed1 pay1;
     t.balance0 <- U256.checked_sub t.balance0 pay0;
     t.balance1 <- U256.checked_sub t.balance1 pay1;
-    if Position.is_empty position then Hashtbl.remove t.position_table position_id;
+    mark_dirty t position_id;
+    if Position.is_empty position then begin
+      Hashtbl.remove t.position_table position_id;
+      Hashtbl.remove t.in_range position_id;
+      bounds_remove t position.Position.lower_tick position_id;
+      bounds_remove t position.Position.upper_tick position_id
+    end;
     Ok (pay0, pay1)
 
 (* ------------------------------------------------------------------ *)
@@ -396,6 +486,7 @@ let flash t ~amount0 ~amount1 ~callback =
           let credit fee global =
             U256.add global (U256.mul_div fee Q96.q128 t.liquidity)
           in
+          mark_fee_bearing t;
           t.fee_growth_global0 <- credit fee0 t.fee_growth_global0;
           t.fee_growth_global1 <- credit fee1 t.fee_growth_global1
         end;

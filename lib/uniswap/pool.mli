@@ -108,6 +108,21 @@ val touch_position : t -> Position_id.t -> (unit, string) result
 (** Refreshes a position's fee accounting without changing liquidity
     (used before reading [tokens_owed]). *)
 
+(** {1 Epoch change tracking}
+
+    The pool marks, at inclusion time, every position whose epoch-summary
+    entry may have changed: minted/burned/collected positions plus every
+    position that was in range during a fee event (swap or flash) since
+    the last reset. The summary builder drains this set instead of
+    scanning the whole position table — positions outside it provably
+    kept their [fee_growth_inside], so their entries are unchanged. *)
+
+val epoch_candidates : t -> Position_id.t list
+(** The current over-approximation of changed positions, unordered. *)
+
+val epoch_reset : t -> unit
+(** Clears the candidate set at an epoch boundary. *)
+
 val fee_growth_inside : t -> lower_tick:int -> upper_tick:int -> U256.t * U256.t
 
 (** {1 Protocol fees}

@@ -184,7 +184,7 @@ let fresh_processor ?(snapshot_deposits = [ (alice, (one_e24, one_e24)); (bob, (
     { Tokenbank.Token_bank.snap_epoch = 0; snap_deposits = snapshot_deposits;
       snap_pool_balances = [ (0, (U256.zero, U256.zero)) ]; snap_positions = [] }
   in
-  Processor.begin_epoch ~pool ~snapshot ~verify_signatures:false
+  Processor.begin_epoch ~pool ~snapshot ~verify_signatures:false ()
 
 let seed_liquidity processor =
   let tx =
@@ -336,7 +336,7 @@ let test_processor_signature_policy () =
     { Tokenbank.Token_bank.snap_epoch = 0; snap_deposits = [ (addr, (one_e24, one_e24)) ];
       snap_pool_balances = [ (0, (U256.zero, U256.zero)) ]; snap_positions = [] }
   in
-  let p = Processor.begin_epoch ~pool ~snapshot ~verify_signatures:true in
+  let p = Processor.begin_epoch ~pool ~snapshot ~verify_signatures:true () in
   let mint payload_sign =
     Tx.create ?sign:payload_sign ~issuer:addr ~issuer_pk:pk ~pool:0 ~issued_round:0
       ~issued_at:0.0
@@ -384,22 +384,13 @@ let test_summary_conservation_simple () =
   Alcotest.(check int) "one entry per depositor" 2
     (List.length payload.Tokenbank.Sync_payload.users)
 
-(* The heavyweight property: random op soups never violate conservation,
-   i.e. the summary the committee builds always passes TokenBank's check. *)
-let gen_ops =
-  QCheck2.Gen.(list_size (int_range 5 50) (triple (int_range 0 4) (int_range 1 500) bool))
-
-let summary_props =
-  [ QCheck_alcotest.to_alcotest
-      (QCheck2.Test.make ~count:30 ~name:"random epochs conserve tokens" gen_ops
-         (fun ops ->
-           let p = fresh_processor () in
-           let _ = seed_liquidity p in
-           let minted = ref [] in
-           let n = ref 0 in
-           List.iteri
-             (fun i (op, magnitude, flag) ->
-               let round = i + 1 in
+(* Shared driver for the random-op properties below: applies a generated
+   op soup deterministically, numbering rounds from [round0]. *)
+let apply_random_ops ?(round0 = 1) p ops =
+  let minted = ref [] in
+  List.iteri
+    (fun i (op, magnitude, flag) ->
+      let round = round0 + i in
                let amount = U256.mul (u "1000000000000000") (U256.of_int magnitude) in
                let issuer, issuer_pk = if flag then (alice, dummy_pk) else (bob, dummy_pk) in
                let mk payload =
@@ -416,7 +407,6 @@ let summary_props =
                           amount_limit = (if op = 0 then U256.zero else U256.mul amount (U256.of_int 3));
                           sqrt_price_limit = U256.zero; deadline = round + 100 })
                  | 2 ->
-                   incr n;
                    mk
                      (Tx.Mint
                         { lower_tick = -1200; upper_tick = 1200; amount0_desired = amount;
@@ -451,9 +441,98 @@ let summary_props =
                  minted := (issuer, Uniswap.Position.derive_id ~minter:issuer ~tx_id:tx.Tx.id) :: !minted
                | 3, Ok () -> (match !minted with _ :: rest -> minted := rest | [] -> ())
                | _ -> ()))
-             ops;
+    ops
+
+(* The heavyweight properties: random op soups never violate
+   conservation, and the O(Δ) incremental summary builder agrees with
+   the full-scan reference byte for byte. *)
+let gen_ops =
+  QCheck2.Gen.(list_size (int_range 5 50) (triple (int_range 0 4) (int_range 1 500) bool))
+
+let signing_bytes_agree pa pb =
+  Bytes.equal (Tokenbank.Sync_payload.signing_bytes pa)
+    (Tokenbank.Sync_payload.signing_bytes pb)
+
+let summary_props =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:30 ~name:"random epochs conserve tokens" gen_ops
+         (fun ops ->
+           let p = fresh_processor () in
+           let _ = seed_liquidity p in
+           apply_random_ops p ops;
            let payload = Processor.build_payload p ~epoch:0 ~next_committee_vk:dummy_pk in
-           conservation_holds payload ~initial0:U256.zero ~initial1:U256.zero)) ]
+           conservation_holds payload ~initial0:U256.zero ~initial1:U256.zero));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:30
+         ~name:"incremental summary = reference across a lagged sync"
+         QCheck2.Gen.(pair gen_ops gen_ops)
+         (fun (ops1, ops2) ->
+           (* Two identical processors walk the same deterministic trace.
+              One summarises incrementally (inclusion-time dirty marks
+              plus the carry of still-unapplied epochs), the other with
+              the O(positions) full scan the auditor uses. The committee
+              would sign the same bytes either way. *)
+           let make snapshot =
+             let pool =
+               Uniswap.Pool.create ~pool_id:0
+                 ~token0:(Chain.Token.make ~id:0 ~symbol:"TKA")
+                 ~token1:(Chain.Token.make ~id:1 ~symbol:"TKB")
+                 ~fee_pips:3000 ~tick_spacing:60 ~sqrt_price:Amm_math.Q96.q96
+             in
+             (pool, Processor.begin_epoch ~pool ~snapshot ~verify_signatures:false ())
+           in
+           let snapshot0 =
+             { Tokenbank.Token_bank.snap_epoch = 0;
+               snap_deposits = [ (alice, (one_e24, one_e24)); (bob, (one_e24, one_e24)) ];
+               snap_pool_balances = [ (0, (U256.zero, U256.zero)) ]; snap_positions = [] }
+           in
+           let pool_a, a = make snapshot0 in
+           let pool_b, b = make snapshot0 in
+           let _ = seed_liquidity a in
+           let _ = seed_liquidity b in
+           apply_random_ops a ops1;
+           apply_random_ops b ops1;
+           (* One position far out of range: no epoch-1 fee event marks
+              it, so only the carry can keep it in the next summary. *)
+           let mint_far p round =
+             let tx =
+               Tx.create ~issuer:alice ~issuer_pk:dummy_pk ~pool:0 ~issued_round:round
+                 ~issued_at:0.0
+                 (Tx.Mint
+                    { lower_tick = 60000; upper_tick = 61200; amount0_desired = one_e18;
+                      amount1_desired = one_e18; target = Tx.New_position })
+             in
+             match Processor.process p ~current_round:round tx with
+             | Ok () -> ()
+             | Error e -> failwith e
+           in
+           let far_round = 1 + List.length ops1 in
+           mint_far a far_round;
+           mint_far b far_round;
+           let pa0 = Processor.build_payload a ~epoch:0 ~next_committee_vk:dummy_pk in
+           let pb0 = Processor.build_payload_reference b ~epoch:0 ~next_committee_vk:dummy_pk in
+           (* TokenBank lags: epoch 1 starts from the same unsynced
+              snapshot, so epoch 0's reported positions ride along as
+              carry on the incremental side. *)
+           let carry =
+             List.map
+               (fun (e : Tokenbank.Sync_payload.position_entry) -> e.Tokenbank.Sync_payload.pos_id)
+               pa0.Tokenbank.Sync_payload.positions
+           in
+           let snapshot1 = { snapshot0 with Tokenbank.Token_bank.snap_epoch = 1 } in
+           let a1 =
+             Processor.begin_epoch ~pool:pool_a ~snapshot:snapshot1 ~carry
+               ~verify_signatures:false ()
+           in
+           let b1 =
+             Processor.begin_epoch ~pool:pool_b ~snapshot:snapshot1 ~verify_signatures:false ()
+           in
+           let round0 = far_round + 1 in
+           apply_random_ops ~round0 a1 ops2;
+           apply_random_ops ~round0 b1 ops2;
+           let pa1 = Processor.build_payload a1 ~epoch:1 ~next_committee_vk:dummy_pk in
+           let pb1 = Processor.build_payload_reference b1 ~epoch:1 ~next_committee_vk:dummy_pk in
+           signing_bytes_agree pa0 pb0 && signing_bytes_agree pa1 pb1)) ]
 
 let test_summary_positions_reported () =
   let p = fresh_processor () in
@@ -524,7 +603,7 @@ let build_epoch_with_metas () =
       snap_pool_balances = [ (0, (U256.zero, U256.zero)) ]; snap_positions = [] }
   in
   let pool_at_start = Uniswap.Pool.clone pool in
-  let processor = Processor.begin_epoch ~pool ~snapshot ~verify_signatures:false in
+  let processor = Processor.begin_epoch ~pool ~snapshot ~verify_signatures:false () in
   let mk_round round txs =
     let included =
       List.filter

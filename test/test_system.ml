@@ -380,7 +380,7 @@ let sidechain_to_tokenbank_roundtrip_prop =
          in
          let processor =
            Sidechain.Processor.begin_epoch ~pool ~snapshot:(TB.snapshot bank ~epoch:0)
-             ~verify_signatures:false
+             ~verify_signatures:false ()
          in
          let dummy_pk = cvk in
          let mk issuer round payload =

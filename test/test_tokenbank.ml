@@ -436,6 +436,55 @@ let test_checkpoint_restore () =
   | Ok _ -> Alcotest.(check int) "re-applied" 0 (Token_bank.last_synced_epoch env.bank)
   | Error e -> fail_rejection e
 
+let test_checkpoint_o_dirty () =
+  (* The checkpoint cost bound: with 100 open positions, an epoch that
+     touches exactly one of them journals ~one row image — not a copy of
+     the whole table. *)
+  let env = make_env () in
+  ignore (Token_bank.deposit env.bank ~user:alice ~for_epoch:0 ~amount0:one_e18 ~amount1:U256.zero);
+  let mk_pos i =
+    let pid =
+      Chain.Ids.Position_id.of_hash
+        (Amm_crypto.Sha256.digest_string (Printf.sprintf "ck-pos-%d" i))
+    in
+    { Sync_payload.pos_id = pid; owner = alice; lower_tick = -60; upper_tick = 60;
+      liquidity = one_e18; amount0 = U256.zero; amount1 = U256.zero;
+      fees0 = U256.zero; fees1 = U256.zero; deleted = false }
+  in
+  let p0 =
+    payload env ~epoch:0 ~balance0:one_e18 ~balance1:U256.zero
+      ~users:[ user_entry alice ~payin0:one_e18 ]
+      ~positions:(List.init 100 mk_pos)
+  in
+  ignore (Token_bank.sync_exn env.bank ~signed:[ (p0, sign env ~epoch:0 p0) ]);
+  let ck = Token_bank.checkpoint env.bank in
+  let before = Token_bank.positions_bytes env.bank in
+  let j0 = Token_bank.checkpoint_journal_bytes env.bank in
+  let p1 =
+    payload env ~epoch:1 ~balance0:one_e18 ~balance1:U256.zero
+      ~positions:[ { (mk_pos 42) with Sync_payload.liquidity = U256.mul one_e18 U256.two } ]
+  in
+  ignore (Token_bank.sync_exn env.bank ~signed:[ (p1, sign env ~epoch:1 p1) ]);
+  let after = Token_bank.positions_bytes env.bank in
+  let delta = Token_bank.checkpoint_journal_bytes env.bank - j0 in
+  let row = Pos_store.row_bytes (Token_bank.positions_store env.bank) in
+  Alcotest.(check bool)
+    (Printf.sprintf "single-position epoch journals O(dirty) bytes (%d <= %d)" delta (2 * row))
+    true
+    (delta > 0 && delta <= 2 * row);
+  (* Rolling back and replaying the same summary reproduces the table
+     byte for byte. *)
+  Token_bank.restore env.bank ck;
+  Alcotest.(check bytes) "restore recovers the position table" before
+    (Token_bank.positions_bytes env.bank);
+  ignore (Token_bank.sync_exn env.bank ~signed:[ (p1, sign env ~epoch:1 p1) ]);
+  Alcotest.(check bytes) "replayed table byte-identical" after
+    (Token_bank.positions_bytes env.bank);
+  (* The snapshot codec round-trips the restored table. *)
+  let decoded = Pos_store.of_bytes after in
+  Alcotest.(check int) "decoded live count" 100 (Pos_store.length decoded);
+  Alcotest.(check bytes) "decode/encode stable" after (Pos_store.to_bytes decoded)
+
 (* ------------------------------------------------------------------ *)
 (* Halt / emergency exit / reconciliation                              *)
 (* ------------------------------------------------------------------ *)
@@ -674,7 +723,8 @@ let () =
           Alcotest.test_case "snapshot unaffected" `Quick
             test_flash_pool_balances_unchanged_for_sidechain ] );
       ( "checkpoint",
-        [ Alcotest.test_case "restore + resync" `Quick test_checkpoint_restore ] );
+        [ Alcotest.test_case "restore + resync" `Quick test_checkpoint_restore;
+          Alcotest.test_case "O(dirty) journal bound" `Quick test_checkpoint_o_dirty ] );
       ( "emergency-exit",
         [ Alcotest.test_case "halt freezes bank" `Quick test_halt_freezes_bank;
           Alcotest.test_case "pro-rata exit + conservation" `Quick
