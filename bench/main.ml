@@ -242,6 +242,10 @@ let compute_exit_drill sink =
       ~title:"Exit drill: stall duration vs exit gas and recovery latency"
       ~col_header:"Liveness failure" rows
 
+let compute_crash_drill sink =
+  let rows = E.crash_drill ~sink () in
+  fun () -> E.print_crash_drill rows
+
 let compute_ablations sink =
   (* The three ablations are independent runs: fan them out too. *)
   let auth, (agg, pruning) =
@@ -306,6 +310,7 @@ let all_experiments =
     ("table7", Sim compute_table7); ("table8", Sim compute_table8);
     ("fig6", Sim compute_fig6); ("ablations", Sim compute_ablations);
     ("chaos", Sim compute_chaos); ("exit-drill", Sim compute_exit_drill);
+    ("crash-drill", Sim compute_crash_drill);
     ("observe", Sim compute_observe); ("micro", Micro) ]
 
 let extra_experiments = [ ("scale-sweep", Sweep) ]

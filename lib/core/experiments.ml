@@ -611,6 +611,262 @@ let exit_drill ?sink ?domains () =
        exit_drill_scenarios)
 
 (* ------------------------------------------------------------------ *)
+(* Crash drill: kill/restart at every injected point + torn-write      *)
+(* corruption; every recovered run must end byte-identical to an       *)
+(* uninterrupted one                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let drill_snapshot_every = 2
+
+(* (epoch, round) process deaths: mid-epoch, an epoch's first round, the
+   summary round (29 of 30), and points either side of the durable
+   snapshots at epochs 2 and 4. Every crash also tears the WAL tail
+   (torn_write_rate = 1.0), rotating deterministically through the three
+   torn-write modes. *)
+let crash_drill_points = [ (0, 15); (1, 3); (2, 9); (3, 29); (4, 21) ]
+
+let crash_drill_cfg =
+  { base with
+    epochs = 6;
+    daily_volume = scaled 50_000;
+    users = 12;
+    miners = 30;
+    committee_size = 9;
+    max_faulty = 2;
+    threshold_signing = true;
+    mc_confirmations = 2;
+    (* a reorg mid-run exercises the WAL's Truncate compensation records *)
+    interruptions = [ Config.Mainchain_rollback 2 ];
+    seed = base.seed ^ "-crash-drill" }
+
+type drill_row = {
+  drill_label : string;
+  drill_crashes : int;   (* injected process deaths survived *)
+  drill_detected : int;  (* corruptions caught: snapshots rejected +
+                            WAL segments repaired or dropped *)
+  drill_healed : int;    (* corrupt/missing snapshots rewritten *)
+  drill_replayed : int;  (* records byte-verified against the WAL *)
+  drill_appended : int;  (* records newly logged *)
+  drill_ok : bool;       (* scene expectation met AND end state
+                            byte-identical to the reference run *)
+}
+
+exception Drill_failure of string
+
+(* The drill needs real directories. AMMBOOST_DRILL_DIR pins the root
+   (CI keeps it as an artifact); otherwise a fresh temp dir per process.
+   Paths never reach stdout — the drill output is byte-identical across
+   runs, hosts and domain counts. *)
+let drill_root () =
+  match Sys.getenv_opt "AMMBOOST_DRILL_DIR" with
+  | Some d when d <> "" ->
+    Durable.Fsio.mkdir_p d;
+    d
+  | _ ->
+    let f = Filename.temp_file "ammboost-drill" "" in
+    Sys.remove f;
+    Durable.Fsio.mkdir_p f;
+    f
+
+(* Scene dirs are wiped before use so a re-run with a pinned
+   AMMBOOST_DRILL_DIR starts from genesis, not from stale state. *)
+let drill_scene_dir root name =
+  let dir = Filename.concat root name in
+  Durable.Fsio.mkdir_p dir;
+  Array.iter
+    (fun f -> Durable.Fsio.remove_if_exists (Filename.concat dir f))
+    (Sys.readdir dir);
+  dir
+
+(* Run [cfg] durably in [dir] to completion, resuming across injected
+   crashes (each resume re-opens the directory and re-executes with the
+   previous crash point disarmed). Returns the completed run, the number
+   of crashes survived, and the final run's private sink. *)
+let drill_complete ~dir cfg =
+  let limit = List.length crash_drill_points + 2 in
+  let rec go ~armed_after ~crashes =
+    if crashes > limit then
+      raise (Drill_failure "crash/resume loop did not converge");
+    let s =
+      Durable.Session.open_ ?armed_after ~dir
+        ~snapshot_every:drill_snapshot_every ()
+    in
+    let private_sink = Telemetry.Report.sink () in
+    match System.run ~sink:private_sink ~durable:s cfg with
+    | r -> (r, crashes, private_sink)
+    | exception Durable.Session.Crashed { epoch; round } ->
+      go ~armed_after:(Some (epoch, round)) ~crashes:(crashes + 1)
+  in
+  go ~armed_after:None ~crashes:0
+
+(* Everything observable about a finished run except the durability and
+   monitor counters (a recovered run legitimately reports extra
+   durability work and corruption warnings). *)
+let drill_fingerprint (r : System.result) =
+  String.concat "|"
+    [ string_of_int r.System.generated; string_of_int r.System.processed;
+      string_of_int r.System.rejected;
+      Printf.sprintf "%.9f" r.System.throughput;
+      Printf.sprintf "%.9f" r.System.mean_tx_latency;
+      Printf.sprintf "%.9f" r.System.mean_payout_latency;
+      string_of_int r.System.payouts_settled;
+      string_of_int r.System.sc_cumulative_bytes;
+      string_of_int r.System.sc_stored_bytes;
+      string_of_int r.System.max_summary_block_bytes;
+      string_of_int r.System.mc_tx_bytes; string_of_int r.System.mc_gas_total;
+      String.concat ","
+        (List.map
+           (fun (l, n) -> l ^ ":" ^ string_of_int n)
+           r.System.mc_gas_by_label);
+      string_of_int r.System.epochs_run; string_of_int r.System.epochs_applied;
+      string_of_int r.System.sync_count; string_of_int r.System.rollbacks;
+      string_of_int r.System.exits_served;
+      U256.to_string r.System.exit_claims0;
+      U256.to_string r.System.exit_claims1;
+      r.System.final_mode;
+      string_of_bool r.System.replay_consistent;
+      string_of_bool r.System.custody_consistent;
+      string_of_int r.System.swaps; string_of_int r.System.mints;
+      string_of_int r.System.burns; string_of_int r.System.collects ]
+
+(* The durable directory reduced to bytes: file names, sizes, CRCs. Two
+   runs ended up in the same state iff their digests match. *)
+let drill_dir_digest dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.map (fun f ->
+         let b = Durable.Fsio.read_file (Filename.concat dir f) in
+         Printf.sprintf "%s:%d:%08x" f (Bytes.length b)
+           (Durable.Crc32.digest b))
+  |> String.concat ";"
+
+type drill_scene =
+  | Scene_crashes
+  | Scene_corrupt_snapshot of Faults.Fault_plan.torn
+  | Scene_torn_wal
+
+let drill_scenes =
+  [ ("crash-script", Scene_crashes);
+    ( "snapshot-truncated-tail",
+      Scene_corrupt_snapshot Faults.Fault_plan.Truncated_tail );
+    ("snapshot-bit-flip", Scene_corrupt_snapshot Faults.Fault_plan.Bit_flip);
+    ( "snapshot-stale-marker",
+      Scene_corrupt_snapshot Faults.Fault_plan.Stale_marker );
+    ("wal-torn-tail", Scene_torn_wal) ]
+
+let crash_drill ?sink ?domains () =
+  let root = drill_root () in
+  let stat (r : System.result) name =
+    Option.value ~default:0 (List.assoc_opt name r.System.durability)
+  in
+  let detected r =
+    stat r "durability.snapshots_rejected"
+    + stat r "durability.wal_repaired"
+    + stat r "durability.wal_dropped"
+  in
+  let row ~label ~crashes ~ok (r : System.result) =
+    { drill_label = label; drill_crashes = crashes;
+      drill_detected = detected r;
+      drill_healed = stat r "durability.snapshots_healed";
+      drill_replayed = stat r "durability.records_replayed";
+      drill_appended = stat r "durability.records_appended";
+      drill_ok = ok }
+  in
+  (* Scene A: the uninterrupted durable reference run every other scene
+     must reproduce byte-for-byte. *)
+  let ref_dir = drill_scene_dir root "reference" in
+  let r_ref, _, ref_sink = drill_complete ~dir:ref_dir crash_drill_cfg in
+  let ref_fp = drill_fingerprint r_ref in
+  let ref_digest = drill_dir_digest ref_dir in
+  let ref_row =
+    (* Fresh ground truth: everything appended, nothing replayed or
+       found wrong. *)
+    row ~label:"reference" ~crashes:0
+      ~ok:
+        (stat r_ref "durability.records_appended" > 0
+        && stat r_ref "durability.records_replayed" = 0
+        && detected r_ref = 0)
+      r_ref
+  in
+  let identical dir r = drill_fingerprint r = ref_fp && drill_dir_digest dir = ref_digest in
+  let run_scene (label, scene) =
+    let dir = drill_scene_dir root label in
+    match scene with
+    | Scene_crashes ->
+      (* Seeded hard process death at every scripted point, each with a
+         torn WAL tail; the crash→recover→resume loop must converge and
+         end identical to the reference. *)
+      let cfg =
+        { crash_drill_cfg with
+          faults =
+            { Faults.Fault_plan.none with
+              Faults.Fault_plan.durability =
+                { Faults.Fault_plan.crash_rate = 0.0;
+                  torn_write_rate = 1.0;
+                  crash_script = crash_drill_points } } }
+      in
+      let r, crashes, scene_sink = drill_complete ~dir cfg in
+      let ok =
+        crashes = List.length crash_drill_points && identical dir r
+      in
+      (row ~label ~crashes ~ok r, scene_sink)
+    | Scene_corrupt_snapshot mode ->
+      (* Complete a run, corrupt the newest snapshot, resume: recovery
+         must detect it, fall back to the previous snapshot, and heal
+         the corrupt file during re-execution. *)
+      let _, _, _ = drill_complete ~dir crash_drill_cfg in
+      (match List.rev (Durable.Snapshot.list ~dir) with
+      | (_, p) :: _ -> Durable.Torn.apply p mode
+      | [] -> raise (Drill_failure (label ^ ": no snapshot on disk")));
+      let r, crashes, scene_sink = drill_complete ~dir crash_drill_cfg in
+      let ok =
+        stat r "durability.snapshots_rejected" >= 1
+        && stat r "durability.snapshots_healed" >= 1
+        && identical dir r
+      in
+      (row ~label ~crashes ~ok r, scene_sink)
+    | Scene_torn_wal ->
+      (* Complete a run, tear the newest WAL segment's tail, resume:
+         recovery must repair the segment and re-execution must re-log
+         the lost records. *)
+      let _, _, _ = drill_complete ~dir crash_drill_cfg in
+      (match List.rev (Durable.Wal.list ~dir) with
+      | (_, p) :: _ -> Durable.Torn.apply p Faults.Fault_plan.Truncated_tail
+      | [] -> raise (Drill_failure (label ^ ": no WAL segment on disk")));
+      let r, crashes, scene_sink = drill_complete ~dir crash_drill_cfg in
+      let ok =
+        stat r "durability.wal_repaired" >= 1
+        && stat r "durability.records_appended" >= 1
+        && identical dir r
+      in
+      (row ~label ~crashes ~ok r, scene_sink)
+  in
+  let scene_rows = Parallel.map_list ?domains run_scene drill_scenes in
+  (* Private sinks merge sequentially, in scene order, after the
+     parallel phase — same discipline as [run_cells]. *)
+  (match sink with
+  | Some out ->
+    Telemetry.Report.merge_into ~into:out ref_sink;
+    List.iter
+      (fun (_, scene_sink) -> Telemetry.Report.merge_into ~into:out scene_sink)
+      scene_rows
+  | None -> ());
+  ref_row :: List.map fst scene_rows
+
+let print_crash_drill rows =
+  Printf.printf "\n=== Crash drill: kill/restart + torn-write recovery ===\n";
+  Printf.printf "%-26s%9s%10s%8s%10s%10s  %s\n" "Scene" "crashes" "detected"
+    "healed" "replayed" "appended" "state";
+  List.iter
+    (fun d ->
+      Printf.printf "%-26s%9d%10d%8d%10d%10d  %s\n" d.drill_label
+        d.drill_crashes d.drill_detected d.drill_healed d.drill_replayed
+        d.drill_appended
+        (if d.drill_ok then "ok" else "FAIL"))
+    rows;
+  Printf.printf "byte-identity: %s\n"
+    (if List.for_all (fun d -> d.drill_ok) rows then "PASS" else "FAIL")
+
+(* ------------------------------------------------------------------ *)
 (* State-growth observatory: the run feeding the CI growth guard       *)
 (* ------------------------------------------------------------------ *)
 

@@ -156,6 +156,43 @@ val exit_drill :
     conservation and replay-oracle verdicts, and the reconciliation
     summary. Deterministic at any [?domains] value. *)
 
+(** {1 Crash drill} *)
+
+type drill_row = {
+  drill_label : string;
+  drill_crashes : int;   (** injected process deaths survived *)
+  drill_detected : int;  (** corruptions caught: snapshots rejected +
+                             WAL segments repaired or dropped *)
+  drill_healed : int;    (** corrupt/missing snapshots rewritten *)
+  drill_replayed : int;  (** records byte-verified against the WAL *)
+  drill_appended : int;  (** records newly logged *)
+  drill_ok : bool;       (** scene expectation met AND end state
+                             byte-identical to the reference run *)
+}
+
+exception Drill_failure of string
+(** A scene could not even be staged (crash/resume loop diverged, or a
+    corruption scene found no file to corrupt) — distinct from a clean
+    [drill_ok = false] verdict. *)
+
+val crash_drill :
+  ?sink:Telemetry.Report.sink -> ?domains:int -> unit -> drill_row list
+(** Durability drill: one uninterrupted durable reference run, then —
+    in parallel — a scripted kill/restart run (hard process death at
+    every {i (epoch, round)} in the crash script, each tearing the WAL
+    tail) and corruption scenes that damage the newest snapshot (all
+    three torn-write modes) or WAL segment before resuming. Every
+    recovered run must detect the damage via checksums, fall back to
+    the previous valid snapshot where needed, and end with a result
+    fingerprint {e and} durable-directory byte digest identical to the
+    reference. Directories live under [AMMBOOST_DRILL_DIR] (or a fresh
+    temp dir); paths never reach stdout, so output is byte-identical at
+    any [?domains] value. *)
+
+val print_crash_drill : drill_row list -> unit
+(** Render drill rows, ending with the [byte-identity: PASS/FAIL] line
+    CI asserts on. *)
+
 (** {1 State-growth observatory} *)
 
 val observe_cfg : Config.t

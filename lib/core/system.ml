@@ -184,6 +184,10 @@ type result = {
       (* (time, mode entered), oldest first; empty when never left Normal *)
   monitor_audits : int;
   monitor_violations : (string * int) list;
+  durability : (string * int) list;
+      (* durability.* counters from the durable session (records
+         appended/replayed/skipped, snapshots written/verified/healed/
+         rejected, WAL repaired/dropped); empty for non-durable runs *)
   exits_served : int;
   exit_claims0 : U256.t;
   exit_claims1 : U256.t;
@@ -234,6 +238,11 @@ type t = {
   plan : Faults.Fault_plan.t;
   oracle : Faults.Replay_oracle.t;
   monitor : Monitor.t;
+  durable : Durable.Session.t option;
+      (* crash-consistent persistence: every oracle-visible state delta
+         is also fed through the durable session (WAL verify-or-append),
+         snapshots are taken at epoch boundaries, and the fault plan may
+         kill the run at a round boundary via Session.maybe_crash *)
   genesis_vk : Bls.public_key;
   mutable mode : mode;
   mutable mode_transitions : (float * mode) list;  (* newest first *)
@@ -277,6 +286,18 @@ type t = {
     * Blocks.summary option ref)
     list;
 }
+
+(* Feed one state delta through the durable session (no-op when the run
+   is not durable). Called beside every Replay_oracle record site so the
+   WAL is exactly the oracle's op log plus rollback compensations. *)
+let dur_record t r =
+  match t.durable with Some s -> Durable.Session.record s r | None -> ()
+
+(* Round-boundary crash injection: raises [Durable.Session.Crashed]. *)
+let dur_crash t ~epoch ~round =
+  match t.durable with
+  | Some s -> Durable.Session.maybe_crash s ~plan:t.plan ~epoch ~round
+  | None -> ()
 
 let genesis_liquidity = U256.of_string "1000000000000000000000000" (* 1e24 per side *)
 let faucet_amount = U256.of_string "1000000000000000000000000000000" (* 1e30 *)
@@ -403,7 +424,7 @@ let schedule_retry t ~now =
 (* Setup                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let create ?sink cfg =
+let create ?sink ?durable cfg =
   let sink =
     match sink with Some s -> s | None -> Telemetry.Report.sink ()
   in
@@ -452,6 +473,7 @@ let create ?sink cfg =
               lag_degraded = cfg.Config.watchdog.Config.wd_stall_degraded;
               signing_streak_degraded = cfg.Config.watchdog.Config.wd_signing_streak }
           sink;
+      durable;
       genesis_vk = keys0.vk;
       mode = Normal; mode_transitions = []; signing_streak = 0;
       halted_at = None; recovered_at = None; dissolved = false;
@@ -497,7 +519,11 @@ let create ?sink cfg =
       with
       | Ok () ->
         Faults.Replay_oracle.record_deposit t.oracle ~user:u.Party.address
-          ~for_epoch:0 ~amount0 ~amount1
+          ~for_epoch:0 ~amount0 ~amount1;
+        dur_record t
+          (Durable.Record.Op
+             (Durable.Record.Deposit
+                { user = u.Party.address; for_epoch = 0; amount0; amount1 }))
       | Error e -> failwith ("System.create: bootstrap deposit failed: " ^ e))
     t.users;
   t.deposits_submitted_until <- 0;
@@ -544,7 +570,12 @@ let submit_epoch_deposits t ~for_epoch ~at =
                 | Ok () ->
                   Faults.Replay_oracle.record_deposit t.oracle
                     ~user:u.Party.address ~for_epoch ~amount0:amount
-                    ~amount1:amount
+                    ~amount1:amount;
+                  dur_record t
+                    (Durable.Record.Op
+                       (Durable.Record.Deposit
+                          { user = u.Party.address; for_epoch;
+                            amount0 = amount; amount1 = amount }))
                 | Error e ->
                   (* Deposits in flight when the bank halts revert; any
                      other failure is a simulator bug. *)
@@ -693,6 +724,7 @@ let submit_sync t ~epoch ~at ~corrupt =
                   submission.status <- Applied;
                   t.sync_receipts <- receipt :: t.sync_receipts;
                   Faults.Replay_oracle.record_sync t.oracle signed;
+                  dur_record t (Durable.Record.Op (Durable.Record.Sync signed));
                   Tmetrics.inc t.tele.c_sync_applied;
                   List.iter
                     (fun (p, _) ->
@@ -844,7 +876,10 @@ let rollback_to t ~height =
     (match List.find_opt (fun (h, _, _) -> h = height) t.checkpoints with
     | Some (_, ck, mark) ->
       Token_bank.restore t.bank ck;
-      Faults.Replay_oracle.truncate t.oracle mark
+      Faults.Replay_oracle.truncate t.oracle mark;
+      (* The WAL cannot un-append: a reorg is logged as a compensation
+         record so replay reproduces the truncation deterministically. *)
+      dur_record t (Durable.Record.Truncate { keep = mark })
     | None -> ());
     (* Checkpoints at or past the fork point refer to abandoned blocks. *)
     t.checkpoints <- List.filter (fun (h, _, _) -> h < height) t.checkpoints;
@@ -972,6 +1007,9 @@ let submit_exit t (u : Party.user) ~at =
             match Token_bank.emergency_exit t.bank ~claimant:u.Party.address with
             | Ok claim ->
               Faults.Replay_oracle.record_exit t.oracle ~claimant:u.Party.address;
+              dur_record t
+                (Durable.Record.Op
+                   (Durable.Record.Exit { claimant = u.Party.address }));
               Tmetrics.inc t.tele.c_exits;
               Tmetrics.add_gauge t.tele.g_exit_value0
                 (U256.to_float (U256.add claim.Token_bank.claim0 claim.Token_bank.refund0));
@@ -1005,7 +1043,9 @@ let enter_halt t ~now ~reason =
   t.next_retry_at <- Float.infinity;
   let frontier = Token_bank.last_synced_epoch t.bank in
   (match Token_bank.halt t.bank ~epoch:frontier with
-  | Ok () -> Faults.Replay_oracle.record_halt t.oracle ~epoch:frontier
+  | Ok () ->
+    Faults.Replay_oracle.record_halt t.oracle ~epoch:frontier;
+    dur_record t (Durable.Record.Op (Durable.Record.Halt { epoch = frontier }))
   | Error rejection ->
     Log.warn ~scope ~t:now
       ~fields:
@@ -1044,6 +1084,8 @@ let submit_reconcile t ~epoch ~at =
                   t.reconciliation <- Some r;
                   t.recovered_at <- Some time;
                   Faults.Replay_oracle.record_reconcile t.oracle pending;
+                  dur_record t
+                    (Durable.Record.Op (Durable.Record.Reconcile pending));
                   Tmetrics.inc ~by:r.Token_bank.rec_users_applied
                     t.tele.c_reconcile_applied;
                   Tmetrics.inc ~by:r.Token_bank.rec_users_voided
@@ -1130,9 +1172,21 @@ let watchdog_tick t ~epoch:e ~now ~committee_live =
 (* The main loop                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run ?sink cfg =
-  let t = create ?sink cfg in
+let run ?sink ?durable cfg =
+  let t = create ?sink ?durable cfg in
   let tele = t.tele in
+  (* Whatever recovery found wrong on disk — rejected snapshots, torn
+     WAL tails — surfaces as durability violations before the run
+     starts. Warning severity: the data was recovered or healed, and the
+     watchdog only reacts to audit-report violations. *)
+  (match t.durable with
+  | Some s ->
+    List.iter
+      (fun (check, detail) ->
+        Monitor.record_external t.monitor ~now:0.0 ~epoch:0
+          ~severity:Monitor.Warning ~layer:Monitor.Durability ~check ~detail)
+      (Durable.Recovery.notes (Durable.Session.report s))
+  | None -> ());
   let committee =
     if cfg.Config.message_level_consensus then
       Some
@@ -1191,6 +1245,7 @@ let run ?sink cfg =
          mainchain keeps producing blocks, and deposits / retries /
          reconciliation submissions still pump (until dissolution). *)
       for r = 0 to spr - 1 do
+        dur_crash t ~epoch:e ~round:r;
         let round = (e * spr) + r in
         let t_round = epoch_start +. (float_of_int r *. b_t) in
         Eth.advance_to t.eth t_round;
@@ -1237,7 +1292,20 @@ let run ?sink cfg =
       Processor.begin_epoch ~pool:t.pool ~snapshot ~carry
         ~verify_signatures:cfg.Config.verify_signatures ()
     in
+    (* Durable snapshot at the epoch boundary (the deposits view is the
+       processor's, i.e. post-begin_epoch). Committee-dead epochs skip
+       snapshots; the cadence is identical in an uninterrupted run, so
+       resume-time verification lines up byte-for-byte. *)
+    (match t.durable with
+    | Some s when Durable.Session.snapshot_due s ~epoch:e ->
+      Durable.Session.snapshot s ~epoch:e
+        ~sections:
+          (Durable.State_codec.sections ~bank:t.bank ~pool:t.pool
+             ~deposits:(Processor.deposits processor)
+             ~pending:(pending_signed t))
+    | _ -> ());
     for r = 0 to spr - 1 do
+      dur_crash t ~epoch:e ~round:r;
       let round = (e * spr) + r in
       let t_round = epoch_start +. (float_of_int r *. b_t) in
       (* In the last round of the epoch the committee mines the
@@ -1599,6 +1667,14 @@ let run ?sink cfg =
       /. float_of_int exits_served
   in
   let exit_conservation = Token_bank.exit_conservation_ok t.bank in
+  let durability =
+    match t.durable with
+    | Some s ->
+      Durable.Session.finish s;
+      Durable.Session.stats s
+    | None -> []
+  in
+  List.iter (fun (name, v) -> final_gauge name (float_of_int v)) durability;
   final_gauge "watchdog.final_mode" (float_of_int (mode_rank t.mode));
   final_gauge "exit.conservation" (if exit_conservation then 1.0 else 0.0);
   List.iter
@@ -1652,6 +1728,7 @@ let run ?sink cfg =
       List.rev_map (fun (ts, m) -> (ts, mode_name m)) t.mode_transitions;
     monitor_audits = Monitor.audits_run t.monitor;
     monitor_violations = Monitor.violation_totals t.monitor;
+    durability;
     exits_served;
     exit_claims0;
     exit_claims1;

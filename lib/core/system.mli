@@ -82,6 +82,11 @@ type result = {
   monitor_audits : int;         (** cross-layer invariant audits run *)
   monitor_violations : (string * int) list;
       (** cumulative violations per severity, zero entries omitted *)
+  durability : (string * int) list;
+      (** [durability.*] counters from the durable session — records
+          appended / replayed / skipped, snapshots written / verified /
+          healed / rejected, WAL segments repaired / dropped; empty for
+          non-durable runs *)
   exits_served : int;           (** emergency exits applied while Halted *)
   exit_claims0 : Amm_math.U256.t;  (** total value withdrawn via exits *)
   exit_claims1 : Amm_math.U256.t;
@@ -107,10 +112,20 @@ type result = {
   lifecycle_seen : int;  (** all included ops the tracer counted *)
 }
 
-val run : ?sink:Telemetry.Report.sink -> Config.t -> result
+val run :
+  ?sink:Telemetry.Report.sink -> ?durable:Durable.Session.t -> Config.t -> result
 (** [run ?sink cfg] simulates the system. When [sink] is given, the run
     fills its metrics registry (counters, gauges, latency/size
     histograms) and — if the sink's tracer is enabled — records
     simulated-clock phase spans (traffic, meta-block, summary, sign,
     sync, confirm, prune) exportable as Chrome trace JSON. Metrics
-    snapshots are deterministic in the configuration seed. *)
+    snapshots are deterministic in the configuration seed.
+
+    When [durable] is given, the run is crash-consistent: every
+    oracle-visible state delta goes through the session's write-ahead
+    log (verify-or-append against what a previous incarnation left on
+    disk), epoch boundaries take checksummed snapshots on the session's
+    cadence, and the fault plan's durability class may kill the run at a
+    round boundary — {!Durable.Session.Crashed} escapes [run], and a
+    fresh session over the same directory resumes by integrity-checked
+    re-execution. *)

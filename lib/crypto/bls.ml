@@ -24,6 +24,8 @@ let signature_size = 64
 let public_key_size = 128
 let signature_to_bytes = Group.g1_to_bytes
 let public_key_to_bytes = Group.g2_to_bytes
+let signature_of_bytes = Group.g1_of_bytes
+let public_key_of_bytes = Group.g2_of_bytes
 
 (* ------------------------------------------------------------------ *)
 (* Threshold scheme: Shamir sharing of the committee secret            *)

@@ -26,6 +26,14 @@ val public_key_size : int
 val signature_to_bytes : signature -> bytes
 val public_key_to_bytes : public_key -> bytes
 
+val signature_of_bytes : bytes -> signature
+(** Inverse of {!signature_to_bytes}; raises [Invalid_argument] unless
+    the buffer is exactly {!signature_size} bytes. *)
+
+val public_key_of_bytes : bytes -> public_key
+(** Inverse of {!public_key_to_bytes}; raises [Invalid_argument] unless
+    the buffer is exactly {!public_key_size} bytes. *)
+
 (** {1 Threshold scheme} *)
 
 type share

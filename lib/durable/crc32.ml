@@ -1,0 +1,30 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum
+   guarding every snapshot file and WAL record. Table-driven; all
+   arithmetic stays inside OCaml's 63-bit int with explicit 32-bit
+   masking, so the digest is identical on every platform. *)
+
+let mask = 0xFFFF_FFFF
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB8_8320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc b ~pos ~len =
+  let t = Lazy.force table in
+  let c = ref (crc lxor mask) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  (!c lxor mask) land mask
+
+let digest_sub b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.digest_sub";
+  update 0 b ~pos ~len
+
+let digest b = update 0 b ~pos:0 ~len:(Bytes.length b)

@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3) over byte buffers.
+
+    The checksum behind every durable artifact: snapshot files carry one
+    over their whole body, and each write-ahead-log record carries one
+    over its payload. Values are in [0, 2{^32}) and platform-independent
+    (all arithmetic is explicitly 32-bit masked). *)
+
+val digest : bytes -> int
+
+val digest_sub : bytes -> pos:int -> len:int -> int
+(** Raises [Invalid_argument] when the range is out of bounds. *)
+
+val update : int -> bytes -> pos:int -> len:int -> int
+(** Incremental form: [update crc b ~pos ~len] extends a running digest
+    (start from [0]). No bounds check — internal use. *)

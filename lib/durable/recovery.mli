@@ -1,0 +1,42 @@
+(** Post-crash scan of a durable directory.
+
+    Reduces whatever a (possibly violent) shutdown left behind to the
+    facts the resume path needs: the newest snapshot that survives the
+    full gauntlet (readable, CRC/marker valid, filename agrees with the
+    embedded epoch, every section decodes through its typed codec), and
+    the longest checksum-valid prefix of the WAL record stream anchored
+    at that snapshot's [records_before].
+
+    Scanning has deliberate side effects on the directory: torn segment
+    tails are truncated in place ({!Wal.repair}), and segments that can
+    no longer be anchored — unreadable headers, or records past a gap in
+    the stream — are deleted, because deterministic re-execution will
+    regenerate those records and appending into stale files would
+    interleave garbage. Rejected snapshots are {e left in place}: the
+    resume path heals them when re-execution reaches their epoch. *)
+
+type report = {
+  chosen : (int * int) option;
+      (** [(epoch, records_before)] of the accepted snapshot. *)
+  rejected : (string * string) list;
+      (** Snapshot [(path, reason)] failures, newest first. *)
+  records : Record.t array;
+      (** The trustworthy record stream, contiguous from [skip_until]. *)
+  skip_until : int;
+      (** Records with index below this are pruned history: not on disk,
+          re-executed without verification. *)
+  repaired : (string * string) list;
+      (** Torn segments truncated to their valid prefix. *)
+  dropped : (string * string) list;  (** Segments deleted as unusable. *)
+}
+
+val scan : dir:string -> report
+(** Scan (creating [dir] if missing — an empty report on a fresh dir). *)
+
+val clean : report -> bool
+(** No prior state and nothing unusual found: a genesis start. *)
+
+val notes : report -> (string * string) list
+(** [(check-id, detail)] lines for the monitor — [snapshot-rejected],
+    [wal-repaired], [wal-dropped] — one per rejected snapshot, repair,
+    and dropped segment. *)

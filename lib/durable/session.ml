@@ -1,0 +1,198 @@
+module Fault_plan = Faults.Fault_plan
+
+(* A durable session wraps one System.run with crash consistency.
+
+   ammBoost recovery is integrity-checked deterministic re-execution:
+   transactions carry closures, so state is never restored literally
+   from disk. Instead a resumed run re-executes from genesis, and the
+   session acts as a referee between the re-execution and the on-disk
+   history recovered by {!Recovery.scan}:
+
+     index < skip_until                    Skip    pruned history; count it
+     skip_until <= index < disk frontier   Verify  byte-compare against WAL
+     index >= disk frontier                Append  new ground; log it
+
+   Any byte mismatch in Verify is a {!Divergence} — determinism is the
+   load-bearing invariant, so a divergent replay must abort loudly, not
+   quietly re-log. Snapshot boundaries verify the same way: the freshly
+   rebuilt snapshot must be byte-identical to the file on disk; corrupt
+   or missing files are healed (rewritten), byte-different valid files
+   abort.
+
+   Crash injection also lives here: {!maybe_crash} consults the fault
+   plan at every round boundary, and on a hit closes the WAL, applies
+   any torn-write corruption to its tail, and raises {!Crashed} — the
+   closest a single process gets to `kill -9` at a chosen instant. The
+   [armed_after] watermark disarms crash points at or before the last
+   crash so a resumed run can re-execute through them (consulted before
+   the plan so disarmed points never pollute fault metrics). *)
+
+exception Crashed of { epoch : int; round : int }
+exception Divergence of string
+
+type stats = {
+  mutable appended : int;
+  mutable replayed : int;
+  mutable skipped : int;
+  mutable snapshots_written : int;
+  mutable snapshots_verified : int;
+  mutable snapshots_healed : int;
+}
+
+type t = {
+  dir : string;
+  snapshot_every : int;
+  armed_after : (int * int) option;
+  report : Recovery.report;
+  disk : Record.t array;
+  skip_until : int;
+  known_epoch : int option;  (* epoch of the accepted snapshot, if any *)
+  stats : stats;
+  mutable index : int;  (* global index of the next record *)
+  mutable seg_epoch : int;  (* WAL segment appends go to *)
+  mutable seg_start : int;  (* first record index of that segment *)
+  mutable writer : Wal.writer option;
+}
+
+let open_ ?armed_after ~dir ~snapshot_every () =
+  let report = Recovery.scan ~dir in
+  { dir;
+    snapshot_every;
+    armed_after;
+    report;
+    disk = report.Recovery.records;
+    skip_until = report.Recovery.skip_until;
+    known_epoch =
+      (match report.Recovery.chosen with Some (e, _) -> Some e | None -> None);
+    stats =
+      { appended = 0; replayed = 0; skipped = 0; snapshots_written = 0;
+        snapshots_verified = 0; snapshots_healed = 0 };
+    index = 0;
+    seg_epoch = 0;
+    seg_start = 0;
+    writer = None }
+
+let report t = t.report
+let resumed t = t.skip_until > 0 || Array.length t.disk > 0
+
+let ensure_writer t =
+  match t.writer with
+  | Some w -> w
+  | None ->
+    let w =
+      Wal.open_append ~dir:t.dir ~epoch:t.seg_epoch ~start_index:t.seg_start
+    in
+    t.writer <- Some w;
+    w
+
+let close_writer t =
+  (match t.writer with Some w -> Wal.close w | None -> ());
+  t.writer <- None
+
+let record t r =
+  let i = t.index in
+  t.index <- i + 1;
+  if i < t.skip_until then t.stats.skipped <- t.stats.skipped + 1
+  else begin
+    let j = i - t.skip_until in
+    if j < Array.length t.disk then begin
+      if not (Record.equal r t.disk.(j)) then
+        raise
+          (Divergence
+             (Printf.sprintf
+                "record %d: re-execution produced %s, WAL holds %s" i
+                (Record.describe r)
+                (Record.describe t.disk.(j))));
+      t.stats.replayed <- t.stats.replayed + 1
+    end
+    else begin
+      Wal.append (ensure_writer t) r;
+      t.stats.appended <- t.stats.appended + 1
+    end
+  end
+
+let snapshot_due t ~epoch =
+  t.snapshot_every > 0 && epoch > 0 && epoch mod t.snapshot_every = 0
+
+(* Keep the last two snapshots and every WAL segment needed to recover
+   from the older of them; everything before is history the summaries
+   have already absorbed. *)
+let prune t =
+  let snaps = Snapshot.list ~dir:t.dir in
+  let n = List.length snaps in
+  if n > 2 then begin
+    let keep_from = fst (List.nth snaps (n - 2)) in
+    List.iter
+      (fun (e, p) -> if e < keep_from then Fsio.remove_if_exists p)
+      snaps;
+    List.iter
+      (fun (e, p) -> if e < keep_from then Fsio.remove_if_exists p)
+      (Wal.list ~dir:t.dir)
+  end
+
+let snapshot t ~epoch ~sections =
+  let fresh =
+    Snapshot.encode
+      { Snapshot.meta = { Snapshot.epoch; records_before = t.index }; sections }
+  in
+  let p = Snapshot.path ~dir:t.dir ~epoch in
+  (if Sys.file_exists p then begin
+     let existing = Fsio.read_file p in
+     if Bytes.equal existing fresh then
+       t.stats.snapshots_verified <- t.stats.snapshots_verified + 1
+     else
+       match Snapshot.decode existing with
+       | Ok _ ->
+         (* A checksum-valid snapshot that differs byte-for-byte means
+            the re-execution is not the run that wrote it. Abort. *)
+         raise
+           (Divergence
+              (Printf.sprintf "snapshot at epoch %d diverges from disk" epoch))
+       | Error _ ->
+         (* Corrupt file from a torn write: heal it. *)
+         Fsio.write_atomic p fresh;
+         t.stats.snapshots_healed <- t.stats.snapshots_healed + 1
+   end
+   else begin
+     Fsio.write_atomic p fresh;
+     match t.known_epoch with
+     | Some known when epoch <= known ->
+       t.stats.snapshots_healed <- t.stats.snapshots_healed + 1
+     | _ -> t.stats.snapshots_written <- t.stats.snapshots_written + 1
+   end);
+  (* Rotate the WAL: appends after this boundary go to the segment keyed
+     by this epoch (created lazily on first append). *)
+  close_writer t;
+  t.seg_epoch <- epoch;
+  t.seg_start <- t.index;
+  prune t
+
+let maybe_crash t ~plan ~epoch ~round =
+  let armed =
+    match t.armed_after with
+    | Some watermark -> compare (epoch, round) watermark > 0
+    | None -> true
+  in
+  if armed && Fault_plan.crash_now plan ~epoch ~round then begin
+    close_writer t;
+    (match Fault_plan.torn_write plan ~epoch ~round with
+    | Some mode ->
+      Torn.apply (Wal.segment_path ~dir:t.dir ~epoch:t.seg_epoch) mode
+    | None -> ());
+    raise (Crashed { epoch; round })
+  end
+
+let finish t = close_writer t
+
+let stats t =
+  let s = t.stats in
+  let r = t.report in
+  [ ("durability.records_appended", s.appended);
+    ("durability.records_replayed", s.replayed);
+    ("durability.records_skipped", s.skipped);
+    ("durability.snapshots_written", s.snapshots_written);
+    ("durability.snapshots_verified", s.snapshots_verified);
+    ("durability.snapshots_healed", s.snapshots_healed);
+    ("durability.snapshots_rejected", List.length r.Recovery.rejected);
+    ("durability.wal_repaired", List.length r.Recovery.repaired);
+    ("durability.wal_dropped", List.length r.Recovery.dropped) ]

@@ -1,0 +1,61 @@
+(** One crash-consistent [System.run] attached to a durable directory.
+
+    ammBoost recovery is integrity-checked deterministic re-execution —
+    transactions carry closures, so state is never restored literally.
+    A resumed run re-executes from genesis and the session referees it
+    against the on-disk history: records below the snapshot anchor are
+    skip-counted (their segments were pruned), records the WAL still
+    holds must match byte-for-byte, and everything past the disk
+    frontier is appended with a per-record checksum and commit marker.
+    Snapshot boundaries verify the same way — the freshly rebuilt
+    snapshot must be byte-identical to the file on disk, with corrupt or
+    missing files healed in place.
+
+    Crash injection lives here too: {!maybe_crash} consults the fault
+    plan at round boundaries and on a hit closes the WAL, applies any
+    torn-write corruption to its tail, and raises {!Crashed}. *)
+
+exception Crashed of { epoch : int; round : int }
+(** The fault plan killed the process image at this point; the durable
+    directory holds whatever had been flushed. *)
+
+exception Divergence of string
+(** Re-execution produced bytes that contradict a checksum-valid file on
+    disk. Determinism is load-bearing, so this aborts loudly. *)
+
+type t
+
+val open_ :
+  ?armed_after:int * int -> dir:string -> snapshot_every:int -> unit -> t
+(** Scan [dir] ({!Recovery.scan}) and start a session over what
+    survived. [armed_after] disarms scripted crash points at or before
+    that [(epoch, round)] watermark so a resumed run can re-execute
+    through its own crash point; it is consulted {e before} the fault
+    plan, so disarmed points never pollute fault metrics. *)
+
+val record : t -> Record.t -> unit
+(** Feed one re-executed record through skip/verify/append.
+    @raise Divergence on a byte mismatch with the recovered WAL. *)
+
+val snapshot_due : t -> epoch:int -> bool
+
+val snapshot : t -> epoch:int -> sections:(string * bytes) list -> unit
+(** Take (or verify, or heal) the snapshot at this epoch boundary, then
+    rotate the WAL segment and prune history beyond the retention
+    window (two snapshots). @raise Divergence as {!record}. *)
+
+val maybe_crash :
+  t -> plan:Faults.Fault_plan.t -> epoch:int -> round:int -> unit
+(** @raise Crashed when the fault plan fires at this round boundary. *)
+
+val finish : t -> unit
+(** Close the WAL writer (idempotent). *)
+
+val report : t -> Recovery.report
+val resumed : t -> bool
+(** Whether the scan found any prior history to resume from. *)
+
+val stats : t -> (string * int) list
+(** [durability.*] counters: records appended / replayed / skipped,
+    snapshots written / verified / healed / rejected, WAL segments
+    repaired / dropped. *)

@@ -1,0 +1,37 @@
+(** Versioned, checksummed snapshot files.
+
+    A snapshot captures every durable state surface at an epoch boundary
+    as named byte sections (see {!State_codec} for the section registry),
+    framed as
+
+    {v magic | epoch | records_before | sections | crc32 | 0xA5 v}
+
+    and written atomically (temp file + rename). [records_before] is the
+    number of WAL records appended before the snapshot was taken: it
+    anchors the snapshot in the record stream so recovery can skip-count
+    records whose segments were already pruned. {!decode} accepts a file
+    only when magic, length, CRC-32 and the commit marker all agree —
+    every torn-write mode fails at least one check. *)
+
+val magic : string
+(** ["ammboost-snapshot/1\n"] — bump the version on format changes. *)
+
+type meta = { epoch : int; records_before : int }
+type t = { meta : meta; sections : (string * bytes) list }
+
+val section : t -> string -> bytes option
+
+val encode : t -> bytes
+val decode : bytes -> (t, string) result
+
+val filename : epoch:int -> string
+val path : dir:string -> epoch:int -> string
+
+val write : dir:string -> t -> string
+(** Atomic write under the epoch-keyed name; returns the path. *)
+
+val load : string -> (t, string) result
+(** Read + decode; unreadable files are an [Error], never an exception. *)
+
+val list : dir:string -> (int * string) list
+(** [(epoch, path)] of every snapshot file present, ascending by epoch. *)

@@ -1,0 +1,190 @@
+module U256 = Amm_math.U256
+module Address = Chain.Address
+module Bls = Amm_crypto.Bls
+module Token_bank = Tokenbank.Token_bank
+module Sync_payload = Tokenbank.Sync_payload
+module Pos_store = Tokenbank.Pos_store
+module Pool = Uniswap.Pool
+module Deposits = Sidechain.Deposits
+
+(* The snapshot section registry: every durable state surface at an
+   epoch boundary, one named byte section each. Adding a surface means
+   adding a name here, a builder, and a validator arm — recovery rejects
+   snapshots containing sections it does not know.
+
+     bank.meta           TokenBank scalars: sync frontier, halt state,
+                         committee vk, custody, pools, exit claims
+     bank.positions      the open-position flat store (Pos_store codec)
+     sidechain.deposits  the epoch's deposit accounts (Deposits codec)
+     sidechain.pool      AMM pool scalars (price, tick, liquidity,
+                         balances, fee growths, table sizes)
+     window.pending      certified-but-unapplied summaries, oldest first
+
+   Encodings are exact (encode . decode = id byte-for-byte): resume-time
+   verification compares freshly rebuilt sections against disk. *)
+
+let s_bank_meta = "bank.meta"
+let s_bank_positions = "bank.positions"
+let s_deposits = "sidechain.deposits"
+let s_pool = "sidechain.pool"
+let s_pending = "window.pending"
+
+(* Pool ids are dense from 0; probe a fixed small range so the encoding
+   never depends on iteration order. *)
+let max_pools = 8
+
+let w_u256 buf v = Wire.w_fixed buf (U256.to_bytes_be v)
+let r_u256 r what = U256.of_bytes_be (Wire.r_fixed r 32 what)
+
+let bank_meta_bytes bank =
+  let buf = Buffer.create 512 in
+  Wire.w_i64 buf (Token_bank.last_synced_epoch bank);
+  Wire.w_u8 buf (if Token_bank.is_halted bank then 1 else 0);
+  Wire.w_i64 buf (match Token_bank.halt_epoch bank with Some e -> e | None -> -1);
+  Wire.w_fixed buf (Bls.public_key_to_bytes (Token_bank.committee_vk bank));
+  let c0, c1 = Token_bank.total_custody bank in
+  w_u256 buf c0;
+  w_u256 buf c1;
+  let pools =
+    List.filter_map (Token_bank.pool bank) (List.init max_pools (fun i -> i))
+  in
+  Wire.w_u32 buf (List.length pools);
+  List.iter
+    (fun (p : Token_bank.pool_info) ->
+      Wire.w_i64 buf p.Token_bank.pool_id;
+      Wire.w_i64 buf p.Token_bank.flash_fee_pips;
+      w_u256 buf p.Token_bank.balance0;
+      w_u256 buf p.Token_bank.balance1)
+    pools;
+  let exits = Token_bank.exits bank in
+  Wire.w_u32 buf (List.length exits);
+  List.iter
+    (fun (c : Token_bank.exit_claim) ->
+      Wire.w_fixed buf (Address.to_bytes c.Token_bank.claimant);
+      w_u256 buf c.Token_bank.claim0;
+      w_u256 buf c.Token_bank.claim1;
+      w_u256 buf c.Token_bank.refund0;
+      w_u256 buf c.Token_bank.refund1;
+      Wire.w_i64 buf c.Token_bank.positions_closed)
+    exits;
+  Buffer.to_bytes buf
+
+let validate_bank_meta b =
+  Wire.read b (fun r ->
+      let _synced = Wire.r_i64 r "synced_epoch" in
+      let halted = Wire.r_u8 r "halted" in
+      if halted > 1 then Wire.fail "bad halted flag %d" halted;
+      let _halt_epoch = Wire.r_i64 r "halt_epoch" in
+      let _vk = Bls.public_key_of_bytes (Wire.r_fixed r Bls.public_key_size "vk") in
+      let _c0 = r_u256 r "custody0" and _c1 = r_u256 r "custody1" in
+      let npools = Wire.r_u32 r "pool count" in
+      if npools > max_pools then Wire.fail "implausible pool count %d" npools;
+      for _ = 1 to npools do
+        let _ = Wire.r_i64 r "pool_id" in
+        let _ = Wire.r_i64 r "flash_fee_pips" in
+        let _ = r_u256 r "pool balance0" in
+        let _ = r_u256 r "pool balance1" in
+        ()
+      done;
+      let nexits = Wire.r_u32 r "exit count" in
+      if nexits > Wire.remaining r / 148 + 1 then
+        Wire.fail "implausible exit count %d" nexits;
+      for _ = 1 to nexits do
+        let _ = Wire.r_fixed r 20 "claimant" in
+        let _ = r_u256 r "claim0" and _ = r_u256 r "claim1" in
+        let _ = r_u256 r "refund0" and _ = r_u256 r "refund1" in
+        let _ = Wire.r_i64 r "positions_closed" in
+        ()
+      done;
+      Wire.expect_end r "bank.meta")
+
+let pool_bytes pool =
+  let buf = Buffer.create 256 in
+  w_u256 buf (Pool.sqrt_price pool);
+  Wire.w_i64 buf (Pool.current_tick pool);
+  w_u256 buf (Pool.liquidity pool);
+  w_u256 buf (Pool.balance0 pool);
+  w_u256 buf (Pool.balance1 pool);
+  w_u256 buf (Pool.fee_growth_global0 pool);
+  w_u256 buf (Pool.fee_growth_global1 pool);
+  Wire.w_i64 buf (Pool.position_count pool);
+  Wire.w_i64 buf (Pool.initialized_tick_count pool);
+  Buffer.to_bytes buf
+
+let validate_pool b =
+  Wire.read b (fun r ->
+      let _ = r_u256 r "sqrt_price" in
+      let _ = Wire.r_i64 r "current_tick" in
+      let _ = r_u256 r "liquidity" in
+      let _ = r_u256 r "balance0" and _ = r_u256 r "balance1" in
+      let _ = r_u256 r "fee_growth0" and _ = r_u256 r "fee_growth1" in
+      let _ = Wire.r_i64 r "position_count" in
+      let _ = Wire.r_i64 r "initialized_ticks" in
+      Wire.expect_end r "sidechain.pool")
+
+let pending_bytes pending =
+  let buf = Buffer.create 1024 in
+  Wire.w_u32 buf (List.length pending);
+  List.iter
+    (fun (p, s) ->
+      Wire.w_var buf (Sync_payload.to_bytes p);
+      Wire.w_fixed buf (Bls.signature_to_bytes s))
+    pending;
+  Buffer.to_bytes buf
+
+let validate_pending b =
+  Wire.read b (fun r ->
+      let n = Wire.r_u32 r "pending count" in
+      if n > Wire.remaining r / (4 + Bls.signature_size) + 1 then
+        Wire.fail "implausible pending count %d" n;
+      for _ = 1 to n do
+        (match Sync_payload.of_bytes (Wire.r_var r "pending payload") with
+        | Ok _ -> ()
+        | Error e -> Wire.fail "pending payload: %s" e);
+        let _ = Bls.signature_of_bytes (Wire.r_fixed r Bls.signature_size "pending sig") in
+        ()
+      done;
+      Wire.expect_end r "window.pending")
+
+let sections ~bank ~pool ~deposits ~pending =
+  [ (s_bank_meta, bank_meta_bytes bank);
+    (s_bank_positions, Token_bank.positions_bytes bank);
+    (s_deposits, Deposits.to_bytes deposits);
+    (s_pool, pool_bytes pool);
+    (s_pending, pending_bytes pending) ]
+
+(* Structural validation: every section must decode through its typed
+   codec. This is what stands between a checksum-valid-but-semantically
+   -garbage file and the resume path. *)
+let validate_section (name, payload) =
+  if String.equal name s_bank_meta then validate_bank_meta payload
+  else if String.equal name s_bank_positions then begin
+    match Pos_store.of_bytes payload with
+    | Ok _ -> Ok ()
+    | Error e -> Error (Pos_store.error_to_string e)
+  end
+  else if String.equal name s_deposits then begin
+    match Deposits.of_bytes payload with Ok _ -> Ok () | Error e -> Error e
+  end
+  else if String.equal name s_pool then validate_pool payload
+  else if String.equal name s_pending then validate_pending payload
+  else Error (Printf.sprintf "unknown section %S" name)
+
+let required = [ s_bank_meta; s_bank_positions; s_deposits; s_pool; s_pending ]
+
+let validate sections =
+  let missing =
+    List.filter (fun n -> not (List.mem_assoc n sections)) required
+  in
+  if missing <> [] then
+    Error (Printf.sprintf "missing sections: %s" (String.concat ", " missing))
+  else
+    List.fold_left
+      (fun acc (name, payload) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> (
+          match validate_section (name, payload) with
+          | Ok () -> Ok ()
+          | Error e -> Error (Printf.sprintf "section %s: %s" name e)))
+      (Ok ()) sections

@@ -1,0 +1,32 @@
+(* Deliberate on-disk corruption, one mode per [Fault_plan.torn] variant.
+   Applied to the file a dying process was appending (and, in the crash
+   drill, to completed snapshots) — each mode produces a file the
+   recovery scan must detect by checksum/marker and reject or repair.
+
+   The corruption is deterministic in the file contents alone (no RNG):
+   the drill's crash/recover loops stay reproducible at any seed. *)
+
+let apply path (mode : Faults.Fault_plan.torn) =
+  if Sys.file_exists path then begin
+    let b = Fsio.read_file path in
+    let len = Bytes.length b in
+    if len > 0 then
+      match mode with
+      | Faults.Fault_plan.Truncated_tail ->
+        (* The tail of the last write never reached the disk. *)
+        Fsio.write_file path (Bytes.sub b 0 (Stdlib.max 0 (len - 7)))
+      | Faults.Fault_plan.Bit_flip ->
+        (* A payload byte in the middle of the file went bad. *)
+        let i = len / 2 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+        Fsio.write_file path b
+      | Faults.Fault_plan.Stale_marker ->
+        (* The commit marker was never written (or overwritten). *)
+        Bytes.set b (len - 1) '\x00';
+        Fsio.write_file path b
+  end
+
+let describe : Faults.Fault_plan.torn -> string = function
+  | Faults.Fault_plan.Truncated_tail -> "truncated-tail"
+  | Faults.Fault_plan.Bit_flip -> "bit-flip"
+  | Faults.Fault_plan.Stale_marker -> "stale-marker"

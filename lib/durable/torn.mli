@@ -1,0 +1,12 @@
+(** Deliberate on-disk corruption for fault injection.
+
+    One mode per {!Faults.Fault_plan.torn} variant: tail truncation, a
+    single flipped payload bit, or a stale/zeroed commit marker. Each
+    produces a file the recovery scan must reject (snapshots) or repair
+    to the valid prefix (WAL segments). Deterministic in the file
+    contents — no randomness, so drills reproduce byte-for-byte. *)
+
+val apply : string -> Faults.Fault_plan.torn -> unit
+(** No-op when the file is missing or empty. *)
+
+val describe : Faults.Fault_plan.torn -> string

@@ -1,0 +1,144 @@
+(* Write-ahead-log segments.
+
+   A segment is a header followed by framed records:
+
+     header:  magic "ammboost-wal/1\n" (15 B)
+              start_index  i64   absolute index of the first record
+              epoch        i64   the snapshot boundary that opened it
+     frame:   len     u32
+              crc     u32   CRC-32 over the payload
+              payload len B (a [Record.t] encoding)
+              marker  u8    0xA6 — the frame's commit marker
+
+   Segment 0 opens at genesis; every snapshot at epoch [e] rotates the
+   log into a fresh segment keyed by [e], so truncating the WAL at a
+   snapshot boundary is just deleting older segments. The header makes
+   each segment self-describing: recovery can place its records in the
+   global stream even when the matching snapshot was rejected.
+
+   Appends flush per record — a crash loses at most the frame in flight,
+   and [read_segment] keeps the longest valid prefix, reporting the torn
+   tail for {!repair} to cut off. *)
+
+let magic = "ammboost-wal/1\n"
+let magic_len = String.length magic
+let header_len = magic_len + 8 + 8
+let marker = 0xA6
+let frame_overhead = 4 + 4 + 1
+
+let segment_name ~epoch = Printf.sprintf "wal-%08d.log" epoch
+let segment_path ~dir ~epoch = Filename.concat dir (segment_name ~epoch)
+
+let header_bytes ~start_index ~epoch =
+  let buf = Buffer.create header_len in
+  Buffer.add_string buf magic;
+  Wire.w_i64 buf start_index;
+  Wire.w_i64 buf epoch;
+  Buffer.to_bytes buf
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = { oc : out_channel; w_path : string }
+
+let path w = w.w_path
+
+let open_append ~dir ~epoch ~start_index =
+  Fsio.mkdir_p dir;
+  let p = segment_path ~dir ~epoch in
+  let fresh = not (Sys.file_exists p) in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 p in
+  if fresh then begin
+    output_bytes oc (header_bytes ~start_index ~epoch);
+    flush oc
+  end;
+  { oc; w_path = p }
+
+let append w record =
+  let payload = Record.to_bytes record in
+  let buf = Buffer.create (Bytes.length payload + frame_overhead) in
+  Wire.w_u32 buf (Bytes.length payload);
+  Wire.w_u32 buf (Crc32.digest payload);
+  Buffer.add_bytes buf payload;
+  Wire.w_u8 buf marker;
+  output_bytes w.oc (Buffer.to_bytes buf);
+  flush w.oc
+
+let close w = try close_out w.oc with Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type read_result = {
+  rr_epoch : int;
+  rr_start_index : int;
+  rr_records : Record.t list;  (* the valid prefix, in append order *)
+  rr_valid_len : int;          (* bytes of valid prefix, header included *)
+  rr_torn : string option;     (* why reading stopped early, if it did *)
+}
+
+let read_segment p =
+  match Fsio.read_file p with
+  | exception Sys_error e -> Error ("unreadable: " ^ e)
+  | b ->
+    let len = Bytes.length b in
+    if len < header_len then Error (Printf.sprintf "truncated header (%d bytes)" len)
+    else if not (String.equal (Bytes.sub_string b 0 magic_len) magic) then
+      Error "bad magic (not an ammboost-wal/1 segment)"
+    else begin
+      let rr_start_index = Int64.to_int (Bytes.get_int64_be b magic_len) in
+      let rr_epoch = Int64.to_int (Bytes.get_int64_be b (magic_len + 8)) in
+      let records = ref [] in
+      let pos = ref header_len in
+      let torn = ref None in
+      let stop reason = torn := Some reason in
+      while !torn = None && !pos < len do
+        let remaining = len - !pos in
+        if remaining < frame_overhead then
+          stop (Printf.sprintf "torn frame header (%d trailing bytes)" remaining)
+        else begin
+          let plen = Int32.to_int (Bytes.get_int32_be b !pos) land 0xFFFF_FFFF in
+          if plen > remaining - frame_overhead then
+            stop (Printf.sprintf "torn frame payload (want %d, have %d)" plen
+                    (remaining - frame_overhead))
+          else begin
+            let stored =
+              Int32.to_int (Bytes.get_int32_be b (!pos + 4)) land 0xFFFF_FFFF
+            in
+            let computed = Crc32.digest_sub b ~pos:(!pos + 8) ~len:plen in
+            if stored <> computed then
+              stop
+                (Printf.sprintf "record checksum mismatch (stored %08x, computed %08x)"
+                   stored computed)
+            else if Char.code (Bytes.get b (!pos + 8 + plen)) <> marker then
+              stop "record commit marker missing"
+            else
+              match Record.of_bytes (Bytes.sub b (!pos + 8) plen) with
+              | Error e -> stop ("record undecodable: " ^ e)
+              | Ok r ->
+                records := r :: !records;
+                pos := !pos + frame_overhead + plen
+          end
+        end
+      done;
+      Ok
+        { rr_epoch; rr_start_index; rr_records = List.rev !records;
+          rr_valid_len = !pos; rr_torn = !torn }
+    end
+
+(* Cut a torn tail back to the valid prefix (atomic rewrite). *)
+let repair p rr =
+  match rr.rr_torn with
+  | None -> ()
+  | Some _ ->
+    let b = Fsio.read_file p in
+    Fsio.write_atomic p (Bytes.sub b 0 (Stdlib.min rr.rr_valid_len (Bytes.length b)))
+
+let list ~dir =
+  Fsio.files_matching ~dir ~prefix:"wal-" ~suffix:".log"
+  |> List.filter_map (fun f ->
+         match int_of_string_opt (String.sub f 4 8) with
+         | Some epoch -> Some (epoch, Filename.concat dir f)
+         | None -> None)

@@ -1,0 +1,84 @@
+(* Cursor-based binary reader/writer shared by the durable codecs.
+
+   Writers are plain [Buffer] helpers. Readers carry an explicit cursor
+   over an untrusted buffer and fail through a single exception that
+   [read] turns into a [result] — file bytes read back from disk must
+   never be able to raise out of the decode path. *)
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let w_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+let w_u32 buf v = Buffer.add_int32_be buf (Int32.of_int v)
+let w_i64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+let w_fixed buf b = Buffer.add_bytes buf b
+
+let w_var buf b =
+  w_u32 buf (Bytes.length b);
+  Buffer.add_bytes buf b
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type reader = { buf : bytes; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?limit buf =
+  let len = Bytes.length buf in
+  let limit = match limit with Some l -> l | None -> len in
+  if pos < 0 || limit > len || pos > limit then invalid_arg "Wire.reader";
+  { buf; pos; limit }
+
+let pos r = r.pos
+let remaining r = r.limit - r.pos
+let at_end r = r.pos = r.limit
+
+let need r n what =
+  if remaining r < n then
+    fail "truncated at %s: need %d bytes at offset %d of %d" what n r.pos r.limit
+
+let r_u8 r what =
+  need r 1 what;
+  let v = Char.code (Bytes.get r.buf r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u32 r what =
+  need r 4 what;
+  let v = Int32.to_int (Bytes.get_int32_be r.buf r.pos) in
+  r.pos <- r.pos + 4;
+  (* Int32 sign-extends: reinterpret as the unsigned 32-bit value. *)
+  let v = v land 0xFFFF_FFFF in
+  v
+
+let r_i64 r what =
+  need r 8 what;
+  let v = Int64.to_int (Bytes.get_int64_be r.buf r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_fixed r n what =
+  need r n what;
+  let v = Bytes.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  v
+
+let r_var r what =
+  let n = r_u32 r what in
+  if n > remaining r then
+    fail "implausible %s length %d: only %d bytes remain" what n (remaining r);
+  r_fixed r n what
+
+let expect_end r what =
+  if not (at_end r) then fail "trailing garbage after %s: %d bytes" what (remaining r)
+
+let read buf f =
+  match f (reader buf) with
+  | v -> Ok v
+  | exception Malformed msg -> Error msg
+  | exception Invalid_argument msg -> Error msg

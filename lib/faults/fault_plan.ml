@@ -36,6 +36,20 @@ type mainchain = {
   congestion_gas_limit : int;
 }
 
+(* Durable-storage faults: hard process death at a round boundary, with
+   an optional torn write applied to the file being appended when the
+   process dies. Crashes are scripted (exact (epoch, round) points for
+   the crash drill) or drawn per round; torn modes are drawn per crash. *)
+type torn = Truncated_tail | Bit_flip | Stale_marker
+
+type durability = {
+  crash_rate : float;
+  torn_write_rate : float;
+  crash_script : (int * int) list;
+      (* exact (epoch, round) hard-death points, in addition to the
+         probabilistic rate *)
+}
+
 (* Scripted sustained-failure scenarios, as opposed to the probabilistic
    rates above: these drive the watchdog's Degraded/Halted transitions
    and the emergency-exit protocol end-to-end. *)
@@ -54,10 +68,14 @@ type spec = {
   consensus : consensus;
   committee : committee;
   mainchain : mainchain;
+  durability : durability;
   scenario : scenario;
 }
 
 let no_scenario = { quorum_starvation = None; committee_loss = None }
+
+let no_durability =
+  { crash_rate = 0.0; torn_write_rate = 0.0; crash_script = [] }
 
 let none =
   {
@@ -81,6 +99,7 @@ let none =
         congestion_rate = 0.0;
         congestion_gas_limit = 0;
       };
+    durability = no_durability;
     scenario = no_scenario;
   }
 
@@ -109,6 +128,10 @@ let chaos ?(intensity = 0.1) () =
         congestion_rate = r 0.1;
         congestion_gas_limit = 2_000_000;
       };
+    (* Crashes abort the run they hit; the chaos soak measures recovery
+       inside one run, so the durability class stays scripted-only (the
+       crash drill drives it explicitly). *)
+    durability = no_durability;
     scenario = no_scenario;
   }
 
@@ -126,6 +149,9 @@ let active s =
   || s.mainchain.sync_drop_rate > 0.0
   || s.mainchain.reorg_rate > 0.0
   || s.mainchain.congestion_rate > 0.0
+  || s.durability.crash_rate > 0.0
+  || s.durability.torn_write_rate > 0.0
+  || s.durability.crash_script <> []
   || s.scenario.quorum_starvation <> None
   || s.scenario.committee_loss <> None
 
@@ -262,6 +288,35 @@ let byzantine_proposer t ~epoch ~round =
   hit t ~rate:t.spec.consensus.byzantine_leader_rate
     ~key:(Printf.sprintf "cs.byz/%d/%d" epoch round)
     ~label:"consensus.byzantine_leader"
+
+let crash_now t ~epoch ~round =
+  let d = t.spec.durability in
+  if List.mem (epoch, round) d.crash_script then begin
+    note_once t
+      ~key:(Printf.sprintf "dur.crash/%d/%d" epoch round)
+      "durability.crash" 1;
+    true
+  end
+  else
+    hit t ~rate:d.crash_rate
+      ~key:(Printf.sprintf "dur.crash/%d/%d" epoch round)
+      ~label:"durability.crash"
+
+let torn_write t ~epoch ~round =
+  let d = t.spec.durability in
+  if d.torn_write_rate <= 0.0 then None
+  else begin
+    let key = Printf.sprintf "dur.torn/%d/%d" epoch round in
+    if draw t key >= d.torn_write_rate then None
+    else begin
+      note_once t ~key "durability.torn_write" 1;
+      let u = draw t (key ^ "/mode") in
+      Some
+        (if u < 1.0 /. 3.0 then Truncated_tail
+         else if u < 2.0 /. 3.0 then Bit_flip
+         else Stale_marker)
+    end
+  end
 
 let net_chaos t ~epoch ~round ~members =
   let s = t.spec.network in

@@ -51,6 +51,22 @@ type mainchain = {
                                   exceed the largest single transaction *)
 }
 
+(** Durable-storage faults: hard process death at a round boundary, plus
+    torn writes applied to the file being appended when the process
+    dies. *)
+type torn =
+  | Truncated_tail  (** the tail of the file never reached the disk *)
+  | Bit_flip        (** a payload byte was corrupted in flight *)
+  | Stale_marker    (** the commit marker was overwritten/never written *)
+
+type durability = {
+  crash_rate : float;       (** per (epoch, round): hard process death *)
+  torn_write_rate : float;  (** per crash: the dying write is torn *)
+  crash_script : (int * int) list;
+      (** exact (epoch, round) death points, in addition to the rate —
+          the crash drill kills the run at every listed coordinate *)
+}
+
 (** Scripted sustained-failure scenarios — deterministic windows rather
     than probabilistic rates. They drive the liveness watchdog through
     Degraded/Halted and exercise the emergency-exit protocol. *)
@@ -69,10 +85,14 @@ type spec = {
   consensus : consensus;
   committee : committee;
   mainchain : mainchain;
+  durability : durability;
   scenario : scenario;
 }
 
 val no_scenario : scenario
+
+val no_durability : durability
+(** All rates zero, empty script. *)
 
 val none : spec
 (** All rates zero: a plan over [none] never injects anything. *)
@@ -128,6 +148,14 @@ val crashed_members : t -> epoch:int -> round:int -> members:int -> max_faulty:i
     most [max_faulty]. *)
 
 val byzantine_proposer : t -> epoch:int -> round:int -> bool
+
+val crash_now : t -> epoch:int -> round:int -> bool
+(** Whether the process dies hard at the start of this sidechain round —
+    scripted coordinates always fire; otherwise drawn at [crash_rate]. *)
+
+val torn_write : t -> epoch:int -> round:int -> torn option
+(** When a crash fires at this coordinate, whether (and how) the write
+    in flight is torn. Only consulted at an actual crash point. *)
 
 val net_chaos :
   t -> epoch:int -> round:int -> members:int ->

@@ -143,16 +143,48 @@ let to_bytes t =
   Bytes.blit t.data 0 out 8 body;
   out
 
+type error =
+  | Truncated of { need : int; got : int }
+  | Bad_header of string
+  | Length_mismatch of { expected : int; got : int }
+
+let error_to_string = function
+  | Truncated { need; got } ->
+    Printf.sprintf "truncated buffer: need at least %d bytes, got %d" need got
+  | Bad_header msg -> "bad header: " ^ msg
+  | Length_mismatch { expected; got } ->
+    Printf.sprintf "length mismatch: header implies %d bytes, got %d" expected got
+
+(* Decoders never reach into [Bytes] without checking first: a short or
+   corrupted buffer (a torn snapshot file, say) must come back as a typed
+   [Error], not as an [Invalid_argument] escaping from a Bytes primitive. *)
 let of_bytes b =
-  if Bytes.length b < 8 then invalid_arg "Slab.of_bytes: truncated header";
-  let slots = get_u32be b 0 in
-  let rows = get_u32be b 4 in
-  if slots <= 0 || rows < 0 then invalid_arg "Slab.of_bytes: bad header";
-  let row_bytes = slots * slot_size in
-  if Bytes.length b <> 8 + (rows * row_bytes) then
-    invalid_arg "Slab.of_bytes: length mismatch";
-  let t = create ~slots ~capacity:(Stdlib.max 1 rows) () in
-  ensure_capacity t rows;
-  Bytes.blit b 8 t.data 0 (rows * row_bytes);
-  t.rows <- rows;
-  t
+  let len = Bytes.length b in
+  if len < 8 then Error (Truncated { need = 8; got = len })
+  else begin
+    let slots = get_u32be b 0 in
+    let rows = get_u32be b 4 in
+    if slots <= 0 then
+      Error (Bad_header (Printf.sprintf "slots = %d, must be positive" slots))
+    else if slots > 1024 then
+      Error (Bad_header (Printf.sprintf "slots = %d, implausibly wide" slots))
+    else if rows < 0 then
+      Error (Bad_header (Printf.sprintf "rows = %d, must be non-negative" rows))
+    else begin
+      let row_bytes = slots * slot_size in
+      let expected = 8 + (rows * row_bytes) in
+      if len <> expected then Error (Length_mismatch { expected; got = len })
+      else begin
+        let t = create ~slots ~capacity:(Stdlib.max 1 rows) () in
+        ensure_capacity t rows;
+        Bytes.blit b 8 t.data 0 (rows * row_bytes);
+        t.rows <- rows;
+        Ok t
+      end
+    end
+  end
+
+let of_bytes_exn b =
+  match of_bytes b with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Slab.of_bytes: " ^ error_to_string e)

@@ -79,6 +79,24 @@ val clear_dirty : t -> unit
     whose re-encoding is byte-identical. The decoded slab starts with an
     empty dirty set. *)
 
+type error =
+  | Truncated of { need : int; got : int }
+      (** Shorter than the fixed header. *)
+  | Bad_header of string
+      (** Header fields out of range (non-positive slots, negative or
+          implausible row count). *)
+  | Length_mismatch of { expected : int; got : int }
+      (** Header is well-formed but the arena length disagrees — a torn
+          or truncated snapshot. *)
+
+val error_to_string : error -> string
+
 val to_bytes : t -> bytes
-val of_bytes : bytes -> t
-(** Raises [Invalid_argument] on a malformed buffer. *)
+
+val of_bytes : bytes -> (t, error) result
+(** Total: never raises, whatever the buffer contains. Untrusted input
+    (snapshot files read back from disk) must go through this. *)
+
+val of_bytes_exn : bytes -> t
+(** Raises [Invalid_argument] with the rendered error — for callers that
+    treat a malformed buffer as a programming error. *)

@@ -207,6 +207,8 @@ let advance_to t time =
   done;
   t.current_time <- time
 
+let block_at t height = Chain.Ledger.nth t.ledger height
+
 let is_tag_included t tag = List.mem_assoc tag t.tag_times
 let tag_inclusion_time t tag = List.assoc_opt tag t.tag_times
 

@@ -48,6 +48,10 @@ val advance_to : t -> float -> unit
 (** Mines every block due up to the given time, executing included
     transactions. *)
 
+val block_at : t -> int -> block option
+(** The canonical block at a height, genesis included; [None] above the
+    tip or below the pruning horizon. *)
+
 val is_tag_included : t -> string -> bool
 (** Whether a transaction with this tag sits on the canonical chain. *)
 

@@ -17,7 +17,7 @@ module Json = Telemetry.Json
 let scope = "monitor"
 
 type severity = Warning | Degraded | Fatal
-type layer = Amm | Tokenbank | Sidechain | Mainchain | Consensus
+type layer = Amm | Tokenbank | Sidechain | Mainchain | Consensus | Durability
 
 type violation = {
   v_check : string;
@@ -43,6 +43,7 @@ let layer_to_string = function
   | Sidechain -> "sidechain"
   | Mainchain -> "mainchain"
   | Consensus -> "consensus"
+  | Durability -> "durability"
 
 let severity_rank = function Warning -> 0 | Degraded -> 1 | Fatal -> 2
 
@@ -258,6 +259,15 @@ let emit ~now ~epoch v =
   match v.v_severity with
   | Fatal -> Log.error ~scope ~t:now ~fields "monitor.violation"
   | Degraded | Warning -> Log.warn ~scope ~t:now ~fields "monitor.violation"
+
+(* Out-of-band violations observed by other subsystems (e.g. the durable
+   store finding a corrupt snapshot during recovery). Counted and
+   emitted exactly like audit findings, but attached to no report. *)
+let record_external t ~now ~epoch ~severity ~layer ~check ~detail =
+  let v = { v_check = check; v_layer = layer; v_severity = severity;
+            v_detail = detail } in
+  count t v;
+  emit ~now ~epoch v
 
 let audit t ~epoch ~now ~bank ~pool ~last_summary_epoch ~pending ~deposit_horizon
     ~degraded_signing_streak ~committee_live =

@@ -18,7 +18,7 @@
     severity-bucketed counters on the run's telemetry sink. *)
 
 type severity = Warning | Degraded | Fatal
-type layer = Amm | Tokenbank | Sidechain | Mainchain | Consensus
+type layer = Amm | Tokenbank | Sidechain | Mainchain | Consensus | Durability
 
 type violation = {
   v_check : string;    (** stable check id, e.g. ["custody-conservation"] *)
@@ -74,6 +74,21 @@ val audit :
     deposits can still be outstanding (for the conservation sum).
     [committee_live = false] (permanent loss or post-halt dissolution)
     skips the liveness checks — only the safety invariants still apply. *)
+
+val record_external :
+  t ->
+  now:float ->
+  epoch:int ->
+  severity:severity ->
+  layer:layer ->
+  check:string ->
+  detail:string ->
+  unit
+(** Record a violation observed out-of-band by another subsystem (e.g.
+    the durable store finding a corrupt snapshot during recovery).
+    Counted and emitted exactly like an audit finding, but attached to
+    no report — in particular it never drives the watchdog, which reacts
+    only to audit reports. *)
 
 val audits_run : t -> int
 

@@ -4,9 +4,11 @@ module Address = Chain.Address
 (* Accounts live in a flat slab, one row per user, six 32-byte slots:
    initial and remaining mainchain deposit plus the sidechain-accrued
    balance, per token. The user registry assigns rows in first-seen
-   order, so the snapshot (already sorted — it comes from
-   [Address.Map.bindings]) occupies a sorted prefix and only the few
-   accounts auto-created mid-epoch land after it. *)
+   order; a separate sorted index of addresses is maintained
+   incrementally on every account creation, so [users_sorted] never
+   sorts. The snapshot (already sorted — it comes from
+   [Address.Map.bindings]) loads as pure appends; only the few accounts
+   auto-created mid-epoch pay an insertion shift. *)
 
 module Reg = Flatstore.Registry.Make (struct
   type t = Address.t
@@ -27,7 +29,8 @@ let s_side1 = 5
 type t = {
   reg : Reg.t;
   slab : Slab.t;
-  snapshot_rows : int;  (* rows [0, snapshot_rows) hold sorted snapshot users *)
+  mutable sorted : Address.t array; (* ascending; only [0, sorted_len) valid *)
+  mutable sorted_len : int;
 }
 
 type consumption = {
@@ -37,14 +40,36 @@ type consumption = {
   from_side1 : U256.t;
 }
 
-let rec is_sorted = function
-  | (a, _) :: ((b, _) :: _ as rest) -> Address.compare a b < 0 && is_sorted rest
-  | _ -> true
+(* Binary-search insertion into the sorted index. A sorted snapshot
+   loads as O(1) appends (the common case: each address exceeds the
+   current maximum); a mid-epoch account pays one O(n) shift, which only
+   the handful of accounts created after epoch start ever do. *)
+let sorted_insert t user =
+  if t.sorted_len = Array.length t.sorted then begin
+    let grown = Array.make (Stdlib.max 16 (2 * t.sorted_len)) user in
+    Array.blit t.sorted 0 grown 0 t.sorted_len;
+    t.sorted <- grown
+  end;
+  if t.sorted_len > 0 && Address.compare t.sorted.(t.sorted_len - 1) user < 0 then begin
+    t.sorted.(t.sorted_len) <- user;
+    t.sorted_len <- t.sorted_len + 1
+  end
+  else begin
+    let lo = ref 0 and hi = ref t.sorted_len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Address.compare t.sorted.(mid) user < 0 then lo := mid + 1 else hi := mid
+    done;
+    Array.blit t.sorted !lo t.sorted (!lo + 1) (t.sorted_len - !lo);
+    t.sorted.(!lo) <- user;
+    t.sorted_len <- t.sorted_len + 1
+  end
 
 let create ~snapshot =
   let n = List.length snapshot in
   let reg = Reg.create ~capacity:(Stdlib.max 64 (2 * n)) () in
   let slab = Slab.create ~slots:6 ~capacity:(Stdlib.max 16 n) () in
+  let t = { reg; slab; sorted = [||]; sorted_len = 0 } in
   List.iter
     (fun (user, (d0, d1)) ->
       let row = Reg.intern reg user in
@@ -53,16 +78,17 @@ let create ~snapshot =
       Slab.set_u256 slab ~row ~slot:s_initial0 d0;
       Slab.set_u256 slab ~row ~slot:s_initial1 d1;
       Slab.set_u256 slab ~row ~slot:s_main0 d0;
-      Slab.set_u256 slab ~row ~slot:s_main1 d1)
+      Slab.set_u256 slab ~row ~slot:s_main1 d1;
+      sorted_insert t user)
     snapshot;
-  (* SnapshotBank hands us [Address.Map.bindings], which is sorted; if a
-     caller ever passes an unsorted list, treat every row as an "extra"
-     so [users_sorted] falls back to a full sort. *)
-  { reg; slab; snapshot_rows = (if is_sorted snapshot then Reg.count reg else 0) }
+  t
 
 let row_of t user =
   let row = Reg.intern t.reg user in
-  if row >= Slab.rows t.slab then ignore (Slab.alloc t.slab);
+  if row >= Slab.rows t.slab then begin
+    ignore (Slab.alloc t.slab);
+    sorted_insert t user
+  end;
   row
 
 let get t row slot = Slab.get_u256 t.slab ~row ~slot
@@ -70,16 +96,14 @@ let set t row slot v = Slab.set_u256 t.slab ~row ~slot v
 
 let known_users t = Reg.fold t.reg ~init:[] ~f:(fun acc _ u -> u :: acc)
 
-(* Ascending by address without a global sort: the snapshot prefix is
-   already sorted, so only the (rare) accounts created after epoch start
-   pay an O(k log k) sort before a linear merge. *)
+(* Ascending by address, straight off the incrementally-maintained
+   index — no sorting, no merging, O(n) to materialize the list. *)
 let users_sorted t =
-  let extras = ref [] in
-  Reg.iteri t.reg (fun i u -> if i >= t.snapshot_rows then extras := u :: !extras);
-  let extras = List.sort Address.compare !extras in
-  let prefix = ref [] in
-  Reg.iteri t.reg (fun i u -> if i < t.snapshot_rows then prefix := u :: !prefix);
-  List.merge Address.compare (List.rev !prefix) extras
+  let out = ref [] in
+  for i = t.sorted_len - 1 downto 0 do
+    out := t.sorted.(i) :: !out
+  done;
+  !out
 
 let available t user =
   let row = row_of t user in
@@ -156,3 +180,54 @@ let totals t =
   ((!m0, !m1), (!s0, !s1))
 
 let accounts t = Reg.count t.reg
+
+(* ------------------------------------------------------------------ *)
+(* Binary codec (durable snapshot section)                             *)
+(* ------------------------------------------------------------------ *)
+
+let to_bytes t =
+  let n = Reg.count t.reg in
+  let slab_bytes = Slab.to_bytes t.slab in
+  let buf = Buffer.create (4 + (n * 20) + Bytes.length slab_bytes) in
+  Buffer.add_int32_be buf (Int32.of_int n);
+  Reg.iteri t.reg (fun _ u -> Buffer.add_bytes buf (Address.to_bytes u));
+  Buffer.add_bytes buf slab_bytes;
+  Buffer.to_bytes buf
+
+let of_bytes b =
+  let len = Bytes.length b in
+  if len < 4 then Error "Deposits.of_bytes: truncated header"
+  else begin
+    let n = Int32.to_int (Bytes.get_int32_be b 0) in
+    if n < 0 || 4 + (n * 20) > len then
+      Error (Printf.sprintf "Deposits.of_bytes: implausible account count %d" n)
+    else begin
+      let slab_off = 4 + (n * 20) in
+      match Slab.of_bytes (Bytes.sub b slab_off (len - slab_off)) with
+      | Error e -> Error ("Deposits.of_bytes: slab: " ^ Slab.error_to_string e)
+      | Ok slab ->
+        if Slab.slots slab <> 6 then
+          Error
+            (Printf.sprintf "Deposits.of_bytes: expected 6 slots, got %d"
+               (Slab.slots slab))
+        else if Slab.rows slab <> n then
+          Error
+            (Printf.sprintf "Deposits.of_bytes: %d addresses but %d rows" n
+               (Slab.rows slab))
+        else begin
+          let t =
+            { reg = Reg.create ~capacity:(Stdlib.max 64 (2 * n)) (); slab;
+              sorted = [||]; sorted_len = 0 }
+          in
+          let ok = ref true in
+          (try
+             for i = 0 to n - 1 do
+               let u = Address.of_bytes (Bytes.sub b (4 + (i * 20)) 20) in
+               if Reg.intern t.reg u <> i then raise Exit;
+               sorted_insert t u
+             done
+           with Exit | Invalid_argument _ -> ok := false);
+          if !ok then Ok t else Error "Deposits.of_bytes: duplicate address"
+        end
+    end
+  end

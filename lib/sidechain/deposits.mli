@@ -57,3 +57,15 @@ val totals : t -> (U256.t * U256.t) * (U256.t * U256.t)
 
 val accounts : t -> int
 (** Number of tracked accounts this epoch. *)
+
+(** {1 Binary codec}
+
+    [count : u32be][addresses, row order][slab codec] — the whole
+    account table, durable-snapshot ready. Decode rebuilds the registry
+    and the sorted index; re-encoding is byte-identical. *)
+
+val to_bytes : t -> bytes
+
+val of_bytes : bytes -> (t, string) result
+(** Total: malformed buffers (bad counts, truncated slab, duplicate
+    addresses) come back as [Error]. *)

@@ -158,13 +158,14 @@ let to_bytes t =
   done;
   Buffer.to_bytes out
 
-let of_bytes b =
-  if Bytes.length b < 4 then invalid_arg "Pos_store.of_bytes: truncated";
-  let n = Int32.to_int (Bytes.get_int32_be b 0) in
-  let t = create () in
-  let rb = Slab.row_bytes t.slab in
-  if n < 0 || Bytes.length b <> 4 + (n * (32 + rb)) then
-    invalid_arg "Pos_store.of_bytes: length mismatch";
+type error = Flatstore.Slab.error =
+  | Truncated of { need : int; got : int }
+  | Bad_header of string
+  | Length_mismatch of { expected : int; got : int }
+
+let error_to_string = Flatstore.Slab.error_to_string
+
+let decode_entries t b n rb =
   for i = 0 to n - 1 do
     let off = 4 + (i * (32 + rb)) in
     let id = Position_id.of_hash (Bytes.sub b off 32) in
@@ -180,3 +181,27 @@ let of_bytes b =
   t.jbase <- 0;
   t.jbytes <- 0;
   t
+
+(* Like [Slab.of_bytes], the decoder is total: snapshot bytes read back
+   from disk are untrusted, so every malformed shape maps to a typed
+   error instead of letting [Bytes] primitives raise. *)
+let of_bytes b =
+  let len = Bytes.length b in
+  if len < 4 then Error (Truncated { need = 4; got = len })
+  else begin
+    let n = Int32.to_int (Bytes.get_int32_be b 0) in
+    let t = create () in
+    let rb = Slab.row_bytes t.slab in
+    if n < 0 then
+      Error (Bad_header (Printf.sprintf "entry count = %d, must be non-negative" n))
+    else begin
+      let expected = 4 + (n * (32 + rb)) in
+      if len <> expected then Error (Length_mismatch { expected; got = len })
+      else Ok (decode_entries t b n rb)
+    end
+  end
+
+let of_bytes_exn b =
+  match of_bytes b with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Pos_store.of_bytes: " ^ error_to_string e)

@@ -59,5 +59,19 @@ val row_bytes : t -> int
     Live entries only: [n : u32be] then per entry a 32-byte id followed
     by the raw row. Decode→encode is byte-identical. *)
 
+type error = Flatstore.Slab.error =
+  | Truncated of { need : int; got : int }
+  | Bad_header of string
+  | Length_mismatch of { expected : int; got : int }
+      (** Same shape as {!Flatstore.Slab.error} — both codecs fail the
+          same ways on torn or malformed buffers. *)
+
+val error_to_string : error -> string
+
 val to_bytes : t -> bytes
-val of_bytes : bytes -> t
+
+val of_bytes : bytes -> (t, error) result
+(** Total: never raises. Untrusted buffers (snapshot files) go here. *)
+
+val of_bytes_exn : bytes -> t
+(** Raises [Invalid_argument] with the rendered error. *)

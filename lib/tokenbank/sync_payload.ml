@@ -84,3 +84,129 @@ let storage_words t =
      free their slots instead. Pool balances: 2 words. Next vk: 4 words. *)
   let live = List.length (List.filter (fun p -> not p.deleted) t.positions) in
   (6 * live) + 2 + 4
+
+(* ------------------------------------------------------------------ *)
+(* Binary codec (durable WAL / snapshot window records)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike [abi_encode] (which models calldata and pads like the EVM),
+   this is a compact, exact encoding: decode . encode = id, byte for
+   byte, which is what the durability layer's checksummed records and
+   the resume-time byte comparison rely on. *)
+
+let add_i64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+let add_u256 buf v = Buffer.add_bytes buf (U256.to_bytes_be v)
+
+let add_user buf e =
+  Buffer.add_bytes buf (Address.to_bytes e.user);
+  add_u256 buf e.payin0;
+  add_u256 buf e.payin1;
+  add_u256 buf e.payout0;
+  add_u256 buf e.payout1
+
+let add_position buf p =
+  Buffer.add_bytes buf (Position_id.to_bytes p.pos_id);
+  Buffer.add_bytes buf (Address.to_bytes p.owner);
+  add_i64 buf p.lower_tick;
+  add_i64 buf p.upper_tick;
+  add_u256 buf p.liquidity;
+  add_u256 buf p.amount0;
+  add_u256 buf p.amount1;
+  add_u256 buf p.fees0;
+  add_u256 buf p.fees1;
+  Buffer.add_char buf (if p.deleted then '\001' else '\000')
+
+let to_bytes t =
+  let buf = Buffer.create 512 in
+  add_i64 buf t.epoch;
+  add_i64 buf t.pool;
+  add_u256 buf t.pool_balance0;
+  add_u256 buf t.pool_balance1;
+  Buffer.add_bytes buf (Amm_crypto.Bls.public_key_to_bytes t.next_committee_vk);
+  add_i64 buf (List.length t.users);
+  List.iter (add_user buf) t.users;
+  add_i64 buf (List.length t.positions);
+  List.iter (add_position buf) t.positions;
+  Buffer.to_bytes buf
+
+exception Malformed of string
+
+let of_bytes b =
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  let need n what =
+    if !pos + n > len then
+      raise (Malformed (Printf.sprintf "truncated at %s: need %d bytes at offset %d of %d"
+                          what n !pos len))
+  in
+  let i64 what =
+    need 8 what;
+    let v = Int64.to_int (Bytes.get_int64_be b !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let raw n what =
+    need n what;
+    let v = Bytes.sub b !pos n in
+    pos := !pos + n;
+    v
+  in
+  let u256 what = U256.of_bytes_be (raw 32 what) in
+  let count what =
+    let n = i64 what in
+    if n < 0 || n > (len / 8) + 1 then
+      raise (Malformed (Printf.sprintf "implausible %s count %d" what n));
+    n
+  in
+  let user () =
+    let user = Address.of_bytes (raw 20 "user") in
+    let payin0 = u256 "payin0" in
+    let payin1 = u256 "payin1" in
+    let payout0 = u256 "payout0" in
+    let payout1 = u256 "payout1" in
+    { user; payin0; payin1; payout0; payout1 }
+  in
+  let position () =
+    let pos_id = Position_id.of_hash (raw 32 "pos_id") in
+    let owner = Address.of_bytes (raw 20 "owner") in
+    let lower_tick = i64 "lower_tick" in
+    let upper_tick = i64 "upper_tick" in
+    let liquidity = u256 "liquidity" in
+    let amount0 = u256 "amount0" in
+    let amount1 = u256 "amount1" in
+    let fees0 = u256 "fees0" in
+    let fees1 = u256 "fees1" in
+    let deleted =
+      match Bytes.get (raw 1 "deleted") 0 with
+      | '\000' -> false
+      | '\001' -> true
+      | c -> raise (Malformed (Printf.sprintf "bad deleted flag %d" (Char.code c)))
+    in
+    { pos_id; owner; lower_tick; upper_tick; liquidity; amount0; amount1;
+      fees0; fees1; deleted }
+  in
+  match
+    let epoch = i64 "epoch" in
+    let pool = i64 "pool" in
+    let pool_balance0 = u256 "pool_balance0" in
+    let pool_balance1 = u256 "pool_balance1" in
+    let next_committee_vk =
+      Amm_crypto.Bls.public_key_of_bytes
+        (raw Amm_crypto.Bls.public_key_size "next_committee_vk")
+    in
+    (* Explicit recursion: the cursor demands left-to-right evaluation,
+       which [List.init] does not guarantee. *)
+    let read_list n f =
+      let rec go acc i = if i = n then List.rev acc else go (f () :: acc) (i + 1) in
+      go [] 0
+    in
+    let users = read_list (count "users") user in
+    let positions = read_list (count "positions") position in
+    if !pos <> len then
+      raise (Malformed (Printf.sprintf "trailing garbage: %d bytes" (len - !pos)));
+    { epoch; pool; pool_balance0; pool_balance1; users; positions;
+      next_committee_vk }
+  with
+  | t -> Ok t
+  | exception Malformed msg -> Error msg
+  | exception Invalid_argument msg -> Error msg

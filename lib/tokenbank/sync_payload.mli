@@ -62,3 +62,17 @@ val abi_position_entry_size : int
 val storage_words : t -> int
 (** 32-byte words TokenBank persists when applying this summary (6 words
     per position as in Table 6, 2 for pool balances, 4 for the vk). *)
+
+(** {1 Binary codec}
+
+    Exact, compact encoding for the durability layer (WAL records and
+    the snapshotted unconfirmed-summary window) — unlike {!abi_encode},
+    which models EVM calldata. [of_bytes (to_bytes t)] reproduces [t]
+    and re-encodes byte-identically; the decoder is total over arbitrary
+    buffers. *)
+
+val to_bytes : t -> bytes
+
+val of_bytes : bytes -> (t, string) result
+(** Never raises; malformed or truncated buffers come back as [Error]
+    with a description of the first offending field. *)

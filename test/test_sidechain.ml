@@ -67,6 +67,44 @@ let test_deposits_unknown_user_empty () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "stranger spent"
 
+(* The incrementally-maintained sorted index must agree with a plain
+   sort of every user ever touched, across any interleaving of a
+   sorted epoch-start snapshot with mid-epoch account creations. *)
+let users_sorted_prop =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60) (int_range 0 199))
+        (list_size (int_range 0 60) (int_range 0 199)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"sorted index = sort oracle" gen
+       (fun (snapshot_ids, mid_ids) ->
+         let addr i = Address.of_label (Printf.sprintf "qc-user-%03d" i) in
+         let snapshot_users =
+           List.sort_uniq Address.compare (List.map addr snapshot_ids)
+         in
+         let d =
+           Deposits.create
+             ~snapshot:(List.map (fun u -> (u, (one_e18, U256.zero))) snapshot_users)
+         in
+         (* Mid-epoch accounts appear out of order, via sidechain credits
+            and balance probes on fresh addresses. *)
+         List.iteri
+           (fun k i ->
+             let u = addr i in
+             if k mod 2 = 0 then
+               Deposits.credit_side d u ~amount0:U256.one ~amount1:U256.zero
+             else ignore (Deposits.available d u))
+           mid_ids;
+         let oracle =
+           List.sort_uniq Address.compare
+             (snapshot_users @ List.map addr mid_ids)
+         in
+         let got = Deposits.users_sorted d in
+         List.length got = List.length oracle
+         && List.for_all2 Address.equal got oracle))
+
 (* ------------------------------------------------------------------ *)
 (* Codec                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -675,7 +713,8 @@ let () =
         [ Alcotest.test_case "main first" `Quick test_deposits_consume_main_first;
           Alcotest.test_case "atomic failure" `Quick test_deposits_atomic_failure;
           Alcotest.test_case "refund" `Quick test_deposits_refund;
-          Alcotest.test_case "unknown user" `Quick test_deposits_unknown_user_empty ] );
+          Alcotest.test_case "unknown user" `Quick test_deposits_unknown_user_empty;
+          users_sorted_prop ] );
       ( "codec",
         [ Alcotest.test_case "entry sizes" `Quick test_codec_entry_sizes;
           Alcotest.test_case "overflow guard" `Quick test_codec_overflow_guard ] );

@@ -71,14 +71,15 @@ let test_slab_codec_roundtrip () =
     Slab.set_bytes s ~row:r ~slot:2 (Bytes.make (i mod 32) 'x')
   done;
   let enc = Slab.to_bytes s in
-  let s' = Slab.of_bytes enc in
+  let s' = Slab.of_bytes_exn enc in
   Alcotest.(check int) "slots" (Slab.slots s) (Slab.slots s');
   Alcotest.(check int) "rows" (Slab.rows s) (Slab.rows s');
   Alcotest.(check int) "decoded slab is clean" 0 (Slab.dirty_count s');
   Alcotest.(check bytes) "re-encode byte-identical" enc (Slab.to_bytes s');
   (match Slab.of_bytes (Bytes.sub enc 0 (Bytes.length enc - 1)) with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "truncated buffer accepted")
+  | Error (Slab.Length_mismatch _) -> ()
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Slab.error_to_string e)
+  | Ok _ -> Alcotest.fail "truncated buffer accepted")
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
@@ -201,7 +202,7 @@ let test_pos_store_codec_roundtrip () =
   Pos_store.remove t (pos_id "q7");
   Pos_store.remove t (pos_id "q13");
   let enc = Pos_store.to_bytes t in
-  let t' = Pos_store.of_bytes enc in
+  let t' = Pos_store.of_bytes_exn enc in
   Alcotest.(check int) "live count survives" (Pos_store.length t) (Pos_store.length t');
   Alcotest.(check bytes) "re-encode byte-identical" enc (Pos_store.to_bytes t');
   Alcotest.(check (option check_entry)) "deleted stays deleted" None

@@ -515,6 +515,40 @@ let test_eth_gas_limit_congestion () =
   Mainchain.Eth.advance_to eth 1200.0;
   Alcotest.(check int) "eventually all" 10 (Mainchain.Eth.included_count eth)
 
+(* mine_block must drain the pending pool strictly by (ready_at,
+   submission seq). With [flow_txs = 1] a transaction's readiness is the
+   deterministic propagation offset [at +. 0.6 *. interval] — no random
+   legs — so the inclusion order read back from the blocks must equal a
+   stable sort of the submissions by arrival time, duplicates (ties)
+   kept in submission order. *)
+let eth_drain_order_prop =
+  let gen = QCheck2.Gen.(list_size (int_range 1 80) (int_range 0 20)) in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"drain order = (ready_at, seq)" gen
+       (fun slots ->
+         let rng = Amm_crypto.Rng.create "eth-drain" in
+         let eth = Mainchain.Eth.create ~interval:12.0 ~rng () in
+         List.iteri
+           (fun i slot ->
+             Mainchain.Eth.submit eth ~at:(float_of_int slot)
+               { Mainchain.Eth.label = "op"; size_bytes = 64; gas = 21_000;
+                 flow_txs = 1; tag = Some (string_of_int i); execute = None })
+           slots;
+         Mainchain.Eth.advance_to eth 2_000.0;
+         let included = ref [] in
+         for h = 1 to Mainchain.Eth.height eth do
+           match Mainchain.Eth.block_at eth h with
+           | Some b ->
+             included := !included @ Mainchain.Eth.block_tx_tags b
+           | None -> ()
+         done;
+         let expected =
+           List.mapi (fun i slot -> (slot, i)) slots
+           |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+           |> List.map (fun (_, i) -> string_of_int i)
+         in
+         !included = expected))
+
 let test_eth_rollback_drops_tags () =
   let rng = Amm_crypto.Rng.create "eth3" in
   let eth = Mainchain.Eth.create ~interval:12.0 ~rng () in
@@ -641,4 +675,5 @@ let () =
       ( "mainchain",
         [ Alcotest.test_case "blocks and latency" `Quick test_eth_block_production_and_latency;
           Alcotest.test_case "gas limit" `Quick test_eth_gas_limit_congestion;
-          Alcotest.test_case "rollback" `Quick test_eth_rollback_drops_tags ] ) ]
+          Alcotest.test_case "rollback" `Quick test_eth_rollback_drops_tags;
+          eth_drain_order_prop ] ) ]

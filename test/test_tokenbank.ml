@@ -481,7 +481,7 @@ let test_checkpoint_o_dirty () =
   Alcotest.(check bytes) "replayed table byte-identical" after
     (Token_bank.positions_bytes env.bank);
   (* The snapshot codec round-trips the restored table. *)
-  let decoded = Pos_store.of_bytes after in
+  let decoded = Pos_store.of_bytes_exn after in
   Alcotest.(check int) "decoded live count" 100 (Pos_store.length decoded);
   Alcotest.(check bytes) "decode/encode stable" after (Pos_store.to_bytes decoded)
 
