@@ -283,6 +283,22 @@ let compute_observe sink =
       Printf.eprintf "  [run report written to %s]\n%!" path
     | _ -> ())
 
+let twin_out = Sys.getenv_opt "AMMBOOST_TWIN_OUT"
+
+let compute_twin_audit sink =
+  let rows = E.twin_audit ~sink () in
+  let overhead = E.twin_overhead ~sink () in
+  fun () ->
+    E.print_perf_table
+      ~title:"Twin audit: silent corruption vs the differential audit"
+      ~col_header:"Corruption cell" rows;
+    E.print_twin_overhead overhead;
+    (match twin_out with
+    | Some path when path <> "" ->
+      write_file path (E.twin_overhead_json overhead ^ "\n");
+      Printf.eprintf "  [twin overhead written to %s]\n%!" path
+    | _ -> ())
+
 let sweep_out = Sys.getenv_opt "AMMBOOST_SWEEP_OUT"
 
 let compute_scale_sweep sink =
@@ -311,6 +327,7 @@ let all_experiments =
     ("fig6", Sim compute_fig6); ("ablations", Sim compute_ablations);
     ("chaos", Sim compute_chaos); ("exit-drill", Sim compute_exit_drill);
     ("crash-drill", Sim compute_crash_drill);
+    ("twin-audit", Sim compute_twin_audit);
     ("observe", Sim compute_observe); ("micro", Micro) ]
 
 let extra_experiments = [ ("scale-sweep", Sweep) ]

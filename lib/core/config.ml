@@ -70,6 +70,10 @@ type t = {
                                       latency model; for small committees *)
   self_audit : bool;               (* retain per-epoch audit state and replay
                                       every summary at the end of the run *)
+  twin_audit : bool;               (* run the state twin: per-epoch O(Δ)
+                                      differential audit of deposits, pool and
+                                      bank state, with divergence bisection
+                                      wired into the watchdog *)
   sign_transactions : bool;        (* generate real BLS signatures on traffic *)
   swap_deadline_rounds : int;      (* swap validity window in sc rounds *)
   max_positions_per_lp : int;      (* open-position cap per LP: keeps the
@@ -110,6 +114,7 @@ let default =
     threshold_signing = false;
     message_level_consensus = false;
     self_audit = false;
+    twin_audit = true;
     sign_transactions = false;
     swap_deadline_rounds = 10_000;
     max_positions_per_lp = 4;

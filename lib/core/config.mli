@@ -66,6 +66,13 @@ type t = {
   self_audit : bool;               (** retain per-epoch state and replay every
                                        summary through {!Sidechain.Auditor} at
                                        the end of the run (small runs) *)
+  twin_audit : bool;               (** run the state twin: a shadow copy of
+                                       bank + pool + deposit state advanced from
+                                       the live op stream and byte-compared
+                                       against the flat stores at every epoch
+                                       boundary (O(Δ) differential audit, with
+                                       divergence bisection and watchdog
+                                       escalation); on by default *)
   sign_transactions : bool;        (** generate real BLS signatures on traffic *)
   swap_deadline_rounds : int;      (** swap validity window in sc rounds *)
   max_positions_per_lp : int;      (** open-position cap per LP — bounds the

@@ -1104,3 +1104,176 @@ let sweep_json rows =
     [ ("schema", Telemetry.Json.string "ammboost-sweep/1");
       ("epochs", string_of_int (sweep_epochs ()));
       ("cells", Telemetry.Json.array (List.map cell rows)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Twin-audit drill: scripted silent corruption vs the continuous      *)
+(* differential audit, a second-domain time-travel consumer, and the   *)
+(* same-process overhead measurement behind the CI gate                *)
+(* ------------------------------------------------------------------ *)
+
+let twin_base =
+  { base with
+    Config.epochs = 5;
+    daily_volume = scaled 50_000;
+    users = 20;
+    miners = 40;
+    committee_size = 13;
+    max_faulty = 4;
+    seed = base.Config.seed ^ "-twin" }
+
+let twin_script script =
+  { Faults.Fault_plan.none with
+    Faults.Fault_plan.corruption =
+      { Faults.Fault_plan.corruption_rate = 0.0; corruption_script = script } }
+
+(* Shared extra rows so the table prints one aligned matrix: detection
+   bookkeeping (injections vs same-epoch reports keyed by epoch + key
+   string), bisection counts, and a read-only time-travel probe run
+   concurrently on two domains against the immutable view. *)
+let twin_extra (r : System.result) =
+  let caught_in_epoch (e, k) =
+    List.exists
+      (fun rep ->
+        rep.Twin.r_epoch = e && Twin.key_to_string rep.Twin.r_key = k)
+      r.System.twin_reports
+  in
+  let inj = r.System.twin_injections in
+  let hits = List.length (List.filter caught_in_epoch inj) in
+  let bisected =
+    List.length
+      (List.filter (fun rep -> rep.Twin.r_culprit <> None) r.System.twin_reports)
+  in
+  let out_of_band = List.length r.System.twin_reports - bisected in
+  let verdict =
+    if inj = [] then r.System.twin_consistent else hits = List.length inj
+  in
+  let view_rows =
+    match r.System.twin_view with
+    | None -> [ ("Epochs sealed", "off"); ("View probe (2 domains)", "off") ]
+    | Some v ->
+      let epochs = Twin.epochs_sealed v in
+      (* Two domains read the same immutable view concurrently: custody
+         series on one, bank.meta reads on the other. *)
+      let custodies, meta_reads =
+        Parallel.run_pair
+          (fun () ->
+            List.length (List.filter_map (fun e -> Twin.custody_at v ~epoch:e) epochs))
+          (fun () ->
+            List.length
+              (List.filter
+                 (fun e -> Twin.read_at v ~epoch:e Twin.Bank_meta <> None)
+                 epochs))
+      in
+      [ ("Epochs sealed", string_of_int (List.length epochs));
+        ("View probe (2 domains)", Printf.sprintf "%d/%d" custodies meta_reads) ]
+  in
+  [ ("Twin audits", string_of_int r.System.twin_audits);
+    ("Divergent keys", string_of_int r.System.twin_divergences);
+    ("Injected/caught in-epoch",
+     Printf.sprintf "%d/%d" (List.length inj) hits);
+    ("Reports bisected", string_of_int bisected);
+    ("Reports out-of-band", string_of_int out_of_band);
+    ("Final mode", r.System.final_mode);
+    ("Twin verdict", if verdict then "pass" else "FAIL") ]
+  @ view_rows
+
+let twin_audit ?sink ?domains () =
+  let spr = twin_base.Config.sc_rounds_per_epoch in
+  (* Corruption is scripted at the summary round (spr-1): no transaction
+     processing follows it inside the epoch, so the flip cannot be
+     overwritten by a later legitimate write before the audit — the
+     same-epoch detection guarantee is exact for these cells. *)
+  let corrupt label script =
+    cell ~label ~extra:twin_extra
+      { twin_base with
+        Config.faults = twin_script script;
+        seed = twin_base.Config.seed ^ "-" ^ label }
+  in
+  run_cells ?sink ?domains
+    [ cell ~label:"clean" ~extra:twin_extra twin_base;
+      corrupt "corrupt-dep" [ (1, spr - 1, Faults.Fault_plan.Deposit_row) ];
+      corrupt "corrupt-pos" [ (1, spr - 1, Faults.Fault_plan.Position_slab) ];
+      corrupt "corrupt-tick" [ (1, spr - 1, Faults.Fault_plan.Pool_tick) ];
+      (* Consecutive corruptions under background chaos: the second
+         divergence must drive the watchdog streak into a halt. *)
+      cell ~label:"multi-chaos" ~extra:twin_extra
+        { twin_base with
+          Config.faults =
+            { (Faults.Fault_plan.chaos ~intensity:0.05 ()) with
+              Faults.Fault_plan.corruption =
+                { Faults.Fault_plan.corruption_rate = 0.0;
+                  corruption_script =
+                    [ (1, spr - 1, Faults.Fault_plan.Deposit_row);
+                      (2, spr - 1, Faults.Fault_plan.Position_slab) ] } };
+          mc_confirmations = 3;
+          seed = twin_base.Config.seed ^ "-multi" } ]
+
+(* The overhead measurement behind the CI wall-clock gate: the same
+   sweep cell run twice in this process — twin off, then twin on — so
+   the ratio sees identical machine conditions. Wall times are
+   measurements: stderr and the twin JSON only, never stdout. *)
+type twin_overhead = {
+  tov_users : int;
+  tov_epochs : int;
+  tov_wall_off : float;
+  tov_wall_on : float;
+  tov_overhead_pct : float;
+  tov_audits : int;
+  tov_divergences : int;
+  tov_consistent : bool;
+}
+
+let twin_overhead_users () =
+  match Option.bind (Sys.getenv_opt "AMMBOOST_TWIN_USERS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 1_000
+
+let twin_overhead ?sink () =
+  let users = twin_overhead_users () in
+  let cfg = sweep_cfg ~users in
+  let measure twin_on =
+    let cfg = { cfg with Config.twin_audit = twin_on } in
+    let private_sink = Telemetry.Report.sink () in
+    let sw = Telemetry.Clock.stopwatch () in
+    let r = System.run ~sink:private_sink cfg in
+    let wall = Telemetry.Clock.elapsed_wall sw in
+    (match sink with
+    | Some s -> Telemetry.Report.merge_into ~into:s private_sink
+    | None -> ());
+    (r, wall)
+  in
+  let _, wall_off = measure false in
+  let r_on, wall_on = measure true in
+  let o =
+    { tov_users = users; tov_epochs = cfg.Config.epochs;
+      tov_wall_off = wall_off; tov_wall_on = wall_on;
+      tov_overhead_pct = 100.0 *. ((wall_on /. Float.max 1e-9 wall_off) -. 1.0);
+      tov_audits = r_on.System.twin_audits;
+      tov_divergences = r_on.System.twin_divergences;
+      tov_consistent = r_on.System.twin_consistent }
+  in
+  Printf.eprintf
+    "  [twin overhead users=%d: off %.2fs, on %.2fs (%+.1f%%), %d audits]\n%!"
+    users wall_off wall_on o.tov_overhead_pct o.tov_audits;
+  o
+
+let print_twin_overhead o =
+  (* Deterministic fields only; the wall ratio lives on stderr/JSON. *)
+  Printf.printf "\n=== Twin-audit overhead cell (users=%d, epochs=%d) ===\n"
+    o.tov_users o.tov_epochs;
+  Printf.printf "  audits run        %14d\n" o.tov_audits;
+  Printf.printf "  divergent keys    %14d\n" o.tov_divergences;
+  Printf.printf "  fault-free audit  %14s\n"
+    (if o.tov_consistent then "pass" else "FAIL")
+
+let twin_overhead_json o =
+  Telemetry.Json.obj
+    [ ("schema", Telemetry.Json.string "ammboost-twin/1");
+      ("users", string_of_int o.tov_users);
+      ("epochs", string_of_int o.tov_epochs);
+      ("wall_off_s", Telemetry.Json.float o.tov_wall_off);
+      ("wall_on_s", Telemetry.Json.float o.tov_wall_on);
+      ("overhead_pct", Telemetry.Json.float o.tov_overhead_pct);
+      ("audits", string_of_int o.tov_audits);
+      ("divergences", string_of_int o.tov_divergences);
+      ("consistent", if o.tov_consistent then "true" else "false") ]

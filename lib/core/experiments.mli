@@ -281,3 +281,46 @@ val sweep_json : sweep_cell list -> string
 (** The sweep in [ammboost-sweep/1] JSON form (measurements included) —
     what the CI perf gate compares against the checked-in
     [SWEEP_baseline.json]. *)
+
+(** {1 Twin-audit drill} *)
+
+val twin_audit :
+  ?sink:Telemetry.Report.sink -> ?domains:int -> unit -> perf_row list
+(** Scripted silent-corruption cells (deposit row, position slab, pool
+    tick — each flipped at the summary round so no later write can mask
+    it) against the continuous differential audit, plus a clean cell
+    (zero false positives expected) and a consecutive-corruption cell
+    under background chaos (must halt). Extra rows report audits run,
+    divergent keys, injections caught in their own epoch, bisection
+    counts, and a read-only time-travel probe executed concurrently on
+    two domains against the immutable {!System.result.twin_view}.
+    Deterministic at any [?domains] value. *)
+
+type twin_overhead = {
+  tov_users : int;
+  tov_epochs : int;
+  tov_wall_off : float;     (** wall seconds, [twin_audit = false] *)
+  tov_wall_on : float;      (** wall seconds, [twin_audit = true] *)
+  tov_overhead_pct : float; (** 100·(on/off − 1) *)
+  tov_audits : int;
+  tov_divergences : int;
+  tov_consistent : bool;
+}
+
+val twin_overhead_users : unit -> int
+(** [AMMBOOST_TWIN_USERS] when set and positive, else 1000. *)
+
+val twin_overhead : ?sink:Telemetry.Report.sink -> unit -> twin_overhead
+(** One {!sweep_cfg} cell run twice in this process — twin off, then
+    twin on — under identical machine conditions; the CI gate asserts
+    the wall ratio stays within budget. Wall times go to stderr and
+    {!twin_overhead_json} only, so stdout stays byte-identical across
+    runs and job counts. *)
+
+val print_twin_overhead : twin_overhead -> unit
+(** Deterministic fields only (audit counts and the fault-free
+    verdict). *)
+
+val twin_overhead_json : twin_overhead -> string
+(** The measurement in [ammboost-twin/1] JSON form — what the CI
+    twin-audit overhead gate reads. *)

@@ -65,6 +65,8 @@ type tele = {
   h_meta_txs : Telemetry.Histogram.t;
   h_meta_bytes : Telemetry.Histogram.t;
   h_summary_bytes : Telemetry.Histogram.t;
+  c_twin_audits : Tmetrics.counter;
+  c_twin_divergences : Tmetrics.counter;
 }
 
 let make_tele sink =
@@ -100,7 +102,9 @@ let make_tele sink =
     h_sync_inclusion = Tmetrics.histogram reg "latency.sync.inclusion";
     h_meta_txs = Tmetrics.histogram reg "meta_block.txs";
     h_meta_bytes = Tmetrics.histogram reg "meta_block.bytes";
-    h_summary_bytes = Tmetrics.histogram reg "summary_block.bytes" }
+    h_summary_bytes = Tmetrics.histogram reg "summary_block.bytes";
+    c_twin_audits = Tmetrics.counter reg "twin.audits";
+    c_twin_divergences = Tmetrics.counter reg "twin.divergences" }
 
 type submission_status = Pending | Applied | Failed
 
@@ -206,6 +210,22 @@ type result = {
          "growth.*" series) *)
   lifecycle_sampled : int;
   lifecycle_seen : int;
+  twin_audits : int;
+  twin_divergences : int;
+      (* divergent keys reported across all epoch-boundary twin audits *)
+  twin_consistent : bool;
+      (* no twin divergence all run; vacuously true when the twin is off.
+         A fault-free run must end twin-consistent (zero false positives);
+         a run with injected state corruption must not. *)
+  twin_reports : Twin.report list;
+      (* forensic divergence reports, oldest first *)
+  twin_injections : (int * string) list;
+      (* (epoch, key) of every silent state corruption actually landed,
+         oldest first — the detection gate diffs this against
+         [twin_reports] *)
+  twin_view : Twin.view option;
+      (* sealed-epoch snapshots for time-travel queries (custody_at,
+         read_at, position_fees); None when the twin is off *)
 }
 
 type t = {
@@ -231,12 +251,24 @@ type t = {
   mutable submissions : submission list;
   mutable pending_confirm : (int list * int * float) list;
       (* epochs, inclusion height, inclusion time *)
-  mutable checkpoints : (int * Token_bank.checkpoint * int) list;
-      (* height -> (state before, oracle mark before) *)
+  mutable checkpoints :
+    (int * Token_bank.checkpoint * int * Twin.checkpoint option) list;
+      (* height -> (state before, oracle mark before, twin mark before) *)
   mutable deposits_submitted_until : int;
   rollbacks_done : (int, unit) Hashtbl.t;
   plan : Faults.Fault_plan.t;
   oracle : Faults.Replay_oracle.t;
+      (* end-of-run differential replay — since the twin took over the
+         continuous-audit duty this is the oracle of the oracle: an
+         independent full re-derivation that also cross-checks the twin *)
+  twin : Twin.t option;
+      (* the state twin (cfg.twin_audit): advanced from the same op
+         stream the live system applies, byte-compared against the flat
+         stores at every epoch boundary *)
+  mutable twin_divergence_streak : int;
+      (* consecutive epoch audits ending in divergence; 2 halts the run *)
+  mutable twin_reports : Twin.report list;     (* newest first *)
+  mutable twin_injections : (int * string) list;  (* newest first *)
   monitor : Monitor.t;
   durable : Durable.Session.t option;
       (* crash-consistent persistence: every oracle-visible state delta
@@ -274,6 +306,12 @@ type t = {
   mutable burns : int;
   mutable collects : int;
   growth : Growth_ledger.t;
+  growth_labels : (string, int * int) Hashtbl.t;
+      (* label -> (gas, bytes) cache merged from Eth.growth_deltas, so
+         the per-epoch growth sample is O(changed labels), not a walk of
+         the full per-label tables *)
+  mutable mc_gas_cached : int;
+  mutable mc_bytes_cached : int;
   lifecycle : Lifecycle.t;
   mutable counterfactual_bytes : int;
       (* cumulative Sepolia-encoded bytes the included ops would have
@@ -292,6 +330,11 @@ type t = {
    WAL is exactly the oracle's op log plus rollback compensations. *)
 let dur_record t r =
   match t.durable with Some s -> Durable.Session.record s r | None -> ()
+
+(* Mirror a bank-layer op into the state twin (no-op when the twin is
+   off). Called beside the oracle record sites, at execution time, so the
+   twin's replica bank advances in exactly the live application order. *)
+let twin_op t f = match t.twin with Some tw -> f tw | None -> ()
 
 (* Round-boundary crash injection: raises [Durable.Session.Crashed]. *)
 let dur_crash t ~epoch ~round =
@@ -446,6 +489,13 @@ let create ?sink ?durable cfg =
      (SystemSetup). *)
   let keys0 = make_committee_keys ~cfg ~rng_keys ~epoch:0 in
   let bank = Token_bank.deploy ~token0:erc0 ~token1:erc1 ~genesis_committee_vk:keys0.vk in
+  let twin =
+    if cfg.Config.twin_audit then
+      Some
+        (Twin.create ~seed:cfg.Config.seed ~genesis_committee_vk:keys0.vk
+           ~flash_fee_pips:cfg.Config.fee_pips)
+    else None
+  in
   let pool =
     Uniswap.Pool.create
       ~pool_id:(Token_bank.create_pool bank ~flash_fee_pips:cfg.Config.fee_pips)
@@ -465,6 +515,7 @@ let create ?sink ?durable cfg =
       pending_confirm = []; checkpoints = []; deposits_submitted_until = -1;
       rollbacks_done = Hashtbl.create 4;
       plan; oracle = Faults.Replay_oracle.create ();
+      twin; twin_divergence_streak = 0; twin_reports = []; twin_injections = [];
       monitor =
         Monitor.create
           ~thresholds:
@@ -485,6 +536,7 @@ let create ?sink ?durable cfg =
       max_sc_stored = 0;
       processed_total = 0; processed_in_window = 0; rejected_total = 0; swaps = 0; mints = 0; burns = 0;
       growth = Growth_ledger.create ~metrics:sink.Telemetry.Report.metrics ();
+      growth_labels = Hashtbl.create 16; mc_gas_cached = 0; mc_bytes_cached = 0;
       lifecycle =
         Lifecycle.create ~metrics:sink.Telemetry.Report.metrics
           ~seed:cfg.Config.seed ();
@@ -520,6 +572,9 @@ let create ?sink ?durable cfg =
       | Ok () ->
         Faults.Replay_oracle.record_deposit t.oracle ~user:u.Party.address
           ~for_epoch:0 ~amount0 ~amount1;
+        twin_op t (fun tw ->
+            Twin.bank_deposit tw ~user:u.Party.address ~for_epoch:0 ~amount0
+              ~amount1);
         dur_record t
           (Durable.Record.Op
              (Durable.Record.Deposit
@@ -571,6 +626,9 @@ let submit_epoch_deposits t ~for_epoch ~at =
                   Faults.Replay_oracle.record_deposit t.oracle
                     ~user:u.Party.address ~for_epoch ~amount0:amount
                     ~amount1:amount;
+                  twin_op t (fun tw ->
+                      Twin.bank_deposit tw ~user:u.Party.address ~for_epoch
+                        ~amount0:amount ~amount1:amount);
                   dur_record t
                     (Durable.Record.Op
                        (Durable.Record.Deposit
@@ -715,7 +773,8 @@ let submit_sync t ~epoch ~at ~corrupt =
                    paired with the oracle's op-log position. *)
                 t.checkpoints <-
                   (height, Token_bank.checkpoint t.bank,
-                   Faults.Replay_oracle.mark t.oracle)
+                   Faults.Replay_oracle.mark t.oracle,
+                   Option.map Twin.checkpoint t.twin)
                   :: t.checkpoints;
                 let time = Eth.now t.eth in
                 let time = if time > at then time else at in
@@ -724,6 +783,7 @@ let submit_sync t ~epoch ~at ~corrupt =
                   submission.status <- Applied;
                   t.sync_receipts <- receipt :: t.sync_receipts;
                   Faults.Replay_oracle.record_sync t.oracle signed;
+                  twin_op t (fun tw -> Twin.bank_sync tw signed);
                   dur_record t (Durable.Record.Op (Durable.Record.Sync signed));
                   Tmetrics.inc t.tele.c_sync_applied;
                   List.iter
@@ -793,12 +853,27 @@ let maybe_retry_sync t ~now =
    boundary. Key names are the stable registry documented in DESIGN.md
    §4f; the checked-in guard baseline depends on them. *)
 let sample_growth t ~epoch ~now =
-  let mc_bytes = Eth.bytes_snapshot t.eth in
-  let mc_gas = Eth.gas_snapshot t.eth in
-  let sum l = List.fold_left (fun acc (_, v) -> acc + v) 0 l in
+  (* Merge the mainchain's per-label deltas into the cache — only labels
+     whose totals moved since the last sample are touched, instead of
+     re-walking (and re-summing) the full per-label tables every epoch.
+     The tables are monotone, so the cache reproduces the snapshot
+     accessors byte-for-byte. *)
+  List.iter
+    (fun (l, g, b) ->
+      let og, ob =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt t.growth_labels l)
+      in
+      t.mc_gas_cached <- t.mc_gas_cached + g - og;
+      t.mc_bytes_cached <- t.mc_bytes_cached + b - ob;
+      Hashtbl.replace t.growth_labels l (g, b))
+    (Eth.growth_deltas t.eth);
+  let labels =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.growth_labels [])
+  in
   let fields =
-    [ ("mc.bytes.total", float_of_int (sum mc_bytes));
-      ("mc.gas.total", float_of_int (sum mc_gas));
+    [ ("mc.bytes.total", float_of_int t.mc_bytes_cached);
+      ("mc.gas.total", float_of_int t.mc_gas_cached);
       ("sc.cumulative_bytes", float_of_int (Blocks.cumulative_bytes t.sc_chain));
       ("sc.stored_bytes", float_of_int (Blocks.stored_bytes t.sc_chain));
       ("sc.meta_stored", float_of_int (Blocks.meta_count_stored t.sc_chain));
@@ -807,8 +882,8 @@ let sample_growth t ~epoch ~now =
       ("bank.synced_epoch", float_of_int (Token_bank.last_synced_epoch t.bank));
       ("mempool.bytes", float_of_int (Chain.Mempool.byte_size t.mempool));
       ("baseline.bytes.sepolia", float_of_int t.counterfactual_bytes) ]
-    @ List.map (fun (l, v) -> ("mc.bytes." ^ l, float_of_int v)) mc_bytes
-    @ List.map (fun (l, v) -> ("mc.gas." ^ l, float_of_int v)) mc_gas
+    @ List.map (fun (l, (_, b)) -> ("mc.bytes." ^ l, float_of_int b)) labels
+    @ List.map (fun (l, (g, _)) -> ("mc.gas." ^ l, float_of_int g)) labels
   in
   Growth_ledger.sample t.growth ~epoch ~t:now fields
 
@@ -854,12 +929,17 @@ let settle_confirmed t =
      (forks only abandon unconfirmed blocks): release the newest of them
      so the bank's undo journal stays bounded by the unconfirmed window. *)
   let frontier = Eth.confirmed_height t.eth in
-  let dead, live = List.partition (fun (h, _, _) -> h <= frontier) t.checkpoints in
+  let dead, live =
+    List.partition (fun (h, _, _, _) -> h <= frontier) t.checkpoints
+  in
   match dead with
-  | (_, ck, _) :: _ ->
+  | (_, ck, _, tck) :: _ ->
     (* Newest-first list: the head of [dead] is the youngest retired
        checkpoint; releasing it drops the journal history below it. *)
     Token_bank.release_checkpoint t.bank ck;
+    (match (t.twin, tck) with
+    | Some tw, Some tc -> Twin.release tw tc
+    | _ -> ());
     t.checkpoints <- live
   | [] -> ()
 
@@ -873,16 +953,21 @@ let rollback_to t ~height =
     t.rollback_count <- t.rollback_count + 1;
     Tmetrics.inc t.tele.c_rollbacks;
     let _dropped = Eth.rollback t.eth n in
-    (match List.find_opt (fun (h, _, _) -> h = height) t.checkpoints with
-    | Some (_, ck, mark) ->
+    (match List.find_opt (fun (h, _, _, _) -> h = height) t.checkpoints with
+    | Some (_, ck, mark, tck) ->
       Token_bank.restore t.bank ck;
       Faults.Replay_oracle.truncate t.oracle mark;
+      (* The twin rewinds its replica and bank shadow in step, recording
+         a synthetic rollback op so bisection stays truthful. *)
+      (match (t.twin, tck) with
+      | Some tw, Some tc -> Twin.restore tw tc
+      | _ -> ());
       (* The WAL cannot un-append: a reorg is logged as a compensation
          record so replay reproduces the truncation deterministically. *)
       dur_record t (Durable.Record.Truncate { keep = mark })
     | None -> ());
     (* Checkpoints at or past the fork point refer to abandoned blocks. *)
-    t.checkpoints <- List.filter (fun (h, _, _) -> h < height) t.checkpoints;
+    t.checkpoints <- List.filter (fun (h, _, _, _) -> h < height) t.checkpoints;
     let gone, keep =
       List.partition (fun (_, h', _) -> h' >= height) t.pending_confirm
     in
@@ -1007,6 +1092,7 @@ let submit_exit t (u : Party.user) ~at =
             match Token_bank.emergency_exit t.bank ~claimant:u.Party.address with
             | Ok claim ->
               Faults.Replay_oracle.record_exit t.oracle ~claimant:u.Party.address;
+              twin_op t (fun tw -> Twin.bank_exit tw ~claimant:u.Party.address);
               dur_record t
                 (Durable.Record.Op
                    (Durable.Record.Exit { claimant = u.Party.address }));
@@ -1045,6 +1131,7 @@ let enter_halt t ~now ~reason =
   (match Token_bank.halt t.bank ~epoch:frontier with
   | Ok () ->
     Faults.Replay_oracle.record_halt t.oracle ~epoch:frontier;
+    twin_op t (fun tw -> Twin.bank_halt tw ~epoch:frontier);
     dur_record t (Durable.Record.Op (Durable.Record.Halt { epoch = frontier }))
   | Error rejection ->
     Log.warn ~scope ~t:now
@@ -1084,6 +1171,7 @@ let submit_reconcile t ~epoch ~at =
                   t.reconciliation <- Some r;
                   t.recovered_at <- Some time;
                   Faults.Replay_oracle.record_reconcile t.oracle pending;
+                  twin_op t (fun tw -> Twin.bank_reconcile tw pending);
                   dur_record t
                     (Durable.Record.Op (Durable.Record.Reconcile pending));
                   Tmetrics.inc ~by:r.Token_bank.rec_users_applied
@@ -1169,6 +1257,155 @@ let watchdog_tick t ~epoch:e ~now ~committee_live =
       set_mode t Normal ~now ~reason:"clean audit after reconciliation"
 
 (* ------------------------------------------------------------------ *)
+(* The state twin: op capture, fault injection, epoch-boundary audit   *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-transaction op capture, fired by the processor tap after every
+   attempt — a rejected swap has already mutated pool state before the
+   router's slippage check, so rejected attempts are captured too (with
+   a "!rejected" label suffix). Drains the pool's per-op write set and
+   records the after-images of everything the transaction touched. *)
+let twin_tx_tap t tw deposits ~label ~user ~ok =
+  let wpos, wticks = Uniswap.Pool.drain_op_writes t.pool in
+  let label = if ok then label else label ^ "!rejected" in
+  Twin.record tw ~label
+    ((Twin.Dep_row user, Sidechain.Deposits.row_image deposits user)
+     :: (Twin.Pool_scalars, Some (Durable.State_codec.pool_bytes t.pool))
+     :: (List.map
+           (fun pid ->
+             (Twin.Pool_pos pid, Uniswap.Pool.position_bytes t.pool pid))
+           wpos
+        @ List.map
+            (fun k -> (Twin.Pool_tick k, Uniswap.Pool.tick_bytes t.pool k))
+            wticks))
+
+(* Summary construction reads fee state through the pool, which marks
+   position writes (fee checkpoint updates). Record them as one op so
+   the audit window stays closed over every legitimate write. *)
+let twin_record_summary_touch t tw =
+  let wpos, wticks = Uniswap.Pool.drain_op_writes t.pool in
+  match (wpos, wticks) with
+  | [], [] -> ()
+  | _ ->
+    Twin.record tw ~label:"summary.build"
+      ((Twin.Pool_scalars, Some (Durable.State_codec.pool_bytes t.pool))
+       :: (List.map
+             (fun pid ->
+               (Twin.Pool_pos pid, Uniswap.Pool.position_bytes t.pool pid))
+             wpos
+          @ List.map
+              (fun k -> (Twin.Pool_tick k, Uniswap.Pool.tick_bytes t.pool k))
+              wticks))
+
+(* Silent state corruption: a seeded bit-flip landed directly in a flat
+   store behind the system's back — no transaction, no log record. Only
+   meaningful when the twin is armed to catch it. The flip lands on the
+   audit surface (dirty marks) but on no op's write set, so the audit
+   sees a key the twin never captured — or captured differently. *)
+let inject_corruption t ~deposits ~epoch ~round =
+  match t.twin with
+  | None -> ()
+  | Some _ ->
+    (match Faults.Fault_plan.corrupt_state t.plan ~epoch ~round with
+    | None -> ()
+    | Some (target, index, bit) ->
+      let landed =
+        match target with
+        | Faults.Fault_plan.Deposit_row ->
+          (match deposits with
+          | None -> None
+          | Some d ->
+            Option.map
+              (fun u -> "dep:" ^ Address.to_hex u)
+              (Sidechain.Deposits.corrupt_bit d ~index ~bit))
+        | Faults.Fault_plan.Position_slab ->
+          Option.map
+            (fun pid -> "bank.pos:" ^ Chain.Ids.Position_id.to_hex pid)
+            (Tokenbank.Pos_store.corrupt_bit
+               (Token_bank.positions_store t.bank) ~index ~bit)
+        | Faults.Fault_plan.Pool_tick ->
+          Option.map
+            (fun k -> "tick:" ^ string_of_int k)
+            (Uniswap.Pool.corrupt_tick_bit t.pool ~index ~bit)
+      in
+      match landed with
+      | None -> ()   (* the selected store was empty; nothing flipped *)
+      | Some key ->
+        let label = Faults.Fault_plan.corruption_target_label target in
+        Faults.Fault_plan.note t.plan ("state.corruption." ^ label) 1;
+        t.twin_injections <- (epoch, key) :: t.twin_injections;
+        Log.warn ~scope ~t:(Eth.now t.eth)
+          ~fields:
+            [ ("epoch", Json.Int epoch); ("round", Json.Int round);
+              ("target", Json.String label); ("key", Json.String key);
+              ("bit", Json.Int bit) ]
+          "state corruption injected")
+
+(* The epoch-boundary differential audit: byte-compare the twin's
+   shadow against the live flat stores over exactly the keys written
+   this window (by ops or by the live side's own dirty marks), then
+   seal the epoch and clear the live audit surfaces. Divergence is
+   forensically logged, surfaces through the monitor as a Degraded
+   violation, and a repeat halts the system — a corrupted store must
+   never reach the mainchain twice. *)
+let twin_audit_epoch t ~deposits ~epoch ~now =
+  match t.twin with
+  | None -> ()
+  | Some tw ->
+    let live =
+      { Twin.live_dep =
+          (fun u ->
+            match deposits with
+            | Some d -> Sidechain.Deposits.row_image d u
+            | None -> None);
+        live_dep_dirty =
+          (fun () ->
+            match deposits with
+            | Some d -> Sidechain.Deposits.dirty_users d
+            | None -> []);
+        live_pool_pos = (fun pid -> Uniswap.Pool.position_bytes t.pool pid);
+        live_pool_tick = (fun k -> Uniswap.Pool.tick_bytes t.pool k);
+        live_pool_writes = (fun () -> Uniswap.Pool.audit_writes t.pool);
+        live_pool_scalars = (fun () -> Durable.State_codec.pool_bytes t.pool);
+        live_bank_meta = (fun () -> Durable.State_codec.bank_meta_bytes t.bank);
+        live_bank_pos =
+          (fun pid ->
+            Tokenbank.Pos_store.row_image (Token_bank.positions_store t.bank)
+              pid);
+        live_bank_dirty =
+          (fun () ->
+            Tokenbank.Pos_store.dirty_ids (Token_bank.positions_store t.bank));
+      }
+    in
+    let reports = Twin.audit tw ~epoch live in
+    Uniswap.Pool.clear_audit_writes t.pool;
+    Tokenbank.Pos_store.clear_dirty (Token_bank.positions_store t.bank);
+    (match deposits with
+    | Some d -> Sidechain.Deposits.clear_dirty d
+    | None -> ());
+    Tmetrics.inc t.tele.c_twin_audits;
+    (match reports with
+    | [] -> t.twin_divergence_streak <- 0
+    | _ :: _ ->
+      t.twin_reports <- List.rev_append reports t.twin_reports;
+      t.twin_divergence_streak <- t.twin_divergence_streak + 1;
+      Tmetrics.inc ~by:(List.length reports) t.tele.c_twin_divergences;
+      List.iter
+        (fun r ->
+          Log.error ~scope ~t:now
+            ~fields:[ ("report", Json.String (Twin.report_to_string r)) ]
+            "twin divergence")
+        reports;
+      Monitor.record_external t.monitor ~now ~epoch ~severity:Monitor.Degraded
+        ~layer:Monitor.Twin ~check:"twin.divergence"
+        ~detail:(Twin.report_to_string (List.hd reports));
+      if not t.dissolved then begin
+        if t.twin_divergence_streak >= 2 then
+          enter_halt t ~now ~reason:"twin: repeated state divergence"
+        else set_mode t Degraded ~now ~reason:"twin: state divergence detected"
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* The main loop                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1240,7 +1477,7 @@ let run ?sink ?durable cfg =
       ~committee_live:(not (t.dissolved || lost));
     (* The tick may just have halted and dissolved the sidechain. *)
     let committee_dead = t.dissolved || lost in
-    if committee_dead then
+    if committee_dead then begin
       (* Idle epoch: no committee, so no meta/summary blocks. The
          mainchain keeps producing blocks, and deposits / retries /
          reconciliation submissions still pump (until dissolution). *)
@@ -1266,7 +1503,12 @@ let run ?sink ?durable cfg =
         end;
         Tmetrics.set tele.g_mempool_bytes
           (float_of_int (Chain.Mempool.byte_size t.mempool))
-      done
+      done;
+      (* Even an idle epoch gets its audit: bank ops (exits, reconciles)
+         still flowed, and the twin must confirm nothing else moved. *)
+      twin_audit_epoch t ~deposits:None ~epoch:e
+        ~now:(float_of_int (e + 1) *. epoch_dur)
+    end
     else begin
     let snapshot = Token_bank.snapshot t.bank ~epoch:e in
     let audit_entry =
@@ -1292,6 +1534,17 @@ let run ?sink ?durable cfg =
       Processor.begin_epoch ~pool:t.pool ~snapshot ~carry
         ~verify_signatures:cfg.Config.verify_signatures ()
     in
+    (* Arm the twin's op capture for the epoch. The fresh deposit table
+       marks every row dirty at construction; those rows are derived
+       from the bank snapshot the sync path already audits, so they are
+       not window ops — clear the marks before the first transaction
+       lands and audit only rows the epoch actually writes. *)
+    (match t.twin with
+    | Some tw ->
+      let deposits = Processor.deposits processor in
+      Sidechain.Deposits.clear_dirty deposits;
+      Processor.set_tap processor (twin_tx_tap t tw deposits)
+    | None -> ());
     (* Durable snapshot at the epoch boundary (the deposits view is the
        processor's, i.e. post-begin_epoch). Committee-dead epochs skip
        snapshots; the cadence is identical in an uninterrupted run, so
@@ -1453,7 +1706,12 @@ let run ?sink ?durable cfg =
             ~at:(t_round +. consensus_latency))
         included;
       if Blocks.stored_bytes t.sc_chain > t.max_sc_stored then
-        t.max_sc_stored <- Blocks.stored_bytes t.sc_chain
+        t.max_sc_stored <- Blocks.stored_bytes t.sc_chain;
+      (* End of round: a silent corruption may land in a flat store —
+         out-of-band, on no transaction's write set. The epoch-boundary
+         audit below must catch it. *)
+      inject_corruption t ~deposits:(Some (Processor.deposits processor))
+        ~epoch:e ~round:r
     done;
     (* Epoch end: summary block, threshold signature, Sync submission. *)
     let epoch_end = float_of_int (e + 1) *. epoch_dur in
@@ -1461,6 +1719,7 @@ let run ?sink ?durable cfg =
     let payload =
       Processor.build_payload processor ~epoch:e ~next_committee_vk:next_keys.vk
     in
+    twin_op t (fun tw -> twin_record_summary_touch t tw);
     let keys = committee_keys t ~epoch:e in
     let signature = sign_payload t ~epoch:e keys (Sync_payload.signing_bytes payload) in
     Hashtbl.replace t.signed_payloads e (payload, signature);
@@ -1532,7 +1791,11 @@ let run ?sink ?durable cfg =
         [ ("epoch", Json.Int e); ("processed", Json.Int stats.Processor.processed);
           ("rejected", Json.Int stats.Processor.rejected);
           ("summary_bytes", Json.Int s_size) ]
-      "epoch complete"
+      "epoch complete";
+    (* The epoch-boundary differential audit: O(written keys) against
+       the live flat stores, sealing the epoch for time travel. *)
+    twin_audit_epoch t ~deposits:(Some (Processor.deposits processor))
+      ~epoch:e ~now:epoch_end
     end;
     (* Stop once generation is done and the queue has drained (the paper
        empties the queues to measure comparable latency). *)
@@ -1575,6 +1838,10 @@ let run ?sink ?durable cfg =
     Eth.advance_to t.eth (now +. (5.0 *. cfg.Config.mc_block_interval))
   done;
   settle_confirmed t;
+  (* Final differential audit over the drain tail: the recovery passes
+     above applied more bank ops (syncs, reconciles, exits) outside the
+     epoch loop. *)
+  twin_audit_epoch t ~deposits:None ~epoch:!epoch ~now:(Eth.now t.eth);
   (* Closing ledger row after the drain: the final state footprint. *)
   sample_growth t ~epoch:!epoch ~now:(Eth.now t.eth);
   (* Custody invariant: bank ERC20 holdings = pool balances + remaining
@@ -1680,6 +1947,14 @@ let run ?sink ?durable cfg =
   List.iter
     (fun (label, n) -> Tmetrics.inc ~by:n (Tmetrics.counter reg ("faults." ^ label)))
     faults_injected;
+  let twin_audits, twin_divergences =
+    match t.twin with
+    | Some tw -> (Twin.audits_run tw, Twin.divergences tw)
+    | None -> (0, 0)
+  in
+  let twin_consistent = twin_divergences = 0 in
+  (* twin.audits / twin.divergences are live counters in [tele]. *)
+  final_gauge "twin.consistent" (if twin_consistent then 1.0 else 0.0);
   { cfg;
     generated = Traffic.generated t.traffic;
     processed = t.processed_total;
@@ -1744,4 +2019,10 @@ let run ?sink ?durable cfg =
     swaps = t.swaps; mints = t.mints; burns = t.burns; collects = t.collects;
     growth = t.growth;
     lifecycle_sampled = Lifecycle.sampled_count t.lifecycle;
-    lifecycle_seen = Lifecycle.seen_count t.lifecycle }
+    lifecycle_seen = Lifecycle.seen_count t.lifecycle;
+    twin_audits;
+    twin_divergences;
+    twin_consistent;
+    twin_reports = List.rev t.twin_reports;
+    twin_injections = List.rev t.twin_injections;
+    twin_view = Option.map Twin.view t.twin }

@@ -110,6 +110,21 @@ type result = {
   lifecycle_sampled : int;
       (** ops the deterministic 1-in-8 lifecycle sampler kept *)
   lifecycle_seen : int;  (** all included ops the tracer counted *)
+  twin_audits : int;
+      (** epoch-boundary differential audits run by the state twin *)
+  twin_divergences : int;
+      (** divergent keys reported across all twin audits; nonzero means
+          live state and the twin's shadow disagreed byte-for-byte *)
+  twin_consistent : bool;  (** [twin_divergences = 0] *)
+  twin_reports : Twin.report list;
+      (** every forensic divergence report, oldest first *)
+  twin_injections : (int * string) list;
+      (** (epoch, key) of every state corruption that actually landed,
+          oldest first — key strings match {!Twin.key_to_string}, so the
+          twin-audit gate can diff this against [twin_reports] *)
+  twin_view : Twin.view option;
+      (** the twin's sealed-epoch time-travel view ([None] when
+          [Config.twin_audit] is off) *)
 }
 
 val run :

@@ -21,6 +21,16 @@ val s_pending : string
 val required : string list
 (** Every section a valid snapshot must carry. *)
 
+val bank_meta_bytes : Tokenbank.Token_bank.t -> bytes
+(** The [bank.meta] section alone: sync frontier, halt state, committee
+    vk, custody, pool balances and exit claims. Also the byte surface
+    the state twin compares its replica bank against — two banks with
+    equal observable state encode identically. *)
+
+val pool_bytes : Uniswap.Pool.t -> bytes
+(** The [sidechain.pool] section alone: the AMM pool's scalar fields
+    (price, tick, liquidity, balances, fee growths, table sizes). *)
+
 val sections :
   bank:Tokenbank.Token_bank.t ->
   pool:Uniswap.Pool.t ->

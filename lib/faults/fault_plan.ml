@@ -63,12 +63,22 @@ type scenario = {
          no summaries, no signatures — ever. *)
 }
 
+(* Silent state corruption: seeded bit-flips landed directly in the
+   flat stores (no transaction, no log record) — the twin audit's prey. *)
+type corruption_target = Deposit_row | Position_slab | Pool_tick
+
+type state_corruption = {
+  corruption_rate : float;
+  corruption_script : (int * int * corruption_target) list;
+}
+
 type spec = {
   network : network;
   consensus : consensus;
   committee : committee;
   mainchain : mainchain;
   durability : durability;
+  corruption : state_corruption;
   scenario : scenario;
 }
 
@@ -76,6 +86,13 @@ let no_scenario = { quorum_starvation = None; committee_loss = None }
 
 let no_durability =
   { crash_rate = 0.0; torn_write_rate = 0.0; crash_script = [] }
+
+let no_corruption = { corruption_rate = 0.0; corruption_script = [] }
+
+let corruption_target_label = function
+  | Deposit_row -> "deposit_row"
+  | Position_slab -> "position_slab"
+  | Pool_tick -> "pool_tick"
 
 let none =
   {
@@ -100,6 +117,7 @@ let none =
         congestion_gas_limit = 0;
       };
     durability = no_durability;
+    corruption = no_corruption;
     scenario = no_scenario;
   }
 
@@ -132,6 +150,10 @@ let chaos ?(intensity = 0.1) () =
        inside one run, so the durability class stays scripted-only (the
        crash drill drives it explicitly). *)
     durability = no_durability;
+    (* Like crashes, corruption aborts what it touches rather than
+       exercising recovery inside the run: the chaos soak keeps it
+       zero, the twin-audit bench scripts it explicitly. *)
+    corruption = no_corruption;
     scenario = no_scenario;
   }
 
@@ -152,6 +174,8 @@ let active s =
   || s.durability.crash_rate > 0.0
   || s.durability.torn_write_rate > 0.0
   || s.durability.crash_script <> []
+  || s.corruption.corruption_rate > 0.0
+  || s.corruption.corruption_script <> []
   || s.scenario.quorum_starvation <> None
   || s.scenario.committee_loss <> None
 
@@ -317,6 +341,33 @@ let torn_write t ~epoch ~round =
          else Stale_marker)
     end
   end
+
+let corrupt_state t ~epoch ~round =
+  let c = t.spec.corruption in
+  let key = Printf.sprintf "state.corrupt/%d/%d" epoch round in
+  let coords target =
+    (* Row and bit selectors come from their own splits so a scripted
+       and a drawn injection at the same coordinate pick identically. *)
+    let index = Rng.int (Rng.split t.rng (key ^ "/index")) 1_000_003 in
+    let bit = Rng.int (Rng.split t.rng (key ^ "/bit")) 1_000_003 in
+    (* The injection is counted by the caller (with {!note}) when the
+       bit-flip actually lands — a scripted coordinate may find the
+       target store empty, like a fated reorg whose window closed. *)
+    Some (target, index, bit)
+  in
+  match
+    List.find_opt (fun (e, r, _) -> e = epoch && r = round) c.corruption_script
+  with
+  | Some (_, _, target) -> coords target
+  | None ->
+    if c.corruption_rate > 0.0 && draw t key < c.corruption_rate then begin
+      let u = draw t (key ^ "/target") in
+      coords
+        (if u < 1.0 /. 3.0 then Deposit_row
+         else if u < 2.0 /. 3.0 then Position_slab
+         else Pool_tick)
+    end
+    else None
 
 let net_chaos t ~epoch ~round ~members =
   let s = t.spec.network in

@@ -80,12 +80,29 @@ type scenario = {
           permanently lost — no election, no summaries, no signatures. *)
 }
 
+(** Silent in-memory state corruption: seeded bit-flips landed directly
+    in the flat stores behind the system's back (no transaction, no log
+    record). The twin's differential audit must catch every one at the
+    epoch boundary it lands in. *)
+type corruption_target =
+  | Deposit_row     (** a row of the epoch's deposit account slab *)
+  | Position_slab   (** a row of TokenBank's flat position store *)
+  | Pool_tick       (** an initialized tick's fee-growth accumulators *)
+
+type state_corruption = {
+  corruption_rate : float;  (** per (epoch, round): one seeded bit-flip *)
+  corruption_script : (int * int * corruption_target) list;
+      (** exact (epoch, round, target) injection points, in addition to
+          the rate — the twin-audit bench scripts these *)
+}
+
 type spec = {
   network : network;
   consensus : consensus;
   committee : committee;
   mainchain : mainchain;
   durability : durability;
+  corruption : state_corruption;
   scenario : scenario;
 }
 
@@ -93,6 +110,12 @@ val no_scenario : scenario
 
 val no_durability : durability
 (** All rates zero, empty script. *)
+
+val no_corruption : state_corruption
+(** Zero rate, empty script. *)
+
+val corruption_target_label : corruption_target -> string
+(** Stable metric tag: ["deposit_row"], ["position_slab"], ["pool_tick"]. *)
 
 val none : spec
 (** All rates zero: a plan over [none] never injects anything. *)
@@ -156,6 +179,15 @@ val crash_now : t -> epoch:int -> round:int -> bool
 val torn_write : t -> epoch:int -> round:int -> torn option
 (** When a crash fires at this coordinate, whether (and how) the write
     in flight is torn. Only consulted at an actual crash point. *)
+
+val corrupt_state : t -> epoch:int -> round:int -> (corruption_target * int * int) option
+(** [Some (target, index, bit)] when a silent corruption lands at the
+    end of this sidechain round: flip [bit] of the [index]-selected row
+    (both reduced modulo the live store's size by the injector).
+    Scripted coordinates always fire with their scripted target; the
+    probabilistic rate draws the target uniformly. The caller counts the
+    injection with {!note} under [state.corruption.<target>] when the
+    flip actually lands (the selected store may be empty). *)
 
 val net_chaos :
   t -> epoch:int -> round:int -> members:int ->

@@ -122,6 +122,13 @@ let blit_row t row b =
   Bytes.blit b 0 t.data (row * t.row_bytes) t.row_bytes;
   mark_dirty t row
 
+let corrupt_bit t ~row ~bit =
+  check t row 0;
+  let bit = ((bit mod (t.row_bytes * 8)) + (t.row_bytes * 8)) mod (t.row_bytes * 8) in
+  let o = (row * t.row_bytes) + (bit / 8) in
+  Bytes.set t.data o (Char.chr (Char.code (Bytes.get t.data o) lxor (1 lsl (bit mod 8))));
+  mark_dirty t row
+
 let dirty_rows t = List.sort compare t.dirty
 let dirty_count t = t.dirty_count
 

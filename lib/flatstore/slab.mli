@@ -72,6 +72,12 @@ val dirty_rows : t -> int list
 val dirty_count : t -> int
 val clear_dirty : t -> unit
 
+val corrupt_bit : t -> row:int -> bit:int -> unit
+(** Flips one bit of the row's raw bytes ([bit] is taken modulo the
+    row's bit width) and marks the row dirty — the fault injector's
+    model of a silent in-memory corruption. Raises [Invalid_argument]
+    if [row] is out of bounds. *)
+
 (** {1 Binary codec}
 
     The encoding is [slots : u32be][rows : u32be][arena bytes] — a

@@ -71,10 +71,16 @@ let transfer_from ?meter t ~spender ~source ~dest amount =
     charge meter "erc20.allowance" (Gas.sload + Gas.sstore_update);
     match transfer ?meter t ~source ~dest amount with
     | Ok () ->
-      let m = Address.Map.find source t.allowances in
-      t.allowances <-
-        Address.Map.add source (Address.Map.add spender (U256.sub allowed amount) m)
-          t.allowances;
+      (* Infinite approvals are never decremented (canonical ERC20
+         behavior) — the deposit hot path skips two nested map rebuilds
+         per token. Metering above is unchanged so gas baselines stay
+         comparable. *)
+      if not (U256.equal allowed U256.max_value) then begin
+        let m = Address.Map.find source t.allowances in
+        t.allowances <-
+          Address.Map.add source (Address.Map.add spender (U256.sub allowed amount) m)
+            t.allowances
+      end;
       Ok ()
     | Error e -> Error e
   end

@@ -47,6 +47,11 @@ type t = {
   mutable current_time : float;
   gas_by_label : (string, int) Hashtbl.t;
   bytes_by_label : (string, int) Hashtbl.t;
+  dirty_labels : (string, unit) Hashtbl.t;
+      (* labels whose gas/bytes totals moved since the last
+         [growth_deltas] drain; both tables are monotone (rollbacks drop
+         blocks, never refund gas), so a label's current total is always
+         its delta-merged value *)
   latencies : (string, float list ref) Hashtbl.t;
   mutable tag_times : (string * float) list;
   mutable included_count : int;
@@ -64,6 +69,7 @@ let create ?(interval = 12.0) ?(gas_limit = 30_000_000) ?(header_size = 508)
     ledger = Chain.Ledger.create ~genesis ~size:(fun b -> b.b_size) ~k_depth;
     next_block_time = interval; current_time = 0.0;
     gas_by_label = Hashtbl.create 16; bytes_by_label = Hashtbl.create 16;
+    dirty_labels = Hashtbl.create 16;
     latencies = Hashtbl.create 16; tag_times = []; included_count = 0 }
 
 let interval t = t.intervl
@@ -171,6 +177,7 @@ let mine_block t =
       let latency = time -. p.submitted_at in
       bump t.gas_by_label p.spec.label p.spec.gas;
       bump t.bytes_by_label p.spec.label p.spec.size_bytes;
+      Hashtbl.replace t.dirty_labels p.spec.label ();
       record_latency t p.spec.label latency;
       (match p.spec.tag with
        | Some tag -> t.tag_times <- (tag, time) :: t.tag_times
@@ -239,6 +246,18 @@ let sorted_assoc_of_tbl tbl =
 
 let gas_snapshot t = sorted_assoc_of_tbl t.gas_by_label
 let bytes_snapshot t = sorted_assoc_of_tbl t.bytes_by_label
+
+let growth_deltas t =
+  let changed =
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_labels [])
+  in
+  Hashtbl.reset t.dirty_labels;
+  List.map
+    (fun l ->
+      ( l,
+        Option.value ~default:0 (Hashtbl.find_opt t.gas_by_label l),
+        Option.value ~default:0 (Hashtbl.find_opt t.bytes_by_label l) ))
+    changed
 
 let latencies_by_label t =
   Hashtbl.fold (fun k v acc -> (k, List.rev !v) :: acc) t.latencies []

@@ -17,7 +17,7 @@ module Json = Telemetry.Json
 let scope = "monitor"
 
 type severity = Warning | Degraded | Fatal
-type layer = Amm | Tokenbank | Sidechain | Mainchain | Consensus | Durability
+type layer = Amm | Tokenbank | Sidechain | Mainchain | Consensus | Durability | Twin
 
 type violation = {
   v_check : string;
@@ -44,6 +44,7 @@ let layer_to_string = function
   | Mainchain -> "mainchain"
   | Consensus -> "consensus"
   | Durability -> "durability"
+  | Twin -> "twin"
 
 let severity_rank = function Warning -> 0 | Degraded -> 1 | Fatal -> 2
 

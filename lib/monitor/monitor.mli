@@ -18,7 +18,7 @@
     severity-bucketed counters on the run's telemetry sink. *)
 
 type severity = Warning | Degraded | Fatal
-type layer = Amm | Tokenbank | Sidechain | Mainchain | Consensus | Durability
+type layer = Amm | Tokenbank | Sidechain | Mainchain | Consensus | Durability | Twin
 
 type violation = {
   v_check : string;    (** stable check id, e.g. ["custody-conservation"] *)

@@ -182,6 +182,31 @@ let totals t =
 let accounts t = Reg.count t.reg
 
 (* ------------------------------------------------------------------ *)
+(* Audit surface                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Read-only row image: unlike the accessors above this never interns
+   the user, so the audit can probe arbitrary addresses without growing
+   the table (or dirtying a fresh zero row). *)
+let row_image t user =
+  match Reg.find t.reg user with
+  | Some row when row < Slab.rows t.slab -> Some (Slab.copy_row t.slab row)
+  | _ -> None
+
+let dirty_users t = List.map (Reg.key t.reg) (Slab.dirty_rows t.slab)
+let dirty_rows t = Slab.dirty_count t.slab
+let clear_dirty t = Slab.clear_dirty t.slab
+
+let corrupt_bit t ~index ~bit =
+  let rows = Slab.rows t.slab in
+  if rows = 0 then None
+  else begin
+    let row = ((index mod rows) + rows) mod rows in
+    Slab.corrupt_bit t.slab ~row ~bit;
+    Some (Reg.key t.reg row)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Binary codec (durable snapshot section)                             *)
 (* ------------------------------------------------------------------ *)
 

@@ -58,6 +58,28 @@ val totals : t -> (U256.t * U256.t) * (U256.t * U256.t)
 val accounts : t -> int
 (** Number of tracked accounts this epoch. *)
 
+(** {1 Audit surface}
+
+    The twin's differential audit compares exactly the rows written
+    since the last {!clear_dirty} — O(dirty), not O(accounts). *)
+
+val row_image : t -> Address.t -> bytes option
+(** The user's raw 192-byte account row; [None] for a user with no row
+    yet. Pure: never allocates a row. *)
+
+val dirty_users : t -> Address.t list
+(** Users whose rows were written since the last {!clear_dirty}, in row
+    (first-seen) order — deterministic across runs. *)
+
+val dirty_rows : t -> int
+val clear_dirty : t -> unit
+
+val corrupt_bit : t -> index:int -> bit:int -> Address.t option
+(** Flips one bit in the row selected by [index mod accounts] (fault
+    injection); returns the affected user, or [None] on an empty table.
+    The row is marked dirty — corruption hits the same audit surface as
+    a legitimate write. *)
+
 (** {1 Binary codec}
 
     [count : u32be][addresses, row order][slab codec] — the whole

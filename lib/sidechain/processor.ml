@@ -18,9 +18,16 @@ type deleted_position = {
   del_upper : int;
 }
 
+type tap = label:string -> user:Address.t -> ok:bool -> unit
+
 type t = {
   pool : Pool.t;
   deposits : Deposits.t;
+  mutable tap : tap option;
+      (* Fired after every transaction attempt, success or rejection —
+         a rejected swap has already moved the pool (the router's
+         slippage check runs after [Pool.swap]), so the observer must
+         see those writes too. *)
   verify_signatures : bool;
   snapshot_positions : (Position_id.t, Sync_payload.position_entry) Hashtbl.t;
   carry : Position_id.t list;
@@ -62,6 +69,7 @@ let begin_epoch ~pool ~snapshot ?(carry = []) ~verify_signatures () =
   Pool.epoch_reset pool;
   { pool;
     deposits = Deposits.create ~snapshot:snapshot.Tokenbank.Token_bank.snap_deposits;
+    tap = None;
     verify_signatures; snapshot_positions; carry; deleted = [];
     processed = 0; swaps = 0; mints = 0; burns = 0; collects = 0;
     wire_bytes = Hashtbl.create 4;
@@ -69,6 +77,7 @@ let begin_epoch ~pool ~snapshot ?(carry = []) ~verify_signatures () =
 
 let pool t = t.pool
 let deposits t = t.deposits
+let set_tap t tap = t.tap <- Some tap
 
 let ( let* ) = Result.bind
 
@@ -239,20 +248,28 @@ let process t ~current_round (tx : Tx.t) =
     | Tx.Burn b -> process_burn t tx b
     | Tx.Collect c -> process_collect t tx c
   in
-  match result with
-  | Ok () ->
-    t.processed <- t.processed + 1;
-    (match tx.Tx.payload with
-    | Tx.Swap _ -> t.swaps <- t.swaps + 1
-    | Tx.Mint _ -> t.mints <- t.mints + 1
-    | Tx.Burn _ -> t.burns <- t.burns + 1
-    | Tx.Collect _ -> t.collects <- t.collects + 1);
-    let cls = Tx.type_name tx.Tx.payload in
-    Hashtbl.replace t.wire_bytes cls
-      (tx.Tx.wire_size
-      + Option.value ~default:0 (Hashtbl.find_opt t.wire_bytes cls));
-    Ok ()
-  | Error reason -> reject t ~tx reason
+  let outcome =
+    match result with
+    | Ok () ->
+      t.processed <- t.processed + 1;
+      (match tx.Tx.payload with
+      | Tx.Swap _ -> t.swaps <- t.swaps + 1
+      | Tx.Mint _ -> t.mints <- t.mints + 1
+      | Tx.Burn _ -> t.burns <- t.burns + 1
+      | Tx.Collect _ -> t.collects <- t.collects + 1);
+      let cls = Tx.type_name tx.Tx.payload in
+      Hashtbl.replace t.wire_bytes cls
+        (tx.Tx.wire_size
+        + Option.value ~default:0 (Hashtbl.find_opt t.wire_bytes cls));
+      Ok ()
+    | Error reason -> reject t ~tx reason
+  in
+  (match t.tap with
+  | Some f ->
+    f ~label:(Tx.type_name tx.Tx.payload) ~user:tx.Tx.issuer
+      ~ok:(Result.is_ok outcome)
+  | None -> ());
+  outcome
 
 let stats (t : t) =
   { processed = t.processed; rejected = t.rejected_total;

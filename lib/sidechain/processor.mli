@@ -47,6 +47,17 @@ val begin_epoch :
 val pool : t -> Uniswap.Pool.t
 val deposits : t -> Deposits.t
 
+type tap = label:string -> user:Address.t -> ok:bool -> unit
+(** A per-transaction observer: [label] is the transaction class
+    ("swap", "mint", ...), [user] the issuer, [ok] whether it was
+    accepted. Fired after {e every} attempt — a rejected swap has
+    already moved the pool (the router checks slippage after the swap
+    executes), so write-tracking observers need rejected attempts too. *)
+
+val set_tap : t -> tap -> unit
+(** Installs the observer (the state twin's op-capture hook). The tap
+    must not mutate pool or deposit state. *)
+
 val process : t -> current_round:int -> Chain.Tx.t -> (unit, string) result
 (** Validates and executes one transaction; [Error] is a rejection (the
     transaction is dropped, state unchanged). *)

@@ -146,6 +146,27 @@ let release_below t mark =
     t.jbase <- mark
   end
 
+(* ------------------------------------------------------------------ *)
+(* Audit surface                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let row_image t id =
+  match Reg.find t.reg id with
+  | Some row when row < Slab.rows t.slab -> Some (Slab.copy_row t.slab row)
+  | _ -> None
+
+let dirty_ids t = List.map (Reg.key t.reg) (Slab.dirty_rows t.slab)
+let clear_dirty t = Slab.clear_dirty t.slab
+
+let corrupt_bit t ~index ~bit =
+  let rows = Slab.rows t.slab in
+  if rows = 0 then None
+  else begin
+    let row = ((index mod rows) + rows) mod rows in
+    Slab.corrupt_bit t.slab ~row ~bit;
+    Some (Reg.key t.reg row)
+  end
+
 let to_bytes t =
   let rb = Slab.row_bytes t.slab in
   let out = Buffer.create (4 + (t.live_count * (32 + rb))) in

@@ -54,6 +54,31 @@ val journal_bytes : t -> int
 
 val row_bytes : t -> int
 
+(** {1 Audit surface}
+
+    The twin's differential audit compares exactly the rows written
+    since the last {!clear_dirty} — O(dirty), not O(positions). Row
+    images carry no row index, so two stores that applied the same
+    entry sequence have byte-identical images per position id. *)
+
+val row_image : t -> Position_id.t -> bytes option
+(** The raw 256-byte row for a position id, deleted rows included
+    (their stale field bytes are part of the deterministic surface);
+    [None] for an id that never had a row. *)
+
+val dirty_ids : t -> Position_id.t list
+(** Ids whose rows were written since the last {!clear_dirty}, in row
+    (first-seen) order — deterministic across runs. *)
+
+val clear_dirty : t -> unit
+
+val corrupt_bit : t -> index:int -> bit:int -> Position_id.t option
+(** Flips one bit in the row selected by [index mod rows] (fault
+    injection); returns the affected id, or [None] on an empty store.
+    The row is marked dirty — corruption hits the same audit surface
+    as a legitimate write. Deliberately bypasses the undo journal: a
+    silent corruption is not a transaction. *)
+
 (** {1 Binary codec}
 
     Live entries only: [n : u32be] then per entry a 32-byte id followed

@@ -39,6 +39,17 @@ type t = {
   in_range : (Position_id.t, unit) Hashtbl.t;
   bounds_index : (int, Position_id.t list ref) Hashtbl.t;
   mutable fee_marked : bool;
+  (* Twin-audit write tracking, orthogonal to [dirty] (which
+     over-approximates summary candidates): these record exactly the
+     positions and ticks whose bytes were written. [op_*] collect the
+     writes of the transaction in flight and are drained per op by the
+     processor's tap; [audit_*] accumulate until the epoch-boundary
+     audit clears them. Fault injection marks only [audit_*] — a silent
+     corruption must not be attributed to the next transaction. *)
+  op_pos : (Position_id.t, unit) Hashtbl.t;
+  op_ticks : (int, unit) Hashtbl.t;
+  audit_pos : (Position_id.t, unit) Hashtbl.t;
+  audit_ticks : (int, unit) Hashtbl.t;
 }
 
 let create ~pool_id ~token0 ~token1 ~fee_pips ~tick_spacing ~sqrt_price =
@@ -55,7 +66,9 @@ let create ~pool_id ~token0 ~token1 ~fee_pips ~tick_spacing ~sqrt_price =
     protocol_fee_denominator = None;
     protocol_fees0 = U256.zero; protocol_fees1 = U256.zero;
     dirty = Hashtbl.create 64; in_range = Hashtbl.create 64;
-    bounds_index = Hashtbl.create 64; fee_marked = false }
+    bounds_index = Hashtbl.create 64; fee_marked = false;
+    op_pos = Hashtbl.create 16; op_ticks = Hashtbl.create 16;
+    audit_pos = Hashtbl.create 64; audit_ticks = Hashtbl.create 64 }
 
 let clone t =
   let copy_tbl src =
@@ -72,13 +85,23 @@ let clone t =
   let bounds_index = Hashtbl.create (Stdlib.max 16 (Hashtbl.length t.bounds_index)) in
   Hashtbl.iter (fun k l -> Hashtbl.replace bounds_index k (ref !l)) t.bounds_index;
   { t with ticks = Tick.clone t.ticks; position_table;
-    dirty = copy_tbl t.dirty; in_range = copy_tbl t.in_range; bounds_index }
+    dirty = copy_tbl t.dirty; in_range = copy_tbl t.in_range; bounds_index;
+    op_pos = copy_tbl t.op_pos; op_ticks = copy_tbl t.op_ticks;
+    audit_pos = copy_tbl t.audit_pos; audit_ticks = copy_tbl t.audit_ticks }
 
 (* ------------------------------------------------------------------ *)
 (* Change tracking                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let mark_dirty t pid = Hashtbl.replace t.dirty pid ()
+
+let write_pos t pid =
+  Hashtbl.replace t.op_pos pid ();
+  Hashtbl.replace t.audit_pos pid ()
+
+let write_tick t tick =
+  Hashtbl.replace t.op_ticks tick ();
+  Hashtbl.replace t.audit_ticks tick ()
 
 (* Fees are about to accrue to in-range liquidity: make sure every
    position currently in range is a summary candidate. Amortized — the
@@ -114,6 +137,30 @@ let refresh_range_membership t pid =
       end
     end
     else Hashtbl.remove t.in_range pid
+
+let drain_op_writes t =
+  let pos =
+    List.sort Position_id.compare
+      (Hashtbl.fold (fun pid () acc -> pid :: acc) t.op_pos [])
+  in
+  let ticks = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.op_ticks []) in
+  Hashtbl.reset t.op_pos;
+  Hashtbl.reset t.op_ticks;
+  (pos, ticks)
+
+let audit_writes t =
+  let pos =
+    List.sort Position_id.compare
+      (Hashtbl.fold (fun pid () acc -> pid :: acc) t.audit_pos [])
+  in
+  let ticks =
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.audit_ticks [])
+  in
+  (pos, ticks)
+
+let clear_audit_writes t =
+  Hashtbl.reset t.audit_pos;
+  Hashtbl.reset t.audit_ticks
 
 let epoch_candidates t = Hashtbl.fold (fun pid () acc -> pid :: acc) t.dirty []
 
@@ -286,6 +333,7 @@ let swap t ~zero_for_one ~amount ~sqrt_price_limit =
           if U256.equal t.sqrt_price sqrt_tick_next then begin
             if initialized then begin
               incr crossed;
+              write_tick t tick_next;
               let net =
                 Tick.cross t.ticks ~tick:tick_next
                   ~fee_growth_global0:t.fee_growth_global0
@@ -339,6 +387,9 @@ let check_ticks t ~lower_tick ~upper_tick =
 let update_position_liquidity t position ~liquidity_delta =
   let lower_tick = position.Position.lower_tick in
   let upper_tick = position.Position.upper_tick in
+  write_pos t position.Position.id;
+  write_tick t lower_tick;
+  write_tick t upper_tick;
   let flipped_lower =
     Tick.update t.ticks ~tick:lower_tick ~current_tick:t.tick
       ~fee_growth_global0:t.fee_growth_global0 ~fee_growth_global1:t.fee_growth_global1
@@ -430,6 +481,7 @@ let touch_position t position_id =
     in
     Position.update position ~liquidity_delta:(Liquidity_math.Add U256.zero)
       ~fee_growth_inside0:inside0 ~fee_growth_inside1:inside1;
+    write_pos t position_id;
     Ok ()
 
 let collect t ~position_id ~amount0_requested ~amount1_requested =
@@ -492,6 +544,83 @@ let flash t ~amount0 ~amount1 ~callback =
         end;
         Ok (fee0, fee1)
       end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Audit images                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical byte images of a position / an initialized tick for the
+   twin's differential audit. Not a durable codec — a stable,
+   field-complete surface: two pools that agree on every image (plus
+   the scalar section) are observably identical. *)
+
+let position_bytes t pid =
+  match Hashtbl.find_opt t.position_table pid with
+  | None -> None
+  | Some p ->
+    let buf = Buffer.create 196 in
+    Buffer.add_bytes buf (Address.to_bytes p.Position.owner);
+    Buffer.add_int64_be buf (Int64.of_int p.Position.lower_tick);
+    Buffer.add_int64_be buf (Int64.of_int p.Position.upper_tick);
+    Buffer.add_bytes buf (U256.to_bytes_be p.Position.liquidity);
+    Buffer.add_bytes buf (U256.to_bytes_be p.Position.fee_growth_inside0_last);
+    Buffer.add_bytes buf (U256.to_bytes_be p.Position.fee_growth_inside1_last);
+    Buffer.add_bytes buf (U256.to_bytes_be p.Position.tokens_owed0);
+    Buffer.add_bytes buf (U256.to_bytes_be p.Position.tokens_owed1);
+    Some (Buffer.to_bytes buf)
+
+let tick_bytes t tick =
+  match Tick.find t.ticks tick with
+  | None -> None
+  | Some info ->
+    let buf = Buffer.create 129 in
+    Buffer.add_bytes buf (U256.to_bytes_be info.Tick.liquidity_gross);
+    Buffer.add_char buf
+      (if Signed.is_negative info.Tick.liquidity_net then '\001' else '\000');
+    Buffer.add_bytes buf (U256.to_bytes_be (Signed.magnitude info.Tick.liquidity_net));
+    Buffer.add_bytes buf (U256.to_bytes_be info.Tick.fee_growth_outside0);
+    Buffer.add_bytes buf (U256.to_bytes_be info.Tick.fee_growth_outside1);
+    Some (Buffer.to_bytes buf)
+
+(* Deterministic nth initialized tick, walking the sorted set. *)
+let nth_initialized ticks n =
+  let rec go from k =
+    match Tick.next_initialized ticks ~from_tick:from ~lte:false with
+    | None -> None
+    | Some tk -> if k = 0 then Some tk else go tk (k - 1)
+  in
+  go (Tick_math.min_tick - 1) n
+
+(* Corruption stays within the fee-growth accumulators: they are pure
+   audit surface, so the flipped run keeps satisfying the pool's
+   liquidity arithmetic and terminates — the audit, not a crash, must
+   be what catches the fault. Marks only the audit set: out-of-band
+   damage is not attributable to any transaction. *)
+let corrupt_tick_bit t ~index ~bit =
+  let n = Tick.initialized_count t.ticks in
+  if n = 0 then None
+  else begin
+    let idx = ((index mod n) + n) mod n in
+    match nth_initialized t.ticks idx with
+    | None -> None
+    | Some tick ->
+      (match Tick.find t.ticks tick with
+      | None -> None
+      | Some info ->
+        let flip v =
+          let b = ((bit mod 256) + 256) mod 256 in
+          let bytes = U256.to_bytes_be v in
+          let o = b / 8 in
+          Bytes.set bytes o
+            (Char.chr (Char.code (Bytes.get bytes o) lxor (1 lsl (b mod 8))));
+          U256.of_bytes_be bytes
+        in
+        if (bit / 256) mod 2 = 0 then
+          info.Tick.fee_growth_outside0 <- flip info.Tick.fee_growth_outside0
+        else info.Tick.fee_growth_outside1 <- flip info.Tick.fee_growth_outside1;
+        Hashtbl.replace t.audit_ticks tick ();
+        Some tick)
   end
 
 (* ------------------------------------------------------------------ *)

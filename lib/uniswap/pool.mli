@@ -125,6 +125,39 @@ val epoch_reset : t -> unit
 
 val fee_growth_inside : t -> lower_tick:int -> upper_tick:int -> U256.t * U256.t
 
+(** {1 Twin-audit write tracking}
+
+    Orthogonal to the epoch candidate set: these record {e exactly} the
+    positions and ticks whose bytes were written, so the state twin can
+    capture per-transaction after-images and the epoch-boundary audit
+    can compare O(written) keys instead of O(state). *)
+
+val drain_op_writes : t -> Position_id.t list * int list
+(** The positions and ticks written since the last drain (both sorted
+    ascending), clearing the per-op set — called by the processor's tap
+    after each transaction. *)
+
+val audit_writes : t -> Position_id.t list * int list
+(** Everything written since the last {!clear_audit_writes} (sorted),
+    fault injections included. *)
+
+val clear_audit_writes : t -> unit
+
+val position_bytes : t -> Position_id.t -> bytes option
+(** Canonical byte image of a position (owner, range, liquidity, fee
+    checkpoints, owed tokens); [None] once deleted. *)
+
+val tick_bytes : t -> int -> bytes option
+(** Canonical byte image of an initialized tick (gross/net liquidity,
+    outside fee growth); [None] for uninitialized ticks. *)
+
+val corrupt_tick_bit : t -> index:int -> bit:int -> int option
+(** Fault injection: flips one bit in the fee-growth accumulators of
+    the [index mod initialized]-th initialized tick and marks it on the
+    audit surface (but on no transaction's write set — corruption is
+    out-of-band by construction). Returns the tick, or [None] when no
+    tick is initialized. *)
+
 (** {1 Protocol fees}
 
     V3's protocol fee switch: when enabled, 1/n of every swap fee is
