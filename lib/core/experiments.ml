@@ -1016,6 +1016,15 @@ type sweep_cell = {
   sw_rss_kb : int;
   sw_major_words : float;
   sw_promoted_words : float;
+  sw_minor_words : float;
+  sw_alloc_rate_mw_s : float;
+      (* total allocation (minor + major − promoted), million words per
+         wall second — the mutator's allocation pressure *)
+  sw_summary_users : int; (* user entries across the cell's summaries *)
+  sw_summary_users_max : int; (* largest single summary's user list *)
+  sw_gc_pauses : int; (* minor collections + major slices *)
+  sw_gc_pause_total_ms : float;
+  sw_gc_pause_max_ms : float;
 }
 
 let peak_rss_kb () =
@@ -1041,6 +1050,8 @@ let scale_sweep ?sink () =
   (* Sequential by design — never fanned across domains: peak RSS is a
      process-wide high-water mark, so cells run one at a time in
      ascending user order for the measurement to be attributable. *)
+  let gc_pause = Telemetry.Gc_pause.start () in
+  ignore (Telemetry.Gc_pause.poll gc_pause); (* drop pre-sweep noise *)
   List.map
     (fun users ->
       let cfg = sweep_cfg ~users in
@@ -1050,6 +1061,7 @@ let scale_sweep ?sink () =
       let r = System.run ~sink:private_sink cfg in
       let g1 = Gc.quick_stat () in
       let wall = Telemetry.Clock.elapsed_wall sw in
+      let pauses = Telemetry.Gc_pause.poll gc_pause in
       (match sink with
       | Some s -> Telemetry.Report.merge_into ~into:s private_sink
       | None -> ());
@@ -1060,31 +1072,46 @@ let scale_sweep ?sink () =
             (Observe.Growth_ledger.field last "bank.storage_words")
         | [] -> 0.0
       in
+      let minor_words = g1.Gc.minor_words -. g0.Gc.minor_words in
+      let major_words = g1.Gc.major_words -. g0.Gc.major_words in
+      let promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words in
+      let allocated = minor_words +. major_words -. promoted_words in
+      let ms ns = Int64.to_float ns /. 1_000_000.0 in
       let row =
         { sw_users = users; sw_generated = r.System.generated;
           sw_processed = r.System.processed; sw_throughput = r.System.throughput;
           sw_epochs_applied = r.System.epochs_applied;
           sw_epochs_run = r.System.epochs_run; sw_storage_words = storage_words;
           sw_wall_s = wall; sw_rss_kb = peak_rss_kb ();
-          sw_major_words = g1.Gc.major_words -. g0.Gc.major_words;
-          sw_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words }
+          sw_major_words = major_words; sw_promoted_words = promoted_words;
+          sw_minor_words = minor_words;
+          sw_alloc_rate_mw_s =
+            (if wall > 0.0 then allocated /. wall /. 1_000_000.0 else 0.0);
+          sw_summary_users = r.System.summary_user_entries;
+          sw_summary_users_max = r.System.summary_user_entries_max;
+          sw_gc_pauses = pauses.Telemetry.Gc_pause.pauses;
+          sw_gc_pause_total_ms = ms pauses.Telemetry.Gc_pause.total_ns;
+          sw_gc_pause_max_ms = ms pauses.Telemetry.Gc_pause.max_ns }
       in
       (* Wall/RSS vary run to run: stderr only, stdout stays identical. *)
       Printf.eprintf
-        "  [sweep users=%d: %.1fs wall, rss peak %dKB, %.0f major words]\n%!"
-        users wall row.sw_rss_kb row.sw_major_words;
+        "  [sweep users=%d: %.1fs wall, rss peak %dKB, %.0f major words, \
+         %.0f Mw/s alloc, gc max pause %.2fms, %d summary user entries]\n%!"
+        users wall row.sw_rss_kb row.sw_major_words row.sw_alloc_rate_mw_s
+        row.sw_gc_pause_max_ms row.sw_summary_users;
       row)
     (sweep_users ())
 
 let print_scale_sweep rows =
   Printf.printf "\n=== Scale sweep (epochs=%d) ===\n" (sweep_epochs ());
-  Printf.printf "%-10s%14s%14s%18s%10s%16s\n" "users" "generated" "processed"
-    "throughput tx/s" "epochs" "storage words";
+  Printf.printf "%-10s%14s%14s%18s%10s%16s%16s\n" "users" "generated" "processed"
+    "throughput tx/s" "epochs" "storage words" "summary users";
   List.iter
     (fun c ->
-      Printf.printf "%-10d%14d%14d%18.2f%7d/%-2d%16.0f\n" c.sw_users c.sw_generated
-        c.sw_processed c.sw_throughput c.sw_epochs_applied c.sw_epochs_run
-        c.sw_storage_words)
+      Printf.printf "%-10d%14d%14d%18.2f%7d/%-2d%16.0f%11d/%-4d\n" c.sw_users
+        c.sw_generated c.sw_processed c.sw_throughput c.sw_epochs_applied
+        c.sw_epochs_run c.sw_storage_words c.sw_summary_users
+        c.sw_summary_users_max)
     rows
 
 let sweep_json rows =
@@ -1098,10 +1125,17 @@ let sweep_json rows =
         ("wall_s", Telemetry.Json.Float c.sw_wall_s);
         ("rss_peak_kb", Telemetry.Json.Int c.sw_rss_kb);
         ("gc_major_words", Telemetry.Json.Float c.sw_major_words);
-        ("gc_promoted_words", Telemetry.Json.Float c.sw_promoted_words) ]
+        ("gc_promoted_words", Telemetry.Json.Float c.sw_promoted_words);
+        ("gc_minor_words", Telemetry.Json.Float c.sw_minor_words);
+        ("alloc_rate_mw_s", Telemetry.Json.Float c.sw_alloc_rate_mw_s);
+        ("summary_users", Telemetry.Json.Int c.sw_summary_users);
+        ("summary_users_max", Telemetry.Json.Int c.sw_summary_users_max);
+        ("gc_pauses", Telemetry.Json.Int c.sw_gc_pauses);
+        ("gc_pause_total_ms", Telemetry.Json.Float c.sw_gc_pause_total_ms);
+        ("gc_pause_max_ms", Telemetry.Json.Float c.sw_gc_pause_max_ms) ]
   in
   Telemetry.Json.obj
-    [ ("schema", Telemetry.Json.string "ammboost-sweep/1");
+    [ ("schema", Telemetry.Json.string "ammboost-sweep/2");
       ("epochs", string_of_int (sweep_epochs ()));
       ("cells", Telemetry.Json.array (List.map cell rows)) ]
 

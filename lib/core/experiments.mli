@@ -260,6 +260,18 @@ type sweep_cell = {
   sw_rss_kb : int;           (** process peak RSS after the cell (VmHWM) *)
   sw_major_words : float;    (** GC major words allocated by the cell *)
   sw_promoted_words : float;
+  sw_minor_words : float;
+  sw_alloc_rate_mw_s : float;
+      (** allocation pressure: (minor + major − promoted) words per wall
+          second, in millions *)
+  sw_summary_users : int;
+      (** user entries summed over the cell's epoch summaries —
+          O(active) under delta summaries (deterministic, printed) *)
+  sw_summary_users_max : int;  (** largest single summary's user list *)
+  sw_gc_pauses : int;
+      (** minor collections + major slices (runtime-events spans) *)
+  sw_gc_pause_total_ms : float;
+  sw_gc_pause_max_ms : float;  (** longest single stop-the-world span *)
 }
 
 val peak_rss_kb : unit -> int

@@ -161,6 +161,10 @@ type result = {
   sc_stored_bytes : int;
   sc_max_stored_bytes : int;
   max_summary_block_bytes : int;
+  summary_user_entries : int;
+      (* user entries across every summary built this run — O(active)
+         under delta summaries, epochs × population before them *)
+  summary_user_entries_max : int;
   mc_tx_bytes : int;
   mc_gas_total : int;
   mc_gas_by_label : (string * int) list;
@@ -297,6 +301,8 @@ type t = {
   mutable rollback_count : int;
   mutable mass_syncs : int;
   mutable max_summary_bytes : int;
+  mutable summary_users_total : int;
+  mutable summary_users_max : int;
   mutable max_sc_stored : int;
   mutable processed_total : int;
   mutable processed_in_window : int;
@@ -533,6 +539,7 @@ let create ?sink ?durable cfg =
       outage_start = None; sync_retries = 0; degraded_signings = 0;
       corrupted_partials = 0;
       rollback_count = 0; mass_syncs = 0; max_summary_bytes = 0;
+      summary_users_total = 0; summary_users_max = 0;
       max_sc_stored = 0;
       processed_total = 0; processed_in_window = 0; rejected_total = 0; swaps = 0; mints = 0; burns = 0;
       growth = Growth_ledger.create ~metrics:sink.Telemetry.Report.metrics ();
@@ -1523,15 +1530,24 @@ let run ?sink ?durable cfg =
       (* Positions in still-unapplied summaries stay "changed" relative
          to the bank snapshot even if this epoch never touches them: feed
          them to the incremental summary builder as carry. *)
+      let pending = pending_signed t in
       let carry =
         List.concat_map
           (fun ((p : Sync_payload.t), _) ->
             List.map
               (fun (e : Sync_payload.position_entry) -> e.Sync_payload.pos_id)
               p.Sync_payload.positions)
-          (pending_signed t)
+          pending
       in
-      Processor.begin_epoch ~pool:t.pool ~snapshot ~carry
+      let user_carry =
+        List.concat_map
+          (fun ((p : Sync_payload.t), _) ->
+            List.map
+              (fun (u : Sync_payload.user_entry) -> u.Sync_payload.user)
+              p.Sync_payload.users)
+          pending
+      in
+      Processor.begin_epoch ~pool:t.pool ~snapshot ~carry ~user_carry
         ~verify_signatures:cfg.Config.verify_signatures ()
     in
     (* Arm the twin's op capture for the epoch. The fresh deposit table
@@ -1726,6 +1742,9 @@ let run ?sink ?durable cfg =
     t.last_summary_epoch <- e;
     let s_size = Sidechain.Codec.summary_block_size payload in
     if s_size > t.max_summary_bytes then t.max_summary_bytes <- s_size;
+    let n_users = List.length payload.Sync_payload.users in
+    t.summary_users_total <- t.summary_users_total + n_users;
+    if n_users > t.summary_users_max then t.summary_users_max <- n_users;
     Telemetry.Histogram.observe tele.h_summary_bytes (float_of_int s_size);
     (* The summary round (last of the epoch) splits into summary build
        and threshold signing on the simulated timeline. *)
@@ -1967,6 +1986,8 @@ let run ?sink ?durable cfg =
     sc_stored_bytes = Blocks.stored_bytes t.sc_chain;
     sc_max_stored_bytes = t.max_sc_stored;
     max_summary_block_bytes = t.max_summary_bytes;
+    summary_user_entries = t.summary_users_total;
+    summary_user_entries_max = t.summary_users_max;
     mc_tx_bytes = List.fold_left (fun acc (_, b) -> acc + b) 0 bytes_by_label;
     mc_gas_total = Eth.gas_used_total t.eth;
     mc_gas_by_label = gas_by_label;

@@ -45,6 +45,10 @@ type result = {
   sc_stored_bytes : int;       (** after pruning *)
   sc_max_stored_bytes : int;
   max_summary_block_bytes : int;
+  summary_user_entries : int;
+      (** user entries across every summary built this run — O(active)
+          under delta summaries, epochs × population before them *)
+  summary_user_entries_max : int;
   mc_tx_bytes : int;           (** mainchain growth: deposits + syncs *)
   mc_gas_total : int;
   mc_gas_by_label : (string * int) list;

@@ -31,6 +31,14 @@ type t = {
   slab : Slab.t;
   mutable sorted : Address.t array; (* ascending; only [0, sorted_len) valid *)
   mutable sorted_len : int;
+  (* Summary candidates: rows whose payin/payout could be nonzero, i.e.
+     rows some balance mutation touched since epoch start. Marked at
+     inclusion time by [consume]/[refund]/[credit_side] (and by
+     [corrupt_bit], so injected corruption flows into the summary the
+     same way a legitimate write does). Distinct from the slab's dirty
+     rows, which the twin audit owns and clears mid-epoch. *)
+  mutable cand_bits : Bytes.t; (* bit per row *)
+  mutable cand_rows : int list; (* marked rows, most recent first *)
 }
 
 type consumption = {
@@ -65,11 +73,30 @@ let sorted_insert t user =
     t.sorted_len <- t.sorted_len + 1
   end
 
+let mark_row t row =
+  let byte = row lsr 3 and bit = row land 7 in
+  if byte >= Bytes.length t.cand_bits then begin
+    let grown =
+      Bytes.make (Stdlib.max 16 (2 * (byte + 1))) '\000'
+    in
+    Bytes.blit t.cand_bits 0 grown 0 (Bytes.length t.cand_bits);
+    t.cand_bits <- grown
+  end;
+  let v = Char.code (Bytes.get t.cand_bits byte) in
+  if v land (1 lsl bit) = 0 then begin
+    Bytes.set t.cand_bits byte (Char.chr (v lor (1 lsl bit)));
+    t.cand_rows <- row :: t.cand_rows
+  end
+
 let create ~snapshot =
   let n = List.length snapshot in
   let reg = Reg.create ~capacity:(Stdlib.max 64 (2 * n)) () in
   let slab = Slab.create ~slots:6 ~capacity:(Stdlib.max 16 n) () in
-  let t = { reg; slab; sorted = [||]; sorted_len = 0 } in
+  let t =
+    { reg; slab; sorted = [||]; sorted_len = 0;
+      cand_bits = Bytes.make (Stdlib.max 2 ((n / 8) + 1)) '\000';
+      cand_rows = [] }
+  in
   List.iter
     (fun (user, (d0, d1)) ->
       let row = Reg.intern reg user in
@@ -143,6 +170,7 @@ let consume t user ~amount0 ~amount1 =
     set t row s_side0 (U256.sub side0 from_side0);
     set t row s_main1 (U256.sub main1 from_main1);
     set t row s_side1 (U256.sub side1 from_side1);
+    mark_row t row;
     Ok { from_main0; from_side0; from_main1; from_side1 }
   end
 
@@ -151,12 +179,14 @@ let refund t user c =
   set t row s_main0 (U256.add (get t row s_main0) c.from_main0);
   set t row s_side0 (U256.add (get t row s_side0) c.from_side0);
   set t row s_main1 (U256.add (get t row s_main1) c.from_main1);
-  set t row s_side1 (U256.add (get t row s_side1) c.from_side1)
+  set t row s_side1 (U256.add (get t row s_side1) c.from_side1);
+  mark_row t row
 
 let credit_side t user ~amount0 ~amount1 =
   let row = row_of t user in
   set t row s_side0 (U256.add (get t row s_side0) amount0);
-  set t row s_side1 (U256.add (get t row s_side1) amount1)
+  set t row s_side1 (U256.add (get t row s_side1) amount1);
+  mark_row t row
 
 let payin t user =
   let row = row_of t user in
@@ -181,6 +211,17 @@ let totals t =
 
 let accounts t = Reg.count t.reg
 
+(* First-marked order — deterministic (mark order follows the meta-block
+   transaction order). The summary builder re-sorts by address anyway. *)
+let candidate_users t = List.rev_map (Reg.key t.reg) t.cand_rows
+let candidate_count t = List.length t.cand_rows
+
+let mem t user =
+  match Reg.find t.reg user with
+  | Some row -> row < Slab.rows t.slab
+  | None -> false
+
+
 (* ------------------------------------------------------------------ *)
 (* Audit surface                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -203,6 +244,10 @@ let corrupt_bit t ~index ~bit =
   else begin
     let row = ((index mod rows) + rows) mod rows in
     Slab.corrupt_bit t.slab ~row ~bit;
+    (* The corrupted row joins the summary candidates: the delta builder
+       must see the same (bad) value the full-scan oracle would, so the
+       divergence is caught by the twin, not masked by the filter. *)
+    mark_row t row;
     Some (Reg.key t.reg row)
   end
 
@@ -242,7 +287,9 @@ let of_bytes b =
         else begin
           let t =
             { reg = Reg.create ~capacity:(Stdlib.max 64 (2 * n)) (); slab;
-              sorted = [||]; sorted_len = 0 }
+              sorted = [||]; sorted_len = 0;
+              cand_bits = Bytes.make (Stdlib.max 2 ((n / 8) + 1)) '\000';
+              cand_rows = [] }
           in
           let ok = ref true in
           (try
@@ -252,7 +299,25 @@ let of_bytes b =
                sorted_insert t u
              done
            with Exit | Invalid_argument _ -> ok := false);
-          if !ok then Ok t else Error "Deposits.of_bytes: duplicate address"
+          (* Candidate marks are not serialized; rebuild them from the
+             rows themselves. A row restored with nonzero payin or payout
+             was mutated after epoch start, which is exactly the
+             candidate predicate — so a summary built after recovery
+             matches one built on the uninterrupted path. *)
+          if !ok then begin
+            for row = n - 1 downto 0 do
+              let nonzero slot_a slot_b =
+                not (U256.equal (get t row slot_a) (get t row slot_b))
+              in
+              if
+                nonzero s_initial0 s_main0 || nonzero s_initial1 s_main1
+                || (not (U256.is_zero (get t row s_side0)))
+                || not (U256.is_zero (get t row s_side1))
+              then mark_row t row
+            done;
+            Ok t
+          end
+          else Error "Deposits.of_bytes: duplicate address"
         end
     end
   end

@@ -58,6 +58,19 @@ val totals : t -> (U256.t * U256.t) * (U256.t * U256.t)
 val accounts : t -> int
 (** Number of tracked accounts this epoch. *)
 
+val mem : t -> Address.t -> bool
+(** Whether the user already has an account row. Pure: never interns. *)
+
+val candidate_users : t -> Address.t list
+(** Users marked by a balance mutation ({!consume}, {!refund},
+    {!credit_side}, {!corrupt_bit}) since epoch start, in first-marked
+    order — the only accounts whose summary entry can be nonzero. A
+    superset of the entries the summary reports (a consume+refund pair
+    nets to zero); the builder still diffs each candidate. Unrelated to
+    the twin's slab dirty marks, which are cleared mid-epoch. *)
+
+val candidate_count : t -> int
+
 (** {1 Audit surface}
 
     The twin's differential audit compares exactly the rows written

@@ -36,6 +36,13 @@ type t = {
          state, so while syncs lag those positions stay "changed" even if
          this epoch never touches them — the pool's inclusion-time marks
          alone would miss them. *)
+  user_carry : Address.t list;
+      (* Users listed by still-unapplied summaries. Per-epoch user flows
+         restart from zero each epoch, so unlike positions these can only
+         re-enter the summary through fresh activity — but while syncs
+         lag, the carry keeps the incremental builder considering them,
+         guaranteeing it diffs a superset of what the full-scan oracle
+         reports whatever the lag pattern. *)
   mutable deleted : deleted_position list;
   mutable processed : int;
   mutable swaps : int;
@@ -58,7 +65,7 @@ type stats = {
   wire_bytes_by_class : (string * int) list; (* sorted by class *)
 }
 
-let begin_epoch ~pool ~snapshot ?(carry = []) ~verify_signatures () =
+let begin_epoch ~pool ~snapshot ?(carry = []) ?(user_carry = []) ~verify_signatures () =
   let snapshot_positions = Hashtbl.create 64 in
   List.iter
     (fun (p : Sync_payload.position_entry) ->
@@ -70,7 +77,7 @@ let begin_epoch ~pool ~snapshot ?(carry = []) ~verify_signatures () =
   { pool;
     deposits = Deposits.create ~snapshot:snapshot.Tokenbank.Token_bank.snap_deposits;
     tap = None;
-    verify_signatures; snapshot_positions; carry; deleted = [];
+    verify_signatures; snapshot_positions; carry; user_carry; deleted = [];
     processed = 0; swaps = 0; mints = 0; burns = 0; collects = 0;
     wire_bytes = Hashtbl.create 4;
     rejections = Hashtbl.create 8; rejected_total = 0 }
@@ -308,6 +315,16 @@ let user_entry t user =
   let payout0, payout1 = Deposits.payout t.deposits user in
   { Sync_payload.user; payin0; payin1; payout0; payout1 }
 
+(* The deposit table is rebuilt from the bank snapshot at epoch start,
+   so every account's begin-epoch entry is the zero entry: "changed
+   since the snapshot" and "nonzero" are the same predicate. *)
+let user_entry_nonzero (u : Sync_payload.user_entry) =
+  not
+    (U256.is_zero u.Sync_payload.payin0
+    && U256.is_zero u.Sync_payload.payin1
+    && U256.is_zero u.Sync_payload.payout0
+    && U256.is_zero u.Sync_payload.payout1)
+
 let finish_payload t ~epoch ~next_committee_vk ~users ~touched =
   let deletions =
     t.deleted
@@ -337,10 +354,15 @@ let finish_payload t ~epoch ~next_committee_vk ~users ~touched =
     users; positions; next_committee_vk }
 
 let build_payload_reference t ~epoch ~next_committee_vk =
+  (* Full scan off the incrementally-sorted index (already ascending —
+     no re-sort), reporting every account whose flows moved this epoch.
+     Zero entries are omitted: they carry no value movement, and the
+     bank settles unlisted residual deposits in aggregate. *)
   let users =
-    Deposits.known_users t.deposits
-    |> List.map (user_entry t)
-    |> List.sort (fun a b -> Address.compare a.Sync_payload.user b.Sync_payload.user)
+    Deposits.users_sorted t.deposits
+    |> List.filter_map (fun u ->
+           let entry = user_entry t u in
+           if user_entry_nonzero entry then Some entry else None)
   in
   (* Refresh fee accounting, then report every position that is new or
      changed since the snapshot, plus deletions. *)
@@ -358,7 +380,25 @@ let build_payload_reference t ~epoch ~next_committee_vk =
   finish_payload t ~epoch ~next_committee_vk ~users ~touched
 
 let build_payload t ~epoch ~next_committee_vk =
-  let users = Deposits.users_sorted t.deposits |> List.map (user_entry t) in
+  (* Only users a balance mutation marked this epoch — plus the carry
+     from unapplied earlier summaries — can have nonzero flows; diff
+     those instead of walking every account. Sorting the candidates
+     (O(active log active)) reproduces the reference's ascending order. *)
+  let seen_users = Hashtbl.create 256 in
+  let consider_user acc user =
+    if Hashtbl.mem seen_users user || not (Deposits.mem t.deposits user) then acc
+    else begin
+      Hashtbl.replace seen_users user ();
+      let entry = user_entry t user in
+      if user_entry_nonzero entry then entry :: acc else acc
+    end
+  in
+  let users =
+    List.fold_left consider_user
+      (List.fold_left consider_user [] (Deposits.candidate_users t.deposits))
+      t.user_carry
+    |> List.sort (fun a b -> Address.compare a.Sync_payload.user b.Sync_payload.user)
+  in
   (* Only positions the pool marked this epoch — plus the carry from
      unapplied earlier summaries — can differ from the snapshot; touch
      and diff those instead of scanning the whole table. *)

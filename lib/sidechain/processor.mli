@@ -31,6 +31,7 @@ val begin_epoch :
   pool:Uniswap.Pool.t ->
   snapshot:Tokenbank.Token_bank.snapshot ->
   ?carry:Position_id.t list ->
+  ?user_carry:Address.t list ->
   verify_signatures:bool ->
   unit ->
   t
@@ -42,7 +43,9 @@ val begin_epoch :
     [carry] lists the positions reported by summaries the bank has not
     yet applied (sync lag): the snapshot reflects the last {e synced}
     state, so those positions must be re-diffed even when this epoch
-    never touches them. *)
+    never touches them. [user_carry] is the analogous set of users those
+    summaries listed; the incremental builder re-diffs them alongside
+    the epoch's own candidate marks. *)
 
 val pool : t -> Uniswap.Pool.t
 val deposits : t -> Deposits.t
@@ -67,16 +70,21 @@ val stats : t -> stats
 val build_payload :
   t -> epoch:int -> next_committee_vk:Amm_crypto.Bls.public_key ->
   Tokenbank.Sync_payload.t
-(** The epoch summary: one entry per depositor (payin = consumed
-    mainchain deposit, payout = accrued sidechain deposit), the updated
-    or deleted positions, and the updated pool balances.
+(** The epoch summary: one entry per depositor {e with nonzero flows}
+    (payin = consumed mainchain deposit, payout = accrued sidechain
+    deposit), the updated or deleted positions, and the updated pool
+    balances. The bank refunds the deposits of unlisted users in
+    aggregate when it applies the summary.
 
-    O(Δ): drains the pool's inclusion-time change marks (plus the
-    [carry]) instead of rescanning every open position — byte-identical
-    to {!build_payload_reference} (property-tested). *)
+    O(Δ) on both axes: drains the deposit table's balance-mutation
+    candidate marks and the pool's inclusion-time change marks (plus
+    the two carry sets) instead of rescanning every account and open
+    position — byte-identical to {!build_payload_reference}
+    (property-tested). *)
 
 val build_payload_reference :
   t -> epoch:int -> next_committee_vk:Amm_crypto.Bls.public_key ->
   Tokenbank.Sync_payload.t
-(** The O(positions) full-scan summary builder the incremental
-    {!build_payload} must agree with — kept as the test oracle. *)
+(** The full-scan summary builder (O(accounts) + O(positions)) the
+    incremental {!build_payload} must agree with — kept as the
+    auditor's oracle. *)

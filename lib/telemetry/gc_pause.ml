@@ -1,0 +1,71 @@
+(* Stop-the-world GC pause observation through the OCaml 5 runtime-events
+   ring buffer (self-monitoring cursor, no external consumer needed).
+
+   A "pause" here is one minor collection or one major-GC slice as
+   delimited by the runtime's own begin/end phase events, measured on the
+   runtime's monotonic clock. Polling is explicit: the caller drains the
+   ring at measurement boundaries (e.g. once per sweep cell); the ring
+   holds the default 64k events per domain, far above what a cell emits
+   between polls at the two phases we subscribe to. *)
+
+type acc = {
+  (* Phase open timestamps per domain, keyed by the phase itself —
+     phases nest (a minor can run inside a major slice), so each tracks
+     its own begin independently. *)
+  open_begin : (int * Runtime_events.runtime_phase, int64) Hashtbl.t;
+  mutable pauses : int;
+  mutable total_ns : int64;
+  mutable max_ns : int64;
+}
+
+type t = { cursor : Runtime_events.cursor; callbacks : Runtime_events.Callbacks.t; acc : acc }
+
+(* Top-level phases only: their spans cover the mutator-visible pause.
+   Sub-phases (sweep, mark, scan...) nest inside and would double-count. *)
+let tracked_top (phase : Runtime_events.runtime_phase) =
+  match phase with EV_MINOR | EV_MAJOR -> true | _ -> false
+
+let start () =
+  Runtime_events.start ();
+  let cursor = Runtime_events.create_cursor None in
+  let acc =
+    { open_begin = Hashtbl.create 16; pauses = 0; total_ns = 0L; max_ns = 0L }
+  in
+  let on_begin domain ts phase =
+    if tracked_top phase then
+      Hashtbl.replace acc.open_begin (domain, phase)
+        (Runtime_events.Timestamp.to_int64 ts)
+  in
+  let on_end domain ts phase =
+    if tracked_top phase then begin
+      match Hashtbl.find_opt acc.open_begin (domain, phase) with
+      | None -> ()
+      | Some t0 ->
+        Hashtbl.remove acc.open_begin (domain, phase);
+        let dt = Int64.sub (Runtime_events.Timestamp.to_int64 ts) t0 in
+        if Int64.compare dt 0L > 0 then begin
+          acc.pauses <- acc.pauses + 1;
+          acc.total_ns <- Int64.add acc.total_ns dt;
+          if Int64.compare dt acc.max_ns > 0 then acc.max_ns <- dt
+        end
+    end
+  in
+  let callbacks =
+    Runtime_events.Callbacks.create ~runtime_begin:on_begin ~runtime_end:on_end ()
+  in
+  { cursor; callbacks; acc }
+
+type sample = { pauses : int; total_ns : int64; max_ns : int64 }
+
+(* Drain the ring, then report the delta since the previous [poll] and
+   reset the accumulators — each call covers exactly one interval. *)
+let poll t =
+  let rec drain () =
+    if Runtime_events.read_poll t.cursor t.callbacks None > 0 then drain ()
+  in
+  drain ();
+  let s = { pauses = t.acc.pauses; total_ns = t.acc.total_ns; max_ns = t.acc.max_ns } in
+  t.acc.pauses <- 0;
+  t.acc.total_ns <- 0L;
+  t.acc.max_ns <- 0L;
+  s

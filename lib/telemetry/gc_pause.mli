@@ -1,0 +1,22 @@
+(** Stop-the-world GC pause observation via the OCaml 5 runtime-events
+    ring (self-monitoring cursor). {!start} once, then {!poll} at each
+    measurement boundary: every sample covers exactly the interval since
+    the previous poll. Counts minor collections and major slices as
+    delimited by the runtime's own begin/end phase events. *)
+
+type t
+
+val start : unit -> t
+(** Enables runtime events for the current process and attaches a
+    self-monitoring cursor. Safe to call once per process; the runtime
+    keeps emitting into the same ring afterwards. *)
+
+type sample = {
+  pauses : int;        (** minor collections + major slices observed *)
+  total_ns : int64;    (** summed pause time *)
+  max_ns : int64;      (** longest single pause *)
+}
+
+val poll : t -> sample
+(** Drains the ring and returns the pauses observed since the last
+    [poll] (or since {!start}), resetting the interval accumulators. *)

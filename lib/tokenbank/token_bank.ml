@@ -253,6 +253,21 @@ let apply_payload t (m : Gas.meter) payload =
   set_pool_balances t payload.pool payload.pool_balance0 payload.pool_balance1;
   (* Users: deduct payins, dispense payouts, refund residual deposits. *)
   let payouts_dispensed = ref 0 in
+  (* Payout plus residual refund leave the bank in one transfer per
+     token. *)
+  let send ~dest erc amount ~token0 =
+    if not (U256.is_zero amount) then begin
+      match Erc20.transfer erc ~source:t.bank_address ~dest amount with
+      | Ok () ->
+        incr payouts_dispensed;
+        (* After a halt-and-reconcile cycle, every dispensed token still
+           counts against the custody frozen at the halt. *)
+        if t.ever_halted then
+          if token0 then t.paid_out0 <- U256.add t.paid_out0 amount
+          else t.paid_out1 <- U256.add t.paid_out1 amount
+      | Error e -> failwith ("TokenBank.sync: custody underflow: " ^ e)
+    end
+  in
   List.iter
     (fun u ->
       let d0, d1 = deposit_of t ~epoch:payload.epoch u.user in
@@ -263,30 +278,23 @@ let apply_payload t (m : Gas.meter) payload =
       let residual1 = if U256.ge d1 u.payin1 then U256.sub d1 u.payin1 else U256.zero in
       let pay0 = U256.sub (U256.max u.payout0 short0) short0 in
       let pay1 = U256.sub (U256.max u.payout1 short1) short1 in
-      (* Payout plus residual refund leave the bank in one transfer per
-         token. *)
-      let send erc amount ~token0 =
-        if not (U256.is_zero amount) then begin
-          match
-            Erc20.transfer erc ~source:t.bank_address ~dest:u.user amount
-          with
-          | Ok () ->
-            incr payouts_dispensed;
-            (* After a halt-and-reconcile cycle, every dispensed token still
-               counts against the custody frozen at the halt. *)
-            if t.ever_halted then
-              if token0 then t.paid_out0 <- U256.add t.paid_out0 amount
-              else t.paid_out1 <- U256.add t.paid_out1 amount
-          | Error e -> failwith ("TokenBank.sync: custody underflow: " ^ e)
-        end
-      in
-      send t.erc0 (U256.add pay0 residual0) ~token0:true;
-      send t.erc1 (U256.add pay1 residual1) ~token0:false;
+      send ~dest:u.user t.erc0 (U256.add pay0 residual0) ~token0:true;
+      send ~dest:u.user t.erc1 (U256.add pay1 residual1) ~token0:false;
       t.user_deposits <-
         Epoch_map.add payload.epoch
           (Address.Map.remove u.user (epoch_deposits t payload.epoch))
           t.user_deposits)
     payload.users;
+  (* A delta payload lists only users with nonzero flows; every other
+     deposit pending for this epoch is untouched in full. Refund the
+     leftovers in aggregate and retire the epoch's map wholesale, so
+     pending-deposit storage stays O(active), not O(population). *)
+  Address.Map.iter
+    (fun user (d0, d1) ->
+      send ~dest:user t.erc0 d0 ~token0:true;
+      send ~dest:user t.erc1 d1 ~token0:false)
+    (epoch_deposits t payload.epoch);
+  t.user_deposits <- Epoch_map.remove payload.epoch t.user_deposits;
   Gas.charge m "payouts" (!payouts_dispensed * Gas.payout_transfer);
   t.vk <- payload.next_committee_vk;
   t.synced_epoch <- payload.epoch;
@@ -739,6 +747,18 @@ let reconcile t ~signed =
                   t.user_deposits
             end)
           p.users;
+        (* Deposits the delta payload leaves unlisted are pure residuals
+           (exited claimants were already drained by their exit): refund
+           them in aggregate and retire the epoch's map, mirroring
+           [apply_payload]. *)
+        Address.Map.iter
+          (fun user (d0, d1) ->
+            paid0 := U256.add !paid0 d0;
+            paid1 := U256.add !paid1 d1;
+            pay_out t m ~dest:user ~label:"reconcile.payout" d0 ~token0:true;
+            pay_out t m ~dest:user ~label:"reconcile.payout" d1 ~token0:false)
+          (epoch_deposits t p.epoch);
+        t.user_deposits <- Epoch_map.remove p.epoch t.user_deposits;
         Hashtbl.replace live p.pool (!b0, !b1);
         t.vk <- p.next_committee_vk;
         t.synced_epoch <- p.epoch)

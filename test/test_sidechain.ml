@@ -419,7 +419,9 @@ let test_summary_conservation_simple () =
   let payload = Processor.build_payload p ~epoch:0 ~next_committee_vk:dummy_pk in
   Alcotest.(check bool) "conservation" true
     (conservation_holds payload ~initial0:U256.zero ~initial1:U256.zero);
-  Alcotest.(check int) "one entry per depositor" 2
+  (* Delta semantics: bob deposited but never traded, so only alice —
+     the one account with nonzero flows — appears in the summary. *)
+  Alcotest.(check int) "one entry per active depositor" 1
     (List.length payload.Tokenbank.Sync_payload.users)
 
 (* Shared driver for the random-op properties below: applies a generated
@@ -570,7 +572,80 @@ let summary_props =
            apply_random_ops ~round0 b1 ops2;
            let pa1 = Processor.build_payload a1 ~epoch:1 ~next_committee_vk:dummy_pk in
            let pb1 = Processor.build_payload_reference b1 ~epoch:1 ~next_committee_vk:dummy_pk in
-           signing_bytes_agree pa0 pb0 && signing_bytes_agree pa1 pb1)) ]
+           signing_bytes_agree pa0 pb0 && signing_bytes_agree pa1 pb1));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:30
+         ~name:"delta user entries = full-scan reference across a lagged sync"
+         QCheck2.Gen.(pair gen_ops gen_ops)
+         (fun (ops1, ops2) ->
+           (* The user-side mirror of the position oracle above: the
+              incremental builder works off the deposit table's
+              balance-mutation candidate marks plus the user carry of
+              still-unapplied summaries; the reference full-scans the
+              sorted account index. Same bytes either way — including
+              carried users who went idle (their zero entries must be
+              filtered, not emitted) and carried users evicted from the
+              deposit snapshot entirely (they must be skipped, not
+              interned as fresh zero rows). *)
+           let make snapshot =
+             let pool =
+               Uniswap.Pool.create ~pool_id:0
+                 ~token0:(Chain.Token.make ~id:0 ~symbol:"TKA")
+                 ~token1:(Chain.Token.make ~id:1 ~symbol:"TKB")
+                 ~fee_pips:3000 ~tick_spacing:60 ~sqrt_price:Amm_math.Q96.q96
+             in
+             (pool, Processor.begin_epoch ~pool ~snapshot ~verify_signatures:false ())
+           in
+           let snapshot0 =
+             { Tokenbank.Token_bank.snap_epoch = 0;
+               snap_deposits = [ (alice, (one_e24, one_e24)); (bob, (one_e24, one_e24)) ];
+               snap_pool_balances = [ (0, (U256.zero, U256.zero)) ]; snap_positions = [] }
+           in
+           let pool_a, a = make snapshot0 in
+           let pool_b, b = make snapshot0 in
+           let _ = seed_liquidity a in
+           let _ = seed_liquidity b in
+           apply_random_ops a ops1;
+           apply_random_ops b ops1;
+           let pa0 = Processor.build_payload a ~epoch:0 ~next_committee_vk:dummy_pk in
+           let pb0 = Processor.build_payload_reference b ~epoch:0 ~next_committee_vk:dummy_pk in
+           (* TokenBank lags: epoch 1 starts from the same unsynced
+              deposit snapshot, and epoch 0's listed users ride along as
+              carry on the incremental side — plus a user the next
+              snapshot evicted (exited mid-lag) who has no row at all. *)
+           let evicted = Address.of_label "evicted-mid-lag" in
+           let user_carry =
+             evicted
+             :: List.map
+                  (fun (u : Tokenbank.Sync_payload.user_entry) -> u.Tokenbank.Sync_payload.user)
+                  pa0.Tokenbank.Sync_payload.users
+           in
+           let snapshot1 = { snapshot0 with Tokenbank.Token_bank.snap_epoch = 1 } in
+           let a1 =
+             Processor.begin_epoch ~pool:pool_a ~snapshot:snapshot1 ~user_carry
+               ~verify_signatures:false ()
+           in
+           let b1 =
+             Processor.begin_epoch ~pool:pool_b ~snapshot:snapshot1 ~verify_signatures:false ()
+           in
+           (* Epoch 1 keeps only alice active: bob's carried entry (if
+              epoch 0 listed him) diffs back to zero and must vanish. *)
+           let round0 = 1 + List.length ops1 in
+           let alice_only =
+             List.map (fun (op, mag, _flag) -> (op, mag, true)) ops2
+           in
+           apply_random_ops ~round0 a1 alice_only;
+           apply_random_ops ~round0 b1 alice_only;
+           let pa1 = Processor.build_payload a1 ~epoch:1 ~next_committee_vk:dummy_pk in
+           let pb1 = Processor.build_payload_reference b1 ~epoch:1 ~next_committee_vk:dummy_pk in
+           (* The reference never sees the carry, so agreement also
+              proves carried-but-idle users were filtered out. *)
+           signing_bytes_agree pa0 pb0
+           && signing_bytes_agree pa1 pb1
+           && List.for_all
+                (fun (u : Tokenbank.Sync_payload.user_entry) ->
+                  not (Address.equal u.Tokenbank.Sync_payload.user evicted))
+                pa1.Tokenbank.Sync_payload.users)) ]
 
 let test_summary_positions_reported () =
   let p = fresh_processor () in
